@@ -1,0 +1,1 @@
+bench/experiments.ml: Designs Format Isa List Mc Mupath Option Printf String Synthlc Sys Uhb

@@ -1,0 +1,1 @@
+bench/experiments2.ml: Designs Experiments Format Isa List Mc Mupath Printf String Synthlc Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Bitvec Designs Experiments Experiments2 Hashtbl Hdl Isa List Mc Measure Option Printexc Printf Sat Sim Staged Sys Test Time Toolkit Unix

@@ -1,0 +1,148 @@
+(* Benchmark/reproduction harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's per-experiment index), then runs
+   Bechamel micro-benchmarks of the substrate.
+
+   Usage:
+     dune exec bench/main.exe                 # quick profile, all experiments
+     REPRO_PROFILE=full dune exec bench/main.exe
+     dune exec bench/main.exe -- E1 E4        # selected experiments only
+     dune exec bench/main.exe -- micro        # micro-benchmarks only *)
+
+let experiments =
+  [
+    ("E7", Experiments.e7);
+    ("E1", Experiments.e1);
+    ("E2", Experiments.e2);
+    ("E3", Experiments.e3);
+    ("E4", Experiments.e4);
+    ("E5", Experiments.e5);
+    ("E10", Experiments.e10);
+    ("E12", Experiments.e12);
+    ("E13", Experiments2.e13);
+    ("E8", Experiments2.e8);
+    ("E9", Experiments2.e9_e6);
+    ("E11", Experiments2.e11);
+    ("A1", Experiments2.ablation_pruning);
+    ("A2", Experiments2.ablation_sim_assist);
+  ]
+
+(* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let bitvec_mul =
+    Test.make ~name:"bitvec 8x8 mul"
+      (Staged.stage (fun () ->
+           let a = Bitvec.of_int ~width:8 173 and b = Bitvec.of_int ~width:8 91 in
+           ignore (Bitvec.mul a b)))
+  in
+  let bitvec_udiv =
+    Test.make ~name:"bitvec 8-bit udiv"
+      (Staged.stage (fun () ->
+           let a = Bitvec.of_int ~width:8 173 and b = Bitvec.of_int ~width:8 7 in
+           ignore (Bitvec.udiv a b)))
+  in
+  let meta = Designs.Core.build Designs.Core.baseline in
+  let nl = meta.Designs.Meta.nl in
+  let sim = Sim.create nl in
+  let in0 = Option.get (Hdl.Netlist.find_named nl Designs.Core.sig_if_instr_in0) in
+  let in1 = Option.get (Hdl.Netlist.find_named nl Designs.Core.sig_if_instr_in1) in
+  let nop = Isa.encode Isa.nop in
+  let sim_cycle =
+    Test.make ~name:"core simulator cycle"
+      (Staged.stage (fun () ->
+           Sim.poke sim in0 nop;
+           Sim.poke sim in1 nop;
+           Sim.eval sim;
+           Sim.step sim))
+  in
+  let sat_php =
+    Test.make ~name:"SAT pigeonhole php(5)"
+      (Staged.stage (fun () ->
+           let s = Sat.Solver.create () in
+           let holes = 5 in
+           let var p h = (p * holes) + h in
+           for _ = 0 to ((holes + 1) * holes) - 1 do
+             ignore (Sat.Solver.new_var s)
+           done;
+           for p = 0 to holes do
+             Sat.Solver.add_clause s
+               (List.init holes (fun h -> Sat.Solver.pos (var p h)))
+           done;
+           for h = 0 to holes - 1 do
+             for p1 = 0 to holes do
+               for p2 = p1 + 1 to holes do
+                 Sat.Solver.add_clause s
+                   [ Sat.Solver.neg_of_var (var p1 h); Sat.Solver.neg_of_var (var p2 h) ]
+               done
+             done
+           done;
+           assert (Sat.Solver.solve s = Sat.Solver.Unsat)))
+  in
+  let elaborate =
+    Test.make ~name:"elaborate cva6_lite"
+      (Staged.stage (fun () -> ignore (Designs.Core.build Designs.Core.baseline)))
+  in
+  let blast_step =
+    Test.make ~name:"blast cva6_lite to depth 2"
+      (Staged.stage (fun () ->
+           let meta = Designs.Core.build Designs.Core.baseline in
+           let b = Mc.Blast.create ~initial:`Reset ~assumes:[] meta.Designs.Meta.nl in
+           Mc.Blast.ensure_depth b 2))
+  in
+  let tests =
+    Test.make_grouped ~name:"substrates"
+      [ bitvec_mul; bitvec_udiv; sim_cycle; sat_php; elaborate; blast_step ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  Printf.printf "\n=======================================================\n";
+  Printf.printf "Micro-benchmarks (Bechamel, monotonic clock)\n";
+  Printf.printf "=======================================================\n%!";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ t ] -> Printf.printf "%-38s %14.1f ns/run\n" name t
+      | _ -> Printf.printf "%-38s (no estimate)\n" name)
+    results
+
+let time_budget =
+  (* Optional wall-clock guard: once exceeded, remaining experiments are
+     skipped (each prints a SKIPPED line) so a tee'd run always terminates. *)
+  match Sys.getenv_opt "REPRO_TIME_BUDGET" with
+  | Some s -> float_of_string_opt s
+  | None -> None
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let t0 = Unix.gettimeofday () in
+  Printf.printf "RTL2MuPATH + SynthLC reproduction benches (profile: %s)\n"
+    (match Experiments.profile with `Quick -> "quick" | `Full -> "full");
+  let selected =
+    match args with [] -> List.map fst experiments @ [ "micro" ] | l -> l
+  in
+  List.iter
+    (fun (id, f) ->
+      if List.mem id selected then
+        let over_budget =
+          match time_budget with
+          | Some b -> Unix.gettimeofday () -. t0 > b
+          | None -> false
+        in
+        if over_budget then
+          Printf.printf "  [SKIPPED] %s: REPRO_TIME_BUDGET exceeded\n%!" id
+        else
+          try f ()
+          with e ->
+            Printf.printf "  [EXPERIMENT-ERROR] %s: %s\n%!" id (Printexc.to_string e))
+    experiments;
+  if List.mem "micro" selected then micro_benchmarks ();
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

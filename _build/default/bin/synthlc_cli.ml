@@ -1,0 +1,273 @@
+(* Command-line driver for the RTL2MµPATH / SynthLC reproduction.
+
+   Subcommands:
+     sim       — assemble and run a program on a core, printing PL occupancy
+     mupath    — synthesize the µPATH set for one instruction
+     synthlc   — synthesize leakage signatures for one or more instructions
+     scsafe    — search for an SC-Safe (Def. V.1) violation
+     designs   — print design metadata (the Table II annotations) *)
+
+open Cmdliner
+
+let design_names =
+  [ "cva6_lite"; "cva6_mul"; "cva6_op"; "cva6_fixed"; "ibex_lite"; "cva6_cache" ]
+
+let build_design = function
+  | "cva6_lite" -> Designs.Core.build Designs.Core.baseline
+  | "cva6_mul" -> Designs.Core.build Designs.Core.cva6_mul
+  | "cva6_op" -> Designs.Core.build Designs.Core.cva6_op
+  | "cva6_fixed" -> Designs.Core.build Designs.Core.all_fixed
+  | "ibex_lite" -> Designs.Ibex.build ()
+  | "cva6_cache" -> Designs.Cache.build ()
+  | d -> failwith ("unknown design " ^ d)
+
+let is_cache d = d = "cva6_cache"
+
+let design_arg =
+  let doc =
+    "Design under verification: " ^ String.concat ", " design_names ^ "."
+  in
+  Arg.(value & opt string "cva6_lite" & info [ "d"; "design" ] ~docv:"DESIGN" ~doc)
+
+let depth_arg =
+  Arg.(value & opt int 12 & info [ "depth" ] ~docv:"N" ~doc:"BMC unrolling depth.")
+
+let episodes_arg =
+  Arg.(value & opt int 12 & info [ "episodes" ] ~docv:"N" ~doc:"Random-simulation pre-pass episodes.")
+
+let instr_arg =
+  let doc = "Instruction under verification, in assembly (e.g. 'div r1, r2, r3')." in
+  Arg.(value & opt string "add r1, r2, r3" & info [ "i"; "instr" ] ~docv:"ASM" ~doc)
+
+let parse_instr s =
+  match Isa.parse s with Ok i -> i | Error e -> failwith e
+
+let config_of depth episodes =
+  {
+    Mc.Checker.default_config with
+    Mc.Checker.bmc_depth = depth;
+    bmc_conflicts = 60_000;
+    induction_max_k = 2;
+    sim_episodes = episodes;
+    sim_cycles = 44;
+  }
+
+let stimulus_for dname ~pins meta =
+  if is_cache dname then Designs.Stimulus.cache ~pins meta
+  else if dname = "ibex_lite" then Designs.Stimulus.ibex ~pins meta
+  else Designs.Stimulus.core ~pins meta
+
+let iuv_pc_for dname =
+  if is_cache dname then Designs.Cache.iuv_pc else Designs.Core.iuv_pc
+
+(* --- sim -------------------------------------------------------------- *)
+
+let sim_cmd =
+  let run dname program_file cycles =
+    let meta = build_design dname in
+    if is_cache dname then failwith "sim drives processor cores; use the cache tests for the cache DUV";
+    let src =
+      if program_file = "-" then In_channel.input_all In_channel.stdin
+      else In_channel.with_open_text program_file In_channel.input_all
+    in
+    let program =
+      match Isa.assemble src with Ok p -> Array.of_list p | Error e -> failwith e
+    in
+    let nl = meta.Designs.Meta.nl in
+    let sget n = Option.get (Hdl.Netlist.find_named nl n) in
+    let sim = Sim.create ~seed:1 nl in
+    let instr_at pc =
+      if pc < Array.length program then Isa.encode program.(pc)
+      else Isa.encode Isa.nop
+    in
+    for c = 0 to cycles - 1 do
+      Sim.eval sim;
+      let pc = Bitvec.to_int (Sim.peek sim (sget "fetch_pc")) in
+      (match Hdl.Netlist.find_named nl Designs.Core.sig_if_instr_in0 with
+      | Some s0 ->
+        Sim.poke sim s0 (instr_at pc);
+        Sim.poke sim (sget Designs.Core.sig_if_instr_in1) (instr_at (pc + 1))
+      | None -> Sim.poke sim (sget "if_instr_in") (instr_at pc));
+      Sim.eval sim;
+      let cells =
+        List.filter_map
+          (fun (u : Designs.Meta.ufsm) ->
+            let state =
+              match u.Designs.Meta.vars with
+              | [] -> Bitvec.zero 1
+              | v :: rest ->
+                List.fold_left
+                  (fun acc v' -> Bitvec.concat acc (Sim.peek sim v'))
+                  (Sim.peek sim v) rest
+            in
+            if List.exists (Bitvec.equal state) u.Designs.Meta.idle_states then None
+            else
+              Some
+                (Printf.sprintf "%s[%d]"
+                   (Designs.Meta.state_value meta u state)
+                   (Bitvec.to_int (Sim.peek sim u.Designs.Meta.pcr))))
+          meta.Designs.Meta.ufsms
+      in
+      Printf.printf "c%03d: %s\n" c (String.concat " " cells);
+      Sim.step sim
+    done;
+    Sim.eval sim;
+    List.iteri
+      (fun i r ->
+        Printf.printf "r%d = 0x%s\n" (i + 1)
+          (Bitvec.to_hex_string (Sim.peek sim r)))
+      meta.Designs.Meta.arf
+  in
+  let program =
+    Arg.(value & opt string "-" & info [ "p"; "program" ] ~docv:"FILE" ~doc:"Assembly file ('-' for stdin).")
+  in
+  let cycles = Arg.(value & opt int 32 & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate.") in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a program on a core, printing PL occupancy per cycle")
+    Term.(const run $ design_arg $ program $ cycles)
+
+(* --- mupath ----------------------------------------------------------- *)
+
+let mupath_cmd =
+  let run dname instr depth episodes dot counts =
+    let iuv = parse_instr instr in
+    let meta = build_design dname in
+    let iuv_pc = iuv_pc_for dname in
+    let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
+    let config = config_of depth episodes in
+    let r =
+      Mupath.Synth.run ~config ~stimulus:stim ~revisit_count_labels:counts ~meta
+        ~iuv ~iuv_pc ()
+    in
+    Format.printf "%a@." Mupath.Synth.pp_result r;
+    if dot then
+      List.iteri
+        (fun i p -> Printf.printf "--- uPATH %d DOT ---\n%s" i (Uhb.Dot.of_path p))
+        (Mupath.Synth.to_uhb_paths r)
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit DOT for each uPATH.") in
+  let counts =
+    Arg.(value & opt (list string) [] & info [ "counts" ] ~docv:"PLS" ~doc:"PLs to derive revisit cycle counts for (SS V-B6).")
+  in
+  Cmd.v
+    (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
+    Term.(const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot $ counts)
+
+(* --- synthlc ---------------------------------------------------------- *)
+
+let synthlc_cmd =
+  let run dname instrs txs depth episodes static =
+    let instructions = List.map parse_instr instrs in
+    let transmitters =
+      List.filter_map Isa.opcode_of_mnemonic txs
+    in
+    let design () = build_design dname in
+    let iuv_pc = iuv_pc_for dname in
+    let stimulus ~pins ~rotate meta =
+      if is_cache dname then Designs.Stimulus.cache ~pins meta
+      else if dname = "ibex_lite" then Designs.Stimulus.ibex ~pins ~rotate meta
+      else Designs.Stimulus.core ~pins ~rotate meta
+    in
+    let config = config_of depth episodes in
+    let kinds =
+      [ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older; Synthlc.Types.Dynamic_younger ]
+      @ (if static then [ Synthlc.Types.Static ] else [])
+    in
+    let report =
+      Synthlc.Engine.run ~config ~synth_config:config ~stimulus ~design
+        ~instructions ~transmitters ~kinds
+        ~revisit_count_labels:[ "divU"; "mulU"; "ID" ]
+        ~iuv_pc ()
+    in
+    Format.printf "%a@." Synthlc.Engine.pp_report report;
+    let grid = Synthlc.Grid.build report.Synthlc.Engine.transponders in
+    Format.printf "@.Fig. 8-style grid:@.%a@." Synthlc.Grid.pp grid;
+    let signatures = Synthlc.Engine.all_signatures report in
+    let revisit_counts =
+      List.map
+        (fun (t : Synthlc.Engine.transponder_report) ->
+          (t.Synthlc.Engine.instr.Isa.op, t.Synthlc.Engine.synth.Mupath.Synth.revisit_counts))
+        report.Synthlc.Engine.transponders
+    in
+    let bundle =
+      Synthlc.Contracts.derive ~signatures ~revisit_counts
+        ~store_opcodes:[ Isa.SW; Isa.SB ]
+    in
+    Format.printf "@.%a@." Synthlc.Contracts.pp_bundle bundle
+  in
+  let instrs =
+    Arg.(value & opt (list string) [ "div r1, r2, r3" ] & info [ "i"; "instrs" ] ~docv:"ASM,..." ~doc:"Transponder instructions.")
+  in
+  let txs =
+    Arg.(value & opt (list string) [ "div"; "lw"; "sw"; "beq"; "add" ] & info [ "t"; "transmitters" ] ~docv:"OPS" ~doc:"Candidate transmitter opcodes.")
+  in
+  let static = Arg.(value & flag & info [ "static" ] ~doc:"Also analyze static transmitters (Assumption 3).") in
+  Cmd.v
+    (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
+    Term.(const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static)
+
+(* --- scsafe ----------------------------------------------------------- *)
+
+let scsafe_cmd =
+  let run program_src secret trials =
+    let program =
+      match Isa.assemble program_src with Ok p -> p | Error e -> failwith e
+    in
+    match
+      Synthlc.Scsafe.find_violation ~trials
+        ~design:(fun () -> Designs.Core.build Designs.Core.baseline)
+        ~program ~secret_reg:secret ()
+    with
+    | Some v ->
+      Printf.printf
+        "SC-Safe VIOLATED: secret r%d = 0x%s vs 0x%s diverges observations at cycle %d\n"
+        (secret + 1)
+        (Bitvec.to_hex_string v.Synthlc.Scsafe.vi_low)
+        (Bitvec.to_hex_string v.Synthlc.Scsafe.vi_high)
+        v.Synthlc.Scsafe.vi_diverge_cycle
+    | None -> Printf.printf "no violation found in %d trials\n" trials
+  in
+  let program =
+    Arg.(value & opt string "sw r3, 0(r1)\nlw r3, 0(r2)" & info [ "p"; "program" ] ~docv:"ASM" ~doc:"Program (newline-separated).")
+  in
+  let secret =
+    Arg.(value & opt int 0 & info [ "secret" ] ~docv:"N" ~doc:"Secret ARF register index (0 = r1).")
+  in
+  let trials = Arg.(value & opt int 32 & info [ "trials" ] ~docv:"N" ~doc:"Random trials.") in
+  Cmd.v
+    (Cmd.info "scsafe" ~doc:"Search for a Definition V.1 violation by paired simulation")
+    Term.(const run $ program $ secret $ trials)
+
+(* --- designs ---------------------------------------------------------- *)
+
+let designs_cmd =
+  let run () =
+    List.iter
+      (fun dname ->
+        let meta = build_design dname in
+        let nl = meta.Designs.Meta.nl in
+        Printf.printf "%-11s nodes=%5d regs=%3d inputs=%d uFSMs=%2d PCRs=%2d state-regs=%2d\n"
+          dname (Hdl.Netlist.num_nodes nl)
+          (List.length (Hdl.Netlist.registers nl))
+          (List.length (Hdl.Netlist.inputs nl))
+          (List.length meta.Designs.Meta.ufsms)
+          (Designs.Meta.count_pcrs meta)
+          (Designs.Meta.count_ufsm_state_regs meta);
+        List.iter
+          (fun (u : Designs.Meta.ufsm) ->
+            Printf.printf "    %-8s states: %s\n" u.Designs.Meta.ufsm_name
+              (String.concat " "
+                 (List.map (fun (_, l) -> l) u.Designs.Meta.state_labels)))
+          meta.Designs.Meta.ufsms)
+      design_names
+  in
+  Cmd.v
+    (Cmd.info "designs" ~doc:"Print design inventories and Table II-style annotations")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "RTL2MuPATH + SynthLC (MICRO 2024) reproduction toolkit" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "synthlc" ~doc)
+          [ sim_cmd; mupath_cmd; synthlc_cmd; scsafe_cmd; designs_cmd ]))

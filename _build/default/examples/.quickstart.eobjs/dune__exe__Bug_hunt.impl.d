@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Array Bitvec Designs Hdl Isa List Option Printf Sim

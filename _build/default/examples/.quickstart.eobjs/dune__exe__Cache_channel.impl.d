@@ -1,0 +1,1 @@
+examples/cache_channel.ml: Bitvec Designs Format Hdl Isa List Mc Mupath Option Printf Sim String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitvec Designs Format Hdl Isa List Mc Mupath Option Printf Sim String Uhb

@@ -1,0 +1,1 @@
+examples/speculative_interference.ml: Array Bitvec Designs Hdl Isa List Option Printf Sim Synthlc

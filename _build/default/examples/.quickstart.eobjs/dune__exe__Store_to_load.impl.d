@@ -1,0 +1,1 @@
+examples/store_to_load.ml: Array Bitvec Designs Format Hdl Isa List Mc Mupath Option Printf Sim Synthlc

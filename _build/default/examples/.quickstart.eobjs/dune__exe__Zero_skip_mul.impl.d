@@ -1,0 +1,1 @@
+examples/zero_skip_mul.ml: Array Bitvec Designs Format Hdl Isa List Mc Mupath Option Printf Sim String

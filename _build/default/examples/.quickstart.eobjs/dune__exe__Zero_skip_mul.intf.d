@@ -1,0 +1,1 @@
+examples/zero_skip_mul.mli:

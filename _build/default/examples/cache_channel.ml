@@ -1,0 +1,72 @@
+(* The cache DUV channels (§VII-A2): hit/miss µPATHs with bank-split write
+   destinations, plus the static-transmitter effect — the cache's pre-state
+   (residue of earlier accesses) decides a later access's path.
+
+   Run with: dune exec examples/cache_channel.exe *)
+
+let () =
+  (* 1. Directed simulation: a store that hits takes the wrD0/wrD1 path; a
+     store that misses goes out on the AXI write path. *)
+  let meta = Designs.Cache.build () in
+  let nl = meta.Designs.Meta.nl in
+  let sget n = Option.get (Hdl.Netlist.find_named nl n) in
+  let sim = Sim.create ~seed:11 nl in
+  (* Pre-state: make set 0 way 0 hold tag of address 0x40. *)
+  Sim.poke_reg sim (sget "tag_v_0_0") (Bitvec.of_int ~width:1 1);
+  Sim.poke_reg sim (sget "tag_t_0_0")
+    (Bitvec.extract (Bitvec.of_int ~width:8 0x40) ~hi:7 ~lo:2);
+  List.iter
+    (fun (s, w) ->
+      Sim.poke_reg sim (sget (Printf.sprintf "tag_v_%d_%d" s w))
+        (Bitvec.of_int ~width:1 0))
+    [ (0, 1); (0, 2); (0, 3); (1, 0); (1, 1); (1, 2); (1, 3) ];
+  let drive_store addr =
+    let states = ref [] in
+    for c = 0 to 11 do
+      Sim.poke sim (sget Designs.Cache.sig_req_instr)
+        (Isa.encode (Isa.make Isa.SW));
+      Sim.poke sim (sget Designs.Cache.sig_req_addr)
+        (Bitvec.of_int ~width:8 addr);
+      Sim.poke sim (sget Designs.Cache.sig_req_data) (Bitvec.of_int ~width:8 c);
+      Sim.poke sim (sget "axi_rdata0") (Bitvec.zero 8);
+      Sim.poke sim (sget "axi_rdata1") (Bitvec.zero 8);
+      Sim.eval sim;
+      states := Bitvec.to_int (Sim.peek sim (sget "ctl_state")) :: !states;
+      Sim.step sim
+    done;
+    List.rev !states
+  in
+  let hit_trace = drive_store 0x40 in
+  Printf.printf "store to 0x40 (resident line) controller states: %s\n"
+    (String.concat "," (List.map string_of_int hit_trace));
+  assert (List.mem 2 hit_trace) (* wrD0: data-bank-0 write *);
+  let sim2 = Sim.create ~seed:11 nl in
+  ignore sim2;
+  let miss_trace = drive_store 0x80 in
+  Printf.printf "store to 0x80 (absent line)  controller states: %s\n"
+    (String.concat "," (List.map string_of_int miss_trace));
+  assert (List.mem 7 miss_trace) (* wrMiss: AXI write-through *);
+  Printf.printf
+    "=> which bank/path a store takes depends on its own address AND the\n";
+  Printf.printf
+    "   tags left behind by earlier (static-transmitter) accesses.\n\n";
+
+  (* 2. µPATH synthesis for a store request on the cache DUV — modular
+     analysis: note how much cheaper the properties are than on the core
+     (the paper's §VII-B3 modularity observation). *)
+  let meta = Designs.Cache.build () in
+  let iuv = Isa.make Isa.SW in
+  let stim = Designs.Stimulus.cache ~pins:[ (Designs.Cache.iuv_pc, iuv) ] meta in
+  let config =
+    { Mc.Checker.default_config with bmc_depth = 12; sim_episodes = 12; sim_cycles = 32 }
+  in
+  Printf.printf "synthesizing SW uPATHs on the cache DUV...\n%!";
+  let r =
+    Mupath.Synth.run ~config ~stimulus:stim ~meta ~iuv
+      ~iuv_pc:Designs.Cache.iuv_pc ()
+  in
+  Format.printf "%a@." Mupath.Synth.pp_result r;
+  let has lbl p = List.mem_assoc lbl p.Mupath.Synth.pl_set in
+  Printf.printf "hit-path (wrD0/wrD1) found: %b; miss-path (wrMiss) found: %b\n"
+    (List.exists (fun p -> has "wrD0" p || has "wrD1" p) r.Mupath.Synth.paths)
+    (List.exists (has "wrMiss") r.Mupath.Synth.paths)

@@ -1,0 +1,1 @@
+lib/designs/cache.ml: Bitvec Hdl Isa List Meta Printf

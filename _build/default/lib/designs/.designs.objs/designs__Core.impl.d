@@ -1,0 +1,1 @@
+lib/designs/core.ml: Bitvec Hdl Isa List Meta Printf

@@ -1,0 +1,1 @@
+lib/designs/core.mli: Meta

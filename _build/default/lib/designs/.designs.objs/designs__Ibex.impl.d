@@ -1,0 +1,1 @@
+lib/designs/ibex.ml: Bitvec Hdl Isa List Meta Printf

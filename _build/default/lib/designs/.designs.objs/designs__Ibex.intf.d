@@ -1,0 +1,1 @@
+lib/designs/ibex.mli: Meta

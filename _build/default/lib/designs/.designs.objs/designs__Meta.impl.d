@@ -1,0 +1,1 @@
+lib/designs/meta.ml: Bitvec Hdl List Printf

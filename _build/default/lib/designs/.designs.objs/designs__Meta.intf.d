@@ -1,0 +1,1 @@
+lib/designs/meta.mli: Bitvec Hdl

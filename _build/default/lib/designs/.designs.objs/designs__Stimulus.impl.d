@@ -1,0 +1,1 @@
+lib/designs/stimulus.ml: Bitvec Cache Core Hashtbl Hdl Isa List Meta Random Sim

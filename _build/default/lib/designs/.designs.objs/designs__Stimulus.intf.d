@@ -1,0 +1,1 @@
+lib/designs/stimulus.mli: Isa Meta Sim

@@ -1,0 +1,299 @@
+let iuv_pc = 2
+
+let sig_req_instr = "req_instr"
+let sig_req_addr = "req_addr"
+let sig_req_data = "req_data"
+let sig_done = "commit"
+
+let xlen = Isa.xlen
+let pcw = Isa.pc_bits
+let iw = Isa.width
+let n_sets = 2
+let n_ways = 4
+let line_bytes = 2
+let tag_bits = 6
+
+(* Controller states. *)
+let s_idle = 0
+let s_wbvld = 1
+let s_wrd0 = 2
+let s_rdtag = 3
+let s_rddata = 4
+let s_fill = 5
+let s_wrd1 = 6
+let s_wrmiss = 7
+
+let build () =
+  let module D = Hdl.Dsl.Make (struct
+    let nl = Hdl.Netlist.create "cva6_cache"
+  end) in
+  let open D in
+  (* Request interface: the request word reuses the RV-lite encoding and the
+     address/data operands arrive alongside. *)
+  let req_instr = input sig_req_instr iw in
+  let req_addr = input sig_req_addr xlen in
+  let req_data = input sig_req_data xlen in
+  let axi_rdata0 = input "axi_rdata0" xlen in
+  let axi_rdata1 = input "axi_rdata1" xlen in
+
+  let rq_ctr = reg ~name:"rq_ctr" ~width:pcw () in
+  let rq_v = reg ~name:"rq_v" ~width:1 () in
+  let rq_pc = reg ~name:"rq_pc" ~width:pcw () in
+  let rq_i = reg ~name:"rq_i" ~width:iw () in
+  let rq_addr = reg ~name:"operand_addr" ~width:xlen () in
+  let rq_data = reg ~name:"operand_data" ~width:xlen () in
+
+  let wbuf_v = reg ~name:"wbuf_v" ~width:1 () in
+  let wbuf_pc = reg ~name:"wbuf_pc" ~width:pcw () in
+  let wbuf_addr = reg ~name:"wbuf_addr" ~width:xlen () in
+  let wbuf_data = reg ~name:"wbuf_data" ~width:xlen () in
+
+  let ctl_state = reg ~name:"ctl_state" ~width:3 () in
+  let ctl_pc = reg ~name:"ctl_pc" ~width:pcw () in
+  let ctl_addr = reg ~name:"ctl_addr" ~width:xlen () in
+  let ctl_data = reg ~name:"ctl_data" ~width:xlen () in
+  let ctl_way = reg ~name:"ctl_way" ~width:2 () in
+
+  let mshr_v = reg ~name:"mshr_v" ~width:1 () in
+  let mshr_pc = reg ~name:"mshr_pc" ~width:pcw () in
+
+  let axi_v = reg ~name:"axi_v" ~width:1 () in
+  let axi_pc = reg ~name:"axi_pc" ~width:pcw () in
+  let axi_cnt = reg ~name:"axi_cnt" ~width:2 () in
+
+  let rr = reg ~name:"rr_victim" ~width:2 () in
+
+  (* Tag and data arrays: symbolic initial state — the residue of earlier
+     (static-transmitter) accesses. *)
+  let tags =
+    List.init n_sets (fun s ->
+        List.init n_ways (fun w ->
+            ( reg_symbolic ~name:(Printf.sprintf "tag_v_%d_%d" s w) ~width:1 (),
+              reg_symbolic ~name:(Printf.sprintf "tag_t_%d_%d" s w) ~width:tag_bits () )))
+  in
+  let data =
+    List.init n_sets (fun s ->
+        List.init n_ways (fun w ->
+            List.init line_bytes (fun o ->
+                reg_symbolic ~name:(Printf.sprintf "data_%d_%d_%d" s w o) ~width:xlen ())))
+  in
+
+  (* Address split: [7:2]=tag, [1]=set, [0]=offset. *)
+  let addr_tag a_ = select a_ 7 2 in
+  let addr_set a_ = bit a_ 1 in
+  let addr_off a_ = bit a_ 0 in
+
+  let st v = eq_const ctl_state v in
+  let ctl_idle = st s_idle in
+  let axi_done = axi_v &: eq_const axi_cnt 1 in
+
+  (* Probe the tags for the controller's address. *)
+  let hit_way_sigs =
+    List.init n_ways (fun w ->
+        let probe_set s_ =
+          let tv, tt = List.nth (List.nth tags s_) w in
+          tv &: (tt ==: addr_tag ctl_addr)
+        in
+        mux (addr_set ctl_addr) (probe_set 1) (probe_set 0))
+  in
+  let hit = List.fold_left ( |: ) gnd hit_way_sigs in
+  let hit_way =
+    (* Priority-encode the (at most one, by fill discipline) matching way;
+       symbolic tag pre-state may alias several ways, in which case the
+       lowest wins. *)
+    List.fold_left
+      (fun acc (w, h) -> mux h (of_int 2 w) acc)
+      (zero 2)
+      (List.rev (List.mapi (fun w h -> (w, h)) hit_way_sigs))
+  in
+
+  (* Request acceptance and hand-off. *)
+  let rq_is_store = eq_const (select rq_i 18 14) (Isa.opcode_to_int Isa.SW) in
+  let store_handoff = rq_v &: rq_is_store &: ~:wbuf_v in
+  (* Loads wait for the write buffer to drain (the dynamic ST->LD channel)
+     and for the controller to be free. *)
+  let load_handoff = rq_v &: ~:rq_is_store &: ctl_idle &: ~:wbuf_v in
+  let rq_leave = store_handoff |: load_handoff in
+  let accept = ~:rq_v |: rq_leave in
+  let () =
+    rq_v <== vdd;
+    (* the request interface always presents a request *)
+    rq_ctr <== mux accept (rq_ctr +: of_int pcw 1) rq_ctr;
+    rq_pc <== mux accept rq_ctr rq_pc;
+    rq_i <== mux accept req_instr rq_i;
+    rq_addr <== mux accept req_addr rq_addr;
+    rq_data <== mux accept req_data rq_data
+  in
+
+  (* Write buffer: stores wait here until the controller is free. *)
+  let wbuf_handoff = wbuf_v &: ctl_idle in
+  let () =
+    wbuf_v <== mux store_handoff vdd (mux wbuf_handoff gnd wbuf_v);
+    wbuf_pc <== mux store_handoff rq_pc wbuf_pc;
+    wbuf_addr <== mux store_handoff rq_addr wbuf_addr;
+    wbuf_data <== mux store_handoff rq_data wbuf_data
+  in
+
+  (* Controller transitions. *)
+  let next_state =
+    priority_mux
+      [
+        (ctl_idle &: wbuf_handoff, of_int 3 s_wbvld);
+        (ctl_idle &: load_handoff, of_int 3 s_rdtag);
+        ( st s_wbvld,
+          mux hit
+            (mux (bit hit_way 1) (of_int 3 s_wrd1) (of_int 3 s_wrd0))
+            (of_int 3 s_wrmiss) );
+        (st s_wrd0 |: st s_wrd1, of_int 3 s_idle);
+        (st s_wrmiss, mux axi_done (of_int 3 s_idle) (of_int 3 s_wrmiss));
+        (st s_rdtag, mux hit (of_int 3 s_rddata) (of_int 3 s_fill));
+        (st s_fill, mux axi_done (of_int 3 s_rddata) (of_int 3 s_fill));
+        (st s_rddata, of_int 3 s_idle);
+      ]
+      ctl_state
+  in
+  let () =
+    ctl_state <== next_state;
+    ctl_pc
+    <== priority_mux
+          [ (ctl_idle &: wbuf_handoff, wbuf_pc); (ctl_idle &: load_handoff, rq_pc) ]
+          ctl_pc;
+    ctl_addr
+    <== priority_mux
+          [ (ctl_idle &: wbuf_handoff, wbuf_addr); (ctl_idle &: load_handoff, rq_addr) ]
+          ctl_addr;
+    ctl_data <== mux (ctl_idle &: wbuf_handoff) wbuf_data ctl_data;
+    ctl_way
+    <== priority_mux
+          [ (st s_wbvld &: hit, hit_way); (st s_rdtag &: ~:hit, rr); (st s_rdtag &: hit, hit_way) ]
+          ctl_way
+  in
+
+  (* AXI engine: engaged by a store miss (write-through) or a load miss. *)
+  let axi_start = (st s_wbvld &: ~:hit) |: (st s_rdtag &: ~:hit) in
+  let () =
+    axi_v <== mux axi_start vdd (mux axi_done gnd axi_v);
+    axi_pc <== mux axi_start ctl_pc axi_pc;
+    axi_cnt
+    <== mux axi_start (of_int 2 2)
+          (mux (axi_v &: (axi_cnt <>: zero 2)) (axi_cnt -: of_int 2 1) axi_cnt)
+  in
+
+  (* MSHR: held by a missing load until its refill completes. *)
+  let mshr_alloc = st s_rdtag &: ~:hit in
+  let mshr_release = st s_fill &: axi_done in
+  let () =
+    mshr_v <== mux mshr_alloc vdd (mux mshr_release gnd mshr_v);
+    mshr_pc <== mux mshr_alloc ctl_pc mshr_pc
+  in
+
+  (* Fill: on refill completion write the victim way's tag and line; advance
+     the round-robin victim pointer. *)
+  let filling = st s_fill &: axi_done in
+  let () =
+    List.iteri
+      (fun s_ ways ->
+        List.iteri
+          (fun w (tv, tt) ->
+            let sel =
+              filling
+              &: (of_int 1 s_ ==: addr_set ctl_addr)
+              &: eq_const ctl_way w
+            in
+            tv <== mux sel vdd tv;
+            tt <== mux sel (addr_tag ctl_addr) tt)
+          ways)
+      tags;
+    rr <== mux filling (rr +: of_int 2 1) rr
+  in
+
+  (* Data-array writes: store hits write their byte; fills write the line. *)
+  let store_write = st s_wrd0 |: st s_wrd1 in
+  let () =
+    List.iteri
+      (fun s_ ways ->
+        List.iteri
+          (fun w bytes ->
+            List.iteri
+              (fun o b ->
+                let here =
+                  (of_int 1 s_ ==: addr_set ctl_addr) &: eq_const ctl_way w
+                in
+                let st_sel =
+                  store_write &: here &: (of_int 1 o ==: addr_off ctl_addr)
+                in
+                let fill_sel = filling &: here in
+                let fill_data = if o = 0 then axi_rdata0 else axi_rdata1 in
+                b <== priority_mux [ (st_sel, ctl_data); (fill_sel, fill_data) ] b)
+              bytes)
+          ways)
+      data;
+  in
+
+  (* Completion pulse. *)
+  let done_now = store_write |: (st s_wrmiss &: axi_done) |: st s_rddata in
+  let name_wire nm s =
+    let w = wire ~name:nm (width s) in
+    w <== s;
+    w
+  in
+  let done_w = name_wire sig_done done_now in
+  let done_pc = name_wire "commit_pc" ctl_pc in
+  let flush_w = name_wire "flush" gnd in
+
+  (* Environment constraint: request words are always LW or SW. *)
+  let valid_req =
+    let op = select req_instr 18 14 in
+    (op ==: of_int 5 (Isa.opcode_to_int Isa.LW))
+    |: (op ==: of_int 5 (Isa.opcode_to_int Isa.SW))
+  in
+  let valid_req_w = name_wire "req_valid_assume" valid_req in
+
+  let one_state name pcr v label =
+    {
+      Meta.ufsm_name = name;
+      pcr;
+      vars = [ v ];
+      idle_states = [ Bitvec.zero 1 ];
+      state_labels = [ (Bitvec.of_int ~width:1 1, label) ];
+    }
+  in
+  let ufsms =
+    [
+      one_state "rq" rq_pc rq_v "rqSlot";
+      one_state "wbuf" wbuf_pc wbuf_v "wBuf";
+      {
+        Meta.ufsm_name = "ctl";
+        pcr = ctl_pc;
+        vars = [ ctl_state ];
+        idle_states = [ Bitvec.zero 3 ];
+        state_labels =
+          [
+            (Bitvec.of_int ~width:3 s_wbvld, "wBVld");
+            (Bitvec.of_int ~width:3 s_wrd0, "wrD0");
+            (Bitvec.of_int ~width:3 s_wrd1, "wrD1");
+            (Bitvec.of_int ~width:3 s_wrmiss, "wrMiss");
+            (Bitvec.of_int ~width:3 s_rdtag, "rdTag");
+            (Bitvec.of_int ~width:3 s_rddata, "rdData");
+            (Bitvec.of_int ~width:3 s_fill, "fill");
+          ];
+      };
+      one_state "mshr" mshr_pc mshr_v "MSHR";
+      one_state "axi" axi_pc axi_v "axiRq";
+    ]
+  in
+  {
+    Meta.design_name = "cva6_cache";
+    nl;
+    ifrs = [ { Meta.ifr_valid = rq_v; ifr_pc = rq_pc; ifr_word = rq_i } ];
+    operand_stage_valid = rq_v;
+    operand_stage_pc = rq_pc;
+    commit = done_w;
+    commit_pc = done_pc;
+    flush = flush_w;
+    ufsms;
+    operand_regs = [ ("rs1", rq_addr); ("rs2", rq_data) ];
+    arf = [];
+    amem = [];
+    extra_assumes = [ valid_req_w ];
+  }

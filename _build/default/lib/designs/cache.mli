@@ -1,0 +1,30 @@
+(** The L1 data cache DUV (§VII-A2).
+
+    A standalone design-under-verification modelling the CVA6 L1 data cache
+    and controller, downscaled: 2 sets × 4 ways × 2-byte lines, with the
+    four ways split across two data banks (bank = way/2, reproducing the
+    [wr$\[way/2\]] decision of Fig. 5), a one-entry write buffer, a
+    no-write-allocate write-through store path, a single MSHR, and an AXI
+    request FSM whose read data is a free input (the backing memory is
+    black-boxed, as the paper black-boxes everything behind the cache).
+
+    Requests play the role of instructions: each accepted request is
+    assigned an incrementing PC (its IID); the request word reuses the
+    RV-lite encoding and must be LW or SW (the [req_valid_assume] signal,
+    exported via metadata [extra_assumes], pins this).  The address operand
+    arrives through a separate input and is latched into an operand
+    register for SynthLC taint introduction.
+
+    Tag and data arrays are symbolically initialized: their pre-state is
+    the residue of earlier (static) loads and stores — exactly the static
+    transmitters the paper's cache evaluation flags. *)
+
+val build : unit -> Meta.t
+
+val iuv_pc : int
+(** Request slot used for the request under verification. *)
+
+val sig_req_instr : string
+val sig_req_addr : string
+val sig_req_data : string
+val sig_done : string

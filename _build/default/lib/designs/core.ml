@@ -1,0 +1,881 @@
+type config = {
+  zero_skip_mul : bool;
+  operand_packing : bool;
+  fix_jalr_align : bool;
+  fix_jal_align : bool;
+  fix_branch_excp : bool;
+  fix_scb_width : bool;
+}
+
+let baseline =
+  {
+    zero_skip_mul = false;
+    operand_packing = false;
+    fix_jalr_align = false;
+    fix_jal_align = false;
+    fix_branch_excp = false;
+    fix_scb_width = false;
+  }
+
+let cva6_mul = { baseline with zero_skip_mul = true }
+let cva6_op = { baseline with operand_packing = true }
+
+let all_fixed =
+  {
+    baseline with
+    fix_jalr_align = true;
+    fix_jal_align = true;
+    fix_branch_excp = true;
+    fix_scb_width = true;
+  }
+
+let iuv_pc = 2
+
+let sig_if_instr_in0 = "if_instr_in0"
+let sig_if_instr_in1 = "if_instr_in1"
+let sig_commit = "commit"
+let sig_commit_pc = "commit_pc"
+
+let xlen = Isa.xlen
+let pcw = Isa.pc_bits
+let iw = Isa.width
+let n_scb = 4
+let mem_words = 8
+
+let design_name cfg =
+  if cfg.operand_packing then "cva6_op"
+  else if cfg.zero_skip_mul then "cva6_mul"
+  else if cfg.fix_scb_width then "cva6_fixed"
+  else "cva6_lite"
+
+let build cfg =
+  let module D = Hdl.Dsl.Make (struct
+    let nl = Hdl.Netlist.create (design_name cfg)
+  end) in
+  let open D in
+  let bv = Bitvec.of_int in
+
+  (* ------------------------------------------------------------------ *)
+  (* Combinational helpers                                                *)
+  (* ------------------------------------------------------------------ *)
+  let sll8 x k = if k = 0 then x else concat [ select x (xlen - 1 - k) 0; zero k ] in
+  let srl8 x k = if k = 0 then x else concat [ zero k; select x (xlen - 1) k ] in
+  let sra8 x k = if k = 0 then x else concat [ repeat (msb x) k; select x (xlen - 1) k ] in
+  let shift_dyn f x amt3 = binary_mux amt3 (List.init 8 (fun k -> f x k)) in
+  let onehot_or default cases =
+    (* cases: (cond, value) with at most one cond true *)
+    List.fold_left (fun acc (c, v) -> mux c v acc) default cases
+  in
+
+  (* Decode field extractors over a 19-bit instruction word. *)
+  let f_op i = select i 18 14 in
+  let f_rd i = select i 13 12 in
+  let f_rs1 i = select i 11 10 in
+  let f_rs2 i = select i 9 8 in
+  let f_imm i = select i 7 0 in
+  let op_is i opc = eq_const (f_op i) (Isa.opcode_to_int opc) in
+  let op_in i opcs = List.fold_left (fun acc o -> acc |: op_is i o) gnd opcs in
+  let cls_test cls i =
+    op_in i (List.filter (fun o -> Isa.class_of o = cls) Isa.all_opcodes)
+  in
+  let is_div_cls = cls_test Isa.Divc in
+  let is_mul_cls = cls_test Isa.Mulc in
+  let is_load_cls = cls_test Isa.Load in
+  let is_store_cls = cls_test Isa.Store in
+  let is_branch_cls = cls_test Isa.Branch in
+  let is_jump_cls = cls_test Isa.Jump in
+  let writes_rd_w i =
+    op_in i (List.filter Isa.writes_rd Isa.all_opcodes) &: (f_rd i <>: zero 2)
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* State elements                                                      *)
+  (* ------------------------------------------------------------------ *)
+  let if_in0 = input sig_if_instr_in0 iw in
+  let if_in1 = input sig_if_instr_in1 iw in
+
+  let fetch_pc = reg ~name:"fetch_pc" ~width:pcw () in
+  let if_v0 = reg ~name:"if_v0" ~width:1 () in
+  let if_pc0 = reg ~name:"if_pc0" ~width:pcw () in
+  let if_i0 = reg ~name:"if_i0" ~width:iw () in
+  let if_v1 = reg ~name:"if_v1" ~width:1 () in
+  let if_pc1 = reg ~name:"if_pc1" ~width:pcw () in
+  let if_i1 = reg ~name:"if_i1" ~width:iw () in
+
+  let id0_v = reg ~name:"id0_v" ~width:1 () in
+  let id0_pc = reg ~name:"id0_pc" ~width:pcw () in
+  let id0_i = reg ~name:"id0_i" ~width:iw () in
+  let id1_v = reg ~name:"id1_v" ~width:1 () in
+  let id1_pc = reg ~name:"id1_pc" ~width:pcw () in
+  let id1_i = reg ~name:"id1_i" ~width:iw () in
+
+  let is_v = reg ~name:"is_v" ~width:1 () in
+  let is_pc = reg ~name:"is_pc" ~width:pcw () in
+  let is_i = reg ~name:"is_i" ~width:iw () in
+  let is_r1 = reg ~name:"operand_rs1" ~width:xlen () in
+  let is_r2 = reg ~name:"operand_rs2" ~width:xlen () in
+  let is_scb = reg ~name:"is_scb" ~width:2 () in
+  let is2_v = reg ~name:"is2_v" ~width:1 () in
+  let is2_pc = reg ~name:"is2_pc" ~width:pcw () in
+  let is2_i = reg ~name:"is2_i" ~width:iw () in
+  let is2_r1 = reg ~name:"operand2_rs1" ~width:xlen () in
+  let is2_r2 = reg ~name:"operand2_rs2" ~width:xlen () in
+  let is2_scb = reg ~name:"is2_scb" ~width:2 () in
+
+  let arf =
+    List.init 3 (fun i -> reg_symbolic ~name:(Printf.sprintf "arf%d" (i + 1)) ~width:xlen ())
+  in
+
+  (* Scoreboard entries: state 0=idle 1=issued 2=finished 3=commit 4=excp *)
+  let scb =
+    List.init n_scb (fun i ->
+        let n s = Printf.sprintf "scb%d_%s" i s in
+        ( reg ~name:(n "state") ~width:3 (),
+          reg ~name:(n "pc") ~width:pcw (),
+          reg ~name:(n "rd") ~width:2 (),
+          reg ~name:(n "wen") ~width:1 (),
+          reg ~name:(n "res") ~width:xlen (),
+          reg ~name:(n "isst") ~width:1 (),
+          reg ~name:(n "exc") ~width:1 () ))
+  in
+  let head = reg ~name:"scb_head" ~width:2 () in
+  let tail = reg ~name:"scb_tail" ~width:2 () in
+  let count = reg ~name:"scb_count" ~width:3 () in
+
+  (* Serial divider with leading-zero skip. *)
+  let div_busy = reg ~name:"div_busy" ~width:1 () in
+  let div_pc = reg ~name:"div_pc" ~width:pcw () in
+  let div_cnt = reg ~name:"div_cnt" ~width:4 () in
+  let div_rem = reg ~name:"div_rem" ~width:xlen () in
+  let div_quo = reg ~name:"div_quo" ~width:xlen () in
+  let div_dvs = reg ~name:"div_dvs" ~width:xlen () in
+  let div_negq = reg ~name:"div_negq" ~width:1 () in
+  let div_negr = reg ~name:"div_negr" ~width:1 () in
+  let div_isrem = reg ~name:"div_isrem" ~width:1 () in
+  let div_scb = reg ~name:"div_scb" ~width:2 () in
+  let div_div0 = reg ~name:"div_div0" ~width:1 () in
+  let div_a0 = reg ~name:"div_a0" ~width:xlen () in
+
+  (* Multiplier. *)
+  let mul_busy = reg ~name:"mul_busy" ~width:1 () in
+  let mul_pc = reg ~name:"mul_pc" ~width:pcw () in
+  let mul_cnt = reg ~name:"mul_cnt" ~width:3 () in
+  let mul_a = reg ~name:"mul_a" ~width:xlen () in
+  let mul_b = reg ~name:"mul_b" ~width:xlen () in
+  let mul_scb = reg ~name:"mul_scb" ~width:2 () in
+
+  (* Load unit: state 0=idle 1=ldStall 2=ldFin *)
+  let ld_state = reg ~name:"ld_state" ~width:2 () in
+  let ld_pc = reg ~name:"ld_pc" ~width:pcw () in
+  let ld_addr = reg ~name:"ld_addr" ~width:xlen () in
+  let ld_lb = reg ~name:"ld_lb" ~width:1 () in
+  let ld_scb = reg ~name:"ld_scb" ~width:2 () in
+  let lsq_v = reg ~name:"lsq_v" ~width:1 () in
+
+  (* Store buffers. *)
+  let stb n_ name =
+    List.init n_ (fun i ->
+        let nm s = Printf.sprintf "%s%d_%s" name i s in
+        ( reg ~name:(nm "v") ~width:1 (),
+          reg ~name:(nm "pc") ~width:pcw (),
+          reg ~name:(nm "addr") ~width:xlen (),
+          reg ~name:(nm "data") ~width:xlen (),
+          reg ~name:(nm "sb") ~width:1 () ))
+  in
+  let spec = stb 2 "spec" in
+  let com = stb 2 "com" in
+
+  (* Memory request stage (single R/W port) + behavioural memory. *)
+  let mrq_v = reg ~name:"mrq_v" ~width:1 () in
+  let mrq_pc = reg ~name:"mrq_pc" ~width:pcw () in
+  let mrq_addr = reg ~name:"mrq_addr" ~width:xlen () in
+  let mrq_data = reg ~name:"mrq_data" ~width:xlen () in
+  let mrq_sb = reg ~name:"mrq_sb" ~width:1 () in
+  let mem =
+    List.init mem_words (fun i ->
+        reg_symbolic ~name:(Printf.sprintf "mem%d" i) ~width:xlen ())
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Scoreboard observation                                              *)
+  (* ------------------------------------------------------------------ *)
+  let entry_state (st, _, _, _, _, _, _) = st in
+  let entry_pc (_, pc, _, _, _, _, _) = pc in
+  let entry_rd (_, _, rd, _, _, _, _) = rd in
+  let entry_wen (_, _, _, wen, _, _, _) = wen in
+  let entry_res (_, _, _, _, res, _, _) = res in
+  let entry_isst (_, _, _, _, _, isst, _) = isst in
+  let entry_exc (_, _, _, _, _, _, exc) = exc in
+  let st_issued e = eq_const (entry_state e) 1 in
+  let st_finished e = eq_const (entry_state e) 2 in
+  let st_commit e = eq_const (entry_state e) 3 in
+  let st_excp e = eq_const (entry_state e) 4 in
+  let idx_eq i j = eq_const j i in
+
+  (* A (unique) entry in state commit/excp this cycle is the head retiring. *)
+  let committing = List.map (fun e -> st_commit e |: st_excp e) scb in
+  let commit_now = List.fold_left ( |: ) gnd committing in
+  let sel_committing proj default =
+    onehot_or default (List.map2 (fun c e -> (c, proj e)) committing scb)
+  in
+  let commit_pc_w = sel_committing entry_pc (zero pcw) in
+  let commit_is_store = sel_committing entry_isst gnd in
+  let excp_flush = List.fold_left ( |: ) gnd (List.map st_excp scb) in
+  let head_next = mux commit_now (head +: of_int 2 1) head in
+
+  (* ------------------------------------------------------------------ *)
+  (* Issue-stage execution (combinational)                               *)
+  (* ------------------------------------------------------------------ *)
+  let is_imm = f_imm is_i in
+  let a = is_r1 and b = is_r2 in
+  let link_val = concat [ is_pc +: of_int pcw 1; zero 2 ] in
+  let slt_r = zero_extend (a <+ b) xlen in
+  let sltu_r = zero_extend (a <: b) xlen in
+  let shamt = select b 2 0 in
+  let alu_res =
+    onehot_or (zero xlen)
+      [
+        (op_in is_i [ Isa.ADD ], a +: b);
+        (op_is is_i Isa.ADDI, a +: is_imm);
+        (op_is is_i Isa.SUB, a -: b);
+        (op_in is_i [ Isa.AND ], a &: b);
+        (op_is is_i Isa.ANDI, a &: is_imm);
+        (op_in is_i [ Isa.OR ], a |: b);
+        (op_is is_i Isa.ORI, a |: is_imm);
+        (op_in is_i [ Isa.XOR ], a ^: b);
+        (op_is is_i Isa.XORI, a ^: is_imm);
+        (op_is is_i Isa.SLT, slt_r);
+        (op_is is_i Isa.SLTU, sltu_r);
+        (op_is is_i Isa.SLL, shift_dyn sll8 a shamt);
+        (op_is is_i Isa.SRL, shift_dyn srl8 a shamt);
+        (op_is is_i Isa.SRA, shift_dyn sra8 a shamt);
+        (is_jump_cls is_i, link_val);
+      ]
+  in
+
+  (* Control flow: resolved during the issue cycle (frontend predicts
+     not-taken). Targets are byte addresses; instruction slots are 4-byte
+     aligned. *)
+  let br_taken =
+    onehot_or gnd
+      [
+        (op_is is_i Isa.BEQ, a ==: b);
+        (op_is is_i Isa.BNE, a <>: b);
+        (op_is is_i Isa.BLT, a <+ b);
+        (op_is is_i Isa.BGE, ~:(a <+ b));
+        (op_is is_i Isa.BLTU, a <: b);
+        (op_is is_i Isa.BGEU, ~:(a <: b));
+      ]
+  in
+  let pc_bytes = concat [ is_pc; zero 2 ] in
+  let direct_target = pc_bytes +: is_imm in
+  let jalr_target = a +: is_imm in
+  let target = mux (op_is is_i Isa.JALR) jalr_target direct_target in
+  let misaligned2 = select target 1 0 <>: zero 2 in
+  let misaligned1 = bit target 0 in
+  let br_excp =
+    if cfg.fix_branch_excp then br_taken &: misaligned2 else misaligned2
+  in
+  let jal_excp = if cfg.fix_jal_align then misaligned2 else misaligned1 in
+  let jalr_excp = if cfg.fix_jalr_align then misaligned2 else gnd in
+  let is_excp =
+    is_v
+    &: onehot_or gnd
+         [
+           (is_branch_cls is_i, br_excp);
+           (op_is is_i Isa.JAL, jal_excp);
+           (op_is is_i Isa.JALR, jalr_excp);
+         ]
+  in
+  let ctrl_taken = mux (is_jump_cls is_i) vdd (is_branch_cls is_i &: br_taken) in
+  let redirect = is_v &: ctrl_taken &: ~:is_excp in
+  let redirect_pc = select target 7 2 in
+  let redirect_pc = uresize redirect_pc pcw in
+  let flush_front = redirect |: excp_flush in
+  let flush_any = flush_front in
+
+  (* Issue-stage completion event: everything except div/mul/load completes
+     during its issue cycle. *)
+  let is_complete_now =
+    is_v &: ~:(is_div_cls is_i) &: ~:(is_mul_cls is_i) &: ~:(is_load_cls is_i)
+  in
+  let is2_res = zero xlen in
+  (* is2 only ever holds packed ALU ops; compute its ALU result. *)
+  let a2 = is2_r1 and b2 = is2_r2 in
+  let is2_res =
+    if cfg.operand_packing then
+      onehot_or is2_res
+        [
+          (op_is is2_i Isa.ADD, a2 +: b2);
+          (op_is is2_i Isa.SUB, a2 -: b2);
+          (op_is is2_i Isa.AND, a2 &: b2);
+          (op_is is2_i Isa.OR, a2 |: b2);
+          (op_is is2_i Isa.XOR, a2 ^: b2);
+        ]
+    else is2_res
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Divider (serial restoring, leading-zero skip)                       *)
+  (* ------------------------------------------------------------------ *)
+  let signed_div = op_in is_i [ Isa.DIV; Isa.REM ] in
+  let abs_x x neg = mux neg (zero xlen -: x) x in
+  let da = abs_x a (signed_div &: msb a) in
+  let db = abs_x b (signed_div &: msb b) in
+  (* Count of significant bits of the |dividend|: priority encode MSB. *)
+  let sig_bits =
+    (* returns 0..8 as 4 bits *)
+    let rec scan k =
+      if k < 0 then zero 4
+      else mux (bit da k) (of_int 4 (k + 1)) (scan (k - 1))
+    in
+    scan (xlen - 1)
+  in
+  (* Pre-shift the dividend so iteration count equals significant bits. *)
+  let quo_init = shift_dyn sll8 da (select (of_int 4 8 -: sig_bits) 2 0) in
+  let quo_init = mux (eq_const sig_bits 0) (zero xlen) quo_init in
+  let div_engage = is_v &: is_div_cls is_i &: ~:flush_any in
+  let div_step_rem = concat [ select div_rem (xlen - 2) 0; msb div_quo ] in
+  let div_sub = div_step_rem >=: div_dvs in
+  let div_rem_next = mux div_sub (div_step_rem -: div_dvs) div_step_rem in
+  let div_quo_next = concat [ select div_quo (xlen - 2) 0; div_sub ] in
+  let div_done = div_busy &: (eq_const div_cnt 0 |: eq_const div_cnt 1) in
+  let div_quo_final = mux (eq_const div_cnt 0) div_quo div_quo_next in
+  let div_rem_final = mux (eq_const div_cnt 0) div_rem div_rem_next in
+  let div_q_signed = mux div_negq (zero xlen -: div_quo_final) div_quo_final in
+  let div_r_signed = mux div_negr (zero xlen -: div_rem_final) div_rem_final in
+  let div_result =
+    mux div_div0
+      (mux div_isrem div_a0 (ones xlen))
+      (mux div_isrem div_r_signed div_q_signed)
+  in
+  let () =
+    div_busy <== mux excp_flush gnd (mux div_engage vdd (mux div_done gnd div_busy));
+    div_pc <== mux div_engage is_pc div_pc;
+    div_cnt
+    <== mux div_engage sig_bits
+          (mux (div_busy &: (div_cnt <>: zero 4)) (div_cnt -: of_int 4 1) div_cnt);
+    div_rem <== mux div_engage (zero xlen) (mux div_busy div_rem_next div_rem);
+    div_quo <== mux div_engage quo_init (mux div_busy div_quo_next div_quo);
+    div_dvs <== mux div_engage db div_dvs;
+    div_negq <== mux div_engage (signed_div &: (msb a ^: msb b) &: (b <>: zero xlen)) div_negq;
+    div_negr <== mux div_engage (signed_div &: msb a) div_negr;
+    div_isrem <== mux div_engage (op_in is_i [ Isa.REM; Isa.REMU ]) div_isrem;
+    div_scb <== mux div_engage is_scb div_scb;
+    div_div0 <== mux div_engage (b ==: zero xlen) div_div0;
+    div_a0 <== mux div_engage a div_a0
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Multiplier                                                          *)
+  (* ------------------------------------------------------------------ *)
+  let mul_engage = is_v &: is_mul_cls is_i &: ~:flush_any in
+  let mul_lat =
+    if cfg.zero_skip_mul then
+      mux ((a ==: zero xlen) |: (b ==: zero xlen)) (of_int 3 1) (of_int 3 4)
+    else of_int 3 2
+  in
+  let mul_done = mul_busy &: eq_const mul_cnt 1 in
+  let mul_result = mul_a *: mul_b in
+  let () =
+    mul_busy <== mux excp_flush gnd (mux mul_engage vdd (mux mul_done gnd mul_busy));
+    mul_pc <== mux mul_engage is_pc mul_pc;
+    mul_cnt
+    <== mux mul_engage mul_lat
+          (mux (mul_busy &: (mul_cnt <>: zero 3)) (mul_cnt -: of_int 3 1) mul_cnt);
+    mul_a <== mux mul_engage a mul_a;
+    mul_b <== mux mul_engage b mul_b;
+    mul_scb <== mux mul_engage is_scb mul_scb
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Store buffers, memory port, load unit                               *)
+  (* ------------------------------------------------------------------ *)
+  let offset_of addr = select addr 1 0 in
+  let word_of addr = select addr 2 0 in
+  let stb_v (v, _, _, _, _) = v in
+  let stb_pc (_, pc, _, _, _) = pc in
+  let stb_addr (_, _, ad, _, _) = ad in
+  let stb_data (_, _, _, d, _) = d in
+  let stb_sb (_, _, _, _, s) = s in
+
+  (* A load's page-offset match against every pending store (speculative,
+     committed, or in the memory-request stage) — the SS IV-A channel. *)
+  let offset_match addr =
+    let m e = stb_v e &: (offset_of (stb_addr e) ==: offset_of addr) in
+    List.fold_left ( |: ) gnd (List.map m (spec @ com))
+    |: (mrq_v &: (offset_of mrq_addr ==: offset_of addr))
+  in
+
+  (* Load unit.  Once a load is accepted it cannot be squashed (the paper's
+     SS VII-A1 "All" finding); its scoreboard writeback is guarded instead. *)
+  let ld_engage = is_v &: is_load_cls is_i &: ~:excp_flush in
+  let ld_addr_new = a +: is_imm in
+  let ld_new_match = offset_match ld_addr_new in
+  let ld_cur_match = offset_match ld_addr in
+  let ld_idle = eq_const ld_state 0 in
+  let ld_stalling = eq_const ld_state 1 in
+  let ld_fin = eq_const ld_state 2 in
+  let ld_enter_fin =
+    (ld_engage &: ~:ld_new_match) |: (ld_stalling &: ~:ld_cur_match)
+  in
+  let ld_state_next =
+    onehot_or (zero 2)
+      [
+        (ld_engage &: ld_new_match, of_int 2 1);
+        (ld_engage &: ~:ld_new_match, of_int 2 2);
+        (~:ld_engage &: ld_stalling &: ld_cur_match, of_int 2 1);
+        (~:ld_engage &: ld_stalling &: ~:ld_cur_match, of_int 2 2);
+      ]
+  in
+  let () =
+    ld_state <== ld_state_next;
+    lsq_v <== eq_const ld_state_next 1;
+    ld_pc <== mux ld_engage is_pc ld_pc;
+    ld_addr <== mux ld_engage ld_addr_new ld_addr;
+    ld_lb <== mux ld_engage (op_is is_i Isa.LB) ld_lb;
+    ld_scb <== mux ld_engage is_scb ld_scb
+  in
+  ignore ld_idle;
+
+  (* Memory read during the ldFin cycle. *)
+  let mem_rdata = binary_mux (word_of ld_addr) mem in
+  let ld_result =
+    mux ld_lb (sign_extend (select mem_rdata 3 0) xlen) mem_rdata
+  in
+  let ld_done = ld_fin in
+
+  (* Committed-store drain: the single memory port prioritizes loads, so a
+     store drains only on cycles where no load will access (SS VII-A1's new
+     ST_comSTB channel). *)
+  let com0 = List.nth com 0 and com1 = List.nth com 1 in
+  let spec0 = List.nth spec 0 and spec1 = List.nth spec 1 in
+  let drain_grant = stb_v com0 &: ~:ld_enter_fin in
+  let () =
+    mrq_v <== drain_grant;
+    mrq_pc <== mux drain_grant (stb_pc com0) mrq_pc;
+    mrq_addr <== mux drain_grant (stb_addr com0) mrq_addr;
+    mrq_data <== mux drain_grant (stb_data com0) mrq_data;
+    mrq_sb <== mux drain_grant (stb_sb com0) mrq_sb
+  in
+
+  (* Behavioural memory write during the memRq cycle. *)
+  let mem_wdata = mux mrq_sb (concat [ zero 4; select mrq_data 3 0 ]) mrq_data in
+  let () =
+    List.iteri
+      (fun i m ->
+        m <== mux (mrq_v &: eq_const (word_of mrq_addr) i) mem_wdata m)
+      mem
+  in
+
+  (* Store commit: transfer the matching speculative entry to the committed
+     STB (commit is gated on a free slot). *)
+  let transfer = commit_now &: commit_is_store in
+  let spec_match e = stb_v e &: (stb_pc e ==: commit_pc_w) in
+  let tr_of proj = mux (spec_match spec0) (proj spec0) (proj spec1) in
+  let tr_pc = tr_of stb_pc in
+  let tr_addr = tr_of stb_addr in
+  let tr_data = tr_of stb_data in
+  let tr_sb = tr_of stb_sb in
+  let c0v_after = mux drain_grant (stb_v com1) (stb_v com0) in
+  let c1v_after = mux drain_grant gnd (stb_v com1) in
+  let pick_com proj = mux drain_grant (proj com1) (proj com0) in
+  let () =
+    let set_com (v, pc, ad, d, s) ~vld ~pcv ~adv ~dav ~sbv =
+      v <== vld; pc <== pcv; ad <== adv; d <== dav; s <== sbv
+    in
+    let take0 = transfer &: ~:c0v_after in
+    set_com com0
+      ~vld:(c0v_after |: take0)
+      ~pcv:(mux take0 tr_pc (pick_com stb_pc))
+      ~adv:(mux take0 tr_addr (pick_com stb_addr))
+      ~dav:(mux take0 tr_data (pick_com stb_data))
+      ~sbv:(mux take0 tr_sb (pick_com stb_sb));
+    let take1 = transfer &: c0v_after &: ~:c1v_after in
+    set_com com1
+      ~vld:(c1v_after |: take1)
+      ~pcv:(mux take1 tr_pc (stb_pc com1))
+      ~adv:(mux take1 tr_addr (stb_addr com1))
+      ~dav:(mux take1 tr_data (stb_data com1))
+      ~sbv:(mux take1 tr_sb (stb_sb com1))
+  in
+
+  (* Speculative STB allocation at the end of a store's issue cycle;
+     squashed wholesale on an exception flush. *)
+  let st_engage = is_v &: is_store_cls is_i &: ~:excp_flush in
+  let st_addr_new = a +: is_imm in
+  let st_data_new = b in
+  let st_sb_new = op_is is_i Isa.SB in
+  let () =
+    let release e = transfer &: spec_match e in
+    let alloc0 = st_engage &: ~:(stb_v spec0) in
+    let alloc1 = st_engage &: stb_v spec0 &: ~:(stb_v spec1) in
+    let set_spec (v, pc, ad, d, s) ~alloc ~keep =
+      v <== mux excp_flush gnd (mux alloc vdd keep);
+      pc <== mux alloc is_pc pc;
+      ad <== mux alloc st_addr_new ad;
+      d <== mux alloc st_data_new d;
+      s <== mux alloc st_sb_new s
+    in
+    set_spec spec0 ~alloc:alloc0 ~keep:(stb_v spec0 &: ~:(release spec0));
+    set_spec spec1 ~alloc:alloc1 ~keep:(stb_v spec1 &: ~:(release spec1))
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Scoreboard result events and state transitions                      *)
+  (* ------------------------------------------------------------------ *)
+  let com_has_free = ~:(stb_v com0) |: ~:(stb_v com1) in
+  let scb_next =
+    List.mapi
+      (fun i e ->
+        let ev_is = is_complete_now &: idx_eq i is_scb in
+        let ev_is2 =
+          if cfg.operand_packing then is2_v &: idx_eq i is2_scb else gnd
+        in
+        let ev_div = div_done &: idx_eq i div_scb in
+        let ev_mul = mul_done &: idx_eq i mul_scb in
+        let ev_ld =
+          ld_done &: idx_eq i ld_scb &: st_issued e &: (entry_pc e ==: ld_pc)
+        in
+        let res_event = ev_is |: ev_is2 |: ev_div |: ev_mul |: ev_ld in
+        let res_val =
+          onehot_or (entry_res e)
+            [
+              (ev_is, alu_res);
+              (ev_is2, is2_res);
+              (ev_div, div_result);
+              (ev_mul, mul_result);
+              (ev_ld, ld_result);
+            ]
+        in
+        let exc_now = mux ev_is is_excp (entry_exc e) in
+        let head_hit = idx_eq i head_next in
+        let commit_ok = head_hit &: (~:(entry_isst e) |: com_has_free) in
+        let retiring = st_commit e |: st_excp e in
+        let squash = excp_flush &: ~:retiring in
+        let next_state =
+          onehot_or (entry_state e)
+            [
+              (squash, zero 3);
+              ( ~:squash &: st_issued e &: res_event,
+                mux commit_ok
+                  (mux exc_now (of_int 3 4) (of_int 3 3))
+                  (of_int 3 2) );
+              ( ~:squash &: st_finished e &: commit_ok,
+                mux (entry_exc e) (of_int 3 4) (of_int 3 3) );
+              (~:squash &: retiring, zero 3);
+            ]
+        in
+        (e, res_event, res_val, exc_now, next_state, ev_is))
+      scb
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Dispatch (hazards computed on the ID slots)                         *)
+  (* ------------------------------------------------------------------ *)
+  let rf_base rs = binary_mux rs (zero xlen :: arf) in
+  let producer_match states rs =
+    let m e =
+      let st_ok =
+        List.fold_left ( |: ) gnd
+          (List.map (fun s_ -> eq_const (entry_state e) s_) states)
+      in
+      st_ok &: entry_wen e &: (entry_rd e ==: rs)
+    in
+    List.map m scb
+  in
+  let raw_on rs = List.fold_left ( |: ) gnd (producer_match [ 1 ] rs) in
+  let fwd_hits rs = producer_match [ 2; 3 ] rs in
+  let rf_val rs =
+    let hits = fwd_hits rs in
+    let fwd =
+      onehot_or (rf_base rs) (List.map2 (fun h e -> (h, entry_res e)) hits scb)
+    in
+    fwd
+  in
+  let reads_rs1_w i = op_in i (List.filter Isa.reads_rs1 Isa.all_opcodes) in
+  let reads_rs2_w i = op_in i (List.filter Isa.reads_rs2 Isa.all_opcodes) in
+  let raw_for i =
+    (reads_rs1_w i &: raw_on (f_rs1 i)) |: (reads_rs2_w i &: raw_on (f_rs2 i))
+  in
+  let waw_for i =
+    writes_rd_w i
+    &: List.fold_left ( |: ) gnd (producer_match [ 1; 2 ] (f_rd i))
+  in
+  let fu_conflict_for i =
+    (is_div_cls i &: (div_busy |: (is_v &: is_div_cls is_i)))
+    |: (is_mul_cls i &: (mul_busy |: (is_v &: is_mul_cls is_i)))
+    |: (is_load_cls i &: (~:ld_idle |: (is_v &: is_load_cls is_i)))
+    |: (is_store_cls i
+       &: ((stb_v spec0 &: stb_v spec1)
+          |: (is_v &: is_store_cls is_i &: (stb_v spec0 |: stb_v spec1))))
+  in
+  let scb_limit = if cfg.fix_scb_width then n_scb else n_scb - 1 in
+  let eff_count = count -: zero_extend commit_now 3 in
+  let can_take1 = eff_count <: of_int 3 scb_limit in
+  let can_take2 = eff_count <: of_int 3 (scb_limit - 1) in
+  let dispatch0 =
+    id0_v &: ~:flush_front &: ~:(raw_for id0_i) &: ~:(waw_for id0_i)
+    &: ~:(fu_conflict_for id0_i) &: can_take1
+  in
+  let narrow v = select v (xlen - 1) 4 ==: zero 4 in
+  let v1a = rf_val (f_rs1 id0_i) in
+  let v1b = rf_val (f_rs2 id0_i) in
+  let v2a = rf_val (f_rs1 id1_i) in
+  let v2b = rf_val (f_rs2 id1_i) in
+  let dispatch_pack =
+    if not cfg.operand_packing then gnd
+    else begin
+      let packable =
+        op_in id0_i [ Isa.ADD; Isa.SUB; Isa.AND; Isa.OR; Isa.XOR ]
+      in
+      let same_op = f_op id0_i ==: f_op id1_i in
+      let cross_raw =
+        writes_rd_w id0_i
+        &: ((f_rd id0_i ==: f_rs1 id1_i) |: (f_rd id0_i ==: f_rs2 id1_i))
+      in
+      let cross_waw =
+        writes_rd_w id0_i &: writes_rd_w id1_i &: (f_rd id0_i ==: f_rd id1_i)
+      in
+      dispatch0 &: id1_v &: packable &: same_op &: ~:(raw_for id1_i)
+      &: ~:(waw_for id1_i) &: ~:cross_raw &: ~:cross_waw &: narrow v1a
+      &: narrow v1b &: narrow v2a &: narrow v2b &: can_take2
+    end
+  in
+
+  (* Issue-stage registers. *)
+  let () =
+    is_v <== mux excp_flush gnd dispatch0;
+    is_pc <== mux dispatch0 id0_pc is_pc;
+    is_i <== mux dispatch0 id0_i is_i;
+    is_r1 <== mux dispatch0 v1a is_r1;
+    is_r2 <== mux dispatch0 v1b is_r2;
+    is_scb <== mux dispatch0 tail is_scb;
+    is2_v <== mux excp_flush gnd dispatch_pack;
+    is2_pc <== mux dispatch_pack id1_pc is2_pc;
+    is2_i <== mux dispatch_pack id1_i is2_i;
+    is2_r1 <== mux dispatch_pack v2a is2_r1;
+    is2_r2 <== mux dispatch_pack v2b is2_r2;
+    is2_scb <== mux dispatch_pack (tail +: of_int 2 1) is2_scb
+  in
+
+  (* Scoreboard register updates, including allocation at the tail. *)
+  let () =
+    List.iteri
+      (fun i (e, res_event, res_val, exc_now, next_state, ev_is) ->
+        let st, pc, rd, wen, res, isst, exc = e in
+        let alloc0 = dispatch0 &: idx_eq i tail in
+        let alloc1 = dispatch_pack &: idx_eq i (tail +: of_int 2 1) in
+        let alloc = alloc0 |: alloc1 in
+        let src_pc = mux alloc1 id1_pc id0_pc in
+        let src_i = mux alloc1 id1_i id0_i in
+        st <== mux alloc (of_int 3 1) next_state;
+        pc <== mux alloc src_pc pc;
+        rd <== mux alloc (f_rd src_i) rd;
+        wen <== mux alloc (writes_rd_w src_i) wen;
+        res <== mux res_event res_val res;
+        isst <== mux alloc (is_store_cls src_i) isst;
+        exc <== mux alloc gnd (mux ev_is exc_now exc))
+      scb_next
+  in
+
+  (* Head/tail/count bookkeeping. *)
+  let ndisp =
+    zero_extend dispatch0 3 +: zero_extend dispatch_pack 3
+  in
+  let () =
+    head <== mux excp_flush (zero 2) (mux commit_now (head +: of_int 2 1) head);
+    tail <== mux excp_flush (zero 2) (tail +: select ndisp 1 0);
+    count
+    <== mux excp_flush (zero 3)
+          (count +: ndisp -: zero_extend commit_now 3)
+  in
+
+  (* ARF writeback on (non-excepting) commit. *)
+  let commit_wen = sel_committing entry_wen gnd &: ~:excp_flush in
+  let commit_rd = sel_committing entry_rd (zero 2) in
+  let commit_res = sel_committing entry_res (zero xlen) in
+  let () =
+    List.iteri
+      (fun i r ->
+        r
+        <== mux
+              (commit_now &: commit_wen &: eq_const commit_rd (i + 1))
+              commit_res r)
+      arf
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Frontend: fetch queue and ID refill                                 *)
+  (* ------------------------------------------------------------------ *)
+  let () =
+    if not cfg.operand_packing then begin
+      (* Single-wide frontend: one IF slot, one ID slot. *)
+      let id_take = dispatch0 |: ~:id0_v in
+      let if_adv = (id_take &: if_v0) |: ~:if_v0 in
+      id0_v <== mux flush_front gnd (mux id_take if_v0 id0_v);
+      id0_pc <== mux (id_take &: if_v0) if_pc0 id0_pc;
+      id0_i <== mux (id_take &: if_v0) if_i0 id0_i;
+      id1_v <== gnd;
+      id1_pc <== zero pcw;
+      id1_i <== zero iw;
+      if_v0 <== mux flush_front gnd vdd;
+      if_pc0 <== mux if_adv fetch_pc if_pc0;
+      if_i0 <== mux if_adv if_in0 if_i0;
+      if_v1 <== gnd;
+      if_pc1 <== zero pcw;
+      if_i1 <== zero iw;
+      fetch_pc
+      <== mux excp_flush (zero pcw)
+            (mux redirect redirect_pc
+               (mux if_adv (fetch_pc +: of_int pcw 1) fetch_pc))
+    end
+    else begin
+      (* Dual-wide frontend for CVA6-OP: two IF slots, two ID slots. *)
+      let rem0_v = ~:dispatch_pack &: mux dispatch0 id1_v id0_v in
+      let rem0_pc = mux dispatch0 id1_pc id0_pc in
+      let rem0_i = mux dispatch0 id1_i id0_i in
+      let rem1_v = ~:dispatch_pack &: ~:dispatch0 &: id1_v in
+      id0_v <== mux flush_front gnd (mux rem0_v vdd if_v0);
+      id0_pc <== mux rem0_v rem0_pc if_pc0;
+      id0_i <== mux rem0_v rem0_i if_i0;
+      id1_v
+      <== mux flush_front gnd
+            (mux rem1_v vdd (mux rem0_v if_v0 if_v1));
+      id1_pc <== mux rem1_v id1_pc (mux rem0_v if_pc0 if_pc1);
+      id1_i <== mux rem1_v id1_i (mux rem0_v if_i0 if_i1);
+      (* Instructions consumed from the IF queue. *)
+      let ncons =
+        onehot_or (zero 2)
+          [
+            (rem0_v &: rem1_v, zero 2);
+            (rem0_v &: ~:rem1_v, zero_extend if_v0 2);
+            ( ~:rem0_v,
+              zero_extend if_v0 2 +: zero_extend (if_v0 &: if_v1) 2 );
+          ]
+      in
+      let keep0_v =
+        onehot_or gnd
+          [ (eq_const ncons 0, if_v0); (eq_const ncons 1, if_v1) ]
+      in
+      let keep0_pc = mux (eq_const ncons 1) if_pc1 if_pc0 in
+      let keep0_i = mux (eq_const ncons 1) if_i1 if_i0 in
+      let keep1_v = eq_const ncons 0 &: if_v1 in
+      if_v0 <== mux flush_front gnd vdd;
+      if_pc0 <== mux keep0_v keep0_pc fetch_pc;
+      if_i0 <== mux keep0_v keep0_i if_in0;
+      if_v1 <== mux flush_front gnd vdd;
+      if_pc1
+      <== mux keep1_v if_pc1
+            (mux keep0_v fetch_pc (fetch_pc +: of_int pcw 1));
+      if_i1 <== mux keep1_v if_i1 (mux keep0_v if_in0 if_in1);
+      let nkeep = zero_extend keep0_v 2 +: zero_extend keep1_v 2 in
+      fetch_pc
+      <== mux excp_flush (zero pcw)
+            (mux redirect redirect_pc
+               (fetch_pc +: zero_extend (of_int 2 2 -: nkeep) pcw))
+    end
+  in
+
+  (* ------------------------------------------------------------------ *)
+  (* Named outputs and metadata                                          *)
+  (* ------------------------------------------------------------------ *)
+  let name_wire nm s =
+    let w = wire ~name:nm (width s) in
+    w <== s;
+    w
+  in
+  let commit_w = name_wire sig_commit commit_now in
+  let commit_pc_named = name_wire sig_commit_pc commit_pc_w in
+  let flush_w = name_wire "flush" flush_any in
+  ignore bv;
+  ignore f_imm;
+  ignore mrq_pc;
+
+  let one_state_ufsm name pcr v label =
+    {
+      Meta.ufsm_name = name;
+      pcr;
+      vars = [ v ];
+      idle_states = [ Bitvec.zero 1 ];
+      state_labels = [ (Bitvec.of_int ~width:1 1, label) ];
+    }
+  in
+  let scb_ufsms =
+    List.mapi
+      (fun i (st, pc, _, _, _, _, _) ->
+        {
+          Meta.ufsm_name = Printf.sprintf "scb%d" i;
+          pcr = pc;
+          vars = [ st ];
+          idle_states = [ Bitvec.zero 3 ];
+          state_labels =
+            [
+              (Bitvec.of_int ~width:3 1, "scbIss");
+              (Bitvec.of_int ~width:3 2, "scbFin");
+              (Bitvec.of_int ~width:3 3, "scbCmt");
+              (Bitvec.of_int ~width:3 4, "scbExcp");
+            ];
+        })
+      scb
+  in
+  let stb_ufsms prefix label entries =
+    List.mapi
+      (fun i (v, pc, _, _, _) ->
+        one_state_ufsm (Printf.sprintf "%s%d" prefix i) pc v label)
+      entries
+  in
+  let ufsms =
+    [
+      one_state_ufsm "if0" if_pc0 if_v0 "IF";
+      one_state_ufsm "id0" id0_pc id0_v "ID";
+      one_state_ufsm "is" is_pc is_v "issue";
+    ]
+    @ (if cfg.operand_packing then
+         [
+           one_state_ufsm "if1" if_pc1 if_v1 "IF";
+           one_state_ufsm "id1" id1_pc id1_v "ID";
+           one_state_ufsm "is2" is2_pc is2_v "issue";
+         ]
+       else [])
+    @ scb_ufsms
+    @ [
+        one_state_ufsm "div" div_pc div_busy "divU";
+        one_state_ufsm "mul" mul_pc mul_busy "mulU";
+        {
+          Meta.ufsm_name = "ldu";
+          pcr = ld_pc;
+          vars = [ ld_state ];
+          idle_states = [ Bitvec.zero 2 ];
+          state_labels =
+            [
+              (Bitvec.of_int ~width:2 1, "ldStall");
+              (Bitvec.of_int ~width:2 2, "ldFin");
+            ];
+        };
+        one_state_ufsm "lsq" ld_pc lsq_v "LSQ";
+      ]
+    @ stb_ufsms "spec" "specSTB" spec
+    @ stb_ufsms "com" "comSTB" com
+    @ [ one_state_ufsm "mrq" mrq_pc mrq_v "memRq" ]
+  in
+  {
+    Meta.design_name = design_name cfg;
+    nl;
+    ifrs =
+      ({ Meta.ifr_valid = if_v0; ifr_pc = if_pc0; ifr_word = if_i0 }
+      ::
+      (if cfg.operand_packing then
+         [ { Meta.ifr_valid = if_v1; ifr_pc = if_pc1; ifr_word = if_i1 } ]
+       else []));
+    operand_stage_valid = is_v;
+    operand_stage_pc = is_pc;
+    commit = commit_w;
+    commit_pc = commit_pc_named;
+    flush = flush_w;
+    ufsms;
+    operand_regs = [ ("rs1", is_r1); ("rs2", is_r2) ];
+    arf;
+    amem = mem;
+    extra_assumes = [];
+  }

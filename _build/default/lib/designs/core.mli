@@ -1,0 +1,63 @@
+(** CVA6-lite: the reproduction's processor core (§VI).
+
+    A 6-stage, single-issue, scoreboarded pipeline with in-order issue and
+    commit and out-of-order completion, downscaled per standard formal
+    verification practice (the paper itself shrinks the STBs to 2 entries
+    and the SCB to 4): XLEN = 8, four architectural registers, 8-byte
+    behavioural memory, 2+2-entry speculative/committed store buffers,
+    4-entry scoreboard.
+
+    Microarchitectural structure mirrors the channels the paper's CVA6
+    evaluation surfaces:
+    - a serial divider with leading-zero skip (operand-dependent 1–8 cycle
+      latency) serving DIV/DIVU/REM/REMU;
+    - a multi-cycle multiplier — fixed-latency on the baseline, zero-skip
+      (1 vs 4 cycles) on the CVA6-MUL variant (§I-A);
+    - a load unit that stalls on a page-offset match against any pending
+      store (the §IV-A store-to-load channel), is immune to squash once a
+      load has entered it (§VII-A1 "All"), and wins the single memory port
+      over draining committed stores (the §VII-A1 new ST_comSTB channel);
+    - always-not-taken control flow resolved at issue, with misaligned-
+      target exceptions raised at commit — including, by default, the three
+      CVA6 bugs of §VII-B2 (JALR checks nothing, JAL checks only 2-byte
+      alignment, branches raise the exception regardless of outcome) and the
+      SCB counter-width bug that wastes one entry;
+    - an operand-packing decode stage on the CVA6-OP variant (§III-A).
+
+    [build] elaborates the netlist and returns the §V-A metadata. *)
+
+type config = {
+  zero_skip_mul : bool;  (** CVA6-MUL: 1-cycle multiply when an operand is zero, else 4. *)
+  operand_packing : bool;  (** CVA6-OP: dual-decode with narrow-operand packing. *)
+  fix_jalr_align : bool;  (** [false] reproduces the CVA6 bug: JALR never checks alignment. *)
+  fix_jal_align : bool;  (** [false]: JAL checks only 2-byte alignment. *)
+  fix_branch_excp : bool;
+      (** [false]: branches raise misaligned-target exceptions regardless of
+          whether they are taken. *)
+  fix_scb_width : bool;  (** [false]: the occupancy counter bug wastes one SCB entry. *)
+}
+
+val baseline : config
+(** CVA6-lite as shipped: bugs present, fixed-latency multiplier, no packing. *)
+
+val cva6_mul : config
+(** The zero-skip-multiply variant of §I-A / Fig. 1. *)
+
+val cva6_op : config
+(** The operand-packing variant of §III-A / Fig. 2. *)
+
+val all_fixed : config
+(** Baseline with the §VII-B2 bugs repaired. *)
+
+val iuv_pc : int
+(** The canonical PC slot used for instructions under verification: the
+    third fetched instruction, leaving room for older in-flight context. *)
+
+val build : config -> Meta.t
+
+(** Names of distinguished signals for tests and examples. *)
+
+val sig_if_instr_in0 : string
+val sig_if_instr_in1 : string
+val sig_commit : string
+val sig_commit_pc : string

@@ -1,0 +1,311 @@
+let iuv_pc = 2
+
+let xlen = Isa.xlen
+let pcw = Isa.pc_bits
+let iw = Isa.width
+let mem_words = 8
+
+(* EX-stage states. *)
+let s_idle = 0
+let s_ex = 1 (* single-cycle execute / first cycle of every instruction *)
+let s_div = 2
+let s_mem = 3
+let s_excp = 4
+
+let build () =
+  let module D = Hdl.Dsl.Make (struct
+    let nl = Hdl.Netlist.create "ibex_lite"
+  end) in
+  let open D in
+  let if_in = input "if_instr_in" iw in
+
+  let fetch_pc = reg ~name:"fetch_pc" ~width:pcw () in
+  let if_v = reg ~name:"if_v" ~width:1 () in
+  let if_pc = reg ~name:"if_pc" ~width:pcw () in
+  let if_i = reg ~name:"if_i" ~width:iw () in
+
+  let ex_state = reg ~name:"ex_state" ~width:3 () in
+  let ex_pc = reg ~name:"ex_pc" ~width:pcw () in
+  let ex_i = reg ~name:"ex_i" ~width:iw () in
+  let ex_r1 = reg ~name:"operand_rs1" ~width:xlen () in
+  let ex_r2 = reg ~name:"operand_rs2" ~width:xlen () in
+
+  let arf =
+    List.init 3 (fun i -> reg_symbolic ~name:(Printf.sprintf "arf%d" (i + 1)) ~width:xlen ())
+  in
+  let mem =
+    List.init mem_words (fun i ->
+        reg_symbolic ~name:(Printf.sprintf "mem%d" i) ~width:xlen ())
+  in
+
+  (* Divider state (same restoring, leading-zero-skip structure as the
+     CVA6-lite divider, folded into the EX stage). *)
+  let div_cnt = reg ~name:"div_cnt" ~width:4 () in
+  let div_rem = reg ~name:"div_rem" ~width:xlen () in
+  let div_quo = reg ~name:"div_quo" ~width:xlen () in
+  let div_dvs = reg ~name:"div_dvs" ~width:xlen () in
+  let div_negq = reg ~name:"div_negq" ~width:1 () in
+  let div_negr = reg ~name:"div_negr" ~width:1 () in
+  let div_div0 = reg ~name:"div_div0" ~width:1 () in
+  let div_a0 = reg ~name:"div_a0" ~width:xlen () in
+  let mem_cnt = reg ~name:"mem_cnt" ~width:1 () in
+
+  (* Decode helpers over the EX instruction word. *)
+  let f_op i = select i 18 14 in
+  let f_rd i = select i 13 12 in
+  let f_rs1 i = select i 11 10 in
+  let f_rs2 i = select i 9 8 in
+  let f_imm i = select i 7 0 in
+  let op_is i o = eq_const (f_op i) (Isa.opcode_to_int o) in
+  let op_in i os = List.fold_left (fun acc o -> acc |: op_is i o) gnd os in
+  let cls c i = op_in i (List.filter (fun o -> Isa.class_of o = c) Isa.all_opcodes) in
+  let is_div = cls Isa.Divc in
+  let _is_mul = cls Isa.Mulc in
+  let is_load = cls Isa.Load in
+  let is_store = cls Isa.Store in
+  let is_branch = cls Isa.Branch in
+  let is_jump = cls Isa.Jump in
+  let writes_rd i =
+    op_in i (List.filter Isa.writes_rd Isa.all_opcodes) &: (f_rd i <>: zero 2)
+  in
+
+  let st v = eq_const ex_state v in
+  let ex_busy = ~:(st s_idle) in
+
+  let a = ex_r1 and b = ex_r2 in
+  let imm = f_imm ex_i in
+
+  (* --- single-cycle datapath during the first EX cycle ---------------- *)
+  let sll8 x k = if k = 0 then x else concat [ select x (xlen - 1 - k) 0; zero k ] in
+  let srl8 x k = if k = 0 then x else concat [ zero k; select x (xlen - 1) k ] in
+  let sra8 x k = if k = 0 then x else concat [ repeat (msb x) k; select x (xlen - 1) k ] in
+  let shift f = binary_mux (select b 2 0) (List.init 8 (fun k -> f a k)) in
+  let onehot_or d cases = List.fold_left (fun acc (c, v) -> mux c v acc) d cases in
+  let link_val = concat [ ex_pc +: of_int pcw 1; zero 2 ] in
+  let alu_res =
+    onehot_or (zero xlen)
+      [
+        (op_is ex_i Isa.ADD, a +: b);
+        (op_is ex_i Isa.ADDI, a +: imm);
+        (op_is ex_i Isa.SUB, a -: b);
+        (op_is ex_i Isa.AND, a &: b);
+        (op_is ex_i Isa.ANDI, a &: imm);
+        (op_is ex_i Isa.OR, a |: b);
+        (op_is ex_i Isa.ORI, a |: imm);
+        (op_is ex_i Isa.XOR, a ^: b);
+        (op_is ex_i Isa.XORI, a ^: imm);
+        (op_is ex_i Isa.SLT, zero_extend (a <+ b) xlen);
+        (op_is ex_i Isa.SLTU, zero_extend (a <: b) xlen);
+        (op_is ex_i Isa.SLL, shift sll8);
+        (op_is ex_i Isa.SRL, shift srl8);
+        (op_is ex_i Isa.SRA, shift sra8);
+        (op_is ex_i Isa.MUL, a *: b);
+        (is_jump ex_i, link_val);
+      ]
+  in
+  let br_taken =
+    onehot_or gnd
+      [
+        (op_is ex_i Isa.BEQ, a ==: b);
+        (op_is ex_i Isa.BNE, a <>: b);
+        (op_is ex_i Isa.BLT, a <+ b);
+        (op_is ex_i Isa.BGE, ~:(a <+ b));
+        (op_is ex_i Isa.BLTU, a <: b);
+        (op_is ex_i Isa.BGEU, ~:(a <: b));
+      ]
+  in
+  let pc_bytes = concat [ ex_pc; zero 2 ] in
+  let target =
+    mux (op_is ex_i Isa.JALR) (a +: imm) (pc_bytes +: imm)
+  in
+  let ctrl_taken = is_jump ex_i |: (is_branch ex_i &: br_taken) in
+  let misaligned = select target 1 0 <>: zero 2 in
+  (* Ibex-lite is bug-free: the exception fires exactly when the transfer
+     is taken and misaligned. *)
+  let ex_first = st s_ex in
+  let excp_now = ex_first &: ctrl_taken &: misaligned in
+  let redirect = ex_first &: ctrl_taken &: ~:misaligned in
+  let redirect_pc = uresize (select target 7 2) pcw in
+
+  (* Divider step (operates while st s_div). *)
+  let signed_div = op_in ex_i [ Isa.DIV; Isa.REM ] in
+  let abs_x x neg = mux neg (zero xlen -: x) x in
+  let da = abs_x a (signed_div &: msb a) in
+  let db = abs_x b (signed_div &: msb b) in
+  let sig_bits =
+    let rec scan k =
+      if k < 0 then zero 4 else mux (bit da k) (of_int 4 (k + 1)) (scan (k - 1))
+    in
+    scan (xlen - 1)
+  in
+  let quo_init =
+    mux (eq_const sig_bits 0) (zero xlen)
+      (binary_mux (select (of_int 4 8 -: sig_bits) 2 0)
+         (List.init 8 (fun k -> sll8 da k)))
+  in
+  let div_step_rem = concat [ select div_rem (xlen - 2) 0; msb div_quo ] in
+  let div_sub = div_step_rem >=: div_dvs in
+  let div_rem_next = mux div_sub (div_step_rem -: div_dvs) div_step_rem in
+  let div_quo_next = concat [ select div_quo (xlen - 2) 0; div_sub ] in
+  let div_done = st s_div &: (eq_const div_cnt 0 |: eq_const div_cnt 1) in
+  let div_quo_final = mux (eq_const div_cnt 0) div_quo div_quo_next in
+  let div_rem_final = mux (eq_const div_cnt 0) div_rem div_rem_next in
+  let div_q = mux div_negq (zero xlen -: div_quo_final) div_quo_final in
+  let div_r = mux div_negr (zero xlen -: div_rem_final) div_rem_final in
+  let div_result =
+    mux div_div0
+      (mux (op_in ex_i [ Isa.REM; Isa.REMU ]) div_a0 (ones xlen))
+      (mux (op_in ex_i [ Isa.REM; Isa.REMU ]) div_r div_q)
+  in
+
+  (* Memory. *)
+  let addr = a +: imm in
+  let word_of x = select x 2 0 in
+  let mem_rdata = binary_mux (word_of addr) mem in
+  let ld_result =
+    mux (op_is ex_i Isa.LB) (sign_extend (select mem_rdata 3 0) xlen) mem_rdata
+  in
+  let mem_done = st s_mem &: eq_const mem_cnt 1 in
+  let store_now = ex_first &: is_store ex_i in
+  let st_data =
+    mux (op_is ex_i Isa.SB) (concat [ zero 4; select b 3 0 ]) b
+  in
+  let () =
+    List.iteri
+      (fun i m -> m <== mux (store_now &: eq_const (word_of addr) i) st_data m)
+      mem
+  in
+
+  (* Completion and writeback. *)
+  let single_cycle =
+    ex_first &: ~:(is_div ex_i) &: ~:(is_load ex_i)
+  in
+  let complete =
+    (single_cycle &: ~:excp_now) |: div_done |: mem_done
+  in
+  let result =
+    onehot_or alu_res [ (div_done, div_result); (mem_done, ld_result) ]
+  in
+  let () =
+    List.iteri
+      (fun i r ->
+        r
+        <== mux
+              (complete &: writes_rd ex_i &: eq_const (f_rd ex_i) (i + 1))
+              result r)
+      arf
+  in
+
+  (* EX-stage transitions: idle/complete -> accept from IF.  A redirect or
+     exception kills the fetched (wrong-path) instruction instead. *)
+  let flush_now = redirect |: excp_now |: st s_excp in
+  let accept = (st s_idle |: complete |: st s_excp) &: if_v &: ~:flush_now in
+  (* Register read with same-cycle forwarding from the completing
+     instruction (its ARF write lands at the end of this cycle). *)
+  let rf v =
+    let base = binary_mux v (zero xlen :: arf) in
+    mux
+      (complete &: writes_rd ex_i &: (f_rd ex_i ==: v))
+      result base
+  in
+  let () =
+    ex_state
+    <== priority_mux
+          [
+            (accept, of_int 3 s_ex);
+            (ex_first &: excp_now, of_int 3 s_excp);
+            (ex_first &: is_div ex_i, of_int 3 s_div);
+            (ex_first &: is_load ex_i, of_int 3 s_mem);
+            (complete |: st s_excp, of_int 3 s_idle);
+          ]
+          ex_state;
+    ex_pc <== mux accept if_pc ex_pc;
+    ex_i <== mux accept if_i ex_i;
+    ex_r1 <== mux accept (rf (f_rs1 if_i)) ex_r1;
+    ex_r2 <== mux accept (rf (f_rs2 if_i)) ex_r2;
+    div_cnt
+    <== priority_mux
+          [
+            (ex_first &: is_div ex_i, sig_bits);
+            (st s_div &: (div_cnt <>: zero 4), div_cnt -: of_int 4 1);
+          ]
+          div_cnt;
+    div_rem <== priority_mux [ (ex_first, zero xlen); (st s_div, div_rem_next) ] div_rem;
+    div_quo <== priority_mux [ (ex_first, quo_init); (st s_div, div_quo_next) ] div_quo;
+    div_dvs <== mux ex_first db div_dvs;
+    div_negq <== mux ex_first (signed_div &: (msb a ^: msb b) &: (b <>: zero xlen)) div_negq;
+    div_negr <== mux ex_first (signed_div &: msb a) div_negr;
+    div_div0 <== mux ex_first (b ==: zero xlen) div_div0;
+    div_a0 <== mux ex_first a div_a0;
+    mem_cnt
+    <== priority_mux
+          [ (ex_first &: is_load ex_i, gnd); (st s_mem, vdd) ]
+          mem_cnt
+  in
+  (* The mem stage takes two cycles: cnt 0 then 1. *)
+  let () = ignore mem_done in
+
+  (* Frontend: one IF slot; flush on redirect or exception. *)
+  let if_adv = accept |: ~:if_v in
+  let () =
+    if_v <== mux flush_now gnd vdd;
+    if_pc <== mux if_adv fetch_pc if_pc;
+    if_i <== mux if_adv if_in if_i;
+    fetch_pc
+    <== priority_mux
+          [
+            (st s_excp, zero pcw);
+            (redirect, redirect_pc);
+            (if_adv, fetch_pc +: of_int pcw 1);
+          ]
+          fetch_pc
+  in
+
+  let name_wire nm s =
+    let w = wire ~name:nm (width s) in
+    w <== s;
+    w
+  in
+  let commit_w = name_wire "commit" (complete |: st s_excp) in
+  let commit_pc_w = name_wire "commit_pc" ex_pc in
+  let flush_w = name_wire "flush" flush_now in
+
+  let ufsms =
+    [
+      {
+        Meta.ufsm_name = "if0";
+        pcr = if_pc;
+        vars = [ if_v ];
+        idle_states = [ Bitvec.zero 1 ];
+        state_labels = [ (Bitvec.of_int ~width:1 1, "IF") ];
+      };
+      {
+        Meta.ufsm_name = "ex";
+        pcr = ex_pc;
+        vars = [ ex_state ];
+        idle_states = [ Bitvec.zero 3 ];
+        state_labels =
+          [
+            (Bitvec.of_int ~width:3 s_ex, "EX");
+            (Bitvec.of_int ~width:3 s_div, "divU");
+            (Bitvec.of_int ~width:3 s_mem, "memU");
+            (Bitvec.of_int ~width:3 s_excp, "exExcp");
+          ];
+      };
+    ]
+  in
+  {
+    Meta.design_name = "ibex_lite";
+    nl;
+    ifrs = [ { Meta.ifr_valid = if_v; ifr_pc = if_pc; ifr_word = if_i } ];
+    operand_stage_valid = ex_busy;
+    operand_stage_pc = ex_pc;
+    commit = commit_w;
+    commit_pc = commit_pc_w;
+    flush = flush_w;
+    ufsms;
+    operand_regs = [ ("rs1", ex_r1); ("rs2", ex_r2) ];
+    arf;
+    amem = mem;
+    extra_assumes = [];
+  }

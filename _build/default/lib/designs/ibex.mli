@@ -1,0 +1,19 @@
+(** Ibex-lite: a second, simpler DUV for cross-design comparisons.
+
+    The paper's related work (§VIII) evaluates in-order cores like Ibex,
+    where prior contract-verification tools fare best because there is so
+    little µPATH machinery: no scoreboard, no store buffers, no speculation
+    beyond fetch-ahead.  Ibex-lite is a two-stage (IF + multi-cycle EX)
+    RV-lite core with a serialized execute stage: single-cycle ALU ops, a
+    2-cycle memory stage, the same leading-zero-skip serial divider as
+    CVA6-lite, branch/jump resolution at EX with an IF flush, and
+    misaligned-target exceptions (no alignment bugs — Ibex-lite is
+    "correct by simplicity").
+
+    Running RTL2MµPATH/SynthLC across both cores shows the contrast the
+    paper draws: the simple core's only intrinsic timing channel is the
+    divider, while CVA6-lite's buffers and scheduling add load/store and
+    back-pressure channels. *)
+
+val iuv_pc : int
+val build : unit -> Meta.t

@@ -1,0 +1,96 @@
+type state = {
+  regs : Bitvec.t array;
+  mem : Bitvec.t array;
+  mutable pc : int;
+  mutable steps : int;
+}
+
+let xlen = Isa.xlen
+
+let create ?regs ?mem () =
+  let dup n def src =
+    Array.init n (fun i ->
+        match src with
+        | Some a when i < Array.length a -> a.(i)
+        | _ -> def)
+  in
+  {
+    regs = dup 4 (Bitvec.zero xlen) regs;
+    mem = dup 8 (Bitvec.zero xlen) mem;
+    pc = 0;
+    steps = 0;
+  }
+
+let reg st i = if i = 0 then Bitvec.zero xlen else st.regs.(i)
+
+let write_reg st i v = if i <> 0 then st.regs.(i) <- v
+
+let mem_index addr = Bitvec.to_int (Bitvec.extract addr ~hi:2 ~lo:0)
+
+let step st (i : Isa.t) =
+  let a = reg st i.Isa.rs1 in
+  let b = reg st i.Isa.rs2 in
+  let imm = Bitvec.of_int ~width:xlen i.Isa.imm in
+  let shamt = Bitvec.to_int b land 7 in
+  let bool_to_bv c = Bitvec.of_int ~width:xlen (if c then 1 else 0) in
+  let next = ref (st.pc + 1) in
+  (* Control transfers compute byte-space targets; instruction slots are
+     4-byte aligned.  Misalignment raises an exception redirecting to the
+     vector at PC 0. *)
+  let transfer target_byte =
+    if Bitvec.to_int (Bitvec.extract target_byte ~hi:1 ~lo:0) <> 0 then next := 0
+    else next := Bitvec.to_int (Bitvec.extract target_byte ~hi:7 ~lo:2)
+  in
+  let pc_bytes = Bitvec.of_int ~width:xlen (st.pc * 4) in
+  let link = Bitvec.of_int ~width:xlen (((st.pc + 1) * 4) land 0xFF) in
+  (match i.Isa.op with
+  | Isa.NOP -> ()
+  | Isa.ADD -> write_reg st i.Isa.rd (Bitvec.add a b)
+  | Isa.SUB -> write_reg st i.Isa.rd (Bitvec.sub a b)
+  | Isa.AND -> write_reg st i.Isa.rd (Bitvec.logand a b)
+  | Isa.OR -> write_reg st i.Isa.rd (Bitvec.logor a b)
+  | Isa.XOR -> write_reg st i.Isa.rd (Bitvec.logxor a b)
+  | Isa.SLT -> write_reg st i.Isa.rd (bool_to_bv (Bitvec.slt a b))
+  | Isa.SLTU -> write_reg st i.Isa.rd (bool_to_bv (Bitvec.ult a b))
+  | Isa.ADDI -> write_reg st i.Isa.rd (Bitvec.add a imm)
+  | Isa.ANDI -> write_reg st i.Isa.rd (Bitvec.logand a imm)
+  | Isa.ORI -> write_reg st i.Isa.rd (Bitvec.logor a imm)
+  | Isa.XORI -> write_reg st i.Isa.rd (Bitvec.logxor a imm)
+  | Isa.SLL -> write_reg st i.Isa.rd (Bitvec.shift_left a shamt)
+  | Isa.SRL -> write_reg st i.Isa.rd (Bitvec.shift_right_logical a shamt)
+  | Isa.SRA -> write_reg st i.Isa.rd (Bitvec.shift_right_arith a shamt)
+  | Isa.MUL -> write_reg st i.Isa.rd (Bitvec.mul a b)
+  | Isa.DIV -> write_reg st i.Isa.rd (Bitvec.sdiv a b)
+  | Isa.DIVU -> write_reg st i.Isa.rd (Bitvec.udiv a b)
+  | Isa.REM -> write_reg st i.Isa.rd (Bitvec.srem a b)
+  | Isa.REMU -> write_reg st i.Isa.rd (Bitvec.urem a b)
+  | Isa.LW -> write_reg st i.Isa.rd st.mem.(mem_index (Bitvec.add a imm))
+  | Isa.LB ->
+    let byte = st.mem.(mem_index (Bitvec.add a imm)) in
+    write_reg st i.Isa.rd
+      (Bitvec.sign_extend (Bitvec.extract byte ~hi:3 ~lo:0) xlen)
+  | Isa.SW -> st.mem.(mem_index (Bitvec.add a imm)) <- b
+  | Isa.SB ->
+    st.mem.(mem_index (Bitvec.add a imm)) <-
+      Bitvec.zero_extend (Bitvec.extract b ~hi:3 ~lo:0) xlen
+  | Isa.BEQ -> if Bitvec.equal a b then transfer (Bitvec.add pc_bytes imm)
+  | Isa.BNE -> if not (Bitvec.equal a b) then transfer (Bitvec.add pc_bytes imm)
+  | Isa.BLT -> if Bitvec.slt a b then transfer (Bitvec.add pc_bytes imm)
+  | Isa.BGE -> if not (Bitvec.slt a b) then transfer (Bitvec.add pc_bytes imm)
+  | Isa.BLTU -> if Bitvec.ult a b then transfer (Bitvec.add pc_bytes imm)
+  | Isa.BGEU -> if not (Bitvec.ult a b) then transfer (Bitvec.add pc_bytes imm)
+  | Isa.JAL ->
+    write_reg st i.Isa.rd link;
+    transfer (Bitvec.add pc_bytes imm)
+  | Isa.JALR ->
+    write_reg st i.Isa.rd link;
+    transfer (Bitvec.add a imm));
+  st.pc <- !next land ((1 lsl Isa.pc_bits) - 1);
+  st.steps <- st.steps + 1
+
+let run st ~program ~max_steps =
+  let prog = Array.of_list program in
+  while st.steps < max_steps do
+    let i = if st.pc < Array.length prog then prog.(st.pc) else Isa.nop in
+    step st i
+  done

@@ -1,0 +1,30 @@
+(** Architectural golden model of RV-lite.
+
+    A sequential, instruction-at-a-time interpreter defining the ISA's
+    architectural semantics — the specification the pipelined CVA6-lite
+    implementations are differentially tested against.  Matches the fixed
+    (bug-free) core: control-flow targets must be 4-byte aligned, a
+    misaligned transfer raises an exception that redirects to the vector at
+    PC 0, division follows RISC-V corner-case rules, and register 0 reads
+    as zero. *)
+
+type state = {
+  regs : Bitvec.t array;  (** 4 registers; index 0 is hardwired zero. *)
+  mem : Bitvec.t array;  (** 8 bytes. *)
+  mutable pc : int;  (** Instruction-granular PC. *)
+  mutable steps : int;  (** Retired-instruction count. *)
+}
+
+val create : ?regs:Bitvec.t array -> ?mem:Bitvec.t array -> unit -> state
+(** Unspecified registers and memory bytes start at zero. *)
+
+val step : state -> Isa.t -> unit
+(** Execute one instruction (the one architecturally at [state.pc]) and
+    advance the PC — to the (aligned) target for taken control flow, to the
+    exception vector 0 on a misaligned-target exception, else to [pc+1]. *)
+
+val run : state -> program:Isa.t list -> max_steps:int -> unit
+(** Fetch from [program] by PC (out-of-range PCs execute NOPs) and [step]
+    until [max_steps] instructions have retired. *)
+
+val reg : state -> int -> Bitvec.t

@@ -1,0 +1,1 @@
+lib/hdl/dsl.ml: Bitvec List Netlist

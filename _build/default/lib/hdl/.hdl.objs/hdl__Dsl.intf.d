@@ -1,0 +1,1 @@
+lib/hdl/dsl.mli: Bitvec Netlist

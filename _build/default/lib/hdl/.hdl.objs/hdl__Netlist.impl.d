@@ -1,0 +1,1 @@
+lib/hdl/netlist.ml: Array Bitvec Hashtbl List Option Printf

@@ -1,0 +1,98 @@
+module Make (C : sig
+  val nl : Netlist.t
+end) =
+struct
+  type s = Netlist.signal
+
+  let nl = C.nl
+  let of_bv v = Netlist.const nl v
+  let of_int w n = of_bv (Bitvec.of_int ~width:w n)
+  let vdd = of_int 1 1
+  let gnd = of_int 1 0
+  let zero w = of_int w 0
+  let ones w = of_bv (Bitvec.ones w)
+  let input name w = Netlist.input nl name w
+
+  let reg ?enable ?init ~name ~width () =
+    let init =
+      match init with
+      | Some v -> Netlist.Init_value v
+      | None -> Netlist.Init_value (Bitvec.zero width)
+    in
+    Netlist.reg nl ?enable ~name ~init ~width ()
+
+  let reg_symbolic ?enable ~name ~width () =
+    Netlist.reg nl ?enable ~name ~init:Netlist.Init_symbolic ~width ()
+
+  let ( <== ) dst src =
+    match (Netlist.node nl dst).Netlist.kind with
+    | Netlist.Reg _ -> Netlist.connect_reg nl dst src
+    | Netlist.Wire _ -> Netlist.connect_wire nl dst src
+    | _ -> failwith "Dsl.(<==): destination must be a register or wire"
+
+  let wire ?name w = Netlist.wire nl ?name w
+  let ( &: ) a b = Netlist.op2 nl Netlist.And a b
+  let ( |: ) a b = Netlist.op2 nl Netlist.Or a b
+  let ( ^: ) a b = Netlist.op2 nl Netlist.Xor a b
+  let ( ~: ) a = Netlist.not_ nl a
+  let any a = Netlist.reduce_or nl a
+  let all a = Netlist.reduce_and nl a
+  let is_zero a = ~:(any a)
+  let ( +: ) a b = Netlist.op2 nl Netlist.Add a b
+  let ( -: ) a b = Netlist.op2 nl Netlist.Sub a b
+  let ( *: ) a b = Netlist.op2 nl Netlist.Mul a b
+  let ( ==: ) a b = Netlist.op2 nl Netlist.Eq a b
+  let ( <>: ) a b = ~:(a ==: b)
+  let ( <: ) a b = Netlist.op2 nl Netlist.Ult a b
+  let ( <=: ) a b = ~:(Netlist.op2 nl Netlist.Ult b a)
+  let ( >=: ) a b = ~:(Netlist.op2 nl Netlist.Ult a b)
+  let ( >: ) a b = Netlist.op2 nl Netlist.Ult b a
+  let ( <+ ) a b = Netlist.op2 nl Netlist.Slt a b
+  let width s = Netlist.width nl s
+  let eq_const s n = s ==: of_int (width s) n
+  let mux sel on_true on_false = Netlist.mux nl ~sel ~on_true ~on_false
+  let select s hi lo = Netlist.extract nl ~hi ~lo s
+  let bit s i = select s i i
+  let msb s = bit s (width s - 1)
+  let concat parts = Netlist.concat nl parts
+
+  let zero_extend s w =
+    if w < width s then invalid_arg "Dsl.zero_extend: narrowing"
+    else if w = width s then s
+    else concat [ zero (w - width s); s ]
+
+  let repeat_msb s n =
+    let m = msb s in
+    concat (List.init n (fun _ -> m))
+
+  let sign_extend s w =
+    if w < width s then invalid_arg "Dsl.sign_extend: narrowing"
+    else if w = width s then s
+    else concat [ repeat_msb s (w - width s); s ]
+
+  let repeat s n =
+    if n <= 0 then invalid_arg "Dsl.repeat: count must be positive"
+    else concat (List.init n (fun _ -> s))
+
+  let uresize s w =
+    if w = width s then s
+    else if w < width s then select s (w - 1) 0
+    else zero_extend s w
+
+  let priority_mux cases default =
+    List.fold_right (fun (c, v) acc -> mux c v acc) cases default
+
+  let binary_mux sel values =
+    let n = List.length values in
+    if n <> 1 lsl width sel then
+      invalid_arg "Dsl.binary_mux: need exactly 2^width values";
+    let rec go lo hi values sel_bit =
+      if lo = hi then List.nth values lo
+      else
+        let mid = (lo + hi) / 2 in
+        let lo_v = go lo mid values (sel_bit - 1) in
+        let hi_v = go (mid + 1) hi values (sel_bit - 1) in
+        mux (bit sel sel_bit) hi_v lo_v
+    in
+    go 0 (n - 1) values (width sel - 1)
+end

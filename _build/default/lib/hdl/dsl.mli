@@ -1,0 +1,127 @@
+(** Hardware-construction DSL.
+
+    [Dsl.Make] instantiates combinator syntax over one netlist so that
+    processor designs read like structural RTL:
+
+    {[
+      module D = Hdl.Dsl.Make (struct let nl = Hdl.Netlist.create "core" end)
+      open D
+      let pc = reg ~name:"pc" ~width:6 ()
+      let () = pc <== pc +: of_int 6 1
+    ]} *)
+
+module Make (C : sig
+  val nl : Netlist.t
+end) : sig
+  type s = Netlist.signal
+
+  val nl : Netlist.t
+
+ (** {1 Constants and inputs} *)
+
+  val of_int : int -> int -> s
+
+ (** [of_int width value]. *)
+
+  val of_bv : Bitvec.t -> s
+
+ (** 1-bit constant 1. *)
+  val vdd : s
+
+ (** 1-bit constant 0. *)
+  val gnd : s
+
+  val zero : int -> s
+  val ones : int -> s
+  val input : string -> int -> s
+
+ (** {1 State} *)
+
+  val reg : ?enable:s -> ?init:Bitvec.t -> name:string -> width:int -> unit -> s
+
+ (** A register initialized to [init] (default all-zeros). *)
+
+  val reg_symbolic : ?enable:s -> name:string -> width:int -> unit -> s
+
+ (** A register with symbolic initial value — architectural state (§V-B). *)
+
+  val ( <== ) : s -> s -> unit
+
+ (** Connect a register's next-state input (or a wire's driver). *)
+
+  val wire : ?name:string -> int -> s
+
+ (** {1 Bitwise and logical} *)
+
+  val ( &: ) : s -> s -> s
+  val ( |: ) : s -> s -> s
+  val ( ^: ) : s -> s -> s
+  val ( ~: ) : s -> s
+
+ (** OR-reduce to 1 bit. *)
+  val any : s -> s
+
+ (** AND-reduce to 1 bit. *)
+  val all : s -> s
+
+ (** 1-bit: value = 0. *)
+  val is_zero : s -> s
+
+
+ (** {1 Arithmetic} *)
+
+  val ( +: ) : s -> s -> s
+  val ( -: ) : s -> s -> s
+  val ( *: ) : s -> s -> s
+
+ (** {1 Comparisons (1-bit results)} *)
+
+  val ( ==: ) : s -> s -> s
+  val ( <>: ) : s -> s -> s
+
+ (** Unsigned less-than. *)
+  val ( <: ) : s -> s -> s
+
+  val ( <=: ) : s -> s -> s
+  val ( >=: ) : s -> s -> s
+  val ( >: ) : s -> s -> s
+
+ (** Signed less-than. *)
+  val ( <+ ) : s -> s -> s
+
+  val eq_const : s -> int -> s
+
+ (** {1 Selection} *)
+
+  val mux : s -> s -> s -> s
+
+ (** [mux sel on_true on_false]. *)
+
+  val select : s -> int -> int -> s
+
+ (** [select s hi lo]. *)
+
+  val bit : s -> int -> s
+  val msb : s -> s
+
+ (** Head = most significant. *)
+  val concat : s list -> s
+
+  val zero_extend : s -> int -> s
+  val sign_extend : s -> int -> s
+  val repeat : s -> int -> s
+  val uresize : s -> int -> s
+
+ (** Zero-extend or truncate to the given width. *)
+
+  val priority_mux : (s * s) list -> s -> s
+
+ (** [priority_mux [(c1, v1); ...] default]: first matching condition wins. *)
+
+  val binary_mux : s -> s list -> s
+
+ (** [binary_mux sel values] indexes [values] by the binary value of [sel];
+      the list must have exactly [2^width sel] elements. *)
+
+  val width : s -> int
+end

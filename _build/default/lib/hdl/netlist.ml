@@ -1,0 +1,236 @@
+type signal = int
+
+type op2 = And | Or | Xor | Add | Sub | Mul | Eq | Ult | Slt
+
+type init = Init_value of Bitvec.t | Init_symbolic
+
+type kind =
+  | Input
+  | Const of Bitvec.t
+  | Reg of { init : init; mutable next : signal option; mutable enable : signal option }
+  | Wire of { mutable driver : signal option }
+  | Not of signal
+  | Op2 of op2 * signal * signal
+  | Mux of { sel : signal; on_true : signal; on_false : signal }
+  | Extract of { hi : int; lo : int; arg : signal }
+  | Concat of signal list
+  | ReduceOr of signal
+  | ReduceAnd of signal
+
+type node = { id : signal; width : int; kind : kind; name : string option }
+
+type t = {
+  netlist_name : string;
+  mutable nodes : node array;
+  mutable count : int;
+  names : (string, signal) Hashtbl.t;
+}
+
+let create netlist_name =
+  {
+    netlist_name;
+    nodes = Array.make 64 { id = 0; width = 1; kind = Input; name = None };
+    count = 0;
+    names = Hashtbl.create 64;
+  }
+
+let name t = t.netlist_name
+
+let node t s =
+  if s < 0 || s >= t.count then invalid_arg "Netlist.node: bad signal";
+  t.nodes.(s)
+
+let width t s = (node t s).width
+let num_nodes t = t.count
+
+let iter_nodes t f =
+  for i = 0 to t.count - 1 do
+    f t.nodes.(i)
+  done
+
+let fold_nodes t ~init ~f =
+  let acc = ref init in
+  iter_nodes t (fun n -> acc := f !acc n);
+  !acc
+
+let find_named t nm = Hashtbl.find_opt t.names nm
+
+let register_name t s nm =
+  if Hashtbl.mem t.names nm then
+    failwith (Printf.sprintf "Netlist %s: duplicate name %s" t.netlist_name nm);
+  Hashtbl.replace t.names nm s
+
+let add t ?name width kind =
+  if width <= 0 then invalid_arg "Netlist.add: width must be positive";
+  if t.count = Array.length t.nodes then begin
+    let a = Array.make (2 * t.count) t.nodes.(0) in
+    Array.blit t.nodes 0 a 0 t.count;
+    t.nodes <- a
+  end;
+  let id = t.count in
+  let n = { id; width; kind; name } in
+  t.nodes.(id) <- n;
+  t.count <- id + 1;
+  (match name with Some nm -> register_name t id nm | None -> ());
+  id
+
+let set_name t s nm =
+  let n = node t s in
+  (match n.name with
+  | Some old -> Hashtbl.remove t.names old
+  | None -> ());
+  t.nodes.(s) <- { n with name = Some nm };
+  register_name t s nm
+
+let input t nm w = add t ~name:nm w Input
+let const t v = add t (Bitvec.width v) (Const v)
+
+let reg t ?enable ~name ~init ~width () =
+  (match init with
+  | Init_value v ->
+    if Bitvec.width v <> width then invalid_arg "Netlist.reg: init width mismatch"
+  | Init_symbolic -> ());
+  add t ~name width (Reg { init; next = None; enable })
+
+let wire t ?name w = add t ?name w (Wire { driver = None })
+
+let connect_reg t r nxt =
+  match (node t r).kind with
+  | Reg re ->
+    (match re.next with
+    | Some _ -> failwith "Netlist.connect_reg: already connected"
+    | None ->
+      if width t nxt <> width t r then failwith "Netlist.connect_reg: width mismatch";
+      re.next <- Some nxt)
+  | _ -> failwith "Netlist.connect_reg: not a register"
+
+let connect_enable t r en =
+  match (node t r).kind with
+  | Reg re ->
+    (match re.enable with
+    | Some _ -> failwith "Netlist.connect_enable: already connected"
+    | None ->
+      if width t en <> 1 then failwith "Netlist.connect_enable: enable must be 1 bit";
+      re.enable <- Some en)
+  | _ -> failwith "Netlist.connect_enable: not a register"
+
+let connect_wire t w drv =
+  match (node t w).kind with
+  | Wire wi ->
+    (match wi.driver with
+    | Some _ -> failwith "Netlist.connect_wire: already connected"
+    | None ->
+      if width t drv <> width t w then failwith "Netlist.connect_wire: width mismatch";
+      wi.driver <- Some drv)
+  | _ -> failwith "Netlist.connect_wire: not a wire"
+
+let not_ t a = add t (width t a) (Not a)
+
+let op2 t op a b =
+  let wa = width t a and wb = width t b in
+  (match op with
+  | And | Or | Xor | Add | Sub | Mul | Eq | Ult | Slt ->
+    if wa <> wb then invalid_arg "Netlist.op2: width mismatch");
+  let w = match op with Eq | Ult | Slt -> 1 | _ -> wa in
+  add t w (Op2 (op, a, b))
+
+let mux t ~sel ~on_true ~on_false =
+  if width t sel <> 1 then invalid_arg "Netlist.mux: selector must be 1 bit";
+  if width t on_true <> width t on_false then
+    invalid_arg "Netlist.mux: branch width mismatch";
+  add t (width t on_true) (Mux { sel; on_true; on_false })
+
+let extract t ~hi ~lo arg =
+  let w = width t arg in
+  if lo < 0 || hi >= w || hi < lo then invalid_arg "Netlist.extract: bad range";
+  add t (hi - lo + 1) (Extract { hi; lo; arg })
+
+let concat t parts =
+  match parts with
+  | [] -> invalid_arg "Netlist.concat: empty"
+  | [ s ] -> s
+  | _ ->
+    let w = List.fold_left (fun acc s -> acc + width t s) 0 parts in
+    add t w (Concat parts)
+
+let reduce_or t a = add t 1 (ReduceOr a)
+let reduce_and t a = add t 1 (ReduceAnd a)
+
+(* Combinational inputs of a node: the signals read in the same cycle.
+   A register reads [next]/[enable] for the *following* cycle, so it has no
+   combinational fan-in. *)
+let comb_fanin t s =
+  match (node t s).kind with
+  | Input | Const _ | Reg _ -> []
+  | Wire { driver } -> (match driver with Some d -> [ d ] | None -> [])
+  | Not a | ReduceOr a | ReduceAnd a -> [ a ]
+  | Op2 (_, a, b) -> [ a; b ]
+  | Mux { sel; on_true; on_false } -> [ sel; on_true; on_false ]
+  | Extract { arg; _ } -> [ arg ]
+  | Concat parts -> parts
+
+let validate t =
+  iter_nodes t (fun n ->
+      match n.kind with
+      | Reg { next = None; _ } ->
+        failwith
+          (Printf.sprintf "Netlist %s: unconnected register %s" t.netlist_name
+             (Option.value n.name ~default:(string_of_int n.id)))
+      | Wire { driver = None } ->
+        failwith
+          (Printf.sprintf "Netlist %s: unconnected wire %s" t.netlist_name
+             (Option.value n.name ~default:(string_of_int n.id)))
+      | _ -> ());
+  (* Combinational cycle check via DFS colouring. *)
+  let color = Array.make t.count 0 in
+  let rec visit s =
+    if color.(s) = 1 then
+      failwith (Printf.sprintf "Netlist %s: combinational cycle through node %d" t.netlist_name s)
+    else if color.(s) = 0 then begin
+      color.(s) <- 1;
+      List.iter visit (comb_fanin t s);
+      color.(s) <- 2
+    end
+  in
+  for s = 0 to t.count - 1 do
+    visit s
+  done
+
+let comb_order t =
+  let order = Array.make t.count 0 in
+  let pos = ref 0 in
+  let color = Array.make t.count 0 in
+  let rec visit s =
+    if color.(s) = 0 then begin
+      color.(s) <- 1;
+      List.iter visit (comb_fanin t s);
+      color.(s) <- 2;
+      order.(!pos) <- s;
+      incr pos
+    end
+  in
+  for s = 0 to t.count - 1 do
+    visit s
+  done;
+  order
+
+let comb_cone t roots =
+  let seen = Hashtbl.create 64 in
+  let rec visit s =
+    if not (Hashtbl.mem seen s) then begin
+      Hashtbl.replace seen s ();
+      List.iter visit (comb_fanin t s)
+    end
+  in
+  List.iter visit roots;
+  seen
+
+let registers t =
+  fold_nodes t ~init:[] ~f:(fun acc n ->
+      match n.kind with Reg _ -> n.id :: acc | _ -> acc)
+  |> List.rev
+
+let inputs t =
+  fold_nodes t ~init:[] ~f:(fun acc n ->
+      match n.kind with Input -> n.id :: acc | _ -> acc)
+  |> List.rev

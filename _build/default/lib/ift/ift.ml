@@ -1,0 +1,138 @@
+module Netlist = Hdl.Netlist
+
+type t = {
+  nl : Netlist.t;
+  taint : (Netlist.signal, Netlist.signal) Hashtbl.t;
+}
+
+let taint_of t s =
+  match Hashtbl.find_opt t.taint s with
+  | Some ts -> ts
+  | None -> invalid_arg "Ift.taint_of: signal was created after instrumentation"
+
+let any_taint t s = Netlist.reduce_or t.nl (taint_of t s)
+
+let instrument ?(precise = true) ?(inject = []) ?(blocked = []) ?flush ?(persistent = []) nl =
+  let open Netlist in
+  let t = { nl; taint = Hashtbl.create 256 } in
+  let shadows = Hashtbl.create 64 in
+  let n0 = num_nodes nl in
+  let original = List.init n0 (fun i -> i) in
+  let order = comb_order nl in
+  let zero w = const nl (Bitvec.zero w) in
+  let ones w = const nl (Bitvec.ones w) in
+  let band a b = op2 nl And a b in
+  let bor a b = op2 nl Or a b in
+  let bnot a = not_ nl a in
+  let repl1 b w =
+    (* replicate a 1-bit signal across w bits *)
+    if w = 1 then b else concat nl (List.init w (fun _ -> b))
+  in
+  let any s = reduce_or nl s in
+  let tn s = Hashtbl.find t.taint s in
+
+  (* Phase 1: shadow registers (so feedback taints resolve). *)
+  List.iter
+    (fun id ->
+      match (node nl id).kind with
+      | Reg { enable = Some _; _ } -> failwith "Ift.instrument: register enables unsupported"
+      | Reg _ ->
+        let w = width nl id in
+        let name =
+          match (node nl id).name with
+          | Some nm -> nm ^ "_taint"
+          | None -> Printf.sprintf "n%d_taint" id
+        in
+        let sh = reg nl ~name ~init:(Init_value (Bitvec.zero w)) ~width:w () in
+        Hashtbl.replace shadows id sh;
+        Hashtbl.replace t.taint id sh
+      | _ -> ())
+    original;
+
+  (* Injected registers must read as tainted during the very cycle the
+     injection condition holds (the operand is consumed that cycle), so
+     their visible taint is shadow | replicate(cond). *)
+  List.iter
+    (fun (r, cond) ->
+      let w = width nl r in
+      let sh = Hashtbl.find shadows r in
+      let now = mux nl ~sel:cond ~on_true:(ones w) ~on_false:(zero w) in
+      Hashtbl.replace t.taint r (op2 nl Or sh now))
+    inject;
+
+  (* Phase 2: combinational taint in dependency order. *)
+  Array.iter
+    (fun id ->
+      if id < n0 && not (Hashtbl.mem t.taint id) then begin
+        let w = width nl id in
+        let ts =
+          match (node nl id).kind with
+          | Reg _ -> assert false
+          | Input -> zero w
+          | Const _ -> zero w
+          | Wire { driver = Some d } -> tn d
+          | Wire { driver = None } -> failwith "Ift.instrument: unconnected wire"
+          | Not a -> tn a
+          | Op2 (And, a_, b_) ->
+            if precise then
+              (* out bit flips only if a controlling input is tainted *)
+              bor (band (tn a_) (bor b_ (tn b_))) (band (tn b_) a_)
+            else bor (tn a_) (tn b_)
+          | Op2 (Or, a_, b_) ->
+            if precise then
+              bor (band (tn a_) (bor (bnot b_) (tn b_))) (band (tn b_) (bnot a_))
+            else bor (tn a_) (tn b_)
+          | Op2 (Xor, a_, b_) -> bor (tn a_) (tn b_)
+          | Op2 ((Add | Sub | Mul), a_, b_) ->
+            (* conservative: any tainted input bit taints the whole word *)
+            repl1 (any (bor (tn a_) (tn b_))) w
+          | Op2 ((Eq | Ult | Slt), a_, b_) -> any (bor (tn a_) (tn b_))
+          | Mux { sel; on_true; on_false } ->
+            let tsel = tn sel in
+            if precise then
+              let base = mux nl ~sel ~on_true:(tn on_true) ~on_false:(tn on_false) in
+              let differ =
+                bor (op2 nl Xor on_true on_false) (bor (tn on_true) (tn on_false))
+              in
+              bor base (band (repl1 tsel w) differ)
+            else bor (bor (tn on_true) (tn on_false)) (repl1 tsel w)
+          | Extract { hi; lo; arg } -> extract nl ~hi ~lo (tn arg)
+          | Concat parts -> concat nl (List.map tn parts)
+          | ReduceOr a | ReduceAnd a -> any (tn a)
+        in
+        Hashtbl.replace t.taint id ts
+      end)
+    order;
+
+  (* Phase 3: connect shadow-register next-state logic. *)
+  let blocked_tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace blocked_tbl s ()) blocked;
+  let persistent_tbl = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace persistent_tbl s ()) persistent;
+  let inject_tbl = Hashtbl.create 8 in
+  List.iter (fun (r, c) -> Hashtbl.replace inject_tbl r c) inject;
+  List.iter
+    (fun id ->
+      match (node nl id).kind with
+      | Reg { next = Some nxt; _ } ->
+        let w = width nl id in
+        let sh = Hashtbl.find shadows id in
+        let propagated = tn nxt in
+        let base =
+          if Hashtbl.mem blocked_tbl id then zero w
+          else
+            match flush with
+            | Some f when not (Hashtbl.mem persistent_tbl id) ->
+              mux nl ~sel:f ~on_true:(zero w) ~on_false:propagated
+            | _ -> propagated
+        in
+        let final =
+          match Hashtbl.find_opt inject_tbl id with
+          | Some cond -> mux nl ~sel:cond ~on_true:(ones w) ~on_false:base
+          | None -> base
+        in
+        connect_reg nl sh final
+      | Reg { next = None; _ } -> failwith "Ift.instrument: unconnected register"
+      | _ -> ())
+    original;
+  t

@@ -1,0 +1,244 @@
+type opcode =
+  | NOP | ADD | SUB | AND | OR | XOR | SLT | SLTU
+  | ADDI | ANDI | ORI | XORI
+  | SLL | SRL | SRA
+  | MUL
+  | DIV | DIVU | REM | REMU
+  | LW | LB
+  | SW | SB
+  | BEQ | BNE | BLT | BGE | BLTU | BGEU
+  | JAL | JALR
+
+let all_opcodes =
+  [
+    NOP; ADD; SUB; AND; OR; XOR; SLT; SLTU; ADDI; ANDI; ORI; XORI; SLL; SRL;
+    SRA; MUL; DIV; DIVU; REM; REMU; LW; LB; SW; SB; BEQ; BNE; BLT; BGE; BLTU;
+    BGEU; JAL; JALR;
+  ]
+
+let opcode_to_int op =
+  let rec idx i = function
+    | [] -> assert false
+    | x :: rest -> if x = op then i else idx (i + 1) rest
+  in
+  idx 0 all_opcodes
+
+let opcode_of_int i =
+  if i < 0 || i > 31 then invalid_arg "Isa.opcode_of_int"
+  else List.nth all_opcodes i
+
+let mnemonic = function
+  | NOP -> "nop" | ADD -> "add" | SUB -> "sub" | AND -> "and" | OR -> "or"
+  | XOR -> "xor" | SLT -> "slt" | SLTU -> "sltu" | ADDI -> "addi"
+  | ANDI -> "andi" | ORI -> "ori" | XORI -> "xori" | SLL -> "sll"
+  | SRL -> "srl" | SRA -> "sra" | MUL -> "mul" | DIV -> "div" | DIVU -> "divu"
+  | REM -> "rem" | REMU -> "remu" | LW -> "lw" | LB -> "lb" | SW -> "sw"
+  | SB -> "sb" | BEQ -> "beq" | BNE -> "bne" | BLT -> "blt" | BGE -> "bge"
+  | BLTU -> "bltu" | BGEU -> "bgeu" | JAL -> "jal" | JALR -> "jalr"
+
+let opcode_of_mnemonic s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun op -> mnemonic op = s) all_opcodes
+
+type cls = Alu | Shift | Mulc | Divc | Load | Store | Branch | Jump | Nopc
+
+let class_of = function
+  | NOP -> Nopc
+  | ADD | SUB | AND | OR | XOR | SLT | SLTU | ADDI | ANDI | ORI | XORI -> Alu
+  | SLL | SRL | SRA -> Shift
+  | MUL -> Mulc
+  | DIV | DIVU | REM | REMU -> Divc
+  | LW | LB -> Load
+  | SW | SB -> Store
+  | BEQ | BNE | BLT | BGE | BLTU | BGEU -> Branch
+  | JAL | JALR -> Jump
+
+let class_name = function
+  | Alu -> "alu" | Shift -> "shift" | Mulc -> "mul" | Divc -> "div"
+  | Load -> "load" | Store -> "store" | Branch -> "branch" | Jump -> "jump"
+  | Nopc -> "nop"
+
+let reads_rs1 = function
+  | NOP | JAL -> false
+  | _ -> true
+
+let reads_rs2 = function
+  | ADD | SUB | AND | OR | XOR | SLT | SLTU | SLL | SRL | SRA | MUL | DIV
+  | DIVU | REM | REMU | SW | SB | BEQ | BNE | BLT | BGE | BLTU | BGEU ->
+    true
+  | NOP | ADDI | ANDI | ORI | XORI | LW | LB | JAL | JALR -> false
+
+let writes_rd = function
+  | NOP | SW | SB | BEQ | BNE | BLT | BGE | BLTU | BGEU -> false
+  | _ -> true
+
+let uses_imm = function
+  | ADDI | ANDI | ORI | XORI | LW | LB | SW | SB | BEQ | BNE | BLT | BGE
+  | BLTU | BGEU | JAL | JALR ->
+    true
+  | _ -> false
+
+type t = { op : opcode; rd : int; rs1 : int; rs2 : int; imm : int }
+
+let check_field name v hi =
+  if v < 0 || v > hi then invalid_arg (Printf.sprintf "Isa.make: %s out of range" name)
+
+let make ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0) op =
+  check_field "rd" rd 3;
+  check_field "rs1" rs1 3;
+  check_field "rs2" rs2 3;
+  check_field "imm" imm 255;
+  { op; rd; rs1; rs2; imm }
+
+let nop = make NOP
+
+let width = 19
+let xlen = 8
+let pc_bits = 6
+
+let op_range = (18, 14)
+let rd_range = (13, 12)
+let rs1_range = (11, 10)
+let rs2_range = (9, 8)
+let imm_range = (7, 0)
+
+let encode i =
+  let field v hi lo = Bitvec.of_int ~width:(hi - lo + 1) v in
+  let f (hi, lo) v = field v hi lo in
+  Bitvec.concat
+    (f op_range (opcode_to_int i.op))
+    (Bitvec.concat (f rd_range i.rd)
+       (Bitvec.concat (f rs1_range i.rs1)
+          (Bitvec.concat (f rs2_range i.rs2) (f imm_range i.imm))))
+
+let decode v =
+  if Bitvec.width v <> width then invalid_arg "Isa.decode: bad width";
+  let field (hi, lo) = Bitvec.to_int (Bitvec.extract v ~hi ~lo) in
+  {
+    op = opcode_of_int (field op_range);
+    rd = field rd_range;
+    rs1 = field rs1_range;
+    rs2 = field rs2_range;
+    imm = field imm_range;
+  }
+
+let to_string i =
+  let m = mnemonic i.op in
+  match class_of i.op with
+  | Nopc -> m
+  | Alu | Shift | Mulc | Divc ->
+    if uses_imm i.op then Printf.sprintf "%s r%d, r%d, %d" m i.rd i.rs1 i.imm
+    else Printf.sprintf "%s r%d, r%d, r%d" m i.rd i.rs1 i.rs2
+  | Load -> Printf.sprintf "%s r%d, %d(r%d)" m i.rd i.imm i.rs1
+  | Store -> Printf.sprintf "%s r%d, %d(r%d)" m i.rs2 i.imm i.rs1
+  | Branch -> Printf.sprintf "%s r%d, r%d, %d" m i.rs1 i.rs2 i.imm
+  | Jump ->
+    if i.op = JAL then Printf.sprintf "jal r%d, %d" i.rd i.imm
+    else Printf.sprintf "jalr r%d, r%d, %d" i.rd i.rs1 i.imm
+
+let parse_reg s =
+  let s = String.trim s in
+  if String.length s = 2 && s.[0] = 'r' && s.[1] >= '0' && s.[1] <= '3' then
+    Ok (Char.code s.[1] - Char.code '0')
+  else Error (Printf.sprintf "bad register %S" s)
+
+let parse_imm s =
+  match int_of_string_opt (String.trim s) with
+  | Some v when v >= -128 && v <= 255 -> Ok (v land 0xFF)
+  | _ -> Error (Printf.sprintf "bad immediate %S" s)
+
+let parse_mem_operand s =
+  (* "imm(rN)" *)
+  match String.index_opt s '(' with
+  | None -> Error (Printf.sprintf "bad memory operand %S" s)
+  | Some i ->
+    let imm_s = String.sub s 0 i in
+    (match String.index_opt s ')' with
+    | None -> Error (Printf.sprintf "bad memory operand %S" s)
+    | Some j ->
+      let reg_s = String.sub s (i + 1) (j - i - 1) in
+      (match (parse_imm imm_s, parse_reg reg_s) with
+      | Ok imm, Ok r -> Ok (imm, r)
+      | Error e, _ | _, Error e -> Error e))
+
+let ( let* ) = Result.bind
+
+let parse line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (
+    match opcode_of_mnemonic line with
+    | Some NOP -> Ok nop
+    | _ -> Error (Printf.sprintf "cannot parse %S" line))
+  | Some sp -> (
+    let m = String.sub line 0 sp in
+    let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let args = String.split_on_char ',' rest |> List.map String.trim in
+    match opcode_of_mnemonic m with
+    | None -> Error (Printf.sprintf "unknown mnemonic %S" m)
+    | Some op -> (
+      match (class_of op, args) with
+      | Nopc, _ -> Ok nop
+      | (Alu | Shift | Mulc | Divc), [ a; b; c ] ->
+        let* rd = parse_reg a in
+        let* rs1 = parse_reg b in
+        if uses_imm op then
+          let* imm = parse_imm c in
+          Ok (make ~rd ~rs1 ~imm op)
+        else
+          let* rs2 = parse_reg c in
+          Ok (make ~rd ~rs1 ~rs2 op)
+      | Load, [ a; b ] ->
+        let* rd = parse_reg a in
+        let* imm, rs1 = parse_mem_operand b in
+        Ok (make ~rd ~rs1 ~imm op)
+      | Store, [ a; b ] ->
+        let* rs2 = parse_reg a in
+        let* imm, rs1 = parse_mem_operand b in
+        Ok (make ~rs1 ~rs2 ~imm op)
+      | Branch, [ a; b; c ] ->
+        let* rs1 = parse_reg a in
+        let* rs2 = parse_reg b in
+        let* imm = parse_imm c in
+        Ok (make ~rs1 ~rs2 ~imm op)
+      | Jump, args -> (
+        match (op, args) with
+        | JAL, [ a; b ] ->
+          let* rd = parse_reg a in
+          let* imm = parse_imm b in
+          Ok (make ~rd ~imm JAL)
+        | JALR, [ a; b; c ] ->
+          let* rd = parse_reg a in
+          let* rs1 = parse_reg b in
+          let* imm = parse_imm c in
+          Ok (make ~rd ~rs1 ~imm JALR)
+        | _ -> Error (Printf.sprintf "bad jump %S" line))
+      | _, _ -> Error (Printf.sprintf "wrong arity in %S" line)))
+
+let assemble program =
+  let lines = String.split_on_char '\n' program in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let stripped =
+        match String.index_opt line '#' with
+        | Some i -> String.trim (String.sub line 0 i)
+        | None -> String.trim line
+      in
+      if stripped = "" then go acc rest
+      else (
+        match parse stripped with
+        | Ok i -> go (i :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] lines
+
+let random st =
+  let op = List.nth all_opcodes (Random.State.int st 32) in
+  make ~rd:(Random.State.int st 4) ~rs1:(Random.State.int st 4)
+    ~rs2:(Random.State.int st 4) ~imm:(Random.State.int st 256) op

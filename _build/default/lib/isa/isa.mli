@@ -1,0 +1,91 @@
+(** RV-lite: the reproduction's instruction set.
+
+    A downscaled RISC-V-flavoured ISA with exactly 32 opcodes in a dense
+    5-bit opcode space, so {e every} 19-bit instruction word is a valid
+    encoding (this keeps the model checker's fetch-input constraint to the
+    IUV slot only, mirroring how the paper drives issued instructions at the
+    IFR).  It covers every instruction-behaviour class the paper's CVA6
+    evaluation exercises: single-cycle ALU ops, shifts, the multiplier, the
+    serial divider family (DIV/DIVU/REM/REMU), loads and stores of two
+    widths, all six conditional branches, and JAL/JALR.
+
+    Encoding (19 bits): [op\[18:14\] rd\[13:12\] rs1\[11:10\] rs2\[9:8\]
+    imm\[7:0\]].  XLEN is 8; there are four architectural registers and
+    register 0 is hardwired to zero.  PCs count instructions; control-flow
+    targets are computed in byte space ([pc*4 + imm] for direct transfers,
+    [rs1 + imm] for JALR) and must be 4-byte aligned, else the transfer
+    raises a misaligned-target exception — the behaviour whose CVA6
+    implementation bugs §VII-B2 uncovers. *)
+
+type opcode =
+  | NOP | ADD | SUB | AND | OR | XOR | SLT | SLTU
+  | ADDI | ANDI | ORI | XORI
+  | SLL | SRL | SRA
+  | MUL
+  | DIV | DIVU | REM | REMU
+  | LW | LB
+  | SW | SB
+  | BEQ | BNE | BLT | BGE | BLTU | BGEU
+  | JAL | JALR
+
+val all_opcodes : opcode list
+val opcode_to_int : opcode -> int
+val opcode_of_int : int -> opcode
+(** Raises [Invalid_argument] outside [0, 31]. *)
+
+val mnemonic : opcode -> string
+val opcode_of_mnemonic : string -> opcode option
+
+(** Behaviour classes, used to group Fig. 8 rows/columns. *)
+type cls = Alu | Shift | Mulc | Divc | Load | Store | Branch | Jump | Nopc
+
+val class_of : opcode -> cls
+val class_name : cls -> string
+
+val reads_rs1 : opcode -> bool
+val reads_rs2 : opcode -> bool
+val writes_rd : opcode -> bool
+val uses_imm : opcode -> bool
+
+(** {1 Instructions} *)
+
+type t = { op : opcode; rd : int; rs1 : int; rs2 : int; imm : int }
+(** Register fields in [0, 3]; [imm] is an 8-bit value in [0, 255]. *)
+
+val make : ?rd:int -> ?rs1:int -> ?rs2:int -> ?imm:int -> opcode -> t
+val nop : t
+
+(** {1 Encoding} *)
+
+val width : int
+(** 19 — the instruction-word width. *)
+
+val xlen : int
+(** 8 — the data width. *)
+
+val pc_bits : int
+(** 6 — instruction-granular program counter width. *)
+
+val encode : t -> Bitvec.t
+val decode : Bitvec.t -> t
+(** Total: every 19-bit word decodes. *)
+
+(** Encoding field positions (inclusive bit ranges), for wiring decoders. *)
+
+val op_range : int * int
+val rd_range : int * int
+val rs1_range : int * int
+val rs2_range : int * int
+val imm_range : int * int
+
+(** {1 Text} *)
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+(** Parse one assembly line, e.g. ["add r1, r2, r3"], ["addi r1, r2, 7"],
+    ["lw r1, 4(r2)"], ["beq r1, r2, 12"], ["jal r1, 16"]. *)
+
+val assemble : string -> (t list, string) result
+(** Parse a whole program; blank lines and [#] comments are skipped. *)
+
+val random : Random.State.t -> t

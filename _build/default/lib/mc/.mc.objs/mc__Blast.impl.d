@@ -1,0 +1,1 @@
+lib/mc/blast.ml: Array Bitvec Hdl List Option Sat

@@ -1,0 +1,1 @@
+lib/mc/blast.mli: Bitvec Hdl Sat

@@ -1,0 +1,1 @@
+lib/mc/checker.ml: Array Bitvec Blast Format Hdl List Option Printf Random Sat Sim Sys Unix

@@ -1,0 +1,1 @@
+lib/mc/checker.mli: Bitvec Format Hdl Sim

@@ -1,0 +1,51 @@
+(** Incremental bit-blasting of a netlist into a SAT solver.
+
+    An [unrolling] maintains, inside one {!Sat.Solver.t}, a time-indexed copy
+    of a netlist's combinational logic plus its register transition relation.
+    Each signal bit at each time step maps to a SAT literal.  The unrolling
+    is extended lazily with {!ensure_depth}; thousands of cover properties
+    over the same design share one unrolling (and its learned clauses),
+    which is what makes the paper's property-count workloads tractable.
+
+    Two initial-state modes support the two proof engines:
+    - [`Reset]: registers take their reset value at time 0 ([Init_symbolic]
+      registers get free variables) — used by BMC from the valid reset state
+      (§V-B).
+    - [`Free]: all registers are unconstrained at time 0 — used by the
+      inductive step of k-induction. *)
+
+type t
+
+val create :
+  ?assume_initial:Hdl.Netlist.signal list ->
+  initial:[ `Reset | `Free ] ->
+  assumes:Hdl.Netlist.signal list ->
+  Hdl.Netlist.t ->
+  t
+(** [assumes] are 1-bit signals constrained to 1 at {e every} unrolled time
+    step; [assume_initial] only at time 0. *)
+
+val solver : t -> Sat.Solver.t
+val depth : t -> int
+(** Number of time steps currently encoded (steps [0 .. depth - 1]). *)
+
+val ensure_depth : t -> int -> unit
+(** [ensure_depth t k] extends the unrolling so steps [0..k] exist. *)
+
+val lits : t -> Hdl.Netlist.signal -> time:int -> Sat.Solver.lit array
+(** The literals of a signal's bits at a time step (LSB first).
+    The step must already be encoded. *)
+
+val lit1 : t -> Hdl.Netlist.signal -> time:int -> Sat.Solver.lit
+(** The literal of a 1-bit signal. *)
+
+val model_value : t -> Hdl.Netlist.signal -> time:int -> Bitvec.t
+(** Read a signal's value from the most recent satisfying model. *)
+
+val lit_true : t -> Sat.Solver.lit
+(** A literal constrained to true (handy for building assumptions). *)
+
+val add_state_distinct : t -> int -> int -> unit
+(** [add_state_distinct t i j] adds clauses forcing the register states at
+    times [i] and [j] to differ — the simple-path constraint that makes
+    k-induction complete for finite systems. *)

@@ -1,0 +1,357 @@
+(* Cover-property checking: the model-checking interface RTL2MuPATH and
+   SynthLC drive (SS V-B).  A cover property asks for any execution trace, from
+   a valid reset state and subject to per-cycle assumptions, on which a given
+   1-bit signal becomes true.  Three outcomes mirror the paper: [Reachable]
+   (with a witness trace), [Unreachable] (with a proof kind), and
+   [Undetermined] (budget exhausted).
+
+   Engine pipeline, cheapest first:
+   1. constrained-random simulation — a simulated hit proves reachability;
+   2. incremental BMC over a shared unrolling — SAT proves reachability;
+   3. k-induction with simple-path constraints — UNSAT step proves genuine
+      unreachability;
+   4. otherwise, exhausting the BMC depth without solver budget overruns
+      yields a bounded unreachability verdict ([Bounded]), the analogue of
+      the paper's undetermined-as-unreachable configuration (SS VII-B4). *)
+
+module Netlist = Hdl.Netlist
+module Solver = Sat.Solver
+
+module Cex = struct
+  (* A witness trace: values of every named signal, per cycle. *)
+  type t = { length : int; values : (string * Bitvec.t array) list }
+
+  let length t = t.length
+
+  let value t name ~cycle =
+    match List.assoc_opt name t.values with
+    | None -> None
+    | Some arr -> if cycle < 0 || cycle >= t.length then None else Some arr.(cycle)
+
+  let value_exn t name ~cycle =
+    match value t name ~cycle with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Cex.value_exn: %s@%d" name cycle)
+
+  let pp fmt t =
+    Format.fprintf fmt "@[<v>";
+    List.iter
+      (fun (name, arr) ->
+        Format.fprintf fmt "%-24s" name;
+        Array.iter (fun v -> Format.fprintf fmt " %s" (Bitvec.to_hex_string v)) arr;
+        Format.fprintf fmt "@,")
+      t.values;
+    Format.fprintf fmt "@]"
+end
+
+type proof = Inductive of int | Bounded of int
+
+type outcome = Reachable of Cex.t | Unreachable of proof | Undetermined
+
+let outcome_tag = function
+  | Reachable _ -> "reachable"
+  | Unreachable (Inductive _) -> "unreachable(inductive)"
+  | Unreachable (Bounded _) -> "unreachable(bounded)"
+  | Undetermined -> "undetermined"
+
+module Stats = struct
+  type t = {
+    mutable n_props : int;
+    mutable n_reachable : int;
+    mutable n_unreachable : int;
+    mutable n_undetermined : int;
+    mutable n_sim_discharged : int;
+    mutable n_inductive : int;
+    mutable total_time : float;
+  }
+
+  let create () =
+    {
+      n_props = 0;
+      n_reachable = 0;
+      n_unreachable = 0;
+      n_undetermined = 0;
+      n_sim_discharged = 0;
+      n_inductive = 0;
+      total_time = 0.;
+    }
+
+  let mean_time t = if t.n_props = 0 then 0. else t.total_time /. float_of_int t.n_props
+
+  let pct_undetermined t =
+    if t.n_props = 0 then 0.
+    else 100. *. float_of_int t.n_undetermined /. float_of_int t.n_props
+
+  let pp fmt t =
+    Format.fprintf fmt
+      "props=%d reachable=%d unreachable=%d undetermined=%d (%.2f%%) sim-discharged=%d inductive=%d mean-time=%.4fs"
+      t.n_props t.n_reachable t.n_unreachable t.n_undetermined (pct_undetermined t)
+      t.n_sim_discharged t.n_inductive (mean_time t)
+end
+
+type config = {
+  bmc_depth : int;  (* maximum unrolling depth *)
+  bmc_conflicts : int;  (* SAT conflict budget per BMC solve *)
+  induction_max_k : int;  (* 0 disables k-induction *)
+  induction_conflicts : int;
+  sim_episodes : int;  (* 0 disables the simulation pre-pass *)
+  sim_cycles : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    bmc_depth = 24;
+    bmc_conflicts = 200_000;
+    induction_max_k = 3;
+    induction_conflicts = 50_000;
+    sim_episodes = 24;
+    sim_cycles = 32;
+    seed = 1;
+  }
+
+type t = {
+  nl : Netlist.t;
+  config : config;
+  assumes : Netlist.signal list;
+  assume_initial : Netlist.signal list;
+  stimulus : (Sim.t -> int -> unit) option;
+  bmc : Blast.t;
+  stats : Stats.t;
+  named : (string * Netlist.signal) list;
+  rng : Random.State.t;
+}
+
+let create ?stimulus ?(config = default_config) ?(assume_initial = []) ~assumes nl =
+  Netlist.validate nl;
+  let named =
+    Netlist.fold_nodes nl ~init:[] ~f:(fun acc n ->
+        match n.Netlist.name with
+        | Some name -> (name, n.Netlist.id) :: acc
+        | None -> acc)
+    |> List.rev
+  in
+  {
+    nl;
+    config;
+    assumes;
+    assume_initial;
+    stimulus;
+    bmc = Blast.create ~assume_initial ~initial:`Reset ~assumes nl;
+    stats = Stats.create ();
+    named;
+    rng = Random.State.make [| config.seed |];
+  }
+
+let stats t = t.stats
+let netlist t = t.nl
+
+let cex_of_model t ~upto =
+  let values =
+    List.map
+      (fun (name, s) ->
+        (name, Array.init (upto + 1) (fun time -> Blast.model_value t.bmc s ~time)))
+      t.named
+  in
+  { Cex.length = upto + 1; values }
+
+(* --- simulation pre-pass ------------------------------------------------ *)
+
+(* Drive one random episode; return the cycle where [cover] held, if any.
+   Aborts (returns None) as soon as an assumption is violated, which keeps
+   the pre-pass sound: only assumption-respecting traces can witness. *)
+let cover_holds sim cover =
+  List.for_all (fun (s, pol) -> Sim.peek_bool sim s = pol) cover
+
+(* Drive one random episode, recording named signals as it goes; return the
+   recorded witness if the cover fired.  Aborts as soon as an assumption is
+   violated, which keeps the pre-pass sound: only assumption-respecting
+   traces can witness. *)
+let sim_episode t cover seed =
+  let sim = Sim.create ~seed t.nl in
+  let rows = ref [] in
+  let ok = ref true in
+  let hit = ref None in
+  let c = ref 0 in
+  while !ok && !hit = None && !c < t.config.sim_cycles do
+    (match t.stimulus with
+    | Some f -> f sim !c
+    | None -> Sim.poke_random_inputs sim);
+    Sim.eval sim;
+    let assumes_ok =
+      List.for_all (fun a -> Sim.peek_bool sim a) t.assumes
+      && (!c > 0 || List.for_all (fun a -> Sim.peek_bool sim a) t.assume_initial)
+    in
+    if not assumes_ok then ok := false
+    else begin
+      rows := List.map (fun (_, s) -> Sim.peek sim s) t.named :: !rows;
+      if cover_holds sim cover then hit := Some !c;
+      Sim.step sim;
+      incr c
+    end
+  done;
+  match !hit with
+  | None -> None
+  | Some upto ->
+    let rows = Array.of_list (List.rev !rows) in
+    let values =
+      List.mapi
+        (fun i (name, _) -> (name, Array.init (upto + 1) (fun c_ -> List.nth rows.(c_) i)))
+        t.named
+    in
+    Some { Cex.length = upto + 1; values }
+
+let try_simulation t cover =
+  let rec go ep =
+    if ep >= t.config.sim_episodes then None
+    else
+      let seed = Random.State.int t.rng 0x3FFFFFFF in
+      match sim_episode t cover seed with
+      | Some cex -> Some cex
+      | None -> go (ep + 1)
+  in
+  go 0
+
+(* --- k-induction --------------------------------------------------------- *)
+
+(* Prove [cover] unreachable by k-induction with simple-path constraints.
+   The induction solver starts from a free state; hypothesis units not-bad@i
+   and pairwise state-distinctness accumulate as k grows. *)
+let try_induction t cover =
+  if t.config.induction_max_k = 0 then None
+  else begin
+    (* Hypothesis units are specific to one cover, so each attempt gets a
+       fresh unrolling. *)
+    let ind = Blast.create ~initial:`Free ~assumes:t.assumes t.nl in
+    let lits_at time =
+      List.map
+        (fun (s, pol) ->
+          let l = Blast.lit1 ind s ~time in
+          if pol then l else Solver.negate l)
+        cover
+    in
+    let hyp_depth = ref 0 in
+    let rec go k =
+      if k > t.config.induction_max_k then None
+      else begin
+        Blast.ensure_depth ind k;
+        (* Hypothesis: not bad at steps < k; pairwise-distinct states. *)
+        for i = !hyp_depth to k - 1 do
+          Solver.add_clause (Blast.solver ind) (List.map Solver.negate (lits_at i))
+        done;
+        hyp_depth := max !hyp_depth k;
+        if k >= 1 then
+          for i = 0 to k - 1 do
+            Blast.add_state_distinct ind i k
+          done;
+        match
+          Solver.solve ~assumptions:(lits_at k)
+            ~max_conflicts:t.config.induction_conflicts (Blast.solver ind)
+        with
+        | Solver.Unsat -> Some k
+        | Solver.Sat -> go (k + 1)
+        | Solver.Unknown -> None
+      end
+    in
+    go 0
+  end
+
+(* --- main entry ----------------------------------------------------------- *)
+
+let debug =
+  match Sys.getenv_opt "CHECKER_DEBUG" with Some ("1" | "true") -> true | _ -> false
+
+let check_cover ?name t cover =
+  let t0 = Unix.gettimeofday () in
+  let finish outcome =
+    t.stats.Stats.n_props <- t.stats.Stats.n_props + 1;
+    t.stats.Stats.total_time <- t.stats.Stats.total_time +. Unix.gettimeofday () -. t0;
+    (match outcome with
+    | Reachable _ -> t.stats.Stats.n_reachable <- t.stats.Stats.n_reachable + 1
+    | Unreachable p ->
+      t.stats.Stats.n_unreachable <- t.stats.Stats.n_unreachable + 1;
+      (match p with
+      | Inductive _ -> t.stats.Stats.n_inductive <- t.stats.Stats.n_inductive + 1
+      | Bounded _ -> ())
+    | Undetermined -> t.stats.Stats.n_undetermined <- t.stats.Stats.n_undetermined + 1);
+    if debug then
+      Printf.eprintf "[checker] %-12s %-24s %.2fs\n%!"
+        (Option.value name ~default:"?") (outcome_tag outcome)
+        (Unix.gettimeofday () -. t0);
+    outcome
+  in
+  List.iter
+    (fun (s, _) ->
+      if Netlist.width t.nl s <> 1 then
+        invalid_arg "Checker.check_cover: cover literals must be 1 bit")
+    cover;
+  (* 1. simulation pre-pass *)
+  match try_simulation t cover with
+  | Some cex ->
+    t.stats.Stats.n_sim_discharged <- t.stats.Stats.n_sim_discharged + 1;
+    finish (Reachable cex)
+  | None -> (
+    (* 2. k-induction: a genuine unreachability proof, attempted first
+       because it is far cheaper than a deep UNSAT BMC sweep.  The step
+       proof alone is unsound without its base case (the cover could hold
+       within the first k steps from reset — e.g. via symbolic initial
+       state), so verify the base with a small BMC before concluding. *)
+    let base_holds k =
+      (* no cover at times 0..k-1 from the reset state *)
+      k = 0
+      ||
+      (Blast.ensure_depth t.bmc (k - 1);
+       let s = Blast.solver t.bmc in
+       let act = Solver.pos (Solver.new_var s) in
+       let gates =
+         List.init k (fun time ->
+             let g = Solver.pos (Solver.new_var s) in
+             List.iter
+               (fun (sig_, pol) ->
+                 let l = Blast.lit1 t.bmc sig_ ~time in
+                 let l = if pol then l else Solver.negate l in
+                 Solver.add_clause s [ Solver.negate g; l ])
+               cover;
+             g)
+       in
+       Solver.add_clause s (Solver.negate act :: gates);
+       let r = Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts s in
+       Solver.add_clause s [ Solver.negate act ];
+       r = Solver.Unsat)
+    in
+    match try_induction t cover with
+    | Some k when base_holds k -> finish (Unreachable (Inductive k))
+    | _ ->
+      (* 3. single-shot BMC over all depths: one activation-gated
+         disjunction OR_t cover@t; SAT yields a witness, UNSAT proves
+         bounded unreachability in one solve. *)
+      Blast.ensure_depth t.bmc t.config.bmc_depth;
+      let s = Blast.solver t.bmc in
+      let gates =
+        List.init (t.config.bmc_depth + 1) (fun time ->
+            let g = Solver.pos (Solver.new_var s) in
+            List.iter
+              (fun (sig_, pol) ->
+                let l = Blast.lit1 t.bmc sig_ ~time in
+                let l = if pol then l else Solver.negate l in
+                Solver.add_clause s [ Solver.negate g; l ])
+              cover;
+            (time, g))
+      in
+      let act = Solver.pos (Solver.new_var s) in
+      Solver.add_clause s (Solver.negate act :: List.map snd gates);
+      let result =
+        Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts s
+      in
+      (* Retire this property's activation clauses. *)
+      Solver.add_clause s [ Solver.negate act ];
+      match result with
+      | Solver.Sat ->
+        let upto =
+          match List.find_opt (fun (_, g) -> Solver.lit_value s g) gates with
+          | Some (time, _) -> time
+          | None -> t.config.bmc_depth
+        in
+        finish (Reachable (cex_of_model t ~upto))
+      | Solver.Unsat -> finish (Unreachable (Bounded t.config.bmc_depth))
+      | Solver.Unknown -> finish Undetermined)

@@ -1,0 +1,84 @@
+(** Cover-property checking — the model-checking service RTL2MµPATH and
+    SynthLC drive (§V-B).
+
+    A cover property asks whether some execution trace, starting from a
+    valid reset state and subject to per-cycle assumption signals, reaches a
+    cycle where a conjunction of 1-bit literals holds.  Outcomes mirror the
+    paper's: [Reachable] (with a witness), [Unreachable] (with a proof
+    kind), [Undetermined] (budgets exhausted — §VII-B3).
+
+    Engines, cheapest first: constrained-random simulation (a hit proves
+    reachability), incremental BMC over a shared unrolling (thousands of
+    properties on the same design share one solver and its learned
+    clauses), k-induction with simple-path constraints (a genuine
+    unreachability proof), and finally a bounded-unreachable verdict when
+    the BMC depth is exhausted cleanly — the analogue of the paper's
+    undetermined-as-unreachable configuration (§VII-B4). *)
+
+module Cex : sig
+  type t
+  (** A witness trace: per-cycle values of every named signal. *)
+
+  val length : t -> int
+  val value : t -> string -> cycle:int -> Bitvec.t option
+  val value_exn : t -> string -> cycle:int -> Bitvec.t
+  val pp : Format.formatter -> t -> unit
+end
+
+type proof =
+  | Inductive of int  (** k-induction succeeded at this k. *)
+  | Bounded of int  (** No witness within this BMC depth; no budget overrun. *)
+
+type outcome = Reachable of Cex.t | Unreachable of proof | Undetermined
+
+val outcome_tag : outcome -> string
+
+module Stats : sig
+  type t = {
+    mutable n_props : int;
+    mutable n_reachable : int;
+    mutable n_unreachable : int;
+    mutable n_undetermined : int;
+    mutable n_sim_discharged : int;
+    mutable n_inductive : int;
+    mutable total_time : float;
+  }
+
+  val create : unit -> t
+  val mean_time : t -> float
+  val pct_undetermined : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+type config = {
+  bmc_depth : int;
+  bmc_conflicts : int;
+  induction_max_k : int;  (** 0 disables k-induction. *)
+  induction_conflicts : int;
+  sim_episodes : int;  (** 0 disables the simulation pre-pass. *)
+  sim_cycles : int;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?stimulus:(Sim.t -> int -> unit) ->
+  ?config:config ->
+  ?assume_initial:Hdl.Netlist.signal list ->
+  assumes:Hdl.Netlist.signal list ->
+  Hdl.Netlist.t ->
+  t
+(** [assumes] are 1-bit signals pinned true on every cycle (SVA [assume]);
+    [stimulus] optionally drives the simulation pre-pass (unpoked inputs
+    are randomized by the caller's own logic); traces violating an
+    assumption are discarded. *)
+
+val check_cover : ?name:string -> t -> (Hdl.Netlist.signal * bool) list -> outcome
+(** [check_cover t lits] searches for a cycle where every [(signal,
+    polarity)] literal holds simultaneously. *)
+
+val stats : t -> Stats.t
+val netlist : t -> Hdl.Netlist.t

@@ -1,0 +1,1 @@
+lib/mupath/harness.ml: Array Bitvec Designs Hashtbl Hdl Isa List Mc Printf

@@ -1,0 +1,1 @@
+lib/mupath/harness.mli: Bitvec Designs Hdl Isa Mc Sim

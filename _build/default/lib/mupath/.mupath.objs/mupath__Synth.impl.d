@@ -1,0 +1,1 @@
+lib/mupath/synth.ml: Array Bitvec Designs Format Harness Hashtbl Int Isa List Mc Option Printf Set Sim String Uhb

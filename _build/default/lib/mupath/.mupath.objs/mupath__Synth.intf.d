@@ -1,0 +1,1 @@
+lib/mupath/synth.mli: Designs Format Isa Mc Sim Uhb

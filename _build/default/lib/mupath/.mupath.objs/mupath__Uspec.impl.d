@@ -1,0 +1,1 @@
+lib/mupath/uspec.ml: Buffer Isa List Printf String Synth Uhb

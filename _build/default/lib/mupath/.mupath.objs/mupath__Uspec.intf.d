@@ -1,0 +1,1 @@
+lib/mupath/uspec.mli: Synth

@@ -1,0 +1,73 @@
+(** RTL2MµPATH synthesis (§V-B): uncover a complete set of formally
+    verified µPATHs for one instruction under verification.
+
+    The pipeline mirrors the paper's stages:
+    + {b PL reachability for the DUV} — prune state valuations no
+      instruction can occupy (§V-B1);
+    + {b PL reachability for the IUV} (§V-B2);
+    + {b fine-grained pruning} — dominates / exclusive relations between
+      IUV PLs (§V-B3);
+    + {b PL-set reachability} for each surviving candidate set (§V-B4),
+      plus consecutive / non-consecutive revisit classification;
+    + {b happens-before edges} from static combinational connectivity,
+      confirmed per reachable set (§V-B5);
+    + {b revisit cycle counts} for selected PLs (§V-B6 mode (i)).
+
+    A constrained-random simulation pre-pass discharges most reachable
+    facts cheaply (witnessed executions also seed the decision extraction
+    of §IV-B); unreachability verdicts always come from the model checker.
+    Per-stage property counts and outcome statistics are recorded — they
+    regenerate the paper's §VII-B3 numbers. *)
+
+type path = {
+  pl_set : (string * Uhb.Revisit.t) list;
+      (** The reachable PL set with aggregated revisit classification. *)
+  hb_edges : (string * string) list;
+      (** Confirmed one-cycle happens-before edges between first visits. *)
+}
+
+type stage_stats = {
+  mutable props : int;  (** Model-checker properties evaluated. *)
+  mutable presim_hits : int;  (** Facts discharged by the simulation pre-pass. *)
+  mutable undetermined : int;
+}
+
+type result = {
+  instr : Isa.t;
+  duv_pls : string list;
+  pruned_duv_states : string list;
+      (** Unlabeled state valuations proven unreachable. *)
+  iuv_pls : string list;
+  implications : (string * string) list;
+      (** [(a, b)]: every completed execution visiting [a] also visits [b]. *)
+  exclusives : (string * string) list;
+  naive_sets : int;  (** |power set of IUV PLs| before pruning. *)
+  candidate_sets : int;  (** Sets surviving dominates/exclusive pruning. *)
+  paths : path list;
+  decisions : (string * string list list) list;
+      (** Per decision source: the observed destination PL sets (§IV-B). *)
+  revisit_counts : (string * int list) list;
+      (** Possible consecutive-run lengths for tracked PLs (§V-B6). *)
+  stage_stats : (string * stage_stats) list;
+  checker_stats : Mc.Checker.Stats.t;
+}
+
+val run :
+  ?config:Mc.Checker.config ->
+  ?stimulus:(Sim.t -> int -> unit) ->
+  ?revisit_count_labels:string list ->
+  ?max_candidate_sets:int ->
+  ?max_revisit_count:int ->
+  ?presim_episodes:int ->
+  ?presim_cycles:int ->
+  meta:Designs.Meta.t ->
+  iuv:Isa.t ->
+  iuv_pc:int ->
+  unit ->
+  result
+(** Note: [meta] is consumed — the harness extends its netlist with monitor
+    state, so build a fresh design per call. *)
+
+val to_uhb_paths : result -> Uhb.Path.t list
+val to_uhb_decisions : result -> Uhb.Decision.t list
+val pp_result : Format.formatter -> result -> unit

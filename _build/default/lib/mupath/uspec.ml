@@ -1,0 +1,74 @@
+let buf_add = Buffer.add_string
+
+let mnemonic (r : Synth.result) =
+  String.uppercase_ascii (Isa.mnemonic r.Synth.instr.Isa.op)
+
+(* One µPATH as a µSPEC conjunction: nodes exist at their PLs, with
+   happens-before edges between them; consecutive revisits are expressed
+   with the Row(1)/Row(l) convention of §III-B. *)
+let path_term instr_var (p : Synth.path) =
+  let node_term (lbl, rv) =
+    match (rv : Uhb.Revisit.t) with
+    | Uhb.Revisit.Once -> Printf.sprintf "NodeExists (%s, %s)" instr_var lbl
+    | Uhb.Revisit.Consecutive ->
+      Printf.sprintf
+        "NodeExists (%s, %s(1)) /\\ NodeExists (%s, %s(l)) /\\ ConsecutiveRun (%s, %s)"
+        instr_var lbl instr_var lbl instr_var lbl
+    | Uhb.Revisit.Non_consecutive ->
+      Printf.sprintf "NodeExists (%s, %s) /\\ MayRevisit (%s, %s)" instr_var lbl
+        instr_var lbl
+    | Uhb.Revisit.Both ->
+      Printf.sprintf
+        "NodeExists (%s, %s(1)) /\\ NodeExists (%s, %s(l)) /\\ MayRevisit (%s, %s)"
+        instr_var lbl instr_var lbl instr_var lbl
+  in
+  let edge_term (a, b) =
+    Printf.sprintf "EdgeExists ((%s, %s), (%s, %s))" instr_var a instr_var b
+  in
+  let terms =
+    List.map node_term p.Synth.pl_set @ List.map edge_term p.Synth.hb_edges
+  in
+  "(" ^ String.concat " /\\\n     " terms ^ ")"
+
+let axiom_of_result (r : Synth.result) =
+  let buf = Buffer.create 512 in
+  let name = mnemonic r in
+  buf_add buf (Printf.sprintf "Axiom \"%s_uPATHs\":\n" name);
+  buf_add buf (Printf.sprintf "  forall microop \"i\",\n");
+  buf_add buf (Printf.sprintf "  IsAnyRead i \\/ ~(IsAnyRead i) => (* any dynamic instance *)\n");
+  buf_add buf (Printf.sprintf "  OpcodeIs i \"%s\" =>\n" name);
+  (match r.Synth.paths with
+  | [] -> buf_add buf "  False. (* no completed execution observed *)\n"
+  | ps ->
+    let disjuncts = List.map (path_term "i") ps in
+    buf_add buf "  (\n    ";
+    buf_add buf (String.concat "\n    \\/\n    " disjuncts);
+    buf_add buf "\n  ).\n");
+  (* Decision annotations: not part of classic µSPEC, carried as comments
+     so SynthLC-derived facts survive round-trips. *)
+  List.iter
+    (fun (src, dsts) ->
+      if List.length dsts > 1 then
+        buf_add buf
+          (Printf.sprintf "(* decision %s_%s: %s *)\n" name src
+             (String.concat " | "
+                (List.map (fun d -> "{" ^ String.concat "," d ^ "}") dsts))))
+    r.Synth.decisions;
+  Buffer.contents buf
+
+let model_of_results ~design_name results =
+  let buf = Buffer.create 2048 in
+  buf_add buf (Printf.sprintf "(* uSPEC model synthesized by RTL2MuPATH for %s *)\n" design_name);
+  buf_add buf "(* Each instruction axiom is a disjunction over its uPATHs (SS III-A). *)\n\n";
+  let all_pls =
+    List.sort_uniq compare (List.concat_map (fun r -> r.Synth.iuv_pls) results)
+  in
+  buf_add buf "DefineMacro \"PerformingLocations\":\n";
+  List.iter (fun pl -> buf_add buf (Printf.sprintf "  StageName \"%s\".\n" pl)) all_pls;
+  buf_add buf "\n";
+  List.iter
+    (fun r ->
+      buf_add buf (axiom_of_result r);
+      buf_add buf "\n")
+    results;
+  Buffer.contents buf

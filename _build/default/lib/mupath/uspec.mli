@@ -1,0 +1,22 @@
+(** µSPEC model emission.
+
+    The Check tools (§I) consume axiomatic µSPEC models: first-order axioms
+    describing how to construct µHB graphs for each instruction.  RTL2µSPEC
+    synthesized such models under the single-execution-path assumption;
+    RTL2MµPATH's whole point is that one instruction may own {e several}
+    µPATHs.  This module renders a synthesis result as a µSPEC-style axiom
+    file in which each instruction's axiom is a {e disjunction} over its
+    µPATHs — the encoding §III-A calls for — so downstream µHB analyses can
+    consume the output.
+
+    The emitted dialect follows the µSPEC look (Axiom "name": forall
+    microop "i", ... => EdgesExists [...]) closely enough to be read by
+    humans and simple parsers; it is not a bug-for-bug µSPEC grammar. *)
+
+val axiom_of_result : Synth.result -> string
+(** One axiom: a disjunction of per-µPATH conjunctions of node-existence and
+    happens-before edge terms, with consecutive-revisit annotations. *)
+
+val model_of_results : design_name:string -> Synth.result list -> string
+(** A whole model file: a header, one axiom per instruction, and a shared
+    definition block listing every performing location as a µHB row. *)

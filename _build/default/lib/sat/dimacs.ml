@@ -1,0 +1,73 @@
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let clauses = ref [] in
+  let nvars = ref 0 in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if String.length line > 1 && line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+          match int_of_string_opt nv with
+          | Some n -> nvars := n
+          | None -> err := Some ("bad problem line: " ^ line))
+        | _ -> err := Some ("bad problem line: " ^ line)
+      end
+      else begin
+        let toks =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (( <> ) "")
+        in
+        let lits = ref [] in
+        List.iter
+          (fun t ->
+            match int_of_string_opt t with
+            | Some 0 ->
+              clauses := List.rev !lits :: !clauses;
+              lits := []
+            | Some l ->
+              nvars := max !nvars (abs l);
+              lits := l :: !lits
+            | None -> err := Some ("bad literal: " ^ t))
+          toks;
+        if !lits <> [] then begin
+          (* clause continued without terminating 0 on this line: keep the
+             strict reading and reject *)
+          err := Some "clause not terminated by 0"
+        end
+      end)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok (!nvars, List.rev !clauses)
+
+let to_string ~nvars clauses =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load s text =
+  match parse text with
+  | Error e -> Error e
+  | Ok (nvars, clauses) ->
+    while Solver.nvars s < nvars do
+      ignore (Solver.new_var s)
+    done;
+    List.iter
+      (fun c ->
+        Solver.add_clause s
+          (List.map
+             (fun l ->
+               if l > 0 then Solver.pos (l - 1) else Solver.neg_of_var (-l - 1))
+             c))
+      clauses;
+    Ok ()

@@ -1,0 +1,13 @@
+(** DIMACS CNF import/export for the SAT solver — interoperability with
+    external solvers and test corpora. *)
+
+val parse : string -> (int * int list list, string) result
+(** Parse DIMACS CNF text into (variable count, clauses), clauses as lists
+    of nonzero literals (positive/negative integers, 1-based). *)
+
+val to_string : nvars:int -> int list list -> string
+(** Render clauses (same convention) as DIMACS CNF. *)
+
+val load : Solver.t -> string -> (unit, string) result
+(** Parse and add every clause to the solver, allocating variables as
+    needed (solver variables are 0-based: DIMACS var k maps to k-1). *)

@@ -1,0 +1,502 @@
+type lit = int
+
+let pos v = 2 * v
+let neg_of_var v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+
+type result = Sat | Unsat | Unknown
+
+(* Growable int-array vector used for watch lists and the clause arena. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 4 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let len v = v.len
+  let shrink v n = v.len <- n
+end
+
+type clause = { lits : int array; mutable activity : float; learnt : bool }
+
+type t = {
+  mutable clauses : clause array; (* arena; index = clause id *)
+  mutable nclauses : int;
+  mutable watches : Vec.t array; (* per literal *)
+  mutable assigns : int array; (* per var: 0 undef, 1 true, 2 false *)
+  mutable level : int array;
+  mutable reason : int array; (* clause id or -1 *)
+  mutable phase : bool array;
+  mutable activity : float array;
+  mutable heap : int array; (* binary max-heap of vars by activity *)
+  mutable heap_pos : int array; (* -1 when not in heap *)
+  mutable heap_len : int;
+  trail : Vec.t;
+  trail_lim : Vec.t;
+  mutable qhead : int;
+  mutable nvars : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool; (* false once the empty clause was derived *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable learnt_limit : int;
+  seen : Vec.t; (* scratch for analyze: vars marked *)
+}
+
+let create () =
+  {
+    clauses = Array.make 16 { lits = [||]; activity = 0.; learnt = false };
+    nclauses = 0;
+    watches = Array.init 16 (fun _ -> Vec.create ());
+    assigns = Array.make 8 0;
+    level = Array.make 8 0;
+    reason = Array.make 8 (-1);
+    phase = Array.make 8 false;
+    activity = Array.make 8 0.;
+    heap = Array.make 8 0;
+    heap_pos = Array.make 8 (-1);
+    heap_len = 0;
+    trail = Vec.create ();
+    trail_lim = Vec.create ();
+    qhead = 0;
+    nvars = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    learnt_limit = 4096;
+    seen = Vec.create ();
+  }
+
+let nvars s = s.nvars
+let num_conflicts s = s.conflicts
+let num_decisions s = s.decisions
+let num_propagations s = s.propagations
+
+let grow_arrays s n =
+  let cap = Array.length s.assigns in
+  if n > cap then begin
+    let newcap = max n (2 * cap) in
+    let copy_int a def =
+      let a' = Array.make newcap def in
+      Array.blit a 0 a' 0 cap; a'
+    in
+    let copy_float a =
+      let a' = Array.make newcap 0. in
+      Array.blit a 0 a' 0 cap; a'
+    in
+    let copy_bool a =
+      let a' = Array.make newcap false in
+      Array.blit a 0 a' 0 cap; a'
+    in
+    s.assigns <- copy_int s.assigns 0;
+    s.level <- copy_int s.level 0;
+    s.reason <- copy_int s.reason (-1);
+    s.phase <- copy_bool s.phase;
+    s.activity <- copy_float s.activity;
+    s.heap <- copy_int s.heap 0;
+    let hp = Array.make newcap (-1) in
+    Array.blit s.heap_pos 0 hp 0 cap;
+    s.heap_pos <- hp
+  end;
+  let wcap = Array.length s.watches in
+  if 2 * n > wcap then begin
+    let w =
+      Array.init (max (2 * n) (2 * wcap)) (fun i ->
+          if i < wcap then s.watches.(i) else Vec.create ())
+    in
+    s.watches <- w
+  end
+
+(* --- activity heap --------------------------------------------------- *)
+
+let heap_swap s i j =
+  let vi = s.heap.(i) and vj = s.heap.(j) in
+  s.heap.(i) <- vj;
+  s.heap.(j) <- vi;
+  s.heap_pos.(vi) <- j;
+  s.heap_pos.(vj) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_len && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best))
+  then best := l;
+  if r < s.heap_len && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best))
+  then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    s.heap.(s.heap_len) <- v;
+    s.heap_pos.(v) <- s.heap_len;
+    s.heap_len <- s.heap_len + 1;
+    heap_up s s.heap_pos.(v)
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  if s.heap_len > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_len);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  s.heap_pos.(v) <- -1;
+  v
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_arrays s s.nvars;
+  s.assigns.(v) <- 0;
+  s.level.(v) <- 0;
+  s.reason.(v) <- -1;
+  s.phase.(v) <- false;
+  s.activity.(v) <- 0.;
+  heap_insert s v;
+  v
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- assignment ------------------------------------------------------ *)
+
+let lit_val s l =
+  (* 0 undef, 1 true, 2 false for the literal *)
+  let a = s.assigns.(var_of l) in
+  if a = 0 then 0
+  else if (a = 1) = is_pos l then 1
+  else 2
+
+let decision_level s = Vec.len s.trail_lim
+
+let enqueue s l reason =
+  s.assigns.(var_of l) <- (if is_pos l then 1 else 2);
+  s.level.(var_of l) <- decision_level s;
+  s.reason.(var_of l) <- reason;
+  s.phase.(var_of l) <- is_pos l;
+  Vec.push s.trail l
+
+let add_clause_internal s lits learnt =
+  let c = { lits; activity = 0.; learnt } in
+  if s.nclauses = Array.length s.clauses then begin
+    let a = Array.make (2 * s.nclauses) c in
+    Array.blit s.clauses 0 a 0 s.nclauses;
+    s.clauses <- a
+  end;
+  let id = s.nclauses in
+  s.clauses.(id) <- c;
+  s.nclauses <- id + 1;
+  Vec.push s.watches.(negate lits.(0)) id;
+  Vec.push s.watches.(negate lits.(1)) id;
+  id
+
+let add_clause s lits =
+  if s.ok then begin
+    (* Simplify: drop duplicates and false lits at level 0; detect tautology. *)
+    let lits = List.sort_uniq Int.compare lits in
+    let taut = List.exists (fun l -> List.mem (negate l) lits) lits in
+    if not taut then begin
+      let lits =
+        List.filter (fun l -> not (decision_level s = 0 && lit_val s l = 2)) lits
+      in
+      if List.exists (fun l -> decision_level s = 0 && lit_val s l = 1) lits
+      then ()
+      else
+        match lits with
+        | [] -> s.ok <- false
+        | [ l ] ->
+          if lit_val s l = 2 then s.ok <- false
+          else if lit_val s l = 0 then enqueue s l (-1)
+        | _ ->
+          let arr = Array.of_list lits in
+          ignore (add_clause_internal s arr false)
+    end
+  end
+
+(* --- propagation ------------------------------------------------------ *)
+
+exception Conflict of int
+
+(* Propagate all enqueued literals.  Returns the conflicting clause id, or
+   -1 when no conflict arises. *)
+let propagate s =
+  try
+    while s.qhead < Vec.len s.trail do
+      let l = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      let ws = s.watches.(l) in
+      let n = Vec.len ws in
+      let j = ref 0 in
+      (let i = ref 0 in
+       while !i < n do
+         let cid = Vec.get ws !i in
+         incr i;
+         let c = s.clauses.(cid).lits in
+         (* Ensure the false literal (negate l) is at position 1. *)
+         if c.(0) = negate l then begin
+           c.(0) <- c.(1);
+           c.(1) <- negate l
+         end;
+         if lit_val s c.(0) = 1 then begin
+           (* Clause already satisfied; keep the watch. *)
+           Vec.set ws !j cid;
+           incr j
+         end
+         else begin
+           (* Look for a new literal to watch. *)
+           let found = ref false in
+           let k = ref 2 in
+           let len = Array.length c in
+           while (not !found) && !k < len do
+             if lit_val s c.(!k) <> 2 then begin
+               c.(1) <- c.(!k);
+               c.(!k) <- negate l;
+               Vec.push s.watches.(negate c.(1)) cid;
+               found := true
+             end;
+             incr k
+           done;
+           if not !found then begin
+             (* Unit or conflicting. *)
+             Vec.set ws !j cid;
+             incr j;
+             if lit_val s c.(0) = 2 then begin
+               (* Conflict: copy remaining watches and bail out. *)
+               while !i < n do
+                 Vec.set ws !j (Vec.get ws !i);
+                 incr j;
+                 incr i
+               done;
+               Vec.shrink ws !j;
+               s.qhead <- Vec.len s.trail;
+               raise (Conflict cid)
+             end
+             else enqueue s c.(0) cid
+           end
+         end
+       done;
+       Vec.shrink ws !j)
+    done;
+    -1
+  with Conflict cid -> cid
+
+(* --- conflict analysis ------------------------------------------------ *)
+
+let seen_mark = Array.make 0 false
+
+let analyze s confl =
+  let seen = Array.make s.nvars false in
+  ignore seen_mark;
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  (* -1 means "take all literals of the conflict clause" *)
+  let cid = ref confl in
+  let idx = ref (Vec.len s.trail - 1) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let c = s.clauses.(!cid) in
+    if c.learnt then c.activity <- c.activity +. s.cla_inc;
+    let lits = c.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length lits - 1 do
+      let q = lits.(k) in
+      let v = var_of q in
+      if (not seen.(v)) && s.level.(v) > 0 then begin
+        seen.(v) <- true;
+        bump_var s v;
+        if s.level.(v) = decision_level s then incr counter
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Find the next marked literal on the trail. *)
+    let rec next () =
+      let l = Vec.get s.trail !idx in
+      decr idx;
+      if seen.(var_of l) then l else next ()
+    in
+    let l = next () in
+    p := l;
+    seen.(var_of l) <- false;
+    decr counter;
+    if !counter = 0 then continue := false
+    else cid := s.reason.(var_of l)
+  done;
+  (negate !p :: !learnt, !btlevel)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.len s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = var_of l in
+      s.assigns.(v) <- 0;
+      s.reason.(v) <- -1;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.len s.trail
+  end
+
+(* --- search ------------------------------------------------------------ *)
+
+let pick_branch s =
+  let rec go () =
+    if s.heap_len = 0 then -1
+    else
+      let v = heap_pop s in
+      if s.assigns.(v) = 0 then v else go ()
+  in
+  go ()
+
+let luby i =
+  (* Luby sequence: 1 1 2 1 1 2 4 ... *)
+  let rec go k i =
+    if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+    else if i < (1 lsl (k - 1)) - 1 then go (k - 1) i
+    else go (k - 1) (i - ((1 lsl (k - 1)) - 1))
+  in
+  let rec size k = if i < (1 lsl k) - 1 then k else size (k + 1) in
+  go (size 1) i
+
+let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
+  if not s.ok then Unsat
+  else begin
+    let assumps = Array.of_list assumptions in
+    let start_conflicts = s.conflicts in
+    let result = ref None in
+    let restart_idx = ref 0 in
+    let conflicts_this_restart = ref 0 in
+    let restart_limit = ref (100 * luby 1) in
+    (match propagate s with
+    | -1 -> ()
+    | _ -> begin s.ok <- false; result := Some Unsat end);
+    while !result = None do
+      let confl = propagate s in
+      if confl >= 0 then begin
+        s.conflicts <- s.conflicts + 1;
+        incr conflicts_this_restart;
+        if decision_level s = 0 then begin
+          s.ok <- false;
+          result := Some Unsat
+        end
+        else if s.conflicts - start_conflicts > max_conflicts then
+          result := Some Unknown
+        else begin
+          let learnt, btlevel = analyze s confl in
+          cancel_until s btlevel;
+          (match learnt with
+          | [] -> begin s.ok <- false; result := Some Unsat end
+          | [ l ] -> enqueue s l (-1)
+          | l :: _ ->
+            let arr = Array.of_list learnt in
+            (* Position a literal of btlevel at index 1 for correct watching. *)
+            let pos1 = ref 1 in
+            for k = 1 to Array.length arr - 1 do
+              if s.level.(var_of arr.(k)) > s.level.(var_of arr.(!pos1)) then
+                pos1 := k
+            done;
+            let tmp = arr.(1) in
+            arr.(1) <- arr.(!pos1);
+            arr.(!pos1) <- tmp;
+            let id = add_clause_internal s arr true in
+            enqueue s l id);
+          s.var_inc <- s.var_inc /. 0.95;
+          s.cla_inc <- s.cla_inc /. 0.999
+        end
+      end
+      else if
+        !conflicts_this_restart >= !restart_limit && decision_level s > Array.length assumps
+      then begin
+        (* Restart, keeping the assumption prefix. *)
+        conflicts_this_restart := 0;
+        incr restart_idx;
+        restart_limit := 100 * luby (!restart_idx + 1);
+        cancel_until s (min (decision_level s) (Array.length assumps))
+      end
+      else begin
+        (* Decide: first re-establish pending assumptions, then branch. *)
+        let dl = decision_level s in
+        if dl < Array.length assumps then begin
+          let a = assumps.(dl) in
+          match lit_val s a with
+          | 1 ->
+            (* Already true: open an empty decision level. *)
+            Vec.push s.trail_lim (Vec.len s.trail)
+          | 2 -> result := Some Unsat (* assumptions are contradictory *)
+          | _ ->
+            Vec.push s.trail_lim (Vec.len s.trail);
+            s.decisions <- s.decisions + 1;
+            enqueue s a (-1)
+        end
+        else begin
+          let v = pick_branch s in
+          if v < 0 then result := Some Sat
+          else begin
+            Vec.push s.trail_lim (Vec.len s.trail);
+            s.decisions <- s.decisions + 1;
+            let l = if s.phase.(v) then pos v else neg_of_var v in
+            enqueue s l (-1)
+          end
+        end
+      end
+    done;
+    (* For Sat we keep the trail so [value] can read the model, but reset
+       the decision stack before the next call. *)
+    (match !result with
+    | Some Sat ->
+      (* Snapshot model into phase (phase saving already updated on enqueue),
+         then backtrack. *)
+      for v = 0 to s.nvars - 1 do
+        if s.assigns.(v) <> 0 then s.phase.(v) <- s.assigns.(v) = 1
+      done;
+      cancel_until s 0
+    | _ -> cancel_until s 0);
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s v = s.phase.(v)
+let lit_value s l = if is_pos l then s.phase.(var_of l) else not s.phase.(var_of l)

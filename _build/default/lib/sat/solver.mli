@@ -1,0 +1,56 @@
+(** A CDCL SAT solver.
+
+    Implements conflict-driven clause learning with two-watched literals,
+    first-UIP learning, VSIDS-style activity ordering, Luby restarts, and
+    phase saving.  Supports incremental solving under assumptions and a
+    conflict budget that yields {!Unknown} when exhausted — the mechanism
+    the model checker uses to produce the paper's [undetermined] outcomes. *)
+
+type t
+
+type lit = int
+(** A literal: variable [v] (0-based) appears positively as [2*v] and
+    negatively as [2*v+1]. *)
+
+val pos : int -> lit
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg_of_var : int -> lit
+(** [neg_of_var v] is the negative literal of variable [v]. *)
+
+val negate : lit -> lit
+val var_of : lit -> int
+val is_pos : lit -> bool
+
+type result =
+  | Sat
+  | Unsat
+  | Unknown (** Conflict budget exhausted. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index. *)
+
+val nvars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a clause.  Adding the empty clause (or a clause that simplifies to
+    it) makes the instance permanently unsatisfiable. *)
+
+val solve : ?assumptions:lit list -> ?max_conflicts:int -> t -> result
+(** Solve under the given assumptions.  [max_conflicts] bounds the search;
+    when exceeded the result is [Unknown].  The solver can be reused after
+    any outcome; learned clauses persist. *)
+
+val value : t -> int -> bool
+(** [value s v] is the value of variable [v] in the most recent [Sat] model.
+    Variables never touched by the search default to [false]. *)
+
+val lit_value : t -> lit -> bool
+
+val num_conflicts : t -> int
+(** Total conflicts across all [solve] calls — used for benchmarking. *)
+
+val num_decisions : t -> int
+val num_propagations : t -> int

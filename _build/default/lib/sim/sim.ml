@@ -1,0 +1,190 @@
+module Netlist = Hdl.Netlist
+
+type t = {
+  nl : Netlist.t;
+  order : Netlist.signal array;
+  values : Bitvec.t array; (* current combinational values by node id *)
+  reg_state : Bitvec.t array; (* register values by node id (others unused) *)
+  rng : Random.State.t;
+  mutable cycle_count : int;
+}
+
+let netlist s = s.nl
+
+let reg_init s id =
+  match (Netlist.node s.nl id).Netlist.kind with
+  | Netlist.Reg { init = Netlist.Init_value v; _ } -> v
+  | Netlist.Reg { init = Netlist.Init_symbolic; _ } ->
+    Bitvec.random s.rng (Netlist.width s.nl id)
+  | _ -> assert false
+
+let reset s =
+  s.cycle_count <- 0;
+  Netlist.iter_nodes s.nl (fun n ->
+      match n.Netlist.kind with
+      | Netlist.Reg _ -> s.reg_state.(n.Netlist.id) <- reg_init s n.Netlist.id
+      | Netlist.Input -> s.values.(n.Netlist.id) <- Bitvec.zero n.Netlist.width
+      | _ -> ())
+
+let create ?(seed = 0) nl =
+  Netlist.validate nl;
+  let n = Netlist.num_nodes nl in
+  let s =
+    {
+      nl;
+      order = Netlist.comb_order nl;
+      values = Array.init n (fun i -> Bitvec.zero (Netlist.width nl i));
+      reg_state = Array.init n (fun i -> Bitvec.zero (Netlist.width nl i));
+      rng = Random.State.make [| seed; 0x5eed |];
+      cycle_count = 0;
+    }
+  in
+  reset s;
+  s
+
+let poke s sig_ v =
+  (match (Netlist.node s.nl sig_).Netlist.kind with
+  | Netlist.Input -> ()
+  | _ -> invalid_arg "Sim.poke: not an input");
+  if Bitvec.width v <> Netlist.width s.nl sig_ then
+    invalid_arg "Sim.poke: width mismatch";
+  s.values.(sig_) <- v
+
+let poke_reg s sig_ v =
+  (match (Netlist.node s.nl sig_).Netlist.kind with
+  | Netlist.Reg _ -> ()
+  | _ -> invalid_arg "Sim.poke_reg: not a register");
+  if Bitvec.width v <> Netlist.width s.nl sig_ then
+    invalid_arg "Sim.poke_reg: width mismatch";
+  s.reg_state.(sig_) <- v
+
+let poke_random_inputs s =
+  List.iter
+    (fun i -> s.values.(i) <- Bitvec.random s.rng (Netlist.width s.nl i))
+    (Netlist.inputs s.nl)
+
+let eval_node s id =
+  let open Netlist in
+  match (node s.nl id).kind with
+  | Input -> () (* keeps poked value *)
+  | Const v -> s.values.(id) <- v
+  | Reg _ -> s.values.(id) <- s.reg_state.(id)
+  | Wire { driver = Some d } -> s.values.(id) <- s.values.(d)
+  | Wire { driver = None } -> assert false
+  | Not a -> s.values.(id) <- Bitvec.lognot s.values.(a)
+  | Op2 (op, a, b) ->
+    let va = s.values.(a) and vb = s.values.(b) in
+    s.values.(id) <-
+      (match op with
+      | And -> Bitvec.logand va vb
+      | Or -> Bitvec.logor va vb
+      | Xor -> Bitvec.logxor va vb
+      | Add -> Bitvec.add va vb
+      | Sub -> Bitvec.sub va vb
+      | Mul -> Bitvec.mul va vb
+      | Eq -> Bitvec.of_bool (Bitvec.equal va vb)
+      | Ult -> Bitvec.of_bool (Bitvec.ult va vb)
+      | Slt -> Bitvec.of_bool (Bitvec.slt va vb))
+  | Mux { sel; on_true; on_false } ->
+    s.values.(id) <-
+      (if Bitvec.is_zero s.values.(sel) then s.values.(on_false)
+       else s.values.(on_true))
+  | Extract { hi; lo; arg } -> s.values.(id) <- Bitvec.extract s.values.(arg) ~hi ~lo
+  | Concat parts ->
+    let v =
+      List.fold_left
+        (fun acc p ->
+          match acc with
+          | None -> Some s.values.(p)
+          | Some hi -> Some (Bitvec.concat hi s.values.(p)))
+        None parts
+    in
+    s.values.(id) <- Option.get v
+  | ReduceOr a -> s.values.(id) <- Bitvec.of_bool (not (Bitvec.is_zero s.values.(a)))
+  | ReduceAnd a -> s.values.(id) <- Bitvec.of_bool (Bitvec.is_ones s.values.(a))
+
+let eval s = Array.iter (eval_node s) s.order
+
+let peek s sig_ = s.values.(sig_)
+let peek_bool s sig_ = not (Bitvec.is_zero s.values.(sig_))
+
+let step s =
+  Netlist.iter_nodes s.nl (fun n ->
+      match n.Netlist.kind with
+      | Netlist.Reg { next = Some nxt; enable; _ } ->
+        let update =
+          match enable with
+          | None -> true
+          | Some en -> not (Bitvec.is_zero s.values.(en))
+        in
+        if update then s.reg_state.(n.Netlist.id) <- s.values.(nxt)
+      | _ -> ());
+  s.cycle_count <- s.cycle_count + 1
+
+let cycle s = s.cycle_count
+
+module Trace = struct
+  type sim = t
+
+  type t = {
+    nl : Netlist.t;
+    watch : Netlist.signal list;
+    idx : (Netlist.signal, int) Hashtbl.t;
+    mutable rows : Bitvec.t array list; (* reversed *)
+    mutable len : int;
+  }
+
+  let create nl ~watch =
+    let idx = Hashtbl.create 16 in
+    List.iteri (fun i s -> Hashtbl.replace idx s i) watch;
+    { nl; watch; idx; rows = []; len = 0 }
+
+  let record t sim =
+    let row = Array.of_list (List.map (fun s -> peek sim s) t.watch) in
+    t.rows <- row :: t.rows;
+    t.len <- t.len + 1
+
+  let length t = t.len
+
+  let value t sig_ ~cycle =
+    if cycle < 0 || cycle >= t.len then raise Not_found;
+    let i = Hashtbl.find t.idx sig_ in
+    (List.nth t.rows (t.len - 1 - cycle)).(i)
+
+  let value_bool t sig_ ~cycle = not (Bitvec.is_zero (value t sig_ ~cycle))
+  let watched t = t.watch
+
+  let to_vcd t buf =
+    let ident i = Printf.sprintf "s%d" i in
+    Buffer.add_string buf "$timescale 1ns $end\n$scope module dut $end\n";
+    List.iteri
+      (fun i s ->
+        let n = Netlist.node t.nl s in
+        let nm = Option.value n.Netlist.name ~default:(Printf.sprintf "sig%d" s) in
+        Buffer.add_string buf
+          (Printf.sprintf "$var wire %d %s %s $end\n" n.Netlist.width (ident i) nm))
+      t.watch;
+    Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+    let rows = List.rev t.rows in
+    List.iteri
+      (fun c row ->
+        Buffer.add_string buf (Printf.sprintf "#%d\n" c);
+        Array.iteri
+          (fun i v ->
+            if Bitvec.width v = 1 then
+              Buffer.add_string buf
+                (Printf.sprintf "%c%s\n" (if Bitvec.is_zero v then '0' else '1') (ident i))
+            else
+              Buffer.add_string buf
+                (Printf.sprintf "b%s %s\n" (Bitvec.to_binary_string v) (ident i)))
+          row)
+      rows
+end
+
+let run s ~cycles ~stimulus ?trace () =
+  for c = 0 to cycles - 1 do
+    stimulus s c;
+    eval s;
+    (match trace with Some t -> Trace.record t s | None -> ());
+    step s
+  done

@@ -1,0 +1,80 @@
+(** Cycle-accurate netlist interpreter.
+
+    Drives a validated {!Hdl.Netlist.t}: per cycle, inputs are poked,
+    combinational logic is evaluated in topological order, outputs observed,
+    and registers clocked.  Registers declared [Init_symbolic] receive
+    random reset values drawn from the simulator's PRNG — the concrete
+    counterpart of the model checker's symbolic initial state.
+
+    The simulator doubles as the cheap pre-pass the model checker uses to
+    discharge cover properties (a random trace that hits a cover proves
+    reachability without a SAT call). *)
+
+type t
+
+val create : ?seed:int -> Hdl.Netlist.t -> t
+(** Validates the netlist; raises if it is malformed. *)
+
+val netlist : t -> Hdl.Netlist.t
+
+val reset : t -> unit
+(** Return to cycle 0: re-apply register init values (drawing fresh random
+    values for symbolic-init registers) and clear inputs to zero. *)
+
+val poke : t -> Hdl.Netlist.signal -> Bitvec.t -> unit
+(** Set an input's value for the current cycle.  Raises if the signal is not
+    an [Input] or the width differs. *)
+
+val poke_random_inputs : t -> unit
+(** Drive every input with a fresh random value for the current cycle. *)
+
+val poke_reg : t -> Hdl.Netlist.signal -> Bitvec.t -> unit
+(** Overwrite a register's current state — used to set up specific
+    architectural initial states (e.g. the SC-Safe experiment's
+    low-equivalent state pairs).  Raises if the signal is not a register. *)
+
+val eval : t -> unit
+(** Evaluate combinational logic from current register and input values. *)
+
+val peek : t -> Hdl.Netlist.signal -> Bitvec.t
+(** Value after the most recent {!eval}. *)
+
+val peek_bool : t -> Hdl.Netlist.signal -> bool
+(** [peek] of a 1-bit signal. *)
+
+val step : t -> unit
+(** Clock edge: latch register next-state values, advance the cycle count.
+    Requires {!eval} to have run for the current cycle. *)
+
+val cycle : t -> int
+
+(** {1 Trace recording} *)
+
+module Trace : sig
+  type sim = t
+
+  type t
+  (** A recorded waveform: for a set of watched signals, one value per
+      recorded cycle. *)
+
+  val create : Hdl.Netlist.t -> watch:Hdl.Netlist.signal list -> t
+  val record : t -> sim -> unit
+  (** Record the watched signals' current values as the next cycle. *)
+
+  val length : t -> int
+
+  val value : t -> Hdl.Netlist.signal -> cycle:int -> Bitvec.t
+  (** Raises [Not_found] if the signal is not watched or cycle out of range. *)
+
+  val value_bool : t -> Hdl.Netlist.signal -> cycle:int -> bool
+  val watched : t -> Hdl.Netlist.signal list
+
+  val to_vcd : t -> Buffer.t -> unit
+  (** Render as a Value Change Dump waveform. *)
+end
+
+val run : t -> cycles:int -> stimulus:(t -> int -> unit) -> ?trace:Trace.t -> unit -> unit
+(** [run sim ~cycles ~stimulus ()] executes [cycles] full clock cycles.  Per
+    cycle: [stimulus sim n] pokes inputs (poke what you need; unpoked inputs
+    keep zero), then logic is evaluated, the optional trace records, and the
+    clock steps. *)

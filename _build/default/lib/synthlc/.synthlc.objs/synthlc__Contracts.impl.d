@@ -1,0 +1,1 @@
+lib/synthlc/contracts.ml: Format Isa List String Types

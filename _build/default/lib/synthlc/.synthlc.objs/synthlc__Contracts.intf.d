@@ -1,0 +1,1 @@
+lib/synthlc/contracts.mli: Format Isa Types

@@ -1,0 +1,1 @@
+lib/synthlc/engine.ml: Designs Flow Format Isa List Mc Mupath Sim Types Unix

@@ -1,0 +1,1 @@
+lib/synthlc/engine.mli: Designs Format Isa Mc Mupath Sim Types

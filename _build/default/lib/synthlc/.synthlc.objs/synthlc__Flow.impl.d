@@ -1,0 +1,1 @@
+lib/synthlc/flow.ml: Designs Hdl Ift Isa List Mc Mupath Types Unix

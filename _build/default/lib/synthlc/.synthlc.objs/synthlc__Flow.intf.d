@@ -1,0 +1,1 @@
+lib/synthlc/flow.mli: Designs Isa Mc Sim Types

@@ -1,0 +1,1 @@
+lib/synthlc/grid.ml: Engine Format Isa List Mupath Printf String Types

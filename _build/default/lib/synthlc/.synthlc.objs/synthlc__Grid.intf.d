@@ -1,0 +1,1 @@
+lib/synthlc/grid.mli: Engine Format Isa Types

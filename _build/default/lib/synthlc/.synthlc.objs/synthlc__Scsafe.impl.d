@@ -1,0 +1,1 @@
+lib/synthlc/scsafe.ml: Array Bitvec Designs Hdl Isa List Option Random Sim

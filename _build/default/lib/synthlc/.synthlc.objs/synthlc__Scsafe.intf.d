@@ -1,0 +1,1 @@
+lib/synthlc/scsafe.mli: Bitvec Designs Isa

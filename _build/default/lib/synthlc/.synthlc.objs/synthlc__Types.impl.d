@@ -1,0 +1,1 @@
+lib/synthlc/types.ml: Format Isa List Printf String

@@ -1,0 +1,1 @@
+lib/synthlc/types.mli: Format Isa

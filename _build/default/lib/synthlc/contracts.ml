@@ -1,0 +1,261 @@
+(* Deriving the six leakage contracts of Table I from µPATHs and leakage
+   signatures (§IV-D).
+
+   Each derivation below names the signature components it consumes, in the
+   same vocabulary as the paper's Table I columns: P (transponder), src
+   (decision source), T^N / T^D / T^S (typed transmitters), a (arguments /
+   unsafe operands), and µ (µPATH-level facts such as revisit-count
+   variability). *)
+
+open Types
+
+type unsafe_operand = { uo_transmitter : Isa.opcode; uo_operand : operand }
+
+(* The canonical constant-time contract (§II-B): the design's transmitters
+   and their unsafe operands — consumed by CT/SCT programming defenses and
+   by SpecShield/ConTExt. *)
+type ct_contract = { unsafe : unsafe_operand list }
+
+let input_kind_is ks (i : explicit_input) = List.mem i.kind ks
+
+let ct_of_signatures signatures =
+  let unsafe =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun (i : explicit_input) ->
+            { uo_transmitter = i.transmitter; uo_operand = i.unsafe_operand })
+          s.inputs)
+      signatures
+  in
+  { unsafe = List.sort_uniq compare unsafe }
+
+(* MI6: dynamic (contention/stateless) channels needing data-independent
+   scheduling, and static (stateful) channels needing purge/partitioning. *)
+type mi6_contract = {
+  mi6_dynamic_channels : signature list;
+  mi6_static_channels : signature list;
+}
+
+let mi6_of_signatures signatures =
+  {
+    mi6_dynamic_channels =
+      List.filter
+        (fun s ->
+          List.exists
+            (input_kind_is [ Intrinsic; Dynamic_older; Dynamic_younger ])
+            s.inputs)
+        signatures;
+    mi6_static_channels =
+      List.filter
+        (fun s -> List.exists (input_kind_is [ Static ]) s.inputs)
+        signatures;
+  }
+
+(* OISA: arithmetic units a transmitter may occupy for an operand-dependent
+   number of cycles — derived from intrinsic-transmitter signatures plus
+   µPATH revisit-count variability at functional-unit PLs. *)
+type oisa_contract = {
+  oisa_input_dependent_units : (Isa.opcode * string * int list) list;
+      (* transmitter, FU performing location, possible occupancy counts *)
+  oisa_ct : ct_contract;
+}
+
+let oisa_of ~signatures ~revisit_counts =
+  let intrinsic_txs =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun s ->
+           List.filter_map
+             (fun (i : explicit_input) ->
+               if i.kind = Intrinsic then Some s.transponder else None)
+             s.inputs)
+         signatures)
+  in
+  let units =
+    List.concat_map
+      (fun (op, counts) ->
+        List.filter_map
+          (fun (pl, ns) -> if List.length ns > 1 then Some (op, pl, ns) else None)
+          counts)
+      (List.filter (fun (op, _) -> List.mem op intrinsic_txs) revisit_counts)
+  in
+  { oisa_input_dependent_units = units; oisa_ct = ct_of_signatures signatures }
+
+(* STT (shared with SDO and SPT): explicit channels, implicit channels,
+   implicit branches, prediction-based and resolution-based channels. *)
+type stt_contract = {
+  stt_explicit_channels : (Isa.opcode * string) list;
+      (* intrinsic transmitter and the source PL of its own variability *)
+  stt_implicit_channels : signature list;
+  stt_implicit_branches : Isa.opcode list;
+  stt_prediction_based : signature list;
+      (* variability due to (static) predictor state *)
+  stt_resolution_based : signature list;
+      (* variability due to in-flight (dynamic) transmitters *)
+}
+
+let stt_of_signatures signatures =
+  let explicit_channels =
+    List.filter_map
+      (fun s ->
+        if
+          List.exists
+            (fun (i : explicit_input) ->
+              i.kind = Intrinsic && i.transmitter = s.transponder)
+            s.inputs
+        then Some (s.transponder, s.source)
+        else None)
+      signatures
+  in
+  let has_non_intrinsic s =
+    List.exists (input_kind_is [ Dynamic_older; Dynamic_younger; Static ]) s.inputs
+  in
+  let implicit = List.filter has_non_intrinsic signatures in
+  {
+    stt_explicit_channels = List.sort_uniq compare explicit_channels;
+    stt_implicit_channels = implicit;
+    stt_implicit_branches =
+      List.sort_uniq compare (List.map (fun s -> s.transponder) implicit);
+    stt_prediction_based =
+      List.filter (fun s -> List.exists (input_kind_is [ Static ]) s.inputs) implicit;
+    stt_resolution_based =
+      List.filter
+        (fun s ->
+          List.exists (input_kind_is [ Dynamic_older; Dynamic_younger ]) s.inputs)
+        implicit;
+  }
+
+(* SDO: data-oblivious variants — per explicit-channel transmitter, the set
+   of realizable execution-path variants (here: FU occupancy classes). *)
+type sdo_contract = {
+  sdo_variants : (Isa.opcode * string * int list) list;
+  sdo_stt : stt_contract;
+}
+
+let sdo_of ~signatures ~revisit_counts =
+  let stt = stt_of_signatures signatures in
+  let variants =
+    List.concat_map
+      (fun (op, counts) ->
+        if List.mem_assoc op (stt.stt_explicit_channels) then
+          List.filter_map
+            (fun (pl, ns) -> if List.length ns > 1 then Some (op, pl, ns) else None)
+            counts
+        else [])
+      revisit_counts
+  in
+  { sdo_variants = variants; sdo_stt = stt }
+
+(* Dolma: variable-time micro-ops, contention-based dynamic channels,
+   inducive/resolvent micro-ops with resolution points, and persistent-state
+   modifying micro-ops. *)
+type dolma_contract = {
+  dolma_variable_time : Isa.opcode list;
+  dolma_dynamic_channels : signature list;
+  dolma_inducive : (Isa.opcode * string) list;
+      (* inducive micro-op and its resolution-point PL *)
+  dolma_resolvent : Isa.opcode list;
+  dolma_persistent_modifiers : Isa.opcode list;
+}
+
+let dolma_of ~signatures ~revisit_counts ~store_opcodes =
+  let variable_time =
+    List.filter_map
+      (fun (op, counts) ->
+        if List.exists (fun (_, ns) -> List.length ns > 1) counts then Some op
+        else None)
+      revisit_counts
+  in
+  let dyn =
+    List.filter
+      (fun s ->
+        List.exists (input_kind_is [ Dynamic_older; Dynamic_younger ]) s.inputs)
+      signatures
+  in
+  {
+    dolma_variable_time = List.sort_uniq compare variable_time;
+    dolma_dynamic_channels = dyn;
+    dolma_inducive =
+      List.sort_uniq compare (List.map (fun s -> (s.transponder, s.source)) dyn);
+    dolma_resolvent =
+      List.sort_uniq compare
+        (List.concat_map
+           (fun s ->
+             List.filter_map
+               (fun (i : explicit_input) ->
+                 match i.kind with
+                 | Dynamic_older | Dynamic_younger -> Some i.transmitter
+                 | _ -> None)
+               s.inputs)
+           dyn);
+    dolma_persistent_modifiers = store_opcodes;
+  }
+
+(* SPT shares STT's fine-grained contract and additionally needs the CT
+   contract for its declassification policy. *)
+type spt_contract = { spt_stt : stt_contract; spt_ct : ct_contract }
+
+let spt_of_signatures signatures =
+  { spt_stt = stt_of_signatures signatures; spt_ct = ct_of_signatures signatures }
+
+(* A bundle of all six, as synthesized from one design's signatures. *)
+type bundle = {
+  ct : ct_contract;
+  mi6 : mi6_contract;
+  oisa : oisa_contract;
+  stt : stt_contract;
+  sdo : sdo_contract;
+  dolma : dolma_contract;
+  spt : spt_contract;
+}
+
+let derive ~signatures ~revisit_counts ~store_opcodes =
+  {
+    ct = ct_of_signatures signatures;
+    mi6 = mi6_of_signatures signatures;
+    oisa = oisa_of ~signatures ~revisit_counts;
+    stt = stt_of_signatures signatures;
+    sdo = sdo_of ~signatures ~revisit_counts;
+    dolma = dolma_of ~signatures ~revisit_counts ~store_opcodes;
+    spt = spt_of_signatures signatures;
+  }
+
+let pp_ct fmt c =
+  Format.fprintf fmt "@[<v2>CT contract (transmitters and unsafe operands):@,";
+  List.iter
+    (fun u ->
+      Format.fprintf fmt "%s.%s@,"
+        (String.uppercase_ascii (Isa.mnemonic u.uo_transmitter))
+        (operand_name u.uo_operand))
+    c.unsafe;
+  Format.fprintf fmt "@]"
+
+let pp_bundle fmt b =
+  Format.fprintf fmt "@[<v>%a@," pp_ct b.ct;
+  Format.fprintf fmt "MI6: %d dynamic channels, %d static channels@,"
+    (List.length b.mi6.mi6_dynamic_channels)
+    (List.length b.mi6.mi6_static_channels);
+  Format.fprintf fmt "OISA: %d input-dependent arithmetic units@,"
+    (List.length b.oisa.oisa_input_dependent_units);
+  List.iter
+    (fun (op, pl, ns) ->
+      Format.fprintf fmt "  %s occupies %s for %s cycles@,"
+        (String.uppercase_ascii (Isa.mnemonic op))
+        pl
+        (String.concat "/" (List.map string_of_int ns)))
+    b.oisa.oisa_input_dependent_units;
+  Format.fprintf fmt
+    "STT/SDO/SPT: %d explicit channels, %d implicit channels, %d implicit branches, %d resolution-based@,"
+    (List.length b.stt.stt_explicit_channels)
+    (List.length b.stt.stt_implicit_channels)
+    (List.length b.stt.stt_implicit_branches)
+    (List.length b.stt.stt_resolution_based);
+  Format.fprintf fmt "SDO: %d data-oblivious variant groups@,"
+    (List.length b.sdo.sdo_variants);
+  Format.fprintf fmt
+    "Dolma: %d variable-time ops, %d inducive points, %d resolvent ops, %d persistent-state modifiers@]"
+    (List.length b.dolma.dolma_variable_time)
+    (List.length b.dolma.dolma_inducive)
+    (List.length b.dolma.dolma_resolvent)
+    (List.length b.dolma.dolma_persistent_modifiers)

@@ -1,0 +1,96 @@
+(** Deriving the six leakage contracts of Table I from µPATHs and leakage
+    signatures (§IV-D).
+
+    Each derivation consumes the signature components named in the paper's
+    Table I columns: P (transponder), src (decision source), typed
+    transmitters T^N / T^D / T^S, unsafe arguments, and µPATH-level facts
+    such as revisit-count variability. *)
+
+type unsafe_operand = { uo_transmitter : Isa.opcode; uo_operand : Types.operand }
+
+type ct_contract = { unsafe : unsafe_operand list }
+(** The canonical constant-time contract (§II-B): transmitters and their
+    unsafe operands — consumed by CT/SCT programming defenses and by
+    SpecShield/ConTExt. *)
+
+type mi6_contract = {
+  mi6_dynamic_channels : Types.signature list;
+      (** Contention (stateless) channels needing data-independent
+          scheduling. *)
+  mi6_static_channels : Types.signature list;
+      (** Stateful channels needing purge/partitioning. *)
+}
+
+type oisa_contract = {
+  oisa_input_dependent_units : (Isa.opcode * string * int list) list;
+      (** Transmitter, functional-unit PL, possible occupancy counts. *)
+  oisa_ct : ct_contract;
+}
+
+type stt_contract = {
+  stt_explicit_channels : (Isa.opcode * string) list;
+  stt_implicit_channels : Types.signature list;
+  stt_implicit_branches : Isa.opcode list;
+  stt_prediction_based : Types.signature list;
+  stt_resolution_based : Types.signature list;
+}
+(** Shared by STT, SDO and SPT (§II-B). *)
+
+type sdo_contract = {
+  sdo_variants : (Isa.opcode * string * int list) list;
+      (** Data-oblivious variant groups per explicit-channel transmitter. *)
+  sdo_stt : stt_contract;
+}
+
+type dolma_contract = {
+  dolma_variable_time : Isa.opcode list;
+  dolma_dynamic_channels : Types.signature list;
+  dolma_inducive : (Isa.opcode * string) list;
+      (** Inducive micro-op with its prediction-resolution-point PL. *)
+  dolma_resolvent : Isa.opcode list;
+  dolma_persistent_modifiers : Isa.opcode list;
+}
+
+type spt_contract = { spt_stt : stt_contract; spt_ct : ct_contract }
+
+type bundle = {
+  ct : ct_contract;
+  mi6 : mi6_contract;
+  oisa : oisa_contract;
+  stt : stt_contract;
+  sdo : sdo_contract;
+  dolma : dolma_contract;
+  spt : spt_contract;
+}
+
+val ct_of_signatures : Types.signature list -> ct_contract
+val mi6_of_signatures : Types.signature list -> mi6_contract
+
+val oisa_of :
+  signatures:Types.signature list ->
+  revisit_counts:(Isa.opcode * (string * int list) list) list ->
+  oisa_contract
+
+val stt_of_signatures : Types.signature list -> stt_contract
+
+val sdo_of :
+  signatures:Types.signature list ->
+  revisit_counts:(Isa.opcode * (string * int list) list) list ->
+  sdo_contract
+
+val dolma_of :
+  signatures:Types.signature list ->
+  revisit_counts:(Isa.opcode * (string * int list) list) list ->
+  store_opcodes:Isa.opcode list ->
+  dolma_contract
+
+val spt_of_signatures : Types.signature list -> spt_contract
+
+val derive :
+  signatures:Types.signature list ->
+  revisit_counts:(Isa.opcode * (string * int list) list) list ->
+  store_opcodes:Isa.opcode list ->
+  bundle
+
+val pp_ct : Format.formatter -> ct_contract -> unit
+val pp_bundle : Format.formatter -> bundle -> unit

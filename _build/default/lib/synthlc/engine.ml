@@ -1,0 +1,236 @@
+(* SynthLC top level (§V): RTL2MµPATH per instruction, candidate-transponder
+   detection, symbolic-IFT attribution of decisions to typed transmitters,
+   and leakage-signature assembly. *)
+
+module Meta = Designs.Meta
+
+(* Callers supply stimulus as a builder so the engine can pin the IUV slot
+   and rotate random transmitters through the transmitter slot (§V-C1). *)
+type stimulus_builder =
+  pins:(int * Isa.t) list ->
+  rotate:(int * Isa.t list) list ->
+  Meta.t ->
+  Sim.t ->
+  int ->
+  unit
+
+type transponder_report = {
+  instr : Isa.t;
+  synth : Mupath.Synth.result;
+  tagged : Types.tagged_decision list;
+  signatures : Types.signature list;
+  flow_props : int;
+  flow_undetermined : int;
+  flow_time : float;
+}
+
+type report = {
+  design_name : string;
+  transponders : transponder_report list;
+  total_mupath_props : int;
+  total_flow_props : int;
+  elapsed : float;
+}
+
+(* Secondary leakage heuristic (§VII-A1): a tagged decision whose
+   destination set equals its source alone is a pure stall-in-place —
+   leakage observed only through shared-resource back-pressure. *)
+let is_secondary (d : Types.tagged_decision) = d.Types.dst = [ d.Types.src ]
+
+let signatures_of_tagged (transponder : Isa.t)
+    (decisions : (string * string list list) list)
+    (tagged : Types.tagged_decision list) =
+  let sources = List.sort_uniq compare (List.map (fun d -> d.Types.src) tagged) in
+  List.filter_map
+    (fun src ->
+      let here = List.filter (fun d -> d.Types.src = src) tagged in
+      let distinct_dsts =
+        List.sort_uniq compare (List.map (fun d -> d.Types.dst) here)
+      in
+      (* Footnote 3: at least two operand-dependent decisions are needed for
+         >1 receiver observation as a function of operand values. *)
+      if List.length distinct_dsts < 2 then None
+      else
+        let inputs =
+          List.sort_uniq compare (List.map (fun d -> d.Types.input) here)
+        in
+        let destinations =
+          match List.assoc_opt src decisions with
+          | Some ds -> ds
+          | None -> distinct_dsts
+        in
+        Some
+          {
+            Types.transponder = transponder.Isa.op;
+            source = src;
+            inputs;
+            destinations;
+          })
+    sources
+
+let analyze_transponder ?config ?synth_config ?(stimulus : stimulus_builder option)
+    ?(exclude_sources = []) ~(design : unit -> Meta.t) ~(instr : Isa.t)
+    ~(transmitters : Isa.opcode list) ~(kinds : Types.transmitter_kind list)
+    ~(revisit_count_labels : string list) ~iuv_pc () =
+  let t0 = Unix.gettimeofday () in
+  (* Stage 1: µPATH synthesis on a fresh design instance. *)
+  let meta = design () in
+  let stim =
+    match stimulus with
+    | Some f -> Some (f ~pins:[ (iuv_pc, instr) ] ~rotate:[] meta)
+    | None -> None
+  in
+  let synth =
+    Mupath.Synth.run ?config:synth_config ?stimulus:stim ~revisit_count_labels
+      ~meta ~iuv:instr ~iuv_pc ()
+  in
+  (* Candidate transponders have µPATH variability (§V-C): more than one
+     µPATH, or any decision source with several destinations. *)
+  let variable =
+    List.length synth.Mupath.Synth.paths > 1
+    || List.exists (fun (_, ds) -> List.length ds > 1) synth.Mupath.Synth.decisions
+  in
+  let multi_decisions =
+    List.filter
+      (fun (src, ds) ->
+        List.length ds > 1 && not (List.mem src exclude_sources))
+      synth.Mupath.Synth.decisions
+  in
+  if not variable || multi_decisions = [] then
+    {
+      instr;
+      synth;
+      tagged = [];
+      signatures = [];
+      flow_props = 0;
+      flow_undetermined = 0;
+      flow_time = Unix.gettimeofday () -. t0;
+    }
+  else begin
+    (* Stage 2: symbolic IFT per (kind, operand). *)
+    let pairs =
+      List.concat_map
+        (fun kind -> List.map (fun op -> (kind, op)) [ Types.Rs1; Types.Rs2 ])
+        kinds
+    in
+    (* Transmitter candidates rotated through the transmitter slot by the
+       simulation pre-pass: two register-field shapes per opcode. *)
+    let tx_candidates =
+      List.concat_map
+        (fun o ->
+          [ Isa.make ~rd:1 ~rs1:2 ~rs2:3 o; Isa.make ~rd:3 ~rs1:1 ~rs2:2 ~imm:4 o ])
+        transmitters
+    in
+    let all =
+      List.map
+        (fun (kind, operand) ->
+          (* Flow builds a fresh design; the stimulus factory is rebound to
+             that fresh metadata lazily through a reference cell. *)
+          let pc_t = Flow.transmitter_pc ~iuv_pc kind in
+          let cell = ref None in
+          let design' () =
+            let m = design () in
+            cell := Some m;
+            m
+          in
+          let stim' =
+            match stimulus with
+            | None -> None
+            | Some mk ->
+              let bound = ref None in
+              Some
+                (fun sim c ->
+                  let f =
+                    match !bound with
+                    | Some f -> f
+                    | None ->
+                      let f =
+                        match !cell with
+                        | Some m ->
+                          mk
+                            ~pins:[ (iuv_pc, instr) ]
+                            ~rotate:[ (pc_t, tx_candidates) ]
+                            m
+                        | None -> fun _ _ -> ()
+                      in
+                      bound := Some f;
+                      f
+                  in
+                  f sim c)
+          in
+          Flow.analyze ?config ?stimulus:stim' ~design:design' ~transponder:instr
+            ~decisions:multi_decisions ~transmitters ~kind ~operand ~iuv_pc ())
+        pairs
+    in
+    let tagged = List.concat_map (fun a -> a.Flow.tagged) all in
+    let flow_props =
+      List.fold_left (fun acc a -> acc + a.Flow.stats.Flow.q_props) 0 all
+    in
+    let flow_undet =
+      List.fold_left (fun acc a -> acc + a.Flow.stats.Flow.q_undetermined) 0 all
+    in
+    {
+      instr;
+      synth;
+      tagged;
+      signatures = signatures_of_tagged instr synth.Mupath.Synth.decisions tagged;
+      flow_props;
+      flow_undetermined = flow_undet;
+      flow_time = Unix.gettimeofday () -. t0;
+    }
+  end
+
+let run ?config ?synth_config ?(stimulus : stimulus_builder option)
+    ?(exclude_sources = []) ~(design : unit -> Meta.t)
+    ~(instructions : Isa.t list) ~(transmitters : Isa.opcode list)
+    ~(kinds : Types.transmitter_kind list) ~(revisit_count_labels : string list)
+    ~iuv_pc () =
+  let t0 = Unix.gettimeofday () in
+  let design_name = (design ()).Meta.design_name in
+  let transponders =
+    List.map
+      (fun instr ->
+        analyze_transponder ?config ?synth_config ?stimulus ~exclude_sources
+          ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ())
+      instructions
+  in
+  let total_mupath_props =
+    List.fold_left
+      (fun acc t ->
+        acc
+        + t.synth.Mupath.Synth.checker_stats.Mc.Checker.Stats.n_props)
+      0 transponders
+  in
+  let total_flow_props =
+    List.fold_left (fun acc t -> acc + t.flow_props) 0 transponders
+  in
+  {
+    design_name;
+    transponders;
+    total_mupath_props;
+    total_flow_props;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let all_signatures r = List.concat_map (fun t -> t.signatures) r.transponders
+
+let all_transmitter_opcodes r =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun t ->
+         List.map (fun (i : Types.explicit_input) -> i.Types.transmitter)
+           (List.concat_map (fun (s : Types.signature) -> s.Types.inputs) t.signatures))
+       r.transponders)
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>== SynthLC report for %s ==@," r.design_name;
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "@,-- transponder %s: %d uPATHs, %d signatures (%.1fs)@,"
+        (Isa.to_string t.instr)
+        (List.length t.synth.Mupath.Synth.paths)
+        (List.length t.signatures) t.flow_time;
+      List.iter (fun s -> Format.fprintf fmt "%a@," Types.pp_signature s) t.signatures)
+    r.transponders;
+  Format.fprintf fmt "@,total properties: %d (uPATH) + %d (IFT), %.1fs@]"
+    r.total_mupath_props r.total_flow_props r.elapsed

@@ -1,0 +1,78 @@
+(** SynthLC top level (§V): RTL2MµPATH per instruction, candidate-transponder
+    detection, symbolic-IFT attribution of decisions to typed transmitters,
+    and leakage-signature assembly. *)
+
+type stimulus_builder =
+  pins:(int * Isa.t) list ->
+  rotate:(int * Isa.t list) list ->
+  Designs.Meta.t ->
+  Sim.t ->
+  int ->
+  unit
+(** Stimulus factory: the engine pins the IUV slot and rotates random
+    transmitter candidates through the transmitter slot (§V-C1). *)
+
+type transponder_report = {
+  instr : Isa.t;
+  synth : Mupath.Synth.result;  (** The µPATH synthesis result. *)
+  tagged : Types.tagged_decision list;
+  signatures : Types.signature list;
+  flow_props : int;
+  flow_undetermined : int;
+  flow_time : float;
+}
+
+type report = {
+  design_name : string;
+  transponders : transponder_report list;
+  total_mupath_props : int;
+  total_flow_props : int;
+  elapsed : float;
+}
+
+val is_secondary : Types.tagged_decision -> bool
+(** §VII-A1 secondary-leakage heuristic: a stall-in-place decision
+    (destination = source alone) leaks only through shared-resource
+    back-pressure. *)
+
+val signatures_of_tagged :
+  Isa.t ->
+  (string * string list list) list ->
+  Types.tagged_decision list ->
+  Types.signature list
+(** Assemble signatures per decision source; requires at least two tagged
+    destinations per source (the paper's footnote 3). *)
+
+val analyze_transponder :
+  ?config:Mc.Checker.config ->
+  ?synth_config:Mc.Checker.config ->
+  ?stimulus:stimulus_builder ->
+  ?exclude_sources:string list ->
+  design:(unit -> Designs.Meta.t) ->
+  instr:Isa.t ->
+  transmitters:Isa.opcode list ->
+  kinds:Types.transmitter_kind list ->
+  revisit_count_labels:string list ->
+  iuv_pc:int ->
+  unit ->
+  transponder_report
+
+(** [run]'s [exclude_sources] skips the listed decision-source PLs during
+    the IFT stage — a cost-control knob, not a semantic one. *)
+val run :
+  ?config:Mc.Checker.config ->
+  ?synth_config:Mc.Checker.config ->
+  ?stimulus:stimulus_builder ->
+  ?exclude_sources:string list ->
+  design:(unit -> Designs.Meta.t) ->
+  instructions:Isa.t list ->
+  transmitters:Isa.opcode list ->
+  kinds:Types.transmitter_kind list ->
+  revisit_count_labels:string list ->
+  iuv_pc:int ->
+  unit ->
+  report
+
+val all_signatures : report -> Types.signature list
+val all_transmitter_opcodes : report -> Isa.opcode list
+val pp_report : Format.formatter -> report -> unit

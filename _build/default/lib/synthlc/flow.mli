@@ -1,0 +1,44 @@
+(** Symbolic information-flow queries (§V-C1).
+
+    For one transponder and one (transmitter-kind, operand) pair, {!analyze}
+    builds a fresh copy of the design, instruments it with CellIFT-style
+    taint logic whose single source is the chosen operand register while the
+    transmitter's PC occupies the operand-read stage (Fig. 7), adds the
+    transmitter-typing monitors implementing Assumptions 1/2a/2b/3, and
+    evaluates one cover property per (transmitter, decision): is there a
+    trace where the transponder exhibits decision (src, dst) one cycle after
+    visiting src with the destination µFSMs tainted?  Reachable ⇒ the
+    decision is tagged operand-dependent on that typed transmitter. *)
+
+type query_stats = {
+  mutable q_props : int;
+  mutable q_tagged : int;
+  mutable q_undetermined : int;
+  mutable q_time : float;
+}
+
+type analysis = { tagged : Types.tagged_decision list; stats : query_stats }
+
+val transmitter_pc : iuv_pc:int -> Types.transmitter_kind -> int
+(** PC slot the transmitter instance occupies relative to the IUV:
+    intrinsic shares the IUV's slot, dynamic-older/-younger sit one slot
+    before/after, static sits two slots before (so it can complete first). *)
+
+val analyze :
+  ?config:Mc.Checker.config ->
+  ?stimulus:(Sim.t -> int -> unit) ->
+  ?precise:bool ->
+  design:(unit -> Designs.Meta.t) ->
+  transponder:Isa.t ->
+  decisions:(string * string list list) list ->
+  transmitters:Isa.opcode list ->
+  kind:Types.transmitter_kind ->
+  operand:Types.operand ->
+  iuv_pc:int ->
+  unit ->
+  analysis
+(** [decisions] come from {!Mupath.Synth.run} (sources with their observed
+    destination sets); [transmitters] are the candidate opcodes considered
+    at the transmitter slot (intrinsic analyses only query the transponder
+    itself); [precise] selects the IFT cell-rule precision (§VII-B1
+    ablation).  [design] must build a fresh metadata instance per call. *)

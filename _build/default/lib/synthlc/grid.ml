@@ -1,0 +1,132 @@
+(* Fig. 8 rendering: the leakage-signature grid.
+
+   Coarse columns are transponder classes; fine columns are that class's
+   leakage signatures (one per decision source, annotated with the output
+   range size).  Rows are transmitter (class, operand) pairs, split into
+   intrinsic (N) and dynamic (D) sub-rows.  Cells mark primary leakage,
+   secondary leakage (stall-in-place back-pressure), or no leakage. *)
+
+open Types
+
+type cell = No_leak | Primary | Secondary
+
+type column = {
+  col_transponder : Isa.opcode;
+  col_source : string;
+  col_range : int; (* number of distinct decision destinations *)
+}
+
+type row = { row_transmitter : Isa.opcode; row_kind : transmitter_kind; row_operand : operand }
+
+type t = {
+  columns : column list;
+  rows : row list;
+  cells : (row * column * cell) list;
+}
+
+let build (reports : Engine.transponder_report list) =
+  let columns =
+    List.concat_map
+      (fun (r : Engine.transponder_report) ->
+        List.map
+          (fun (s : signature) ->
+            {
+              col_transponder = s.transponder;
+              col_source = s.source;
+              col_range = List.length s.destinations;
+            })
+          r.signatures)
+      reports
+  in
+  let rows =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (r : Engine.transponder_report) ->
+           List.map
+             (fun (d : tagged_decision) ->
+               {
+                 row_transmitter = d.input.transmitter;
+                 row_kind = d.input.kind;
+                 row_operand = d.input.unsafe_operand;
+               })
+             r.tagged)
+         reports)
+  in
+  let cells =
+    List.concat_map
+      (fun row ->
+        List.filter_map
+          (fun col ->
+            (* A cell is set when some tagged decision of the column's
+               transponder at the column's source carries the row's typed
+               input. *)
+            let matching =
+              List.concat_map
+                (fun (r : Engine.transponder_report) ->
+                  if r.instr.Isa.op <> col.col_transponder then []
+                  else
+                    List.filter
+                      (fun (d : tagged_decision) ->
+                        d.src = col.col_source
+                        && d.input.transmitter = row.row_transmitter
+                        && d.input.kind = row.row_kind
+                        && d.input.unsafe_operand = row.row_operand)
+                      r.tagged)
+                reports
+            in
+            match matching with
+            | [] -> None
+            | ds ->
+              let cell =
+                if List.for_all Engine.is_secondary ds then Secondary else Primary
+              in
+              Some (row, col, cell))
+          columns)
+      rows
+  in
+  { columns; rows; cells }
+
+let cell_at t row col =
+  match
+    List.find_opt (fun (r, c, _) -> r = row && c = col) t.cells
+  with
+  | Some (_, _, c) -> c
+  | None -> No_leak
+
+let pp fmt t =
+  let col_name c =
+    Printf.sprintf "%s_%s(%d)"
+      (String.uppercase_ascii (Isa.mnemonic c.col_transponder))
+      c.col_source c.col_range
+  in
+  let row_name r =
+    Printf.sprintf "%s^%s.%s"
+      (String.uppercase_ascii (Isa.mnemonic r.row_transmitter))
+      (kind_short r.row_kind) (operand_name r.row_operand)
+  in
+  let width = 18 in
+  Format.fprintf fmt "@[<v>%-*s" width "";
+  List.iter (fun c -> Format.fprintf fmt " %-*s" width (col_name c)) t.columns;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-*s" width (row_name r);
+      List.iter
+        (fun c ->
+          let mark =
+            match cell_at t r c with
+            | No_leak -> "."
+            | Primary -> "P"
+            | Secondary -> "s"
+          in
+          Format.fprintf fmt " %-*s" width mark)
+        t.columns;
+      Format.fprintf fmt "@,")
+    t.rows;
+  Format.fprintf fmt "@]"
+
+let count_transponders (reports : Engine.transponder_report list) =
+  List.length (List.filter (fun (r : Engine.transponder_report) -> r.signatures <> [] || List.length r.synth.Mupath.Synth.paths > 1) reports)
+
+let count_transmitters t = List.length (List.sort_uniq compare (List.map (fun r -> r.row_transmitter) t.rows))
+let count_signatures t = List.length t.columns

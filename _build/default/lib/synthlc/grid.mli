@@ -1,0 +1,36 @@
+(** Fig. 8 rendering: the leakage-signature grid.
+
+    Columns are leakage signatures (one per transponder × decision source,
+    annotated with the output-range size); rows are typed transmitter
+    operands; cells distinguish primary leakage, secondary leakage
+    (stall-in-place back-pressure, §VII-A1), and none. *)
+
+type cell = No_leak | Primary | Secondary
+
+type column = {
+  col_transponder : Isa.opcode;
+  col_source : string;
+  col_range : int;  (** Number of distinct decision destinations. *)
+}
+
+type row = {
+  row_transmitter : Isa.opcode;
+  row_kind : Types.transmitter_kind;
+  row_operand : Types.operand;
+}
+
+type t = {
+  columns : column list;
+  rows : row list;
+  cells : (row * column * cell) list;
+}
+
+val build : Engine.transponder_report list -> t
+val cell_at : t -> row -> column -> cell
+val pp : Format.formatter -> t -> unit
+
+val count_transponders : Engine.transponder_report list -> int
+(** Instructions exhibiting µPATH variability or carrying signatures. *)
+
+val count_transmitters : t -> int
+val count_signatures : t -> int

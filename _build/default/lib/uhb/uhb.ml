@@ -1,0 +1,218 @@
+module Pl = struct
+  module T = struct
+    type t = { ufsm : string; label : string; state : Bitvec.t }
+
+    let compare a b =
+      match String.compare a.ufsm b.ufsm with
+      | 0 -> (
+        match String.compare a.label b.label with
+        | 0 -> Bitvec.compare a.state b.state
+        | c -> c)
+      | c -> c
+  end
+
+  include T
+
+  let make ~ufsm ~label ~state = { ufsm; label; state }
+  let name t = t.ufsm ^ "." ^ t.label
+  let equal a b = compare a b = 0
+  let pp fmt t = Format.pp_print_string fmt (name t)
+
+  module Set = Set.Make (T)
+  module Map = Map.Make (T)
+end
+
+module Revisit = struct
+  type t = Once | Consecutive | Non_consecutive | Both
+
+  let pp fmt = function
+    | Once -> Format.pp_print_string fmt "once"
+    | Consecutive -> Format.pp_print_string fmt "consecutive"
+    | Non_consecutive -> Format.pp_print_string fmt "non-consecutive"
+    | Both -> Format.pp_print_string fmt "both"
+
+  let equal (a : t) b = a = b
+end
+
+module Path = struct
+  type t = {
+    instr : string;
+    pls : (Pl.t * Revisit.t) list;
+    edges : (Pl.t * Pl.t) list;
+  }
+
+  let make ~instr ~pls ~edges =
+    let set = Pl.Set.of_list (List.map fst pls) in
+    List.iter
+      (fun (a, b) ->
+        if not (Pl.Set.mem a set && Pl.Set.mem b set) then
+          invalid_arg "Uhb.Path.make: edge endpoint not in PL set")
+      edges;
+    { instr; pls; edges }
+
+  let pl_set t = Pl.Set.of_list (List.map fst t.pls)
+
+  let revisit_of t pl =
+    List.find_map (fun (p, r) -> if Pl.equal p pl then Some r else None) t.pls
+
+  let successors t pl =
+    List.filter_map (fun (a, b) -> if Pl.equal a pl then Some b else None) t.edges
+
+  let topological t =
+    let nodes = List.map fst t.pls in
+    let temp = Hashtbl.create 16 and perm = Hashtbl.create 16 in
+    let out = ref [] in
+    let rec visit pl =
+      let key = Pl.name pl in
+      if Hashtbl.mem temp key then failwith "Uhb.Path.topological: cyclic";
+      if not (Hashtbl.mem perm key) then begin
+        Hashtbl.replace temp key ();
+        List.iter visit (successors t pl);
+        Hashtbl.remove temp key;
+        Hashtbl.replace perm key ();
+        out := pl :: !out
+      end
+    in
+    List.iter visit nodes;
+    !out
+
+  let check_acyclic t =
+    match topological t with _ -> true | exception Failure _ -> false
+
+  let longest_chain t ~src ~dst =
+    (* DFS with memoization over the acyclic HB relation. *)
+    let memo = Hashtbl.create 16 in
+    let rec go pl =
+      if Pl.equal pl dst then Some 0
+      else
+        let key = Pl.name pl in
+        match Hashtbl.find_opt memo key with
+        | Some r -> r
+        | None ->
+          let best =
+            List.fold_left
+              (fun acc succ ->
+                match go succ with
+                | Some d -> Some (max (Option.value acc ~default:0) (d + 1))
+                | None -> acc)
+              None (successors t pl)
+          in
+          Hashtbl.replace memo key best;
+          best
+    in
+    if not (check_acyclic t) then None else go src
+
+  let equal a b =
+    String.equal a.instr b.instr
+    && List.length a.pls = List.length b.pls
+    && List.for_all
+         (fun (pl, r) ->
+           match revisit_of b pl with
+           | Some r' -> Revisit.equal r r'
+           | None -> false)
+         a.pls
+    && Pl.Set.equal (pl_set a) (pl_set b)
+    &&
+    let norm es =
+      List.sort_uniq
+        (fun (a1, b1) (a2, b2) ->
+          match Pl.compare a1 a2 with 0 -> Pl.compare b1 b2 | c -> c)
+        es
+    in
+    norm a.edges = norm b.edges
+
+  let pp fmt t =
+    Format.fprintf fmt "@[<v>uPATH for %s:@," t.instr;
+    List.iter
+      (fun (pl, r) -> Format.fprintf fmt "  %a [%a]@," Pl.pp pl Revisit.pp r)
+      t.pls;
+    List.iter (fun (a, b) -> Format.fprintf fmt "  %a -> %a@," Pl.pp a Pl.pp b) t.edges;
+    Format.fprintf fmt "@]"
+end
+
+module Concrete = struct
+  type t = { instr : string; visits : (Pl.t * int) list }
+
+  let make ~instr ~visits =
+    { instr; visits = List.sort (fun (_, c1) (_, c2) -> Int.compare c1 c2) visits }
+
+  let latency t =
+    match t.visits with
+    | [] -> 0
+    | (_, c0) :: _ ->
+      let last = List.fold_left (fun acc (_, c) -> max acc c) c0 t.visits in
+      last - c0 + 1
+
+  let cycles_in t pl =
+    List.filter_map (fun (p, c) -> if Pl.equal p pl then Some c else None) t.visits
+
+  let pp fmt t =
+    Format.fprintf fmt "@[<v>concrete uPATH for %s:@," t.instr;
+    List.iter (fun (pl, c) -> Format.fprintf fmt "  cycle %2d: %a@," c Pl.pp pl) t.visits;
+    Format.fprintf fmt "@]"
+end
+
+module Decision = struct
+  module T = struct
+    type t = { src : Pl.t; dsts : Pl.Set.t }
+
+    let compare a b =
+      match Pl.compare a.src b.src with
+      | 0 -> Pl.Set.compare a.dsts b.dsts
+      | c -> c
+  end
+
+  include T
+
+  let make ~src ~dsts = { src; dsts = Pl.Set.of_list dsts }
+  let equal a b = compare a b = 0
+
+  let pp fmt t =
+    Format.fprintf fmt "(%a, {%s})" Pl.pp t.src
+      (String.concat ", " (List.map Pl.name (Pl.Set.elements t.dsts)))
+
+  module Set = Set.Make (T)
+end
+
+module Dot = struct
+  let escape s = String.map (fun c -> if c = '.' then '_' else c) s
+
+  let of_path (p : Path.t) =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=TB;\n" p.Path.instr);
+    List.iter
+      (fun (pl, r) ->
+        let shape =
+          match r with
+          | Revisit.Once -> "ellipse"
+          | Revisit.Consecutive -> "box"
+          | Revisit.Non_consecutive | Revisit.Both -> "doubleoctagon"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [label=\"%s\",shape=%s];\n" (escape (Pl.name pl))
+             (Pl.name pl) shape))
+      p.Path.pls;
+    List.iter
+      (fun (a, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s;\n" (escape (Pl.name a)) (escape (Pl.name b))))
+      p.Path.edges;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+
+  let of_concrete (c : Concrete.t) =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" c.Concrete.instr);
+    List.iteri
+      (fun i (pl, cyc) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%s@%d\"];\n" i (Pl.name pl) cyc))
+      c.Concrete.visits;
+    (* Chain nodes in cycle order to depict one-cycle happens-before. *)
+    List.iteri
+      (fun i _ ->
+        if i > 0 then Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" (i - 1) i))
+      c.Concrete.visits;
+    Buffer.add_string buf "}\n";
+    Buffer.contents buf
+end

@@ -1,0 +1,103 @@
+(** The cycle-accurate µHB (microarchitectural happens-before) formalism of
+    §III: performing locations, µPATHs with consecutive/non-consecutive
+    revisit structure, happens-before edges, and decisions (§IV-B). *)
+
+(** Performing locations (§III-C): a PL is a ⟨µFSM, state⟩ pair — a valid,
+    non-idle valuation of one µFSM's state variables.  An instruction visits
+    a PL in a cycle when the µFSM's IIR holds the instruction's IID and its
+    state variables hold [state]. *)
+module Pl : sig
+  type t = { ufsm : string; label : string; state : Bitvec.t }
+  (** [ufsm] names the owning µFSM; [label] is the human-readable state name
+      used as the µHB row label (e.g. ["issue"], ["mulU"]); [state] is the
+      concrete valuation of the µFSM's state variables. *)
+
+  val make : ufsm:string -> label:string -> state:Bitvec.t -> t
+  val name : t -> string
+  (** ["ufsm.label"] — unique within a design. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+end
+
+(** How often a µPATH may revisit one PL (§III-B, §V-B4). *)
+module Revisit : sig
+  type t =
+    | Once  (** Visited exactly once. *)
+    | Consecutive
+        (** May be occupied for a run of consecutive cycles — rendered as
+            Row(1)…Row(l) with a dashed edge. *)
+    | Non_consecutive  (** May be re-entered after leaving. *)
+    | Both
+
+  val pp : Format.formatter -> t -> unit
+  val equal : t -> t -> bool
+end
+
+(** A synthesized µPATH: a reachable PL set with revisit annotations and
+    happens-before edges (a partial order on first visits). *)
+module Path : sig
+  type t = {
+    instr : string;  (** IUV mnemonic. *)
+    pls : (Pl.t * Revisit.t) list;
+    edges : (Pl.t * Pl.t) list;
+        (** One-cycle happens-before edges between (first visits to) PLs. *)
+  }
+
+  val make : instr:string -> pls:(Pl.t * Revisit.t) list -> edges:(Pl.t * Pl.t) list -> t
+  val pl_set : t -> Pl.Set.t
+  val revisit_of : t -> Pl.t -> Revisit.t option
+
+  val check_acyclic : t -> bool
+  (** Happens-before must be a partial order. *)
+
+  val topological : t -> Pl.t list
+  (** PLs in a topological order of the HB edges.  Raises [Failure] on a
+      cyclic path. *)
+
+  val longest_chain : t -> src:Pl.t -> dst:Pl.t -> int option
+  (** Length (in edges) of the longest HB chain from [src] to [dst] — the
+      §III-B latency measure, ignoring folded consecutive revisits. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A concrete, cycle-accurate execution of an instruction: which PLs it
+    occupied in which cycles (one witness trace).  Used for Fig. 1/2/4-style
+    rendering and for latency measurements. *)
+module Concrete : sig
+  type t = { instr : string; visits : (Pl.t * int) list }
+  (** [(pl, cycle)] pairs, cycle-sorted. *)
+
+  val make : instr:string -> visits:(Pl.t * int) list -> t
+  val latency : t -> int
+  (** Last visit cycle minus first visit cycle, plus one. *)
+
+  val cycles_in : t -> Pl.t -> int list
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Decisions (§IV-B): a (src, dst) pair pinpointing a divergence between a
+    pair of an instruction's µPATHs. *)
+module Decision : sig
+  type t = { src : Pl.t; dsts : Pl.Set.t }
+
+  val make : src:Pl.t -> dsts:Pl.t list -> t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+end
+
+(** DOT rendering of µPATHs for inspection (the repository's analogue of the
+    paper's µHB graph figures). *)
+module Dot : sig
+  val of_path : Path.t -> string
+  val of_concrete : Concrete.t -> string
+end

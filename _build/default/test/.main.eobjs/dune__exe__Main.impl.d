@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_bitvec Test_blast Test_cache Test_core Test_formats Test_harness Test_hdl Test_ibex Test_ift Test_isa Test_mc Test_mupath Test_sat Test_sim Test_synthlc Test_uhb

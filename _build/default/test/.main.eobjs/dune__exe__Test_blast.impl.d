@@ -1,0 +1,1 @@
+test/test_blast.ml: Alcotest Bitvec Hdl List Mc Option Printf Random Sim

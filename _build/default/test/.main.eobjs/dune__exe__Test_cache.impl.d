@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bitvec Designs Hdl Isa List Option Printf Sim

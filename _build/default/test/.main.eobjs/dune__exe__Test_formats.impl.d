@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Isa Mupath Sat String Test_mupath

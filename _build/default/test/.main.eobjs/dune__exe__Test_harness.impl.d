@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bitvec Designs Hdl Isa List Mupath Option Sim Test_mupath

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Array Bitvec Hashtbl Hdl List Option Random Sim

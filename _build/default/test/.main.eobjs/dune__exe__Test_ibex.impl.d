@@ -1,0 +1,1 @@
+test/test_ibex.ml: Alcotest Array Bitvec Designs Golden Hdl Isa List Option Random Sim String

@@ -1,0 +1,1 @@
+test/test_ift.ml: Alcotest Bitvec Hdl Ift Random Sim

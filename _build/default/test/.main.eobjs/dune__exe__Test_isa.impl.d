@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bitvec Golden Isa List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_mupath.ml: Alcotest Bitvec Designs Hdl Isa List Mc Mupath Uhb

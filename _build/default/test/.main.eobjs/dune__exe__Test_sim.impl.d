@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bitvec Buffer Hdl List Sim String

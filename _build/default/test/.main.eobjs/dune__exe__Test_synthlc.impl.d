@@ -1,0 +1,1 @@
+test/test_synthlc.ml: Alcotest Contracts Designs Engine Flow Format Grid Isa List Mupath Scsafe String Synthlc Test_mupath Types

@@ -1,0 +1,1 @@
+test/test_uhb.ml: Alcotest Bitvec List Option String Uhb

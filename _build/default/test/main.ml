@@ -1,0 +1,21 @@
+(* Aggregate test runner: `dune runtest` executes every suite. *)
+let () =
+  Alcotest.run "synthlc-repro"
+    [
+      Test_bitvec.suite;
+      Test_sat.suite;
+      Test_hdl.suite;
+      Test_sim.suite;
+      Test_isa.suite;
+      Test_uhb.suite;
+      Test_mc.suite;
+      Test_blast.suite;
+      Test_harness.suite;
+      Test_formats.suite;
+      Test_ift.suite;
+      Test_core.suite;
+      Test_cache.suite;
+      Test_ibex.suite;
+      Test_mupath.suite;
+      Test_synthlc.suite;
+    ]

@@ -1,0 +1,164 @@
+(* Netlist IR and DSL tests: construction invariants, validation errors,
+   topological ordering, combinational-cone analysis, and a differential
+   qcheck of DSL operators against Bitvec via the simulator. *)
+
+module N = Hdl.Netlist
+
+let fresh name = N.create name
+
+let test_validate_unconnected () =
+  let nl = fresh "u" in
+  let _r = N.reg nl ~name:"r" ~init:(N.Init_value (Bitvec.zero 4)) ~width:4 () in
+  Alcotest.check_raises "unconnected reg"
+    (Failure "Netlist u: unconnected register r") (fun () -> N.validate nl);
+  let nl = fresh "w" in
+  let _w = N.wire nl ~name:"w0" 4 in
+  Alcotest.check_raises "unconnected wire" (Failure "Netlist w: unconnected wire w0")
+    (fun () -> N.validate nl)
+
+let test_comb_cycle_detected () =
+  let nl = fresh "c" in
+  let w = N.wire nl 1 in
+  let x = N.not_ nl w in
+  N.connect_wire nl w x;
+  Alcotest.(check bool) "raises" true
+    (try
+       N.validate nl;
+       false
+     with Failure _ -> true)
+
+let test_reg_breaks_cycle () =
+  let nl = fresh "r" in
+  let r = N.reg nl ~name:"r" ~init:(N.Init_value (Bitvec.zero 1)) ~width:1 () in
+  N.connect_reg nl r (N.not_ nl r);
+  N.validate nl (* a register in the loop is fine *)
+
+let test_width_checks () =
+  let nl = fresh "wd" in
+  let a = N.input nl "a" 4 and b = N.input nl "b" 8 in
+  Alcotest.(check bool) "op2 width mismatch" true
+    (try
+       ignore (N.op2 nl N.Add a b);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "extract bad range" true
+    (try
+       ignore (N.extract nl ~hi:4 ~lo:0 a);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "mux needs 1-bit sel" true
+    (try
+       ignore (N.mux nl ~sel:b ~on_true:a ~on_false:a);
+       false
+     with Invalid_argument _ -> true)
+
+let test_names_unique () =
+  let nl = fresh "n" in
+  let _ = N.input nl "x" 1 in
+  Alcotest.(check bool) "duplicate name" true
+    (try
+       ignore (N.input nl "x" 1);
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "find_named" true (N.find_named nl "x" <> None)
+
+let test_comb_order () =
+  let nl = fresh "topo" in
+  let a = N.input nl "a" 4 in
+  let b = N.not_ nl a in
+  let c = N.op2 nl N.Add a b in
+  let order = N.comb_order nl in
+  let pos x = Option.get (Array.find_index (fun s -> s = x) order) in
+  Alcotest.(check bool) "a before b" true (pos a < pos b);
+  Alcotest.(check bool) "b before c" true (pos b < pos c)
+
+let test_comb_cone () =
+  let nl = fresh "cone" in
+  let a = N.input nl "a" 4 in
+  let r = N.reg nl ~name:"r" ~init:(N.Init_value (Bitvec.zero 4)) ~width:4 () in
+  let x = N.op2 nl N.Xor a r in
+  N.connect_reg nl r x;
+  let unrelated = N.input nl "u" 4 in
+  let cone = N.comb_cone nl [ x ] in
+  Alcotest.(check bool) "contains a" true (Hashtbl.mem cone a);
+  Alcotest.(check bool) "contains r (stops at reg)" true (Hashtbl.mem cone r);
+  Alcotest.(check bool) "excludes unrelated" false (Hashtbl.mem cone unrelated)
+
+(* Differential: one circuit instantiating every DSL operator, simulated on
+   random inputs and compared against the Bitvec reference semantics. *)
+let test_dsl_vs_bitvec () =
+  let w = 8 in
+  let nl = N.create "alu" in
+  let module D = Hdl.Dsl.Make (struct
+    let nl = nl
+  end) in
+  let open D in
+  let a = input "a" w and b = input "b" w in
+  let outs =
+    [
+      ("and", a &: b, fun x y -> Bitvec.logand x y);
+      ("or", a |: b, fun x y -> Bitvec.logor x y);
+      ("xor", a ^: b, fun x y -> Bitvec.logxor x y);
+      ("not", ~:a, fun x _ -> Bitvec.lognot x);
+      ("add", a +: b, fun x y -> Bitvec.add x y);
+      ("sub", a -: b, fun x y -> Bitvec.sub x y);
+      ("mul", a *: b, fun x y -> Bitvec.mul x y);
+      ("eq", zero_extend (a ==: b) w, fun x y ->
+        Bitvec.of_int ~width:w (if Bitvec.equal x y then 1 else 0));
+      ("ult", zero_extend (a <: b) w, fun x y ->
+        Bitvec.of_int ~width:w (if Bitvec.ult x y then 1 else 0));
+      ("slt", zero_extend (a <+ b) w, fun x y ->
+        Bitvec.of_int ~width:w (if Bitvec.slt x y then 1 else 0));
+      ("mux", mux (a <: b) a b, fun x y -> if Bitvec.ult x y then x else y);
+      ("sel", zero_extend (select a 5 2) w, fun x _ ->
+        Bitvec.zero_extend (Bitvec.extract x ~hi:5 ~lo:2) w);
+      ("cat", concat [ select a 3 0; select b 7 4 ], fun x y ->
+        Bitvec.concat (Bitvec.extract x ~hi:3 ~lo:0) (Bitvec.extract y ~hi:7 ~lo:4));
+      ("sext", sign_extend (select a 3 0) w, fun x _ ->
+        Bitvec.sign_extend (Bitvec.extract x ~hi:3 ~lo:0) w);
+      ("prio", priority_mux [ (a ==: b, a); (a <: b, b) ] (zero w), fun x y ->
+        if Bitvec.equal x y then x else if Bitvec.ult x y then y else Bitvec.zero w);
+      ("bmux", binary_mux (select a 1 0) [ a; b; ~:a; ~:b ], fun x y ->
+        match Bitvec.to_int (Bitvec.extract x ~hi:1 ~lo:0) with
+        | 0 -> x
+        | 1 -> y
+        | 2 -> Bitvec.lognot x
+        | _ -> Bitvec.lognot y);
+    ]
+  in
+  let named =
+    List.map (fun (n, s, f) ->
+        let wr = wire ~name:("out_" ^ n) (width s) in
+        wr <== s;
+        (n, wr, f))
+      outs
+  in
+  let sim = Sim.create nl in
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 300 do
+    let va = Bitvec.random rng w and vb = Bitvec.random rng w in
+    Sim.poke sim a va;
+    Sim.poke sim b vb;
+    Sim.eval sim;
+    List.iter
+      (fun (n, s, f) ->
+        let got = Sim.peek sim s and want = f va vb in
+        if not (Bitvec.equal got want) then
+          Alcotest.failf "%s: %s op %s -> %s, want %s" n
+            (Bitvec.to_hex_string va) (Bitvec.to_hex_string vb)
+            (Bitvec.to_hex_string got) (Bitvec.to_hex_string want))
+      named
+  done
+
+let suite =
+  ( "hdl",
+    [
+      Alcotest.test_case "unconnected detection" `Quick test_validate_unconnected;
+      Alcotest.test_case "combinational cycle" `Quick test_comb_cycle_detected;
+      Alcotest.test_case "register breaks cycle" `Quick test_reg_breaks_cycle;
+      Alcotest.test_case "width checks" `Quick test_width_checks;
+      Alcotest.test_case "unique names" `Quick test_names_unique;
+      Alcotest.test_case "topological order" `Quick test_comb_order;
+      Alcotest.test_case "combinational cone" `Quick test_comb_cone;
+      Alcotest.test_case "dsl vs bitvec semantics" `Quick test_dsl_vs_bitvec;
+    ] )

@@ -1,0 +1,129 @@
+(* ISA tests: encoding/decoding totality and roundtrips, field placement,
+   class and operand-usage predicates, the assembler, and golden-model
+   semantics checks. *)
+
+let test_roundtrip_all_opcodes () =
+  List.iter
+    (fun op ->
+      let i = Isa.make ~rd:1 ~rs1:2 ~rs2:3 ~imm:0x5A op in
+      let i' = Isa.decode (Isa.encode i) in
+      if i <> i' then Alcotest.failf "roundtrip failed for %s" (Isa.mnemonic op))
+    Isa.all_opcodes
+
+let test_decode_total () =
+  (* Every 19-bit word decodes (dense opcode space). *)
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 1000 do
+    let w = Bitvec.random rng Isa.width in
+    ignore (Isa.decode w)
+  done
+
+let test_fields () =
+  let i = Isa.make ~rd:3 ~rs1:1 ~rs2:2 ~imm:0xAB Isa.ADD in
+  let e = Isa.encode i in
+  let f (hi, lo) = Bitvec.to_int (Bitvec.extract e ~hi ~lo) in
+  Alcotest.(check int) "op" (Isa.opcode_to_int Isa.ADD) (f Isa.op_range);
+  Alcotest.(check int) "rd" 3 (f Isa.rd_range);
+  Alcotest.(check int) "rs1" 1 (f Isa.rs1_range);
+  Alcotest.(check int) "rs2" 2 (f Isa.rs2_range);
+  Alcotest.(check int) "imm" 0xAB (f Isa.imm_range)
+
+let test_classes () =
+  Alcotest.(check string) "div class" "div" (Isa.class_name (Isa.class_of Isa.REMU));
+  Alcotest.(check string) "branch class" "branch" (Isa.class_name (Isa.class_of Isa.BGEU));
+  Alcotest.(check bool) "store reads rs2" true (Isa.reads_rs2 Isa.SW);
+  Alcotest.(check bool) "load does not read rs2" false (Isa.reads_rs2 Isa.LW);
+  Alcotest.(check bool) "branch writes no rd" false (Isa.writes_rd Isa.BEQ);
+  Alcotest.(check bool) "jal writes rd" true (Isa.writes_rd Isa.JAL);
+  Alcotest.(check bool) "jal reads no rs1" false (Isa.reads_rs1 Isa.JAL);
+  Alcotest.(check bool) "jalr reads rs1" true (Isa.reads_rs1 Isa.JALR);
+  Alcotest.(check int) "32 opcodes" 32 (List.length Isa.all_opcodes)
+
+let test_assembler () =
+  let expect_ok src want =
+    match Isa.parse src with
+    | Ok i -> Alcotest.(check string) src want (Isa.to_string i)
+    | Error e -> Alcotest.failf "parse %s failed: %s" src e
+  in
+  expect_ok "add r1, r2, r3" "add r1, r2, r3";
+  expect_ok "ADDI r1, r0, 42" "addi r1, r0, 42";
+  expect_ok "lw r2, 3(r1)" "lw r2, 3(r1)";
+  expect_ok "sw r2, 3(r1)" "sw r2, 3(r1)";
+  expect_ok "beq r1, r2, 8" "beq r1, r2, 8";
+  expect_ok "jal r1, 16" "jal r1, 16";
+  expect_ok "jalr r1, r2, 4" "jalr r1, r2, 4";
+  expect_ok "nop" "nop";
+  expect_ok "addi r1, r0, -1  # comment" "addi r1, r0, 255";
+  (match Isa.parse "add r9, r1, r2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad register accepted");
+  (match Isa.assemble "add r1, r2, r3\n# full line comment\n\nnop" with
+  | Ok [ _; _ ] -> ()
+  | Ok l -> Alcotest.failf "expected 2 instructions, got %d" (List.length l)
+  | Error e -> Alcotest.fail e)
+
+(* Golden-model semantics spot checks. *)
+let exec src ?regs () =
+  let st = Golden.create ?regs () in
+  let program = match Isa.assemble src with Ok p -> p | Error e -> failwith e in
+  Golden.run st ~program ~max_steps:(List.length program + 2);
+  st
+
+let bv8 = Bitvec.of_int ~width:8
+
+let test_golden_alu () =
+  let st = exec "addi r1, r0, 200\naddi r2, r0, 100\nadd r3, r1, r2" () in
+  Alcotest.(check int) "wrapping add" 44 (Bitvec.to_int (Golden.reg st 3));
+  let st = exec "addi r1, r0, 5\nsll r2, r1, r1" () in
+  (* shift amount = r1 & 7 = 5 *)
+  Alcotest.(check int) "sll" 0xA0 (Bitvec.to_int (Golden.reg st 2))
+
+let test_golden_mem () =
+  let st = exec "addi r1, r0, 77\nsw r1, 3(r0)\nlw r2, 3(r0)\nlb r3, 3(r0)" () in
+  Alcotest.(check int) "lw" 77 (Bitvec.to_int (Golden.reg st 2));
+  (* 77 = 0x4D; low nibble 0xD sign-extends to 0xFD *)
+  Alcotest.(check int) "lb sign-extends nibble" 0xFD (Bitvec.to_int (Golden.reg st 3))
+
+let test_golden_control () =
+  let st = exec "addi r1, r0, 1\nbeq r1, r1, 8\naddi r2, r0, 9\naddi r3, r0, 5" () in
+  (* branch from pc1: target 4+8=12 -> pc3; skips pc2 *)
+  Alcotest.(check int) "skipped" 0 (Bitvec.to_int (Golden.reg st 2));
+  Alcotest.(check int) "landed" 5 (Bitvec.to_int (Golden.reg st 3));
+  (* Misaligned JALR -> exception -> redirect to vector 0. *)
+  let st = Golden.create ~regs:[| Bitvec.zero 8; bv8 6; bv8 0; bv8 0 |] () in
+  Golden.step st (Isa.make ~rd:2 ~rs1:1 Isa.JALR);
+  Alcotest.(check int) "misaligned jalr redirects to 0" 0 st.Golden.pc
+
+let test_golden_r0 () =
+  let st = exec "addi r0, r0, 55\nadd r1, r0, r0" () in
+  Alcotest.(check int) "r0 stays zero" 0 (Bitvec.to_int (Golden.reg st 0));
+  Alcotest.(check int) "reads as zero" 0 (Bitvec.to_int (Golden.reg st 1))
+
+let qcheck_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"random encode/decode roundtrip"
+       (QCheck.make
+          QCheck.Gen.(
+            int_range 0 31 >>= fun op ->
+            int_range 0 3 >>= fun rd ->
+            int_range 0 3 >>= fun rs1 ->
+            int_range 0 3 >>= fun rs2 ->
+            int_range 0 255 >>= fun imm -> return (op, rd, rs1, rs2, imm)))
+       (fun (op, rd, rs1, rs2, imm) ->
+         let i = Isa.make ~rd ~rs1 ~rs2 ~imm (Isa.opcode_of_int op) in
+         Isa.decode (Isa.encode i) = i))
+
+let suite =
+  ( "isa",
+    [
+      Alcotest.test_case "opcode roundtrip" `Quick test_roundtrip_all_opcodes;
+      Alcotest.test_case "decode is total" `Quick test_decode_total;
+      Alcotest.test_case "field placement" `Quick test_fields;
+      Alcotest.test_case "classes and usage" `Quick test_classes;
+      Alcotest.test_case "assembler" `Quick test_assembler;
+      Alcotest.test_case "golden alu" `Quick test_golden_alu;
+      Alcotest.test_case "golden memory" `Quick test_golden_mem;
+      Alcotest.test_case "golden control flow" `Quick test_golden_control;
+      Alcotest.test_case "golden r0" `Quick test_golden_r0;
+      qcheck_roundtrip;
+    ] )

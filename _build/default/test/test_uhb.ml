@@ -1,0 +1,116 @@
+(* µHB formalism tests: PL ordering, path invariants (acyclicity,
+   topological sort, longest chains — the §III-B latency measure),
+   decisions, concrete paths, and DOT rendering. *)
+
+let pl label = Uhb.Pl.make ~ufsm:"core" ~label ~state:(Bitvec.of_int ~width:2 1)
+
+let sample_path () =
+  let if_ = pl "IF" and id = pl "ID" and iss = pl "issue" and cmt = pl "scbCmt" in
+  Uhb.Path.make ~instr:"add"
+    ~pls:
+      [
+        (if_, Uhb.Revisit.Once);
+        (id, Uhb.Revisit.Consecutive);
+        (iss, Uhb.Revisit.Once);
+        (cmt, Uhb.Revisit.Once);
+      ]
+    ~edges:[ (if_, id); (id, iss); (iss, cmt); (id, cmt) ]
+
+let test_pl () =
+  Alcotest.(check string) "name" "core.IF" (Uhb.Pl.name (pl "IF"));
+  Alcotest.(check bool) "equal" true (Uhb.Pl.equal (pl "IF") (pl "IF"));
+  Alcotest.(check bool) "distinct labels" false (Uhb.Pl.equal (pl "IF") (pl "ID"));
+  Alcotest.(check bool) "distinct states" false
+    (Uhb.Pl.equal (pl "IF")
+       (Uhb.Pl.make ~ufsm:"core" ~label:"IF" ~state:(Bitvec.of_int ~width:2 2)));
+  let s = Uhb.Pl.Set.of_list [ pl "IF"; pl "ID"; pl "IF" ] in
+  Alcotest.(check int) "set dedup" 2 (Uhb.Pl.Set.cardinal s)
+
+let test_path_invariants () =
+  let p = sample_path () in
+  Alcotest.(check bool) "acyclic" true (Uhb.Path.check_acyclic p);
+  let topo = Uhb.Path.topological p in
+  Alcotest.(check int) "topo covers all" 4 (List.length topo);
+  let idx l = Option.get (List.find_index (fun x -> Uhb.Pl.name x = "core." ^ l) topo) in
+  Alcotest.(check bool) "IF before ID" true (idx "IF" < idx "ID");
+  Alcotest.(check bool) "issue before cmt" true (idx "issue" < idx "scbCmt")
+
+let test_longest_chain () =
+  let p = sample_path () in
+  (* IF -> ID -> issue -> scbCmt = 3 edges (longer than the ID->cmt shortcut) *)
+  Alcotest.(check (option int)) "latency" (Some 3)
+    (Uhb.Path.longest_chain p ~src:(pl "IF") ~dst:(pl "scbCmt"));
+  Alcotest.(check (option int)) "unreachable pair" None
+    (Uhb.Path.longest_chain p ~src:(pl "scbCmt") ~dst:(pl "IF"))
+
+let test_cyclic_rejected () =
+  let a = pl "A" and b = pl "B" in
+  let p =
+    Uhb.Path.make ~instr:"x"
+      ~pls:[ (a, Uhb.Revisit.Once); (b, Uhb.Revisit.Once) ]
+      ~edges:[ (a, b); (b, a) ]
+  in
+  Alcotest.(check bool) "cycle detected" false (Uhb.Path.check_acyclic p);
+  Alcotest.(check bool) "edge endpoints checked" true
+    (try
+       ignore (Uhb.Path.make ~instr:"x" ~pls:[ (a, Uhb.Revisit.Once) ] ~edges:[ (a, b) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_path_equal () =
+  let p1 = sample_path () and p2 = sample_path () in
+  Alcotest.(check bool) "structural equality" true (Uhb.Path.equal p1 p2);
+  let p3 =
+    Uhb.Path.make ~instr:"add"
+      ~pls:[ (pl "IF", Uhb.Revisit.Once) ]
+      ~edges:[]
+  in
+  Alcotest.(check bool) "different sets differ" false (Uhb.Path.equal p1 p3)
+
+let test_concrete () =
+  let c =
+    Uhb.Concrete.make ~instr:"mul"
+      ~visits:[ (pl "mulU", 4); (pl "IF", 0); (pl "mulU", 3); (pl "ID", 1) ]
+  in
+  Alcotest.(check int) "latency spans visits" 5 (Uhb.Concrete.latency c);
+  Alcotest.(check (list int)) "cycles in mulU" [ 3; 4 ] (Uhb.Concrete.cycles_in c (pl "mulU"));
+  Alcotest.(check int) "empty latency" 0 (Uhb.Concrete.latency (Uhb.Concrete.make ~instr:"x" ~visits:[]))
+
+let test_decision () =
+  let d1 = Uhb.Decision.make ~src:(pl "issue") ~dsts:[ pl "ldFin" ] in
+  let d2 = Uhb.Decision.make ~src:(pl "issue") ~dsts:[ pl "LSQ"; pl "ldStall" ] in
+  let d1' = Uhb.Decision.make ~src:(pl "issue") ~dsts:[ pl "ldFin" ] in
+  Alcotest.(check bool) "equal" true (Uhb.Decision.equal d1 d1');
+  Alcotest.(check bool) "distinct" false (Uhb.Decision.equal d1 d2);
+  let s = Uhb.Decision.Set.of_list [ d1; d2; d1' ] in
+  Alcotest.(check int) "set dedup" 2 (Uhb.Decision.Set.cardinal s)
+
+let test_dot () =
+  let dot = Uhb.Dot.of_path (sample_path ()) in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 10 && String.sub dot 0 7 = "digraph");
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has edge" true (contains "core_IF -> core_ID");
+  Alcotest.(check bool) "consecutive shape" true (contains "shape=box");
+  let cdot =
+    Uhb.Dot.of_concrete
+      (Uhb.Concrete.make ~instr:"m" ~visits:[ (pl "IF", 0); (pl "ID", 1) ])
+  in
+  Alcotest.(check bool) "concrete renders" true (String.length cdot > 20)
+
+let suite =
+  ( "uhb",
+    [
+      Alcotest.test_case "performing locations" `Quick test_pl;
+      Alcotest.test_case "path invariants" `Quick test_path_invariants;
+      Alcotest.test_case "longest chain latency" `Quick test_longest_chain;
+      Alcotest.test_case "cyclic paths rejected" `Quick test_cyclic_rejected;
+      Alcotest.test_case "path equality" `Quick test_path_equal;
+      Alcotest.test_case "concrete paths" `Quick test_concrete;
+      Alcotest.test_case "decisions" `Quick test_decision;
+      Alcotest.test_case "dot rendering" `Quick test_dot;
+    ] )
