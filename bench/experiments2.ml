@@ -62,6 +62,7 @@ let e13 () =
       ~iuv_pc:Designs.Core.iuv_pc ()
   in
   engine_report := Some report;
+  Experiments.record Experiments.core_stats report.Synthlc.Engine.checker_totals;
   Format.printf "%a@." Synthlc.Engine.pp_report report;
   (* Key artifact results (SS I-G of the appendix): *)
   let div_report =
@@ -237,6 +238,104 @@ let ablation_pruning () =
            let s = t.Synthlc.Engine.synth in
            s.Mupath.Synth.candidate_sets * 10 <= s.Mupath.Synth.naive_sets)
          report.Synthlc.Engine.transponders)
+
+(* P1 — domain-parallel SynthLC: the paper parallelizes per-instruction
+   model checking across JasperGold jobs (§VII-B3); we fan the engine out
+   across OCaml domains and measure sequential vs parallel wall-clock on
+   the same multi-instruction experiment.  The parallel report must be
+   bit-identical to the sequential one (per-task seed derivation). *)
+
+let requested_jobs = ref 0 (* 0 = auto; set by bench -j *)
+
+type speedup_record = {
+  sp_jobs : int;
+  sp_cores : int;
+  sp_t_seq : float;
+  sp_t_par : float;
+  sp_speedup : float;
+  sp_equal : bool;
+  sp_mupath_props : int;
+  sp_flow_props : int;
+}
+
+let speedup : speedup_record option ref = ref None
+
+let parallel_speedup () =
+  let jobs =
+    max 2 (if !requested_jobs >= 1 then !requested_jobs else Pool.default_jobs ())
+  in
+  section "P1"
+    (Printf.sprintf
+       "Domain-parallel SynthLC - sequential vs -j %d fan-out (SS VII-B3)" jobs);
+  (* Quick profile: the smaller Ibex core at reduced budgets; full profile:
+     the CVA6-lite baseline over the artifact ISA (2x the E13 workload). *)
+  let design, stimulus, instructions, transmitters, light_config =
+    match Experiments.profile with
+    | `Quick ->
+      ( (fun () -> Designs.Ibex.build ()),
+        (fun ~pins ~rotate meta -> Designs.Stimulus.ibex ~pins ~rotate meta),
+        [
+          Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD;
+          Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.DIV;
+          Isa.make ~rd:3 ~rs1:2 Isa.LW;
+          Isa.make ~rs1:1 ~rs2:2 ~imm:8 Isa.BEQ;
+        ],
+        [ Isa.DIV; Isa.ADD ],
+        {
+          config with
+          Checker.bmc_depth = 8;
+          bmc_conflicts = 30_000;
+          sim_episodes = 8;
+          sim_cycles = 36;
+        } )
+    | `Full ->
+      ( (fun () -> Designs.Core.build Designs.Core.baseline),
+        (fun ~pins ~rotate meta -> Designs.Stimulus.core ~pins ~rotate meta),
+        artifact_isa,
+        [ Isa.DIV; Isa.LW; Isa.SW; Isa.BEQ ],
+        config )
+  in
+  let run_with jobs =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Synthlc.Engine.run ~config:light_config ~synth_config:light_config
+        ~stimulus ~design ~jobs
+        ~exclude_sources:[ "IF"; "scbCmt" ]
+        ~instructions ~transmitters
+        ~kinds:[ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older ]
+        ~revisit_count_labels:[ "divU" ] ~iuv_pc:Designs.Core.iuv_pc ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_seq, r_seq = run_with 1 in
+  let t_par, r_par = run_with jobs in
+  let equal = Synthlc.Engine.equal_report r_seq r_par in
+  let sp = if t_par > 0. then t_seq /. t_par else 1. in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "  sequential (-j 1): %6.1fs  (%d uPATH + %d IFT properties)\n"
+    t_seq r_seq.Synthlc.Engine.total_mupath_props
+    r_seq.Synthlc.Engine.total_flow_props;
+  Printf.printf "  parallel   (-j %d): %6.1fs\n" jobs t_par;
+  Printf.printf "  speedup: %.2fx (%d core%s available to this process)\n" sp
+    cores (if cores = 1 then "" else "s");
+  check "parallel report bit-identical to sequential" equal;
+  if cores >= 2 then check "parallel fan-out is faster" (sp > 1.2)
+  else
+    Printf.printf
+      "  [note] single-core host: domains interleave, no wall-clock win \
+       expected\n";
+  speedup :=
+    Some
+      {
+        sp_jobs = jobs;
+        sp_cores = cores;
+        sp_t_seq = t_seq;
+        sp_t_par = t_par;
+        sp_speedup = sp;
+        sp_equal = equal;
+        sp_mupath_props = r_seq.Synthlc.Engine.total_mupath_props;
+        sp_flow_props = r_seq.Synthlc.Engine.total_flow_props;
+      }
 
 (* Ablation A2: simulation-assisted cover discharge. *)
 let ablation_sim_assist () =

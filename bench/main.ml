@@ -6,7 +6,9 @@
      dune exec bench/main.exe                 # quick profile, all experiments
      REPRO_PROFILE=full dune exec bench/main.exe
      dune exec bench/main.exe -- E1 E4        # selected experiments only
-     dune exec bench/main.exe -- micro        # micro-benchmarks only *)
+     dune exec bench/main.exe -- micro        # micro-benchmarks only
+     dune exec bench/main.exe -- --json P1    # also write BENCH_results.json
+     dune exec bench/main.exe -- -j 4 P1      # parallel fan-out width *)
 
 let experiments =
   [
@@ -24,6 +26,7 @@ let experiments =
     ("E11", Experiments2.e11);
     ("A1", Experiments2.ablation_pruning);
     ("A2", Experiments2.ablation_sim_assist);
+    ("P1", Experiments2.parallel_speedup);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -121,28 +124,121 @@ let time_budget =
   | Some s -> float_of_string_opt s
   | None -> None
 
+(* --- machine-readable results (--json) -------------------------------- *)
+
+type exp_row = { row_id : string; row_time : float; row_props : int; row_status : string }
+
+let bucket_props () =
+  Experiments.core_stats.Experiments.props + Experiments.cache_stats.Experiments.props
+
+let write_json path ~profile ~jobs ~total rows =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"profile\": \"%s\",\n" profile;
+  add "  \"jobs\": %d,\n" jobs;
+  add "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  add "  \"total_time_s\": %.3f,\n" total;
+  add "  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      add "    {\"id\": \"%s\", \"time_s\": %.3f, \"props\": %d, \"status\": \"%s\"}%s\n"
+        r.row_id r.row_time r.row_props r.row_status
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  (match !Experiments2.speedup with
+  | Some s ->
+    add "  \"parallel\": {\"jobs\": %d, \"cores\": %d, \"t_seq_s\": %.3f, \"t_par_s\": %.3f, \"speedup\": %.3f, \"deterministic\": %b, \"mupath_props\": %d, \"flow_props\": %d}\n"
+      s.Experiments2.sp_jobs s.Experiments2.sp_cores s.Experiments2.sp_t_seq
+      s.Experiments2.sp_t_par s.Experiments2.sp_speedup s.Experiments2.sp_equal
+      s.Experiments2.sp_mupath_props s.Experiments2.sp_flow_props
+  | None -> add "  \"parallel\": null\n");
+  add "}\n";
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s\n" path
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let t0 = Unix.gettimeofday () in
-  Printf.printf "RTL2MuPATH + SynthLC reproduction benches (profile: %s)\n"
-    (match Experiments.profile with `Quick -> "quick" | `Full -> "full");
-  let selected =
-    match args with [] -> List.map fst experiments @ [ "micro" ] | l -> l
+  let raw = Array.to_list Sys.argv |> List.tl in
+  let json = ref false in
+  let sel = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some v when v >= 1 -> Experiments2.requested_jobs := v
+      | _ -> failwith "bench: -j expects a positive integer");
+      parse rest
+    | x :: rest ->
+      sel := x :: !sel;
+      parse rest
   in
+  parse raw;
+  let t0 = Unix.gettimeofday () in
+  let profile =
+    match Experiments.profile with `Quick -> "quick" | `Full -> "full"
+  in
+  Printf.printf "RTL2MuPATH + SynthLC reproduction benches (profile: %s)\n" profile;
+  let selected =
+    match List.rev !sel with
+    | [] -> List.map fst experiments @ [ "micro" ]
+    | l -> l
+  in
+  let rows = ref [] in
   List.iter
     (fun (id, f) ->
-      if List.mem id selected then
+      if List.mem id selected then begin
         let over_budget =
           match time_budget with
           | Some b -> Unix.gettimeofday () -. t0 > b
           | None -> false
         in
-        if over_budget then
-          Printf.printf "  [SKIPPED] %s: REPRO_TIME_BUDGET exceeded\n%!" id
-        else
-          try f ()
-          with e ->
-            Printf.printf "  [EXPERIMENT-ERROR] %s: %s\n%!" id (Printexc.to_string e))
+        let p0 = bucket_props () in
+        let te = Unix.gettimeofday () in
+        let status =
+          if over_budget then begin
+            Printf.printf "  [SKIPPED] %s: REPRO_TIME_BUDGET exceeded\n%!" id;
+            "skipped"
+          end
+          else
+            try
+              f ();
+              "ok"
+            with e ->
+              Printf.printf "  [EXPERIMENT-ERROR] %s: %s\n%!" id
+                (Printexc.to_string e);
+              "error"
+        in
+        rows :=
+          {
+            row_id = id;
+            row_time = Unix.gettimeofday () -. te;
+            row_props = bucket_props () - p0;
+            row_status = status;
+          }
+          :: !rows
+      end)
     experiments;
-  if List.mem "micro" selected then micro_benchmarks ();
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  if List.mem "micro" selected then begin
+    let te = Unix.gettimeofday () in
+    micro_benchmarks ();
+    rows :=
+      {
+        row_id = "micro";
+        row_time = Unix.gettimeofday () -. te;
+        row_props = 0;
+        row_status = "ok";
+      }
+      :: !rows
+  end;
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\ntotal bench time: %.1fs\n" total;
+  if !json then
+    write_json "BENCH_results.json" ~profile
+      ~jobs:
+        (if !Experiments2.requested_jobs >= 1 then !Experiments2.requested_jobs
+         else Pool.default_jobs ())
+      ~total (List.rev !rows)

@@ -35,6 +35,24 @@ let depth_arg =
 let episodes_arg =
   Arg.(value & opt int 12 & info [ "episodes" ] ~docv:"N" ~doc:"Random-simulation pre-pass episodes.")
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the per-instruction fan-out.  0 (the default) \
+     resolves to $(b,SYNTHLC_JOBS) if set, else the recommended domain \
+     count.  Results are bit-identical for every value."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs j = if j >= 1 then j else Pool.default_jobs ()
+
+let shards_arg =
+  let doc =
+    "Checker shards for property-level parallelism within one synthesis \
+     (trades shared learned clauses for cores; 1 = single incremental \
+     solver)."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
 let instr_arg =
   let doc = "Instruction under verification, in assembly (e.g. 'div r1, r2, r3')." in
   Arg.(value & opt string "add r1, r2, r3" & info [ "i"; "instr" ] ~docv:"ASM" ~doc)
@@ -129,15 +147,15 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname instr depth episodes dot counts =
+  let run dname instr depth episodes dot counts shards =
     let iuv = parse_instr instr in
     let meta = build_design dname in
     let iuv_pc = iuv_pc_for dname in
     let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
     let config = config_of depth episodes in
     let r =
-      Mupath.Synth.run ~config ~stimulus:stim ~revisit_count_labels:counts ~meta
-        ~iuv ~iuv_pc ()
+      Mupath.Synth.run ~config ~stimulus:stim ~revisit_count_labels:counts
+        ~shards ~meta ~iuv ~iuv_pc ()
     in
     Format.printf "%a@." Mupath.Synth.pp_result r;
     if dot then
@@ -151,12 +169,14 @@ let mupath_cmd =
   in
   Cmd.v
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
-    Term.(const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot $ counts)
+    Term.(
+      const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
+      $ counts $ shards_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
-  let run dname instrs txs depth episodes static =
+  let run dname instrs txs depth episodes static jobs =
     let instructions = List.map parse_instr instrs in
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
@@ -173,11 +193,16 @@ let synthlc_cmd =
       [ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older; Synthlc.Types.Dynamic_younger ]
       @ (if static then [ Synthlc.Types.Static ] else [])
     in
+    let jobs = resolve_jobs jobs in
+    let revisit_count_labels =
+      (* Keep only the labels this design actually has (ibex_lite has no
+         mulU, the cache DUV has neither). *)
+      let available = List.map fst (Mupath.Harness.pl_groups (design ())) in
+      List.filter (fun l -> List.mem l available) [ "divU"; "mulU"; "ID" ]
+    in
     let report =
-      Synthlc.Engine.run ~config ~synth_config:config ~stimulus ~design
-        ~instructions ~transmitters ~kinds
-        ~revisit_count_labels:[ "divU"; "mulU"; "ID" ]
-        ~iuv_pc ()
+      Synthlc.Engine.run ~config ~synth_config:config ~stimulus ~design ~jobs
+        ~instructions ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
     in
     Format.printf "%a@." Synthlc.Engine.pp_report report;
     let grid = Synthlc.Grid.build report.Synthlc.Engine.transponders in
@@ -196,7 +221,7 @@ let synthlc_cmd =
     Format.printf "@.%a@." Synthlc.Contracts.pp_bundle bundle
   in
   let instrs =
-    Arg.(value & opt (list string) [ "div r1, r2, r3" ] & info [ "i"; "instrs" ] ~docv:"ASM,..." ~doc:"Transponder instructions.")
+    Arg.(value & opt (list ~sep:';' string) [ "div r1, r2, r3" ] & info [ "i"; "instrs" ] ~docv:"ASM;..." ~doc:"Transponder instructions, $(b,;)-separated (operands use commas).")
   in
   let txs =
     Arg.(value & opt (list string) [ "div"; "lw"; "sw"; "beq"; "add" ] & info [ "t"; "transmitters" ] ~docv:"OPS" ~doc:"Candidate transmitter opcodes.")
@@ -204,7 +229,9 @@ let synthlc_cmd =
   let static = Arg.(value & flag & info [ "static" ] ~doc:"Also analyze static transmitters (Assumption 3).") in
   Cmd.v
     (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
-    Term.(const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static)
+    Term.(
+      const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
+      $ jobs_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 

@@ -78,6 +78,17 @@ module Stats = struct
 
   let mean_time t = if t.n_props = 0 then 0. else t.total_time /. float_of_int t.n_props
 
+  let merge a b =
+    {
+      n_props = a.n_props + b.n_props;
+      n_reachable = a.n_reachable + b.n_reachable;
+      n_unreachable = a.n_unreachable + b.n_unreachable;
+      n_undetermined = a.n_undetermined + b.n_undetermined;
+      n_sim_discharged = a.n_sim_discharged + b.n_sim_discharged;
+      n_inductive = a.n_inductive + b.n_inductive;
+      total_time = a.total_time +. b.total_time;
+    }
+
   let pct_undetermined t =
     if t.n_props = 0 then 0.
     else 100. *. float_of_int t.n_undetermined /. float_of_int t.n_props

@@ -45,6 +45,11 @@ module Stats : sig
   }
 
   val create : unit -> t
+
+  val merge : t -> t -> t
+  (** Field-wise sum, as a fresh record — the aggregation point for
+      per-shard and per-task checker instances. *)
+
   val mean_time : t -> float
   val pct_undetermined : t -> float
   val pp : Format.formatter -> t -> unit

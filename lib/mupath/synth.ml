@@ -41,15 +41,34 @@ type episode = {
   decision_obs : (string * SS.t) list;
 }
 
-let run ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 4096)
-    ?(max_revisit_count = 12) ?(presim_episodes = 64) ?(presim_cycles = 48) ~meta
-    ~iuv ~iuv_pc () =
+let run_inner ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 4096)
+    ?(max_revisit_count = 12) ?(presim_episodes = 64) ?(presim_cycles = 48)
+    ~shards ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
   let h =
     Harness.create ?config ?stimulus ~revisit_count_labels ~meta ~iuv ~iuv_pc ()
   in
   let nl = meta.Designs.Meta.nl in
   let chk = Harness.checker h in
   let labels = Harness.labels h in
+  (* Property sharding (off unless [shards > 1]): K checker instances over
+     the same monitored netlist, each owning its own solver and unrolling.
+     Shard 0 is the harness checker; the others get seeds derived from
+     (base seed, shard index).  Independent cover batches within a stage
+     are split round-robin across the instances and evaluated in parallel —
+     trading the shared learned-clause store of one incremental solver for
+     cores. *)
+  let shard_checkers =
+    if shards <= 1 then [| chk |]
+    else
+      Array.init shards (fun k ->
+          if k = 0 then chk
+          else
+            let base = Option.value config ~default:Checker.default_config in
+            let cfg =
+              { base with Checker.seed = Pool.derive_seed ~base:base.Checker.seed ~index:k }
+            in
+            Checker.create ?stimulus ~config:cfg ~assumes:(Harness.assumes h) nl)
+  in
   let stage names =
     List.map (fun n -> (n, { props = 0; presim_hits = 0; undetermined = 0 })) names
   in
@@ -69,6 +88,64 @@ let run ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 40
   let hit stage_name =
     let s = st stage_name in
     s.presim_hits <- s.presim_hits + 1
+  in
+  (* [sharded stage items ~f]: evaluate [f ~check ~hit x] for every item,
+     order-preserving.  Unsharded, this is [List.map] on the main checker;
+     sharded, chunk [i mod K] runs on checker K in a pool domain, with
+     per-chunk stage counters merged at the join so the mutable stage
+     records are never touched concurrently.  [f] must route every solver
+     query through the [check] it is handed. *)
+  let sharded : 'a 'r.
+      string ->
+      'a list ->
+      f:
+        (check:((Hdl.Netlist.signal * bool) list -> Checker.outcome) ->
+        hit:(unit -> unit) ->
+        'a ->
+        'r) ->
+      'r list =
+   fun stage_name items ~f ->
+    match (shard_checkers, pool) with
+    | [| _ |], _ | _, None ->
+      List.map
+        (f
+           ~check:(fun lits -> check stage_name lits)
+           ~hit:(fun () -> hit stage_name))
+        items
+    | cks, Some p ->
+      let k = Array.length cks in
+      let n = List.length items in
+      let chunks = Array.make k [] in
+      List.iteri (fun i x -> chunks.(i mod k) <- (i, x) :: chunks.(i mod k)) items;
+      let results = Array.make n None in
+      let locals =
+        Pool.run p
+          (List.init k (fun ci () ->
+               let ck = cks.(ci) in
+               let props = ref 0 and undet = ref 0 and hits = ref 0 in
+               let check lits =
+                 incr props;
+                 let o = Checker.check_cover ~name:stage_name ck lits in
+                 (match o with Checker.Undetermined -> incr undet | _ -> ());
+                 o
+               in
+               let hit () = incr hits in
+               List.iter
+                 (fun (i, x) -> results.(i) <- Some (f ~check ~hit x))
+                 (List.rev chunks.(ci));
+               (!props, !undet, !hits)))
+      in
+      let s = st stage_name in
+      List.iter
+        (fun (p_, u, h_) ->
+          s.props <- s.props + p_;
+          s.undetermined <- s.undetermined + u;
+          s.presim_hits <- s.presim_hits + h_)
+        locals;
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false)
+           results)
   in
 
   (* ------------------------------------------------------------------ *)
@@ -161,42 +238,46 @@ let run ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 40
   (* Stage A: PL reachability for the DUV (§V-B1).                        *)
   (* ------------------------------------------------------------------ *)
   let duv_pls =
-    List.filter
-      (fun lbl ->
-        if List.exists (fun e -> SS.mem lbl e.occ_any_seen) episodes then begin
-          hit "duv_pl";
-          true
-        end
-        else
-          match check "duv_pl" [ (Harness.occ_any h lbl, true) ] with
-          | Checker.Reachable _ -> true
-          | Checker.Unreachable _ | Checker.Undetermined -> false)
-      labels
+    let keeps =
+      sharded "duv_pl" labels ~f:(fun ~check ~hit lbl ->
+          if List.exists (fun e -> SS.mem lbl e.occ_any_seen) episodes then begin
+            hit ();
+            true
+          end
+          else
+            match check [ (Harness.occ_any h lbl, true) ] with
+            | Checker.Reachable _ -> true
+            | Checker.Unreachable _ | Checker.Undetermined -> false)
+    in
+    List.filter_map (fun (lbl, keep) -> if keep then Some lbl else None)
+      (List.combine labels keeps)
   in
   let pruned_duv_states =
-    List.filter_map
-      (fun (name, occ) ->
-        match check "duv_pl" [ (occ, true) ] with
-        | Checker.Reachable _ -> None
-        | Checker.Unreachable _ | Checker.Undetermined -> Some name)
-      (Harness.unlabeled_states h)
+    List.filter_map Fun.id
+      (sharded "duv_pl" (Harness.unlabeled_states h)
+         ~f:(fun ~check ~hit:_ (name, occ) ->
+           match check [ (occ, true) ] with
+           | Checker.Reachable _ -> None
+           | Checker.Unreachable _ | Checker.Undetermined -> Some name))
   in
 
   (* ------------------------------------------------------------------ *)
   (* Stage B: PL reachability for the IUV (§V-B2).                        *)
   (* ------------------------------------------------------------------ *)
   let iuv_pls =
-    List.filter
-      (fun lbl ->
-        if List.exists (fun e -> SS.mem lbl e.occ_iuv_seen) episodes then begin
-          hit "iuv_pl";
-          true
-        end
-        else
-          match check "iuv_pl" [ (Harness.occ_iuv h lbl, true) ] with
-          | Checker.Reachable _ -> true
-          | Checker.Unreachable _ | Checker.Undetermined -> false)
-      duv_pls
+    let keeps =
+      sharded "iuv_pl" duv_pls ~f:(fun ~check ~hit lbl ->
+          if List.exists (fun e -> SS.mem lbl e.occ_iuv_seen) episodes then begin
+            hit ();
+            true
+          end
+          else
+            match check [ (Harness.occ_iuv h lbl, true) ] with
+            | Checker.Reachable _ -> true
+            | Checker.Unreachable _ | Checker.Undetermined -> false)
+    in
+    List.filter_map (fun (lbl, keep) -> if keep then Some lbl else None)
+      (List.combine duv_pls keeps)
   in
 
   (* ------------------------------------------------------------------ *)
@@ -313,7 +394,7 @@ let run ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 40
   let cex_bool cex name cyc =
     not (Bitvec.is_zero (Checker.Cex.value_exn cex name ~cycle:cyc))
   in
-  let harvest_cex cex =
+  let harvest_cex_into acc cex =
     (* Extract decision observations from a witness trace, up to the cycle
        the IUV disappears. *)
     let len = Checker.Cex.length cex in
@@ -327,55 +408,65 @@ let run ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 40
              SS.empty labels
          in
          if not (SS.is_empty !prev) then
-           SS.iter (fun src -> decision_obs_all := (src, now) :: !decision_obs_all) !prev;
+           SS.iter (fun src -> acc := (src, now) :: !acc) !prev;
          prev := now
        done
      with Exit -> ());
     ()
   in
+  let harvest_cex cex = harvest_cex_into decision_obs_all cex in
   let reachable_sets =
+    (* Sharded tasks return any harvested observations instead of touching
+       the shared accumulator; the merge happens at the (sequential) join. *)
+    let candidates_checked =
+      sharded "pl_set" candidates ~f:(fun ~check ~hit s ->
+          let presim_matches =
+            List.filter (fun e -> SS.equal e.final_visited s) completed_eps
+          in
+          if presim_matches <> [] then begin
+            hit ();
+            Some (s, presim_matches, [])
+          end
+          else
+            match check (gone_lit :: set_pattern s) with
+            | Checker.Reachable cex ->
+              let harvested = ref [] in
+              harvest_cex_into harvested cex;
+              (* Synthesize an episode-like record from the witness tail. *)
+              let last = Checker.Cex.length cex - 1 in
+              let flags name =
+                List.fold_left
+                  (fun acc lbl ->
+                    if cex_bool cex ("mon_" ^ name ^ "_" ^ lbl) last then
+                      SS.add lbl acc
+                    else acc)
+                  SS.empty labels
+              in
+              let ep =
+                {
+                  completed = true;
+                  occ_any_seen = SS.empty;
+                  occ_iuv_seen = s;
+                  final_visited = s;
+                  cons_seen = flags "cons";
+                  reenter_seen = flags "reenter";
+                  edges_seen =
+                    List.filter
+                      (fun (a, b) ->
+                        cex_bool cex (Printf.sprintf "mon_edge_%s__%s" a b) last)
+                      (Harness.edge_candidates h);
+                  maxruns = [];
+                  decision_obs = [];
+                }
+              in
+              Some (s, [ ep ], !harvested)
+            | Checker.Unreachable _ | Checker.Undetermined -> None)
+    in
     List.filter_map
-      (fun s ->
-        let presim_matches =
-          List.filter (fun e -> SS.equal e.final_visited s) completed_eps
-        in
-        if presim_matches <> [] then begin
-          hit "pl_set";
-          Some (s, presim_matches)
-        end
-        else
-          match check "pl_set" (gone_lit :: set_pattern s) with
-          | Checker.Reachable cex ->
-            harvest_cex cex;
-            (* Synthesize an episode-like record from the witness tail. *)
-            let last = Checker.Cex.length cex - 1 in
-            let flags name =
-              List.fold_left
-                (fun acc lbl ->
-                  if cex_bool cex ("mon_" ^ name ^ "_" ^ lbl) last then SS.add lbl acc
-                  else acc)
-                SS.empty labels
-            in
-            let ep =
-              {
-                completed = true;
-                occ_any_seen = SS.empty;
-                occ_iuv_seen = s;
-                final_visited = s;
-                cons_seen = flags "cons";
-                reenter_seen = flags "reenter";
-                edges_seen =
-                  List.filter
-                    (fun (a, b) ->
-                      cex_bool cex (Printf.sprintf "mon_edge_%s__%s" a b) last)
-                    (Harness.edge_candidates h);
-                maxruns = [];
-                decision_obs = [];
-              }
-            in
-            Some (s, [ ep ])
-          | Checker.Unreachable _ | Checker.Undetermined -> None)
-      candidates
+      (Option.map (fun (s, eps, harvested) ->
+           decision_obs_all := harvested @ !decision_obs_all;
+           (s, eps)))
+      candidates_checked
   in
 
   (* ------------------------------------------------------------------ *)
@@ -498,8 +589,29 @@ let run ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 40
     decisions;
     revisit_counts;
     stage_stats = stages;
-    checker_stats = Checker.stats chk;
+    checker_stats =
+      (match shard_checkers with
+      | [| c |] -> Checker.stats c
+      | cks ->
+        Array.fold_left
+          (fun acc c -> Checker.Stats.merge acc (Checker.stats c))
+          (Checker.Stats.create ()) cks);
   }
+
+let run ?config ?stimulus ?revisit_count_labels ?max_candidate_sets
+    ?max_revisit_count ?presim_episodes ?presim_cycles ?(shards = 1) ?pool ~meta
+    ~iuv ~iuv_pc () =
+  let shards = max 1 shards in
+  let inner pool =
+    run_inner ?config ?stimulus ?revisit_count_labels ?max_candidate_sets
+      ?max_revisit_count ?presim_episodes ?presim_cycles ~shards ~pool ~meta
+      ~iuv ~iuv_pc ()
+  in
+  match pool with
+  | Some p -> inner (Some p)
+  | None ->
+    if shards = 1 then inner None
+    else Pool.with_pool ~jobs:shards (fun p -> inner (Some p))
 
 let pl_of_label instr lbl =
   ignore instr;

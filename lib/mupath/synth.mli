@@ -60,13 +60,25 @@ val run :
   ?max_revisit_count:int ->
   ?presim_episodes:int ->
   ?presim_cycles:int ->
+  ?shards:int ->
+  ?pool:Pool.t ->
   meta:Designs.Meta.t ->
   iuv:Isa.t ->
   iuv_pc:int ->
   unit ->
   result
 (** Note: [meta] is consumed — the harness extends its netlist with monitor
-    state, so build a fresh design per call. *)
+    state, so build a fresh design per call.
+
+    [shards] (default 1) turns on property sharding: K checker instances
+    over the same monitored netlist, with the independent PL / PL-set cover
+    batches of a stage split round-robin across them and evaluated in
+    parallel (on [pool] if given, else a transient pool of K domains).
+    Sharding trades the learned-clause sharing of one incremental solver
+    for cores, so per-property engine verdicts (e.g. sim-discharged vs
+    BMC) can differ from the unsharded run — the µPATH set itself is
+    engine-independent.  For a fixed [shards] value results are
+    deterministic regardless of the pool's job count. *)
 
 val to_uhb_paths : result -> Uhb.Path.t list
 val to_uhb_decisions : result -> Uhb.Decision.t list

@@ -27,8 +27,10 @@ type transponder_report = {
 type report = {
   design_name : string;
   transponders : transponder_report list;
+  checker_totals : Mc.Checker.Stats.t;
   total_mupath_props : int;
   total_flow_props : int;
+  jobs : int;
   elapsed : float;
 }
 
@@ -181,25 +183,37 @@ let analyze_transponder ?config ?synth_config ?(stimulus : stimulus_builder opti
   end
 
 let run ?config ?synth_config ?(stimulus : stimulus_builder option)
-    ?(exclude_sources = []) ~(design : unit -> Meta.t)
+    ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
     ~(instructions : Isa.t list) ~(transmitters : Isa.opcode list)
     ~(kinds : Types.transmitter_kind list) ~(revisit_count_labels : string list)
     ~iuv_pc () =
   let t0 = Unix.gettimeofday () in
   let design_name = (design ()).Meta.design_name in
-  let transponders =
-    List.map
-      (fun instr ->
-        analyze_transponder ?config ?synth_config ?stimulus ~exclude_sources
-          ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ())
-      instructions
+  (* Per-task configs carry a seed derived from (base seed, task index) —
+     a pure function of the input position, so any jobs count (including 1)
+     produces bit-identical reports.  Each task builds its own design and
+     checker; nothing is shared across domains. *)
+  let reseed index c =
+    let c = Option.value c ~default:Mc.Checker.default_config in
+    Some { c with Mc.Checker.seed = Pool.derive_seed ~base:c.Mc.Checker.seed ~index }
   in
-  let total_mupath_props =
+  let analyze index instr =
+    analyze_transponder ?config:(reseed index config)
+      ?synth_config:(reseed index synth_config) ?stimulus ~exclude_sources
+      ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
+  in
+  let jobs = match pool with Some p -> Pool.jobs p | None -> max 1 jobs in
+  let transponders =
+    match pool with
+    | Some p -> Pool.mapi p ~f:analyze instructions
+    | None ->
+      if jobs = 1 then List.mapi analyze instructions
+      else Pool.with_pool ~jobs (fun p -> Pool.mapi p ~f:analyze instructions)
+  in
+  let checker_totals =
     List.fold_left
-      (fun acc t ->
-        acc
-        + t.synth.Mupath.Synth.checker_stats.Mc.Checker.Stats.n_props)
-      0 transponders
+      (fun acc t -> Mc.Checker.Stats.merge acc t.synth.Mupath.Synth.checker_stats)
+      (Mc.Checker.Stats.create ()) transponders
   in
   let total_flow_props =
     List.fold_left (fun acc t -> acc + t.flow_props) 0 transponders
@@ -207,10 +221,51 @@ let run ?config ?synth_config ?(stimulus : stimulus_builder option)
   {
     design_name;
     transponders;
-    total_mupath_props;
+    checker_totals;
+    total_mupath_props = checker_totals.Mc.Checker.Stats.n_props;
     total_flow_props;
+    jobs;
     elapsed = Unix.gettimeofday () -. t0;
   }
+
+(* Semantic report equality: every synthesized fact, ignoring wall-clock
+   fields and solver-time accounting.  Reports produced at different [jobs]
+   values must compare equal — the determinism guarantee the pool's seed
+   derivation exists to uphold. *)
+let equal_stats (a : Mc.Checker.Stats.t) (b : Mc.Checker.Stats.t) =
+  a.Mc.Checker.Stats.n_props = b.Mc.Checker.Stats.n_props
+  && a.Mc.Checker.Stats.n_reachable = b.Mc.Checker.Stats.n_reachable
+  && a.Mc.Checker.Stats.n_unreachable = b.Mc.Checker.Stats.n_unreachable
+  && a.Mc.Checker.Stats.n_undetermined = b.Mc.Checker.Stats.n_undetermined
+  && a.Mc.Checker.Stats.n_sim_discharged = b.Mc.Checker.Stats.n_sim_discharged
+  && a.Mc.Checker.Stats.n_inductive = b.Mc.Checker.Stats.n_inductive
+
+let equal_transponder (a : transponder_report) (b : transponder_report) =
+  let sa = a.synth and sb = b.synth in
+  a.instr = b.instr
+  && sa.Mupath.Synth.duv_pls = sb.Mupath.Synth.duv_pls
+  && sa.Mupath.Synth.pruned_duv_states = sb.Mupath.Synth.pruned_duv_states
+  && sa.Mupath.Synth.iuv_pls = sb.Mupath.Synth.iuv_pls
+  && sa.Mupath.Synth.implications = sb.Mupath.Synth.implications
+  && sa.Mupath.Synth.exclusives = sb.Mupath.Synth.exclusives
+  && sa.Mupath.Synth.naive_sets = sb.Mupath.Synth.naive_sets
+  && sa.Mupath.Synth.candidate_sets = sb.Mupath.Synth.candidate_sets
+  && sa.Mupath.Synth.paths = sb.Mupath.Synth.paths
+  && sa.Mupath.Synth.decisions = sb.Mupath.Synth.decisions
+  && sa.Mupath.Synth.revisit_counts = sb.Mupath.Synth.revisit_counts
+  && sa.Mupath.Synth.stage_stats = sb.Mupath.Synth.stage_stats
+  && equal_stats sa.Mupath.Synth.checker_stats sb.Mupath.Synth.checker_stats
+  && a.tagged = b.tagged
+  && a.signatures = b.signatures
+  && a.flow_props = b.flow_props
+  && a.flow_undetermined = b.flow_undetermined
+
+let equal_report a b =
+  a.design_name = b.design_name
+  && a.total_mupath_props = b.total_mupath_props
+  && a.total_flow_props = b.total_flow_props
+  && List.length a.transponders = List.length b.transponders
+  && List.for_all2 equal_transponder a.transponders b.transponders
 
 let all_signatures r = List.concat_map (fun t -> t.signatures) r.transponders
 
@@ -232,5 +287,6 @@ let pp_report fmt r =
         (List.length t.signatures) t.flow_time;
       List.iter (fun s -> Format.fprintf fmt "%a@," Types.pp_signature s) t.signatures)
     r.transponders;
-  Format.fprintf fmt "@,total properties: %d (uPATH) + %d (IFT), %.1fs@]"
-    r.total_mupath_props r.total_flow_props r.elapsed
+  Format.fprintf fmt "@,total properties: %d (uPATH) + %d (IFT), %.1fs (jobs=%d)@,"
+    r.total_mupath_props r.total_flow_props r.elapsed r.jobs;
+  Format.fprintf fmt "checker totals: %a@]" Mc.Checker.Stats.pp r.checker_totals

@@ -25,8 +25,11 @@ type transponder_report = {
 type report = {
   design_name : string;
   transponders : transponder_report list;
+  checker_totals : Mc.Checker.Stats.t;
+      (** {!Mc.Checker.Stats.merge} over every per-instruction synthesis. *)
   total_mupath_props : int;
   total_flow_props : int;
+  jobs : int;  (** Domain count the report was produced with. *)
   elapsed : float;
 }
 
@@ -58,12 +61,20 @@ val analyze_transponder :
   transponder_report
 
 (** [run]'s [exclude_sources] skips the listed decision-source PLs during
-    the IFT stage — a cost-control knob, not a semantic one. *)
+    the IFT stage — a cost-control knob, not a semantic one.
+
+    [jobs] fans {!analyze_transponder} out across that many domains (one
+    fresh design + checker per instruction); [pool] reuses an existing
+    {!Pool.t} instead (taking its job count).  Every task's checker seed is
+    derived deterministically from [(config.seed, task index)], so the
+    report is bit-identical for every [jobs] value, including 1. *)
 val run :
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
+  ?jobs:int ->
+  ?pool:Pool.t ->
   design:(unit -> Designs.Meta.t) ->
   instructions:Isa.t list ->
   transmitters:Isa.opcode list ->
@@ -72,6 +83,12 @@ val run :
   iuv_pc:int ->
   unit ->
   report
+
+val equal_report : report -> report -> bool
+(** Semantic equality — every synthesized fact (µPATH sets, decisions,
+    tagged flows, signatures, property/outcome counts), ignoring
+    wall-clock fields.  Reports produced with different [jobs] values must
+    compare equal. *)
 
 val all_signatures : report -> Types.signature list
 val all_transmitter_opcodes : report -> Isa.opcode list

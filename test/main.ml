@@ -18,4 +18,6 @@ let () =
       Test_ibex.suite;
       Test_mupath.suite;
       Test_synthlc.suite;
+      Test_pool.suite;
+      Test_parallel.suite;
     ]

@@ -1,0 +1,113 @@
+(* Domain work-pool tests: input-order preservation under contention,
+   exception capture and re-raise at the join, jobs=1 vs jobs=N
+   equivalence, nested-submission safety, map_reduce determinism, and the
+   seed-derivation function. *)
+
+exception Boom of int
+
+let test_map_ordering () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 200 Fun.id in
+      let ys = Pool.map p ~f:(fun x -> x * x) xs in
+      Alcotest.(check (list int)) "squares in input order"
+        (List.map (fun x -> x * x) xs)
+        ys)
+
+let test_mapi () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let ys = Pool.mapi p ~f:(fun i x -> (i, x)) [ "a"; "b"; "c"; "d" ] in
+      Alcotest.(check (list (pair int string)))
+        "indices line up"
+        [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ]
+        ys)
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      match
+        Pool.map p
+          ~f:(fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+          (List.init 50 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom x ->
+        (* Deterministic choice: the lowest-index failing task wins,
+           matching what a sequential run raises first. *)
+        Alcotest.(check int) "lowest failing index" 3 x);
+  (* The pool survives a failed batch. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      (try ignore (Pool.map p ~f:(fun _ -> raise Exit) [ 1; 2; 3 ])
+       with Exit -> ());
+      Alcotest.(check (list int)) "pool usable after a raise" [ 2; 4 ]
+        (Pool.map p ~f:(fun x -> 2 * x) [ 1; 2 ]))
+
+let test_jobs1_vs_jobsN () =
+  let f x = (x * 37) mod 101 in
+  let xs = List.init 300 Fun.id in
+  let seq = Pool.with_pool ~jobs:1 (fun p -> Pool.map p ~f xs) in
+  let par = Pool.with_pool ~jobs:5 (fun p -> Pool.map p ~f xs) in
+  Alcotest.(check (list int)) "jobs=1 equals jobs=5" seq par
+
+let test_nested_map () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let ys =
+        Pool.map p
+          ~f:(fun x ->
+            (* Submitting from inside a task must not deadlock the fixed
+               pool; the inner map runs inline. *)
+            let inner = Pool.map p ~f:(fun y -> x + y) [ 1; 2; 3 ] in
+            List.fold_left ( + ) 0 inner)
+          [ 10; 20; 30; 40; 50 ]
+      in
+      Alcotest.(check (list int)) "nested sums" [ 36; 66; 96; 126; 156 ] ys)
+
+let test_map_reduce () =
+  (* Non-commutative reduce: input-order folding keeps it deterministic. *)
+  let xs = List.init 64 (fun i -> string_of_int i) in
+  let cat =
+    Pool.with_pool ~jobs:4 (fun p ->
+        Pool.map_reduce p ~map:Fun.id ~reduce:( ^ ) ~init:"" xs)
+  in
+  Alcotest.(check string) "ordered concat" (String.concat "" xs) cat
+
+let test_empty_and_singleton () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map p ~f:Fun.id []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map p ~f:(fun x -> x) [ 9 ]))
+
+let test_shutdown () =
+  let p = Pool.create ~jobs:3 () in
+  ignore (Pool.map p ~f:Fun.id [ 1; 2; 3 ]);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.map p ~f:Fun.id [ 1; 2; 3; 4 ] with
+  | _ -> Alcotest.fail "expected Invalid_argument after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let test_derive_seed () =
+  let s0 = Pool.derive_seed ~base:1 ~index:0 in
+  Alcotest.(check int) "pure function of (base, index)" s0
+    (Pool.derive_seed ~base:1 ~index:0);
+  Alcotest.(check bool) "non-negative" true (s0 >= 0);
+  let seeds = List.init 64 (fun i -> Pool.derive_seed ~base:1 ~index:i) in
+  Alcotest.(check int) "distinct across indices" 64
+    (List.length (List.sort_uniq compare seeds));
+  Alcotest.(check bool) "distinct across bases" true
+    (Pool.derive_seed ~base:1 ~index:0 <> Pool.derive_seed ~base:2 ~index:0)
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one job" true (Pool.default_jobs () >= 1)
+
+let suite =
+  ( "pool",
+    [
+      Alcotest.test_case "map ordering" `Quick test_map_ordering;
+      Alcotest.test_case "mapi" `Quick test_mapi;
+      Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+      Alcotest.test_case "jobs=1 vs jobs=N" `Quick test_jobs1_vs_jobsN;
+      Alcotest.test_case "nested map" `Quick test_nested_map;
+      Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+      Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+      Alcotest.test_case "shutdown" `Quick test_shutdown;
+      Alcotest.test_case "derive_seed" `Quick test_derive_seed;
+      Alcotest.test_case "default_jobs" `Quick test_default_jobs_positive;
+    ] )
