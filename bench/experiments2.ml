@@ -260,6 +260,35 @@ type speedup_record = {
 
 let speedup : speedup_record option ref = ref None
 
+(* Shared P1/P2 workload.  Quick profile: the smaller Ibex core at reduced
+   budgets; full profile: the CVA6-lite baseline over the artifact ISA (2x
+   the E13 workload). *)
+let engine_workload () =
+  match Experiments.profile with
+  | `Quick ->
+    ( (fun () -> Designs.Ibex.build ()),
+      (fun ~pins ~rotate meta -> Designs.Stimulus.ibex ~pins ~rotate meta),
+      [
+        Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD;
+        Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.DIV;
+        Isa.make ~rd:3 ~rs1:2 Isa.LW;
+        Isa.make ~rs1:1 ~rs2:2 ~imm:8 Isa.BEQ;
+      ],
+      [ Isa.DIV; Isa.ADD ],
+      {
+        config with
+        Checker.bmc_depth = 8;
+        bmc_conflicts = 30_000;
+        sim_episodes = 8;
+        sim_cycles = 36;
+      } )
+  | `Full ->
+    ( (fun () -> Designs.Core.build Designs.Core.baseline),
+      (fun ~pins ~rotate meta -> Designs.Stimulus.core ~pins ~rotate meta),
+      artifact_isa,
+      [ Isa.DIV; Isa.LW; Isa.SW; Isa.BEQ ],
+      config )
+
 let parallel_speedup () =
   let jobs =
     max 2 (if !requested_jobs >= 1 then !requested_jobs else Pool.default_jobs ())
@@ -267,33 +296,8 @@ let parallel_speedup () =
   section "P1"
     (Printf.sprintf
        "Domain-parallel SynthLC - sequential vs -j %d fan-out (SS VII-B3)" jobs);
-  (* Quick profile: the smaller Ibex core at reduced budgets; full profile:
-     the CVA6-lite baseline over the artifact ISA (2x the E13 workload). *)
   let design, stimulus, instructions, transmitters, light_config =
-    match Experiments.profile with
-    | `Quick ->
-      ( (fun () -> Designs.Ibex.build ()),
-        (fun ~pins ~rotate meta -> Designs.Stimulus.ibex ~pins ~rotate meta),
-        [
-          Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD;
-          Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.DIV;
-          Isa.make ~rd:3 ~rs1:2 Isa.LW;
-          Isa.make ~rs1:1 ~rs2:2 ~imm:8 Isa.BEQ;
-        ],
-        [ Isa.DIV; Isa.ADD ],
-        {
-          config with
-          Checker.bmc_depth = 8;
-          bmc_conflicts = 30_000;
-          sim_episodes = 8;
-          sim_cycles = 36;
-        } )
-    | `Full ->
-      ( (fun () -> Designs.Core.build Designs.Core.baseline),
-        (fun ~pins ~rotate meta -> Designs.Stimulus.core ~pins ~rotate meta),
-        artifact_isa,
-        [ Isa.DIV; Isa.LW; Isa.SW; Isa.BEQ ],
-        config )
+    engine_workload ()
   in
   let run_with jobs =
     let t0 = Unix.gettimeofday () in
@@ -335,6 +339,76 @@ let parallel_speedup () =
         sp_equal = equal;
         sp_mupath_props = r_seq.Synthlc.Engine.total_mupath_props;
         sp_flow_props = r_seq.Synthlc.Engine.total_flow_props;
+      }
+
+(* P2 — persistent verdict cache: cold vs warm wall-clock on the same
+   engine workload as P1.  The warm run opens a fresh store over the cold
+   run's directory (a simulated process restart) and must replay >=90% of
+   its checker calls from disk while producing a bit-identical report. *)
+
+type cache_record = {
+  vc_t_cold : float;
+  vc_t_warm : float;
+  vc_speedup : float;
+  vc_calls : int;
+  vc_hits : int;
+  vc_hit_rate : float;
+  vc_equal : bool;
+  vc_digest : string;
+}
+
+let cache_result : cache_record option ref = ref None
+
+let cache_warmup () =
+  section "P2" "Persistent verdict cache - cold vs warm SynthLC wall-clock";
+  let design, stimulus, instructions, transmitters, light_config =
+    engine_workload ()
+  in
+  let dir = "_vcache_bench" in
+  ignore (Vcache.clear_dir ~dir);
+  let run_with cache =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Synthlc.Engine.run ~cache ~config:light_config ~synth_config:light_config
+        ~stimulus ~design ~jobs:1
+        ~exclude_sources:[ "IF"; "scbCmt" ]
+        ~instructions ~transmitters
+        ~kinds:[ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older ]
+        ~revisit_count_labels:[ "divU" ] ~iuv_pc:Designs.Core.iuv_pc ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_cold, r_cold = run_with (Vcache.create ~dir ()) in
+  let warm = Vcache.create ~dir () in
+  let t_warm, r_warm = run_with warm in
+  let hits, misses, _ = Vcache.counters warm in
+  let calls = hits + misses in
+  let rate = if calls = 0 then 0. else float_of_int hits /. float_of_int calls in
+  let sp = if t_warm > 0. then t_cold /. t_warm else 1. in
+  let equal = Synthlc.Engine.equal_report r_cold r_warm in
+  let dg_cold = Synthlc.Engine.report_digest r_cold in
+  let dg_warm = Synthlc.Engine.report_digest r_warm in
+  Printf.printf "  cold: %6.1fs (%d checker calls, %d entries cached)\n" t_cold
+    calls (List.length (Vcache.disk_entries ~dir));
+  Printf.printf "  warm: %6.1fs (%d hits / %d misses, %.1f%% from cache, %.1fx)\n"
+    t_warm hits misses (100. *. rate) sp;
+  Printf.printf "  report digests: cold %s, warm %s\n" dg_cold dg_warm;
+  check "warm run discharges >= 90% of checker calls from the cache"
+    (rate >= 0.9);
+  check "warm report bit-identical to cold (equal_report)" equal;
+  check "warm report digest equals cold" (dg_cold = dg_warm);
+  check "warm run is faster than cold" (t_warm < t_cold);
+  cache_result :=
+    Some
+      {
+        vc_t_cold = t_cold;
+        vc_t_warm = t_warm;
+        vc_speedup = sp;
+        vc_calls = calls;
+        vc_hits = hits;
+        vc_hit_rate = rate;
+        vc_equal = equal && dg_cold = dg_warm;
+        vc_digest = dg_cold;
       }
 
 (* Ablation A2: simulation-assisted cover discharge. *)

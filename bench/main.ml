@@ -27,6 +27,7 @@ let experiments =
     ("A1", Experiments2.ablation_pruning);
     ("A2", Experiments2.ablation_sim_assist);
     ("P1", Experiments2.parallel_speedup);
+    ("P2", Experiments2.cache_warmup);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -149,11 +150,18 @@ let write_json path ~profile ~jobs ~total rows =
   add "  ],\n";
   (match !Experiments2.speedup with
   | Some s ->
-    add "  \"parallel\": {\"jobs\": %d, \"cores\": %d, \"t_seq_s\": %.3f, \"t_par_s\": %.3f, \"speedup\": %.3f, \"deterministic\": %b, \"mupath_props\": %d, \"flow_props\": %d}\n"
+    add "  \"parallel\": {\"jobs\": %d, \"cores\": %d, \"t_seq_s\": %.3f, \"t_par_s\": %.3f, \"speedup\": %.3f, \"deterministic\": %b, \"mupath_props\": %d, \"flow_props\": %d},\n"
       s.Experiments2.sp_jobs s.Experiments2.sp_cores s.Experiments2.sp_t_seq
       s.Experiments2.sp_t_par s.Experiments2.sp_speedup s.Experiments2.sp_equal
       s.Experiments2.sp_mupath_props s.Experiments2.sp_flow_props
-  | None -> add "  \"parallel\": null\n");
+  | None -> add "  \"parallel\": null,\n");
+  (match !Experiments2.cache_result with
+  | Some c ->
+    add "  \"cache\": {\"t_cold_s\": %.3f, \"t_warm_s\": %.3f, \"speedup\": %.3f, \"checker_calls\": %d, \"warm_hits\": %d, \"warm_hit_rate\": %.4f, \"bit_identical\": %b, \"report_digest\": \"%s\"}\n"
+      c.Experiments2.vc_t_cold c.Experiments2.vc_t_warm c.Experiments2.vc_speedup
+      c.Experiments2.vc_calls c.Experiments2.vc_hits c.Experiments2.vc_hit_rate
+      c.Experiments2.vc_equal c.Experiments2.vc_digest
+  | None -> add "  \"cache\": null\n");
   add "}\n";
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "wrote %s\n" path

@@ -53,6 +53,24 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
 
+let cache_dir_arg =
+  let env = Cmd.Env.info "SYNTHLC_CACHE" ~doc:"Default directory for $(b,--cache-dir)." in
+  let doc =
+    "Persistent verdict-cache directory.  Checker verdicts (witness traces \
+     included) are stored content-addressed under $(docv) and replayed on \
+     later runs; a fully-warm run is bit-identical to the cold run that \
+     filled the cache."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~env ~docv:"DIR" ~doc)
+
+let cache_of = Option.map (fun dir -> Vcache.create ~dir ())
+
+let print_cache_counters = function
+  | None -> ()
+  | Some c ->
+    let hits, misses, stores = Vcache.counters c in
+    Printf.printf "cache: hits=%d misses=%d stores=%d\n" hits misses stores
+
 let instr_arg =
   let doc = "Instruction under verification, in assembly (e.g. 'div r1, r2, r3')." in
   Arg.(value & opt string "add r1, r2, r3" & info [ "i"; "instr" ] ~docv:"ASM" ~doc)
@@ -147,17 +165,19 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname instr depth episodes dot counts shards =
+  let run dname instr depth episodes dot counts shards cache_dir =
     let iuv = parse_instr instr in
     let meta = build_design dname in
     let iuv_pc = iuv_pc_for dname in
     let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
     let config = config_of depth episodes in
+    let cache = cache_of cache_dir in
     let r =
-      Mupath.Synth.run ~config ~stimulus:stim ~revisit_count_labels:counts
-        ~shards ~meta ~iuv ~iuv_pc ()
+      Mupath.Synth.run ?cache ~config ~stimulus:stim
+        ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
     in
     Format.printf "%a@." Mupath.Synth.pp_result r;
+    print_cache_counters cache;
     if dot then
       List.iteri
         (fun i p -> Printf.printf "--- uPATH %d DOT ---\n%s" i (Uhb.Dot.of_path p))
@@ -171,12 +191,12 @@ let mupath_cmd =
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
     Term.(
       const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
-      $ counts $ shards_arg)
+      $ counts $ shards_arg $ cache_dir_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
-  let run dname instrs txs depth episodes static jobs =
+  let run dname instrs txs depth episodes static jobs cache_dir =
     let instructions = List.map parse_instr instrs in
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
@@ -200,11 +220,15 @@ let synthlc_cmd =
       let available = List.map fst (Mupath.Harness.pl_groups (design ())) in
       List.filter (fun l -> List.mem l available) [ "divU"; "mulU"; "ID" ]
     in
+    let cache = cache_of cache_dir in
     let report =
-      Synthlc.Engine.run ~config ~synth_config:config ~stimulus ~design ~jobs
-        ~instructions ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
+      Synthlc.Engine.run ?cache ~config ~synth_config:config ~stimulus ~design
+        ~jobs ~instructions ~transmitters ~kinds ~revisit_count_labels ~iuv_pc
+        ()
     in
     Format.printf "%a@." Synthlc.Engine.pp_report report;
+    Printf.printf "report digest: %s\n" (Synthlc.Engine.report_digest report);
+    print_cache_counters cache;
     let grid = Synthlc.Grid.build report.Synthlc.Engine.transponders in
     Format.printf "@.Fig. 8-style grid:@.%a@." Synthlc.Grid.pp grid;
     let signatures = Synthlc.Engine.all_signatures report in
@@ -231,7 +255,7 @@ let synthlc_cmd =
     (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
     Term.(
       const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
-      $ jobs_arg)
+      $ jobs_arg $ cache_dir_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 
@@ -265,6 +289,38 @@ let scsafe_cmd =
     (Cmd.info "scsafe" ~doc:"Search for a Definition V.1 violation by paired simulation")
     Term.(const run $ program $ secret $ trials)
 
+(* --- cache ------------------------------------------------------------ *)
+
+let cache_cmd =
+  let require_dir = function
+    | Some d -> d
+    | None -> failwith "no cache directory: pass --cache-dir or set SYNTHLC_CACHE"
+  in
+  let stats_cmd =
+    let run dir =
+      let dir = require_dir dir in
+      let entries = Vcache.disk_entries ~dir in
+      let bytes = List.fold_left (fun a (_, b) -> a + b) 0 entries in
+      Printf.printf "%s: %d entries, %d bytes (format v%d)\n" dir
+        (List.length entries) bytes Vcache.format_version
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Report entry count and total size of a verdict-cache directory")
+      Term.(const run $ cache_dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let dir = require_dir dir in
+      Printf.printf "removed %d entries from %s\n" (Vcache.clear_dir ~dir) dir
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Delete every entry in a verdict-cache directory")
+      Term.(const run $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the persistent verdict cache")
+    [ stats_cmd; clear_cmd ]
+
 (* --- designs ---------------------------------------------------------- *)
 
 let designs_cmd =
@@ -297,4 +353,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "synthlc" ~doc)
-          [ sim_cmd; mupath_cmd; synthlc_cmd; scsafe_cmd; designs_cmd ]))
+          [ sim_cmd; mupath_cmd; synthlc_cmd; scsafe_cmd; cache_cmd; designs_cmd ]))

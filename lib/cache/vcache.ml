@@ -1,0 +1,231 @@
+(* Persistent, content-addressed verdict store: a mutex-protected memory
+   table with an optional one-file-per-entry disk layer (versioned header,
+   atomic tmp+rename writes, corruption-tolerant reads), plus staged views
+   for lock-free writes from pool worker domains (merged at the join). *)
+
+let format_version = 1
+
+let entry_suffix = ".vc"
+
+type root = {
+  r_dir : string option;
+  r_tbl : (string, string) Hashtbl.t;
+  r_lock : Mutex.t;
+  mutable r_hits : int;
+  mutable r_misses : int;
+  mutable r_stores : int;
+}
+
+type t =
+  | Root of root
+  | Staged of staged
+
+and staged = {
+  s_parent : t;
+  s_tbl : (string, string) Hashtbl.t;
+  (* Keys in reverse insertion order, so [merge] can publish in order. *)
+  mutable s_order : string list;
+}
+
+let rec root_of = function Root r -> r | Staged s -> root_of s.s_parent
+
+let locked r f =
+  Mutex.lock r.r_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.r_lock) f
+
+(* --- disk layer --------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"))
+
+(* Entry files are named after their key; keys with characters unfit for a
+   filename fall back to a hash-derived name (the real key is stored in,
+   and validated against, the file header). *)
+let filename_of_key key =
+  let safe =
+    String.for_all
+      (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true | _ -> false)
+      key
+    && key <> "" && key.[0] <> '.'
+  in
+  (if safe then key else "h" ^ Digest.to_hex (Digest.string key)) ^ entry_suffix
+
+let path_of dir key = Filename.concat dir (filename_of_key key)
+
+(* Header: "vcache <version> <blob-length>\n<key>\n" followed by exactly
+   <blob-length> bytes.  Anything that does not parse — wrong magic or
+   version, truncated blob, key mismatch — reads as a miss. *)
+let read_entry ~dir ~key =
+  let path = path_of dir key in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception _ -> None
+  | contents -> (
+    try
+      let nl1 = String.index contents '\n' in
+      let header = String.sub contents 0 nl1 in
+      let version, blob_len =
+        Scanf.sscanf header "vcache %d %d" (fun v l -> (v, l))
+      in
+      if version <> format_version then None
+      else
+        let nl2 = String.index_from contents (nl1 + 1) '\n' in
+        let stored_key = String.sub contents (nl1 + 1) (nl2 - nl1 - 1) in
+        if stored_key <> key then None
+        else if String.length contents - nl2 - 1 <> blob_len then None
+        else Some (String.sub contents (nl2 + 1) blob_len)
+    with _ -> None)
+
+let tmp_counter = Atomic.make 0
+
+let write_entry ~dir ~key blob =
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
+  in
+  let ok =
+    try
+      Out_channel.with_open_bin tmp (fun oc ->
+          Printf.fprintf oc "vcache %d %d\n%s\n" format_version
+            (String.length blob) key;
+          Out_channel.output_string oc blob);
+      true
+    with Sys_error _ -> false
+  in
+  if ok then
+    try Sys.rename tmp (path_of dir key)
+    with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+
+(* --- store -------------------------------------------------------------- *)
+
+let create ?dir () =
+  Option.iter mkdir_p dir;
+  Root
+    {
+      r_dir = dir;
+      r_tbl = Hashtbl.create 256;
+      r_lock = Mutex.create ();
+      r_hits = 0;
+      r_misses = 0;
+      r_stores = 0;
+    }
+
+let dir t = (root_of t).r_dir
+
+let root_find r key =
+  locked r (fun () ->
+      match Hashtbl.find_opt r.r_tbl key with
+      | Some v ->
+        r.r_hits <- r.r_hits + 1;
+        Some v
+      | None -> (
+        match Option.bind r.r_dir (fun dir -> read_entry ~dir ~key) with
+        | Some v ->
+          Hashtbl.replace r.r_tbl key v;
+          r.r_hits <- r.r_hits + 1;
+          Some v
+        | None ->
+          r.r_misses <- r.r_misses + 1;
+          None))
+
+let rec find t key =
+  match t with
+  | Root r -> root_find r key
+  | Staged s -> (
+    match Hashtbl.find_opt s.s_tbl key with
+    | Some v ->
+      let r = root_of t in
+      locked r (fun () -> r.r_hits <- r.r_hits + 1);
+      Some v
+    | None -> find s.s_parent key)
+
+let root_add r key v =
+  locked r (fun () ->
+      if not (Hashtbl.mem r.r_tbl key) then begin
+        (* First write wins; a disk entry from a previous run also wins. *)
+        let on_disk =
+          match Option.bind r.r_dir (fun dir -> read_entry ~dir ~key) with
+          | Some existing ->
+            Hashtbl.replace r.r_tbl key existing;
+            true
+          | None -> false
+        in
+        if not on_disk then begin
+          Hashtbl.replace r.r_tbl key v;
+          r.r_stores <- r.r_stores + 1;
+          Option.iter (fun dir -> write_entry ~dir ~key v) r.r_dir
+        end
+      end)
+
+let add t key v =
+  match t with
+  | Root r -> root_add r key v
+  | Staged s ->
+    if not (Hashtbl.mem s.s_tbl key) then begin
+      Hashtbl.replace s.s_tbl key v;
+      s.s_order <- key :: s.s_order
+    end
+
+let stage t = Staged { s_parent = t; s_tbl = Hashtbl.create 64; s_order = [] }
+
+let merge = function
+  | Root _ -> ()
+  | Staged s ->
+    List.iter
+      (fun key ->
+        match Hashtbl.find_opt s.s_tbl key with
+        | Some v -> add s.s_parent key v
+        | None -> ())
+      (List.rev s.s_order);
+    Hashtbl.reset s.s_tbl;
+    s.s_order <- []
+
+let size = function
+  | Root r -> locked r (fun () -> Hashtbl.length r.r_tbl)
+  | Staged s -> Hashtbl.length s.s_tbl
+
+let counters t =
+  let r = root_of t in
+  locked r (fun () -> (r.r_hits, r.r_misses, r.r_stores))
+
+(* --- directory management ---------------------------------------------- *)
+
+let disk_entries ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f entry_suffix)
+    |> List.sort String.compare
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           match (Unix.stat path).Unix.st_size with
+           | size -> Some (f, size)
+           | exception Unix.Unix_error _ -> None)
+
+let clear_dir ~dir =
+  List.fold_left
+    (fun n (f, _) ->
+      match Sys.remove (Filename.concat dir f) with
+      | () -> n + 1
+      | exception Sys_error _ -> n)
+    0 (disk_entries ~dir)
+
+let clear t =
+  match t with
+  | Root r ->
+    locked r (fun () ->
+        Hashtbl.reset r.r_tbl;
+        r.r_hits <- 0;
+        r.r_misses <- 0;
+        r.r_stores <- 0;
+        Option.iter (fun dir -> ignore (clear_dir ~dir)) r.r_dir)
+  | Staged s ->
+    Hashtbl.reset s.s_tbl;
+    s.s_order <- []

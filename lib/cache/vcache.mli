@@ -1,0 +1,80 @@
+(** Persistent, content-addressed verdict store.
+
+    A store maps content digests (strings, typically hex MD5 of the
+    (netlist, property, config) triple — see {!Mc.Checker}) to opaque
+    serialized blobs.  It has two layers:
+
+    - an {b in-memory layer} (a hash table behind a mutex, safe to share
+      across {!Pool} worker domains);
+    - an optional {b on-disk layer} rooted at a directory: one file per
+      entry, with a versioned header, atomic tmp+rename writes, and
+      corruption-tolerant reads (a malformed, truncated, or
+      version-mismatched file degrades to a miss — never an error).
+
+    Entries are immutable: the first write of a key wins and later writes
+    of the same key are ignored.  Keys are content digests, so within one
+    toolchain version a key determines its value; "first write wins" makes
+    concurrent stores deterministic without comparing payloads.
+
+    {b Staging.}  {!stage} derives a lightweight view whose writes are
+    buffered locally (no lock contention) and whose reads fall through to
+    the parent.  {!merge} publishes the buffered writes into the parent in
+    insertion order and empties the buffer.  Parallel workers each take a
+    staged view and the (sequential) join merges them in task order —
+    matching the deterministic-join design of {!Pool}-based fan-out. *)
+
+type t
+
+val format_version : int
+(** On-disk format version.  Bumped on layout changes; files written by
+    other versions read as misses. *)
+
+val create : ?dir:string -> unit -> t
+(** [create ?dir ()] makes a root store.  With [dir], entries persist as
+    files under that directory (created if missing); without, the store is
+    memory-only.  Raises [Sys_error] if [dir] exists but is not a
+    directory or cannot be created. *)
+
+val dir : t -> string option
+(** The backing directory of the underlying root store, if any. *)
+
+val find : t -> string -> string option
+(** Look a key up: memory first, then (root stores) disk — a disk hit is
+    promoted into memory.  Any disk-layer problem reads as [None]. *)
+
+val add : t -> string -> string -> unit
+(** Insert a binding.  No-op if the key is already present in this layer.
+    On a root store with a directory, the entry is also written to disk
+    atomically (tmp file + rename). *)
+
+val stage : t -> t
+(** A staged view of [t]: reads fall through, writes are buffered locally.
+    A staged view is meant to be used by one domain at a time. *)
+
+val merge : t -> unit
+(** Publish a staged view's buffered writes into its parent, in insertion
+    order, and clear the buffer.  No-op on a root store. *)
+
+val size : t -> int
+(** Entries in this layer's memory table (staged: buffered writes only;
+    root: loaded entries — disk entries not yet read are not counted). *)
+
+val counters : t -> int * int * int
+(** [(hits, misses, stores)] accumulated at the underlying root store. *)
+
+val clear : t -> unit
+(** Root: drop the memory layer, delete every on-disk entry, and reset
+    counters.  Staged: drop the buffered writes. *)
+
+(** {1 Directory-level management}
+
+    Used by the [cache stats] / [cache clear] CLI subcommands, which
+    operate on a directory without instantiating a store. *)
+
+val disk_entries : dir:string -> (string * int) list
+(** [(filename, bytes)] of every entry file under [dir] (empty if the
+    directory does not exist). *)
+
+val clear_dir : dir:string -> int
+(** Delete every entry file under [dir]; returns how many were removed.
+    Missing directory counts as 0. *)

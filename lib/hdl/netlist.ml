@@ -234,3 +234,39 @@ let inputs t =
   fold_nodes t ~init:[] ~f:(fun acc n ->
       match n.kind with Input -> n.id :: acc | _ -> acc)
   |> List.rev
+
+(* --- structural digest --------------------------------------------------- *)
+
+let digest t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let sig_opt = function None -> "." | Some s -> string_of_int s in
+  let bv v =
+    Printf.sprintf "%d'%s" (Bitvec.width v) (Bitvec.to_hex_string v)
+  in
+  add "netlist %s %d\n" t.netlist_name t.count;
+  iter_nodes t (fun n ->
+      add "%d %d %s " n.id n.width (Option.value n.name ~default:".");
+      (match n.kind with
+      | Input -> add "in"
+      | Const v -> add "c %s" (bv v)
+      | Reg { init; next; enable } ->
+        let i = match init with Init_value v -> bv v | Init_symbolic -> "sym" in
+        add "r %s %s %s" i (sig_opt next) (sig_opt enable)
+      | Wire { driver } -> add "w %s" (sig_opt driver)
+      | Not a -> add "not %d" a
+      | Op2 (op, a, b) ->
+        let o =
+          match op with
+          | And -> "and" | Or -> "or" | Xor -> "xor" | Add -> "add"
+          | Sub -> "sub" | Mul -> "mul" | Eq -> "eq" | Ult -> "ult"
+          | Slt -> "slt"
+        in
+        add "%s %d %d" o a b
+      | Mux { sel; on_true; on_false } -> add "mux %d %d %d" sel on_true on_false
+      | Extract { hi; lo; arg } -> add "ex %d %d %d" hi lo arg
+      | Concat args -> add "cat %s" (String.concat "," (List.map string_of_int args))
+      | ReduceOr a -> add "ror %d" a
+      | ReduceAnd a -> add "rand %d" a);
+      Buffer.add_char buf '\n');
+  Digest.to_hex (Digest.string (Buffer.contents buf))

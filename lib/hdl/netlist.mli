@@ -112,3 +112,12 @@ val comb_cone : t -> signal list -> (signal, unit) Hashtbl.t
 
 val registers : t -> signal list
 val inputs : t -> signal list
+
+(** {1 Digest} *)
+
+val digest : t -> string
+(** Hex digest of the elaborated structure: every node's id, width, name,
+    kind, operand wiring, constant values, and register initialization.
+    A pure function of construction order, so independently elaborated
+    copies of the same design digest identically across processes — the
+    design component of the verdict-cache key ({!Mc.Checker}). *)

@@ -62,6 +62,8 @@ module Stats = struct
     mutable n_undetermined : int;
     mutable n_sim_discharged : int;
     mutable n_inductive : int;
+    mutable n_cache_hits : int;
+    mutable n_cache_misses : int;
     mutable total_time : float;
   }
 
@@ -73,6 +75,8 @@ module Stats = struct
       n_undetermined = 0;
       n_sim_discharged = 0;
       n_inductive = 0;
+      n_cache_hits = 0;
+      n_cache_misses = 0;
       total_time = 0.;
     }
 
@@ -86,6 +90,8 @@ module Stats = struct
       n_undetermined = a.n_undetermined + b.n_undetermined;
       n_sim_discharged = a.n_sim_discharged + b.n_sim_discharged;
       n_inductive = a.n_inductive + b.n_inductive;
+      n_cache_hits = a.n_cache_hits + b.n_cache_hits;
+      n_cache_misses = a.n_cache_misses + b.n_cache_misses;
       total_time = a.total_time +. b.total_time;
     }
 
@@ -93,11 +99,15 @@ module Stats = struct
     if t.n_props = 0 then 0.
     else 100. *. float_of_int t.n_undetermined /. float_of_int t.n_props
 
+  let hit_rate t =
+    if t.n_props = 0 then 0. else float_of_int t.n_cache_hits /. float_of_int t.n_props
+
   let pp fmt t =
     Format.fprintf fmt
-      "props=%d reachable=%d unreachable=%d undetermined=%d (%.2f%%) sim-discharged=%d inductive=%d mean-time=%.4fs"
+      "props=%d reachable=%d unreachable=%d undetermined=%d (%.2f%%) sim-discharged=%d inductive=%d cache-hits=%d cache-misses=%d mean-time=%.4fs"
       t.n_props t.n_reachable t.n_unreachable t.n_undetermined (pct_undetermined t)
-      t.n_sim_discharged t.n_inductive (mean_time t)
+      t.n_sim_discharged t.n_inductive t.n_cache_hits t.n_cache_misses
+      (mean_time t)
 end
 
 type config = {
@@ -131,9 +141,25 @@ type t = {
   stats : Stats.t;
   named : (string * Netlist.signal) list;
   rng : Random.State.t;
+  cache : Vcache.t option;
+  key_prefix : string;  (* "" when no cache is attached *)
 }
 
-let create ?stimulus ?(config = default_config) ?(assume_initial = []) ~assumes nl =
+(* The cache key covers everything a verdict depends on: the elaborated
+   netlist structure, the assumption signals, every budget/seed field of
+   the config, and a caller salt (for inputs the checker cannot see, e.g.
+   the stimulus closure's identity).  The per-property key then appends
+   the cover literals — see [cover_key]. *)
+let make_key_prefix ~salt ~assumes ~assume_initial ~(config : config) nl =
+  Printf.sprintf "%s|a:%s|i:%s|c:%d.%d.%d.%d.%d.%d.%d|s:%s" (Netlist.digest nl)
+    (String.concat "," (List.map string_of_int assumes))
+    (String.concat "," (List.map string_of_int assume_initial))
+    config.bmc_depth config.bmc_conflicts config.induction_max_k
+    config.induction_conflicts config.sim_episodes config.sim_cycles config.seed
+    salt
+
+let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
+    ?(assume_initial = []) ~assumes nl =
   Netlist.validate nl;
   let named =
     Netlist.fold_nodes nl ~init:[] ~f:(fun acc n ->
@@ -152,6 +178,12 @@ let create ?stimulus ?(config = default_config) ?(assume_initial = []) ~assumes 
     stats = Stats.create ();
     named;
     rng = Random.State.make [| config.seed |];
+    cache;
+    key_prefix =
+      (match cache with
+      | None -> ""
+      | Some _ ->
+        make_key_prefix ~salt:cache_salt ~assumes ~assume_initial ~config nl);
   }
 
 let stats t = t.stats
@@ -212,13 +244,16 @@ let sim_episode t cover seed =
     in
     Some { Cex.length = upto + 1; values }
 
+(* Also reports how many seeds were drawn from [t.rng]: a cache hit must
+   replay exactly that many draws (see [check_cover]) so the RNG stream
+   seen by later properties is independent of which verdicts were cached. *)
 let try_simulation t cover =
   let rec go ep =
-    if ep >= t.config.sim_episodes then None
+    if ep >= t.config.sim_episodes then (None, ep)
     else
       let seed = Random.State.int t.rng 0x3FFFFFFF in
       match sim_episode t cover seed with
-      | Some cex -> Some cex
+      | Some cex -> (Some cex, ep + 1)
       | None -> go (ep + 1)
   in
   go 0
@@ -267,41 +302,47 @@ let try_induction t cover =
     go 0
   end
 
+(* --- verdict cache entries ---------------------------------------------- *)
+
+(* What a warm run needs to be indistinguishable from the cold one: the
+   outcome itself (witness traces included, so harvesting replays), whether
+   the sim pre-pass discharged it (stats fidelity), and how many RNG draws
+   the pre-pass consumed (stream fidelity for subsequent properties). *)
+type cache_entry = { ce_outcome : outcome; ce_sim : bool; ce_draws : int }
+
+let codec_version = '\001'
+
+let encode_entry (e : cache_entry) =
+  Printf.sprintf "%c%s" codec_version (Marshal.to_string e [])
+
+let decode_entry blob =
+  if String.length blob < 1 || blob.[0] <> codec_version then None
+  else
+    match (Marshal.from_string blob 1 : cache_entry) with
+    | e -> Some e
+    | exception _ -> None
+
+let cover_key t cover =
+  Digest.to_hex
+    (Digest.string
+       (t.key_prefix ^ "|p:"
+       ^ String.concat ","
+           (List.map
+              (fun (s, pol) -> string_of_int s ^ if pol then "+" else "-")
+              cover)))
+
 (* --- main entry ----------------------------------------------------------- *)
 
 let debug =
   match Sys.getenv_opt "CHECKER_DEBUG" with Some ("1" | "true") -> true | _ -> false
 
-let check_cover ?name t cover =
-  let t0 = Unix.gettimeofday () in
-  let finish outcome =
-    t.stats.Stats.n_props <- t.stats.Stats.n_props + 1;
-    t.stats.Stats.total_time <- t.stats.Stats.total_time +. Unix.gettimeofday () -. t0;
-    (match outcome with
-    | Reachable _ -> t.stats.Stats.n_reachable <- t.stats.Stats.n_reachable + 1
-    | Unreachable p ->
-      t.stats.Stats.n_unreachable <- t.stats.Stats.n_unreachable + 1;
-      (match p with
-      | Inductive _ -> t.stats.Stats.n_inductive <- t.stats.Stats.n_inductive + 1
-      | Bounded _ -> ())
-    | Undetermined -> t.stats.Stats.n_undetermined <- t.stats.Stats.n_undetermined + 1);
-    if debug then
-      Printf.eprintf "[checker] %-12s %-24s %.2fs\n%!"
-        (Option.value name ~default:"?") (outcome_tag outcome)
-        (Unix.gettimeofday () -. t0);
-    outcome
-  in
-  List.iter
-    (fun (s, _) ->
-      if Netlist.width t.nl s <> 1 then
-        invalid_arg "Checker.check_cover: cover literals must be 1 bit")
-    cover;
+(* The engine pipeline proper: returns (outcome, discharged-by-sim, RNG
+   draws consumed by the sim pre-pass). *)
+let compute_cover t cover =
   (* 1. simulation pre-pass *)
   match try_simulation t cover with
-  | Some cex ->
-    t.stats.Stats.n_sim_discharged <- t.stats.Stats.n_sim_discharged + 1;
-    finish (Reachable cex)
-  | None -> (
+  | Some cex, draws -> (Reachable cex, true, draws)
+  | None, draws -> (
     (* 2. k-induction: a genuine unreachability proof, attempted first
        because it is far cheaper than a deep UNSAT BMC sweep.  The step
        proof alone is unsound without its base case (the cover could hold
@@ -331,7 +372,7 @@ let check_cover ?name t cover =
        r = Solver.Unsat)
     in
     match try_induction t cover with
-    | Some k when base_holds k -> finish (Unreachable (Inductive k))
+    | Some k when base_holds k -> (Unreachable (Inductive k), false, draws)
     | _ ->
       (* 3. single-shot BMC over all depths: one activation-gated
          disjunction OR_t cover@t; SAT yields a witness, UNSAT proves
@@ -363,6 +404,59 @@ let check_cover ?name t cover =
           | Some (time, _) -> time
           | None -> t.config.bmc_depth
         in
-        finish (Reachable (cex_of_model t ~upto))
-      | Solver.Unsat -> finish (Unreachable (Bounded t.config.bmc_depth))
-      | Solver.Unknown -> finish Undetermined)
+        (Reachable (cex_of_model t ~upto), false, draws)
+      | Solver.Unsat -> (Unreachable (Bounded t.config.bmc_depth), false, draws)
+      | Solver.Unknown -> (Undetermined, false, draws))
+
+let check_cover ?name t cover =
+  let t0 = Unix.gettimeofday () in
+  let finish ~hit ~sim_discharged outcome =
+    t.stats.Stats.n_props <- t.stats.Stats.n_props + 1;
+    t.stats.Stats.total_time <- t.stats.Stats.total_time +. Unix.gettimeofday () -. t0;
+    if sim_discharged then
+      t.stats.Stats.n_sim_discharged <- t.stats.Stats.n_sim_discharged + 1;
+    (match hit with
+    | None -> ()
+    | Some true -> t.stats.Stats.n_cache_hits <- t.stats.Stats.n_cache_hits + 1
+    | Some false -> t.stats.Stats.n_cache_misses <- t.stats.Stats.n_cache_misses + 1);
+    (match outcome with
+    | Reachable _ -> t.stats.Stats.n_reachable <- t.stats.Stats.n_reachable + 1
+    | Unreachable p ->
+      t.stats.Stats.n_unreachable <- t.stats.Stats.n_unreachable + 1;
+      (match p with
+      | Inductive _ -> t.stats.Stats.n_inductive <- t.stats.Stats.n_inductive + 1
+      | Bounded _ -> ())
+    | Undetermined -> t.stats.Stats.n_undetermined <- t.stats.Stats.n_undetermined + 1);
+    if debug then
+      Printf.eprintf "[checker] %-12s %-24s %.2fs%s\n%!"
+        (Option.value name ~default:"?") (outcome_tag outcome)
+        (Unix.gettimeofday () -. t0)
+        (if hit = Some true then " (cached)" else "");
+    outcome
+  in
+  List.iter
+    (fun (s, _) ->
+      if Netlist.width t.nl s <> 1 then
+        invalid_arg "Checker.check_cover: cover literals must be 1 bit")
+    cover;
+  match t.cache with
+  | None ->
+    let outcome, sim_discharged, _draws = compute_cover t cover in
+    finish ~hit:None ~sim_discharged outcome
+  | Some cache -> (
+    let key = cover_key t cover in
+    match Option.bind (Vcache.find cache key) decode_entry with
+    | Some e ->
+      (* Replay the RNG draws the cold run's sim pre-pass consumed, so the
+         stream later properties see is the same whether or not this
+         verdict came from the cache. *)
+      for _ = 1 to e.ce_draws do
+        ignore (Random.State.int t.rng 0x3FFFFFFF)
+      done;
+      finish ~hit:(Some true) ~sim_discharged:e.ce_sim e.ce_outcome
+    | None ->
+      let outcome, sim_discharged, draws = compute_cover t cover in
+      Vcache.add cache key
+        (encode_entry
+           { ce_outcome = outcome; ce_sim = sim_discharged; ce_draws = draws });
+      finish ~hit:(Some false) ~sim_discharged outcome)

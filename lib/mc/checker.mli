@@ -41,6 +41,10 @@ module Stats : sig
     mutable n_undetermined : int;
     mutable n_sim_discharged : int;
     mutable n_inductive : int;
+    mutable n_cache_hits : int;
+        (** Verdicts served from the attached {!Vcache.t}. *)
+    mutable n_cache_misses : int;
+        (** Verdicts computed and stored (0 when no cache is attached). *)
     mutable total_time : float;
   }
 
@@ -52,6 +56,10 @@ module Stats : sig
 
   val mean_time : t -> float
   val pct_undetermined : t -> float
+
+  val hit_rate : t -> float
+  (** [n_cache_hits / n_props] (0 when no properties were checked). *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -70,6 +78,8 @@ val default_config : config
 type t
 
 val create :
+  ?cache:Vcache.t ->
+  ?cache_salt:string ->
   ?stimulus:(Sim.t -> int -> unit) ->
   ?config:config ->
   ?assume_initial:Hdl.Netlist.signal list ->
@@ -79,7 +89,20 @@ val create :
 (** [assumes] are 1-bit signals pinned true on every cycle (SVA [assume]);
     [stimulus] optionally drives the simulation pre-pass (unpoked inputs
     are randomized by the caller's own logic); traces violating an
-    assumption are discarded. *)
+    assumption are discarded.
+
+    [cache] attaches a persistent verdict store: each {!check_cover} is
+    keyed by a digest of (netlist structure, assumption signals, every
+    [config] field including the seed, [cache_salt], cover literals) and
+    served from the store when present.  A cached verdict replays exactly
+    as the cold run computed it — witness trace, sim-discharged
+    accounting, and the RNG draws the sim pre-pass consumed — so a run
+    whose properties all hit is bit-identical to the run that filled the
+    store.  On partially-warm runs, skipped engine work changes the shared
+    BMC solver's state, so freshly computed witnesses (not verdicts) may
+    differ from a fully cold run — the same caveat property sharding has.
+    [cache_salt] must identify any verdict-relevant input the checker
+    cannot see, in practice the [stimulus] closure's identity. *)
 
 val check_cover : ?name:string -> t -> (Hdl.Netlist.signal * bool) list -> outcome
 (** [check_cover t lits] searches for a cycle where every [(signal,

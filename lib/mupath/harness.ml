@@ -112,7 +112,8 @@ let ufsm_connectivity (meta : Meta.t) =
 let pl_groups meta =
   List.map (fun g -> (g.label, g.members)) (collect_groups meta)
 
-let create ?config ?stimulus ?(revisit_count_labels = []) ~meta ~iuv ~iuv_pc () =
+let create ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
+    ~meta ~iuv ~iuv_pc () =
   let module D = Hdl.Dsl.Make (struct
     let nl = meta.Meta.nl
   end) in
@@ -271,7 +272,7 @@ let create ?config ?stimulus ?(revisit_count_labels = []) ~meta ~iuv ~iuv_pc () 
       meta.Meta.ifrs
   in
   let assumes = iuv_assumes @ no_refetch @ meta.Meta.extra_assumes in
-  let checker = Mc.Checker.create ?stimulus ?config ~assumes nl in
+  let checker = Mc.Checker.create ?cache ?cache_salt ?stimulus ?config ~assumes nl in
   {
     meta;
     iuv;

@@ -29,6 +29,8 @@ val pl_groups : Designs.Meta.t -> (string * (Designs.Meta.ufsm * Bitvec.t) list)
     row label, e.g. the four scoreboard entries' "scbIss" states. *)
 
 val create :
+  ?cache:Vcache.t ->
+  ?cache_salt:string ->
   ?config:Mc.Checker.config ->
   ?stimulus:(Sim.t -> int -> unit) ->
   ?revisit_count_labels:string list ->
@@ -37,6 +39,9 @@ val create :
   iuv_pc:int ->
   unit ->
   t
+(** [cache]/[cache_salt] are forwarded to {!Mc.Checker.create}: the
+    monitored netlist's digest (which covers the IUV pin, the PL monitors,
+    and the revisit counters) keys the verdict store. *)
 
 val checker : t -> Mc.Checker.t
 val meta : t -> Designs.Meta.t

@@ -41,11 +41,12 @@ type episode = {
   decision_obs : (string * SS.t) list;
 }
 
-let run_inner ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_sets = 4096)
-    ?(max_revisit_count = 12) ?(presim_episodes = 64) ?(presim_cycles = 48)
-    ~shards ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
+let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
+    ?(max_candidate_sets = 4096) ?(max_revisit_count = 12) ?(presim_episodes = 64)
+    ?(presim_cycles = 48) ~shards ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
   let h =
-    Harness.create ?config ?stimulus ~revisit_count_labels ~meta ~iuv ~iuv_pc ()
+    Harness.create ?cache ?cache_salt ?config ?stimulus ~revisit_count_labels
+      ~meta ~iuv ~iuv_pc ()
   in
   let nl = meta.Designs.Meta.nl in
   let chk = Harness.checker h in
@@ -57,6 +58,17 @@ let run_inner ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_set
      are split round-robin across the instances and evaluated in parallel —
      trading the shared learned-clause store of one incremental solver for
      cores. *)
+  (* Each non-zero shard writes verdicts into a staged view of the store
+     (no lock contention from worker domains); every [sharded] join merges
+     the staged writes back in shard order — the same deterministic-join
+     discipline the stage counters use.  Shard 0 is the harness checker and
+     talks to the shared store directly (its root layer is mutex-safe). *)
+  let shard_caches =
+    if shards <= 1 then [||]
+    else
+      Array.init shards (fun k ->
+          if k = 0 then cache else Option.map Vcache.stage cache)
+  in
   let shard_checkers =
     if shards <= 1 then [| chk |]
     else
@@ -67,7 +79,8 @@ let run_inner ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_set
             let cfg =
               { base with Checker.seed = Pool.derive_seed ~base:base.Checker.seed ~index:k }
             in
-            Checker.create ?stimulus ~config:cfg ~assumes:(Harness.assumes h) nl)
+            Checker.create ?cache:shard_caches.(k) ?cache_salt ?stimulus
+              ~config:cfg ~assumes:(Harness.assumes h) nl)
   in
   let stage names =
     List.map (fun n -> (n, { props = 0; presim_hits = 0; undetermined = 0 })) names
@@ -142,6 +155,9 @@ let run_inner ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_set
           s.undetermined <- s.undetermined + u;
           s.presim_hits <- s.presim_hits + h_)
         locals;
+      (* Publish each shard's staged verdicts, in shard order, so later
+         stages (and later runs) see them through the shared store. *)
+      Array.iter (fun c -> Option.iter Vcache.merge c) shard_caches;
       Array.to_list
         (Array.map
            (function Some r -> r | None -> assert false)
@@ -598,14 +614,14 @@ let run_inner ?config ?stimulus ?(revisit_count_labels = []) ?(max_candidate_set
           (Checker.Stats.create ()) cks);
   }
 
-let run ?config ?stimulus ?revisit_count_labels ?max_candidate_sets
-    ?max_revisit_count ?presim_episodes ?presim_cycles ?(shards = 1) ?pool ~meta
-    ~iuv ~iuv_pc () =
+let run ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
+    ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
+    ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
   let shards = max 1 shards in
   let inner pool =
-    run_inner ?config ?stimulus ?revisit_count_labels ?max_candidate_sets
-      ?max_revisit_count ?presim_episodes ?presim_cycles ~shards ~pool ~meta
-      ~iuv ~iuv_pc ()
+    run_inner ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
+      ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
+      ~shards ~pool ~meta ~iuv ~iuv_pc ()
   in
   match pool with
   | Some p -> inner (Some p)

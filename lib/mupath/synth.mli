@@ -53,6 +53,8 @@ type result = {
 }
 
 val run :
+  ?cache:Vcache.t ->
+  ?cache_salt:string ->
   ?config:Mc.Checker.config ->
   ?stimulus:(Sim.t -> int -> unit) ->
   ?revisit_count_labels:string list ->
@@ -69,6 +71,14 @@ val run :
   result
 (** Note: [meta] is consumed — the harness extends its netlist with monitor
     state, so build a fresh design per call.
+
+    [cache] attaches a persistent verdict store (see {!Mc.Checker.create}):
+    every checker property — including each shard's — is looked up before
+    any engine runs, and a run whose properties all hit is bit-identical to
+    the run that filled the store, because cached witness traces replay
+    through the same harvesting code paths.  With [shards > 1], each
+    non-zero shard stages its writes and the joins merge them in shard
+    order.
 
     [shards] (default 1) turns on property sharding: K checker instances
     over the same monitored netlist, with the independent PL / PL-set cover

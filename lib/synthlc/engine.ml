@@ -70,8 +70,9 @@ let signatures_of_tagged (transponder : Isa.t)
           })
     sources
 
-let analyze_transponder ?config ?synth_config ?(stimulus : stimulus_builder option)
-    ?(exclude_sources = []) ~(design : unit -> Meta.t) ~(instr : Isa.t)
+let analyze_transponder ?cache ?config ?synth_config
+    ?(stimulus : stimulus_builder option) ?(exclude_sources = [])
+    ~(design : unit -> Meta.t) ~(instr : Isa.t)
     ~(transmitters : Isa.opcode list) ~(kinds : Types.transmitter_kind list)
     ~(revisit_count_labels : string list) ~iuv_pc () =
   let t0 = Unix.gettimeofday () in
@@ -83,8 +84,8 @@ let analyze_transponder ?config ?synth_config ?(stimulus : stimulus_builder opti
     | None -> None
   in
   let synth =
-    Mupath.Synth.run ?config:synth_config ?stimulus:stim ~revisit_count_labels
-      ~meta ~iuv:instr ~iuv_pc ()
+    Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim
+      ~revisit_count_labels ~meta ~iuv:instr ~iuv_pc ()
   in
   (* Candidate transponders have µPATH variability (§V-C): more than one
      µPATH, or any decision source with several destinations. *)
@@ -160,8 +161,9 @@ let analyze_transponder ?config ?synth_config ?(stimulus : stimulus_builder opti
                   in
                   f sim c)
           in
-          Flow.analyze ?config ?stimulus:stim' ~design:design' ~transponder:instr
-            ~decisions:multi_decisions ~transmitters ~kind ~operand ~iuv_pc ())
+          Flow.analyze ?cache ?config ?stimulus:stim' ~design:design'
+            ~transponder:instr ~decisions:multi_decisions ~transmitters ~kind
+            ~operand ~iuv_pc ())
         pairs
     in
     let tagged = List.concat_map (fun a -> a.Flow.tagged) all in
@@ -182,7 +184,7 @@ let analyze_transponder ?config ?synth_config ?(stimulus : stimulus_builder opti
     }
   end
 
-let run ?config ?synth_config ?(stimulus : stimulus_builder option)
+let run ?cache ?config ?synth_config ?(stimulus : stimulus_builder option)
     ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
     ~(instructions : Isa.t list) ~(transmitters : Isa.opcode list)
     ~(kinds : Types.transmitter_kind list) ~(revisit_count_labels : string list)
@@ -197,8 +199,15 @@ let run ?config ?synth_config ?(stimulus : stimulus_builder option)
     let c = Option.value c ~default:Mc.Checker.default_config in
     Some { c with Mc.Checker.seed = Pool.derive_seed ~base:c.Mc.Checker.seed ~index }
   in
+  (* Each task writes verdicts into its own staged view of the shared
+     store, created up front in the calling domain; the join merges them
+     in task order (the per-domain write staging of the pool design). *)
+  let task_caches =
+    List.map (fun _ -> Option.map Vcache.stage cache) instructions
+  in
+  let cache_of index = List.nth task_caches index in
   let analyze index instr =
-    analyze_transponder ?config:(reseed index config)
+    analyze_transponder ?cache:(cache_of index) ?config:(reseed index config)
       ?synth_config:(reseed index synth_config) ?stimulus ~exclude_sources
       ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
   in
@@ -210,6 +219,7 @@ let run ?config ?synth_config ?(stimulus : stimulus_builder option)
       if jobs = 1 then List.mapi analyze instructions
       else Pool.with_pool ~jobs (fun p -> Pool.mapi p ~f:analyze instructions)
   in
+  List.iter (fun c -> Option.iter Vcache.merge c) task_caches;
   let checker_totals =
     List.fold_left
       (fun acc t -> Mc.Checker.Stats.merge acc t.synth.Mupath.Synth.checker_stats)
@@ -266,6 +276,46 @@ let equal_report a b =
   && a.total_flow_props = b.total_flow_props
   && List.length a.transponders = List.length b.transponders
   && List.for_all2 equal_transponder a.transponders b.transponders
+
+(* A digest over exactly the facts [equal_report] compares (plus the stage
+   counters), leaving out every wall-clock and cache hit/miss field: two
+   runs that synthesized the same thing digest identically whether their
+   verdicts came from the checker engines or from a warm cache.  Marshaled
+   without sharing so physically different but structurally equal reports
+   serialize to the same bytes. *)
+let report_digest r =
+  let stats (s : Mc.Checker.Stats.t) =
+    ( s.Mc.Checker.Stats.n_props,
+      s.Mc.Checker.Stats.n_reachable,
+      s.Mc.Checker.Stats.n_unreachable,
+      s.Mc.Checker.Stats.n_undetermined,
+      s.Mc.Checker.Stats.n_sim_discharged,
+      s.Mc.Checker.Stats.n_inductive )
+  in
+  let transponder (t : transponder_report) =
+    let s = t.synth in
+    ( t.instr,
+      s.Mupath.Synth.duv_pls,
+      s.Mupath.Synth.pruned_duv_states,
+      s.Mupath.Synth.iuv_pls,
+      s.Mupath.Synth.implications,
+      s.Mupath.Synth.exclusives,
+      (s.Mupath.Synth.naive_sets, s.Mupath.Synth.candidate_sets),
+      s.Mupath.Synth.paths,
+      s.Mupath.Synth.decisions,
+      s.Mupath.Synth.revisit_counts,
+      s.Mupath.Synth.stage_stats,
+      stats s.Mupath.Synth.checker_stats,
+      (t.tagged, t.signatures, t.flow_props, t.flow_undetermined) )
+  in
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( r.design_name,
+            r.total_mupath_props,
+            r.total_flow_props,
+            List.map transponder r.transponders )
+          [ Marshal.No_sharing ]))
 
 let all_signatures r = List.concat_map (fun t -> t.signatures) r.transponders
 

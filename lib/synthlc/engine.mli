@@ -47,6 +47,7 @@ val signatures_of_tagged :
     destinations per source (the paper's footnote 3). *)
 
 val analyze_transponder :
+  ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?stimulus:stimulus_builder ->
@@ -67,8 +68,17 @@ val analyze_transponder :
     fresh design + checker per instruction); [pool] reuses an existing
     {!Pool.t} instead (taking its job count).  Every task's checker seed is
     derived deterministically from [(config.seed, task index)], so the
-    report is bit-identical for every [jobs] value, including 1. *)
+    report is bit-identical for every [jobs] value, including 1.
+
+    [cache] attaches a persistent verdict store shared by every
+    per-instruction synthesis and IFT stage.  Each task works against its
+    own staged view (no lock contention inside worker domains); the stages
+    are merged into the root store in task order at the join.  A fully-warm
+    run replays every verdict — witnesses included — from the store and
+    produces a bit-identical report (same {!report_digest}) to the cold run
+    that filled it. *)
 val run :
+  ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?stimulus:stimulus_builder ->
@@ -89,6 +99,13 @@ val equal_report : report -> report -> bool
     tagged flows, signatures, property/outcome counts), ignoring
     wall-clock fields.  Reports produced with different [jobs] values must
     compare equal. *)
+
+val report_digest : report -> string
+(** Hex digest over exactly the facts {!equal_report} compares (plus the
+    per-stage property counters) — wall-clock and cache hit/miss fields are
+    excluded.  [equal_report a b] implies
+    [report_digest a = report_digest b]; a warm-cache run digests
+    identically to the cold run that filled its store. *)
 
 val all_signatures : report -> Types.signature list
 val all_transmitter_opcodes : report -> Isa.opcode list

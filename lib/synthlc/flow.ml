@@ -32,7 +32,8 @@ let transmitter_pc ~iuv_pc = function
   | Types.Dynamic_younger -> iuv_pc + 1
   | Types.Static -> iuv_pc - 2
 
-let analyze ?config ?stimulus ?(precise = true) ~(design : unit -> Meta.t) ~(transponder : Isa.t)
+let analyze ?cache ?cache_salt ?config ?stimulus ?(precise = true)
+    ~(design : unit -> Meta.t) ~(transponder : Isa.t)
     ~(decisions : (string * string list list) list)
     ~(transmitters : Isa.opcode list) ~(kind : Types.transmitter_kind)
     ~(operand : Types.operand) ~iuv_pc () =
@@ -151,7 +152,8 @@ let analyze ?config ?stimulus ?(precise = true) ~(design : unit -> Meta.t) ~(tra
   (* --- IUV harness (checker) ------------------------------------------ *)
   let meta = { meta with Meta.extra_assumes = t_word_stable :: meta.Meta.extra_assumes } in
   let h =
-    Mupath.Harness.create ?config ?stimulus ~meta ~iuv:transponder ~iuv_pc ()
+    Mupath.Harness.create ?cache ?cache_salt ?config ?stimulus ~meta
+      ~iuv:transponder ~iuv_pc ()
   in
   let chk = Mupath.Harness.checker h in
 

@@ -25,6 +25,8 @@ val transmitter_pc : iuv_pc:int -> Types.transmitter_kind -> int
     before/after, static sits two slots before (so it can complete first). *)
 
 val analyze :
+  ?cache:Vcache.t ->
+  ?cache_salt:string ->
   ?config:Mc.Checker.config ->
   ?stimulus:(Sim.t -> int -> unit) ->
   ?precise:bool ->

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Formatting/lint gate for CI (and local use): source hygiene checks that
+# need no extra tooling, followed by a full typecheck of every library,
+# executable, and test without running anything.
+#
+#   bash scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Markdown is excluded: trailing double-spaces are hard line breaks there.
+sources() {
+  git ls-files '*.ml' '*.mli' '*.sh' '*.yml' 'dune-project' '**/dune'
+}
+
+echo "== trailing whitespace =="
+if sources | xargs grep -n -E ' +$' -- 2>/dev/null; then
+  echo "error: trailing whitespace found (lines above)"
+  fail=1
+fi
+
+echo "== tab indentation in OCaml/dune sources =="
+if git ls-files '*.ml' '*.mli' 'dune-project' '**/dune' | xargs grep -n -P '\t' -- 2>/dev/null; then
+  echo "error: tab characters found (this tree indents with spaces)"
+  fail=1
+fi
+
+echo "== CRLF line endings =="
+if sources | xargs grep -l -P '\r$' -- 2>/dev/null; then
+  echo "error: CRLF line endings found (files above)"
+  fail=1
+fi
+
+echo "== dune typecheck (@check) =="
+dune build @check || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

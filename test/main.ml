@@ -20,4 +20,5 @@ let () =
       Test_synthlc.suite;
       Test_pool.suite;
       Test_parallel.suite;
+      Test_vcache.suite;
     ]
