@@ -411,6 +411,86 @@ let cache_warmup () =
         vc_digest = dg_cold;
       }
 
+(* P3 — static FSM-abstraction reachability pre-pass: covers over
+   statically-dead µFSM states are discharged by abstract interpretation
+   instead of being dispatched to simulation/BMC.  Both modes must produce
+   the same report digest (the audit mode re-checks the pruned covers as a
+   trailing batch, tripping a hard failure on any unsound prune). *)
+
+type static_prune_record = {
+  st_pruned : int;  (* covers discharged statically (pre-pass on) *)
+  st_duv_props_on : int;  (* duv_pl properties dispatched with the pre-pass *)
+  st_duv_props_off : int;  (* ... and without (includes the audit batch) *)
+  st_t_on : float;
+  st_t_off : float;
+  st_equal : bool;  (* digests identical across modes *)
+  st_digest : string;
+}
+
+let static_prune_result : static_prune_record option ref = ref None
+
+let static_prune_bench () =
+  section "P3"
+    "Static reachability pre-pass - covers pruned vs dispatched, cold wall-clock";
+  let design, stimulus, instructions, transmitters, light_config =
+    engine_workload ()
+  in
+  let run_with static_prune =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Synthlc.Engine.run ~config:light_config ~synth_config:light_config
+        ~static_prune ~stimulus ~design ~jobs:1
+        ~exclude_sources:[ "IF"; "scbCmt" ]
+        ~instructions ~transmitters
+        ~kinds:[ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older ]
+        ~revisit_count_labels:[ "divU" ] ~iuv_pc:Designs.Core.iuv_pc ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_on, r_on = run_with true in
+  let t_off, r_off = run_with false in
+  let duv_stage (r : Synthlc.Engine.report) =
+    List.map
+      (fun (t : Synthlc.Engine.transponder_report) ->
+        List.assoc "duv_pl" t.Synthlc.Engine.synth.Mupath.Synth.stage_stats)
+      r.Synthlc.Engine.transponders
+  in
+  let sum f l = List.fold_left (fun a s -> a + f s) 0 l in
+  let pruned =
+    sum (fun (s : Mupath.Synth.stage_stats) -> s.Mupath.Synth.pruned_static)
+      (duv_stage r_on)
+  in
+  let props_on =
+    sum (fun (s : Mupath.Synth.stage_stats) -> s.Mupath.Synth.props)
+      (duv_stage r_on)
+  in
+  let props_off =
+    sum (fun (s : Mupath.Synth.stage_stats) -> s.Mupath.Synth.props)
+      (duv_stage r_off)
+  in
+  let dg_on = Synthlc.Engine.report_digest r_on in
+  let dg_off = Synthlc.Engine.report_digest r_off in
+  Printf.printf "  pre-pass on : %6.1fs (%d duv_pl properties, %d pruned statically)\n"
+    t_on props_on pruned;
+  Printf.printf "  pre-pass off: %6.1fs (%d duv_pl properties incl. audit batch)\n"
+    t_off props_off;
+  Printf.printf "  report digests: on %s, off %s\n" dg_on dg_off;
+  check "pre-pass prunes at least one cover" (pruned > 0);
+  check "every pruned cover reappears as an audit property"
+    (props_off = props_on + pruned);
+  check "report digest identical across modes" (dg_on = dg_off);
+  static_prune_result :=
+    Some
+      {
+        st_pruned = pruned;
+        st_duv_props_on = props_on;
+        st_duv_props_off = props_off;
+        st_t_on = t_on;
+        st_t_off = t_off;
+        st_equal = dg_on = dg_off;
+        st_digest = dg_on;
+      }
+
 (* Ablation A2: simulation-assisted cover discharge. *)
 let ablation_sim_assist () =
   section "A2" "Ablation - simulation pre-pass on vs off (one ADD synthesis)";

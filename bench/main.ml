@@ -28,6 +28,7 @@ let experiments =
     ("A2", Experiments2.ablation_sim_assist);
     ("P1", Experiments2.parallel_speedup);
     ("P2", Experiments2.cache_warmup);
+    ("P3", Experiments2.static_prune_bench);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -157,11 +158,18 @@ let write_json path ~profile ~jobs ~total rows =
   | None -> add "  \"parallel\": null,\n");
   (match !Experiments2.cache_result with
   | Some c ->
-    add "  \"cache\": {\"t_cold_s\": %.3f, \"t_warm_s\": %.3f, \"speedup\": %.3f, \"checker_calls\": %d, \"warm_hits\": %d, \"warm_hit_rate\": %.4f, \"bit_identical\": %b, \"report_digest\": \"%s\"}\n"
+    add "  \"cache\": {\"t_cold_s\": %.3f, \"t_warm_s\": %.3f, \"speedup\": %.3f, \"checker_calls\": %d, \"warm_hits\": %d, \"warm_hit_rate\": %.4f, \"bit_identical\": %b, \"report_digest\": \"%s\"},\n"
       c.Experiments2.vc_t_cold c.Experiments2.vc_t_warm c.Experiments2.vc_speedup
       c.Experiments2.vc_calls c.Experiments2.vc_hits c.Experiments2.vc_hit_rate
       c.Experiments2.vc_equal c.Experiments2.vc_digest
-  | None -> add "  \"cache\": null\n");
+  | None -> add "  \"cache\": null,\n");
+  (match !Experiments2.static_prune_result with
+  | Some s ->
+    add "  \"static_prune\": {\"covers_pruned\": %d, \"duv_props_on\": %d, \"duv_props_off\": %d, \"t_on_s\": %.3f, \"t_off_s\": %.3f, \"digest_identical\": %b, \"report_digest\": \"%s\"}\n"
+      s.Experiments2.st_pruned s.Experiments2.st_duv_props_on
+      s.Experiments2.st_duv_props_off s.Experiments2.st_t_on
+      s.Experiments2.st_t_off s.Experiments2.st_equal s.Experiments2.st_digest
+  | None -> add "  \"static_prune\": null\n");
   add "}\n";
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "wrote %s\n" path

@@ -65,6 +65,16 @@ let cache_dir_arg =
 
 let cache_of = Option.map (fun dir -> Vcache.create ~dir ())
 
+let no_static_prune_arg =
+  let doc =
+    "Disable the static FSM-abstraction reachability pre-pass: dispatch \
+     covers over statically-unreachable states to the model checker as a \
+     trailing audit batch instead of discharging them statically.  The \
+     report digest is bit-identical either way; this flag exists to audit \
+     the abstraction (an unsound verdict fails the run)."
+  in
+  Arg.(value & flag & info [ "no-static-prune" ] ~doc)
+
 let print_cache_counters = function
   | None -> ()
   | Some c ->
@@ -165,7 +175,7 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname instr depth episodes dot counts shards cache_dir =
+  let run dname instr depth episodes dot counts shards cache_dir nsp =
     let iuv = parse_instr instr in
     let meta = build_design dname in
     let iuv_pc = iuv_pc_for dname in
@@ -173,7 +183,7 @@ let mupath_cmd =
     let config = config_of depth episodes in
     let cache = cache_of cache_dir in
     let r =
-      Mupath.Synth.run ?cache ~config ~stimulus:stim
+      Mupath.Synth.run ?cache ~config ~stimulus:stim ~static_prune:(not nsp)
         ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
     in
     Format.printf "%a@." Mupath.Synth.pp_result r;
@@ -191,12 +201,12 @@ let mupath_cmd =
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
     Term.(
       const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
-      $ counts $ shards_arg $ cache_dir_arg)
+      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
-  let run dname instrs txs depth episodes static jobs cache_dir =
+  let run dname instrs txs depth episodes static jobs cache_dir nsp =
     let instructions = List.map parse_instr instrs in
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
@@ -222,9 +232,9 @@ let synthlc_cmd =
     in
     let cache = cache_of cache_dir in
     let report =
-      Synthlc.Engine.run ?cache ~config ~synth_config:config ~stimulus ~design
-        ~jobs ~instructions ~transmitters ~kinds ~revisit_count_labels ~iuv_pc
-        ()
+      Synthlc.Engine.run ?cache ~config ~synth_config:config
+        ~static_prune:(not nsp) ~stimulus ~design ~jobs ~instructions
+        ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
     in
     Format.printf "%a@." Synthlc.Engine.pp_report report;
     Printf.printf "report digest: %s\n" (Synthlc.Engine.report_digest report);
@@ -255,7 +265,7 @@ let synthlc_cmd =
     (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
     Term.(
       const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
-      $ jobs_arg $ cache_dir_arg)
+      $ jobs_arg $ cache_dir_arg $ no_static_prune_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 
@@ -321,6 +331,41 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect or clear the persistent verdict cache")
     [ stats_cmd; clear_cmd ]
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run json names =
+    let names = if names = [] then design_names else names in
+    let reports =
+      List.map (fun dname -> Lint.Driver.run_design (build_design dname)) names
+    in
+    if json then print_string (Lint.Diagnostic.to_json reports)
+    else
+      List.iter
+        (fun r -> Format.printf "%a@." Lint.Diagnostic.pp_report r)
+        reports;
+    exit (Lint.Diagnostic.exit_code reports)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON (the CI artifact format).")
+  in
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"DESIGN" ~doc:"Designs to lint (default: all built-ins).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"uLint: static analysis of a design's netlist and annotations"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Runs the structural (L0xx), annotation (L1xx), and \
+               reachability (L2xx) passes over each named design.  Exit \
+               status is 0 when clean, 1 when the worst finding is a \
+               warning, and 2 on any error; infos never affect the exit \
+               status.";
+         ])
+    Term.(const run $ json $ names)
+
 (* --- designs ---------------------------------------------------------- *)
 
 let designs_cmd =
@@ -353,4 +398,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "synthlc" ~doc)
-          [ sim_cmd; mupath_cmd; synthlc_cmd; scsafe_cmd; cache_cmd; designs_cmd ]))
+          [
+            sim_cmd;
+            mupath_cmd;
+            synthlc_cmd;
+            scsafe_cmd;
+            cache_cmd;
+            lint_cmd;
+            designs_cmd;
+          ]))

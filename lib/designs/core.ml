@@ -272,11 +272,12 @@ let build cfg =
   let jalr_target = a +: is_imm in
   let target = mux (op_is is_i Isa.JALR) jalr_target direct_target in
   let misaligned2 = select target 1 0 <>: zero 2 in
-  let misaligned1 = bit target 0 in
   let br_excp =
     if cfg.fix_branch_excp then br_taken &: misaligned2 else misaligned2
   in
-  let jal_excp = if cfg.fix_jal_align then misaligned2 else misaligned1 in
+  (* The buggy (pre-fix) JAL check only looks at bit 0; build that extract
+     only in configs that use it. *)
+  let jal_excp = if cfg.fix_jal_align then misaligned2 else bit target 0 in
   let jalr_excp = if cfg.fix_jalr_align then misaligned2 else gnd in
   let is_excp =
     is_v
@@ -613,7 +614,6 @@ let build cfg =
   let scb_limit = if cfg.fix_scb_width then n_scb else n_scb - 1 in
   let eff_count = count -: zero_extend commit_now 3 in
   let can_take1 = eff_count <: of_int 3 scb_limit in
-  let can_take2 = eff_count <: of_int 3 (scb_limit - 1) in
   let dispatch0 =
     id0_v &: ~:flush_front &: ~:(raw_for id0_i) &: ~:(waw_for id0_i)
     &: ~:(fu_conflict_for id0_i) &: can_take1
@@ -626,6 +626,9 @@ let build cfg =
   let dispatch_pack =
     if not cfg.operand_packing then gnd
     else begin
+      (* Only the packing path can dispatch two; single-issue configs never
+         read this headroom check, so build it only here. *)
+      let can_take2 = eff_count <: of_int 3 (scb_limit - 1) in
       let packable =
         op_in id0_i [ Isa.ADD; Isa.SUB; Isa.AND; Isa.OR; Isa.XOR ]
       in

@@ -60,7 +60,6 @@ let build () =
   let op_in i os = List.fold_left (fun acc o -> acc |: op_is i o) gnd os in
   let cls c i = op_in i (List.filter (fun o -> Isa.class_of o = c) Isa.all_opcodes) in
   let is_div = cls Isa.Divc in
-  let _is_mul = cls Isa.Mulc in
   let is_load = cls Isa.Load in
   let is_store = cls Isa.Store in
   let is_branch = cls Isa.Branch in
@@ -269,6 +268,7 @@ let build () =
   let commit_w = name_wire "commit" (complete |: st s_excp) in
   let commit_pc_w = name_wire "commit_pc" ex_pc in
   let flush_w = name_wire "flush" flush_now in
+  let operand_valid_w = name_wire "operand_stage_valid" ex_busy in
 
   let ufsms =
     [
@@ -298,7 +298,7 @@ let build () =
     Meta.design_name = "ibex_lite";
     nl;
     ifrs = [ { Meta.ifr_valid = if_v; ifr_pc = if_pc; ifr_word = if_i } ];
-    operand_stage_valid = ex_busy;
+    operand_stage_valid = operand_valid_w;
     operand_stage_pc = ex_pc;
     commit = commit_w;
     commit_pc = commit_pc_w;

@@ -1,0 +1,48 @@
+(** Static netlist analyses beyond {!Netlist}'s cone/order primitives.
+
+    These back the µLint passes (structural and reachability) and the
+    static cover-pruning pre-pass of µPATH synthesis: constant folding,
+    observability (dead cells), and an abstract interpretation that
+    over-approximates the reachable state set of a µFSM's state
+    registers. *)
+
+val const_values : Netlist.t -> Bitvec.t option array
+(** Per-signal constant value, when one exists: [Some v] for nodes whose
+    value is determined by the netlist structure alone (constants and
+    combinational logic over them; a mux with a constant selector folds
+    through the taken branch even if the other branch is not constant).
+    Registers and inputs are never constant.  Tolerates unconnected and
+    cyclic nodes (they fold to [None]). *)
+
+val constant_foldable : Netlist.t -> Netlist.signal list
+(** Non-[Const] combinational nodes whose value [const_values] proves
+    constant — logic a synthesizer would fold away, and a µLint finding. *)
+
+val dead_cells : Netlist.t -> roots:Netlist.signal list -> Netlist.signal list
+(** Nodes outside the liveness closure of [roots], where the closure
+    follows combinational fan-in and the sequential inputs (next/enable)
+    of registers.  With roots = registers + named signals + annotated
+    signals this is exactly "not in the cone of influence of any output,
+    register, or annotated signal": such nodes cannot influence anything
+    observable.  Sorted by id. *)
+
+val fsm_reachable :
+  Netlist.t -> vars:Netlist.signal list -> Bitvec.t list option
+(** Over-approximate the reachable joint-state set of the given state
+    registers by abstract interpretation over value sets: starting from the
+    registers' reset values (a symbolic init contributes every value), each
+    step evaluates the next-state cones with the state registers bound to
+    their accumulated sets and everything else (inputs, other registers)
+    unconstrained, until a fixpoint.  Mux selectors that collapse to a
+    single value prune the untaken branch; unknown selectors union both.
+    Registers whose enable is provably stuck at 0 keep their reset value.
+
+    Returns the joint valuations with the {e first} variable in the most
+    significant bits (the layout [Dsl.concat] gives a harness's
+    state-of-µFSM vector), or [None] when the analysis cannot bound the
+    domain (a var is not a connected register, widths are too large, or
+    value sets blow past the widening cap).  {b Soundness}: a valuation
+    absent from [Some set] is truly unreachable in the concrete design
+    under {e any} input sequence — environment assumptions only shrink the
+    concrete set further — so covers over such states may be discharged
+    as unreachable without the model checker. *)

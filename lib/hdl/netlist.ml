@@ -169,32 +169,87 @@ let comb_fanin t s =
   | Extract { arg; _ } -> [ arg ]
   | Concat parts -> parts
 
-let validate t =
-  iter_nodes t (fun n ->
-      match n.kind with
-      | Reg { next = None; _ } ->
-        failwith
-          (Printf.sprintf "Netlist %s: unconnected register %s" t.netlist_name
-             (Option.value n.name ~default:(string_of_int n.id)))
-      | Wire { driver = None } ->
-        failwith
-          (Printf.sprintf "Netlist %s: unconnected wire %s" t.netlist_name
-             (Option.value n.name ~default:(string_of_int n.id)))
-      | _ -> ());
-  (* Combinational cycle check via DFS colouring. *)
-  let color = Array.make t.count 0 in
-  let rec visit s =
-    if color.(s) = 1 then
-      failwith (Printf.sprintf "Netlist %s: combinational cycle through node %d" t.netlist_name s)
-    else if color.(s) = 0 then begin
-      color.(s) <- 1;
-      List.iter visit (comb_fanin t s);
-      color.(s) <- 2
+(* Nontrivial strongly connected components of the combinational dependency
+   graph (node -> comb_fanin): every combinational cycle lies inside one, and
+   a component is nontrivial when it has more than one node or a self-edge.
+   Tarjan's algorithm; members are sorted by id, components come out in
+   first-discovery order. *)
+let comb_sccs t =
+  let n = t.count in
+  let index = Array.make (max n 1) (-1) in
+  let lowlink = Array.make (max n 1) 0 in
+  let on_stack = Array.make (max n 1) false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (comb_fanin t v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let comp = pop [] in
+      let nontrivial =
+        match comp with [ s ] -> List.mem s (comb_fanin t s) | _ -> true
+      in
+      if nontrivial then sccs := List.sort Int.compare comp :: !sccs
     end
   in
-  for s = 0 to t.count - 1 do
-    visit s
-  done
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  List.rev !sccs
+
+let validate t =
+  let describe n =
+    match n.name with
+    | Some nm -> Printf.sprintf "%s (node %d)" nm n.id
+    | None -> Printf.sprintf "node %d" n.id
+  in
+  (* Collect every problem before failing: all unconnected registers and
+     wires, then every combinational cycle (one per nontrivial SCC), so a
+     partial design surfaces its full repair list in one error. *)
+  let unconnected =
+    fold_nodes t ~init:[] ~f:(fun acc n ->
+        match n.kind with
+        | Reg { next = None; _ } ->
+          Printf.sprintf "unconnected register %s" (describe n) :: acc
+        | Wire { driver = None } ->
+          Printf.sprintf "unconnected wire %s" (describe n) :: acc
+        | _ -> acc)
+    |> List.rev
+  in
+  let cycles =
+    List.map
+      (fun scc ->
+        Printf.sprintf "combinational cycle through %s"
+          (String.concat " -> " (List.map (fun s -> describe (node t s)) scc)))
+      (comb_sccs t)
+  in
+  match unconnected @ cycles with
+  | [] -> ()
+  | [ msg ] -> failwith (Printf.sprintf "Netlist %s: %s" t.netlist_name msg)
+  | msgs ->
+    failwith
+      (Printf.sprintf "Netlist %s: %d problems: %s" t.netlist_name
+         (List.length msgs) (String.concat "; " msgs))
 
 let comb_order t =
   let order = Array.make t.count 0 in

@@ -93,7 +93,15 @@ val set_name : t -> signal -> string -> unit
 
 val validate : t -> unit
 (** Check every register and wire is connected and that combinational logic
-    is acyclic.  Raises [Failure] otherwise. *)
+    is acyclic.  Raises [Failure] otherwise; the message lists {e every}
+    problem — each unconnected register/wire and each combinational cycle —
+    with node ids and names, so one failure carries the full repair list. *)
+
+val comb_sccs : t -> signal list list
+(** Nontrivial strongly connected components of the combinational dependency
+    graph: each is a set of nodes forming at least one combinational cycle
+    (more than one node, or a single node reading itself).  Empty on a valid
+    netlist.  Members are sorted by id. *)
 
 val comb_order : t -> signal array
 (** Topological order of all nodes for single-pass combinational evaluation:

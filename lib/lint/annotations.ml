@@ -1,0 +1,200 @@
+(* Annotation µLint pass (L101–L106): does the design metadata actually
+   describe the netlist it points at?  Every referenced signal must exist
+   with the width its role demands, µFSM state variables must be connected
+   registers, labels must be unambiguous and representable, and the signals
+   SynthLC uses as taint boundaries (ARF/AMEM blockers, operand-register
+   introduction points) must be registers so IFT instrumentation can pin or
+   inject their shadows. *)
+
+module N = Hdl.Netlist
+module Meta = Designs.Meta
+module D = Diagnostic
+
+(* Every signal the metadata annotates, with a human-readable role. *)
+let signals (meta : Meta.t) =
+  List.concat
+    (List.mapi
+       (fun i (s : Meta.ifr_slot) ->
+         [
+           (Printf.sprintf "ifr[%d].valid" i, s.Meta.ifr_valid);
+           (Printf.sprintf "ifr[%d].pc" i, s.Meta.ifr_pc);
+           (Printf.sprintf "ifr[%d].word" i, s.Meta.ifr_word);
+         ])
+       meta.Meta.ifrs)
+  @ [
+      ("operand_stage_valid", meta.Meta.operand_stage_valid);
+      ("operand_stage_pc", meta.Meta.operand_stage_pc);
+      ("commit", meta.Meta.commit);
+      ("commit_pc", meta.Meta.commit_pc);
+      ("flush", meta.Meta.flush);
+    ]
+  @ List.concat_map
+      (fun (u : Meta.ufsm) ->
+        (u.Meta.ufsm_name ^ ".pcr", u.Meta.pcr)
+        :: List.mapi
+             (fun i v -> (Printf.sprintf "%s.var[%d]" u.Meta.ufsm_name i, v))
+             u.Meta.vars)
+      meta.Meta.ufsms
+  @ List.map (fun (k, s) -> ("operand." ^ k, s)) meta.Meta.operand_regs
+  @ List.mapi (fun i s -> (Printf.sprintf "arf[%d]" i, s)) meta.Meta.arf
+  @ List.mapi (fun i s -> (Printf.sprintf "amem[%d]" i, s)) meta.Meta.amem
+  @ List.mapi
+      (fun i s -> (Printf.sprintf "extra_assumes[%d]" i, s))
+      meta.Meta.extra_assumes
+
+let run (meta : Meta.t) =
+  let nl = meta.Meta.nl in
+  let nn = N.num_nodes nl in
+  let valid s = s >= 0 && s < nn in
+  let diags = ref [] in
+  let emit ?signal ~code ~severity fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let signal_name =
+          Option.bind signal (fun s ->
+              if valid s then (N.node nl s).N.name else None)
+        in
+        diags := D.make ?signal ?signal_name ~code ~severity msg :: !diags)
+      fmt
+  in
+  let w s = N.width nl s in
+
+  (* L101: every annotated signal must be a node of this netlist. *)
+  let sigs = signals meta in
+  List.iter
+    (fun (role, s) ->
+      if not (valid s) then
+        emit ~signal:s ~code:"L101" ~severity:D.Error
+          "annotated signal %s refers to node %d, outside the netlist (%d nodes)"
+          role s nn)
+    sigs;
+
+  (* L102: role-specific width expectations.  Guard every node access on
+     L101 having passed for that signal. *)
+  let check_w1 role s =
+    if valid s && w s <> 1 then
+      emit ~signal:s ~code:"L102" ~severity:D.Error
+        "%s must be 1 bit wide, has width %d" role (w s)
+  in
+  check_w1 "commit" meta.Meta.commit;
+  check_w1 "flush" meta.Meta.flush;
+  check_w1 "operand_stage_valid" meta.Meta.operand_stage_valid;
+  List.iteri
+    (fun i (s : Meta.ifr_slot) ->
+      check_w1 (Printf.sprintf "ifr[%d].valid" i) s.Meta.ifr_valid;
+      if valid s.Meta.ifr_word && w s.Meta.ifr_word <> Isa.width then
+        emit ~signal:s.Meta.ifr_word ~code:"L102" ~severity:D.Error
+          "ifr[%d].word must hold a %d-bit instruction encoding, has width %d"
+          i Isa.width (w s.Meta.ifr_word))
+    meta.Meta.ifrs;
+  List.iteri
+    (fun i s -> check_w1 (Printf.sprintf "extra_assumes[%d]" i) s)
+    meta.Meta.extra_assumes;
+  (if valid meta.Meta.commit_pc then begin
+     let pcw = w meta.Meta.commit_pc in
+     let check_pc role s =
+       if valid s && w s <> pcw then
+         emit ~signal:s ~code:"L102" ~severity:D.Error
+           "%s has width %d but commit_pc has width %d — PC-as-IID comparisons \
+            would be ill-typed"
+           role (w s) pcw
+     in
+     check_pc "operand_stage_pc" meta.Meta.operand_stage_pc;
+     List.iteri
+       (fun i (s : Meta.ifr_slot) ->
+         check_pc (Printf.sprintf "ifr[%d].pc" i) s.Meta.ifr_pc)
+       meta.Meta.ifrs;
+     List.iter
+       (fun (u : Meta.ufsm) -> check_pc (u.Meta.ufsm_name ^ ".pcr") u.Meta.pcr)
+       meta.Meta.ufsms
+   end);
+
+  (* L103/L104/L106: per-µFSM structure. *)
+  List.iter
+    (fun (u : Meta.ufsm) ->
+      if u.Meta.vars = [] then
+        emit ~code:"L103" ~severity:D.Error "µFSM %s has no state variables"
+          u.Meta.ufsm_name;
+      List.iter
+        (fun v ->
+          if valid v then
+            match (N.node nl v).N.kind with
+            | N.Reg { next = Some _; _ } -> ()
+            | N.Reg { next = None; _ } ->
+              emit ~signal:v ~code:"L103" ~severity:D.Error
+                "µFSM %s state variable is an unconnected register"
+                u.Meta.ufsm_name
+            | _ ->
+              emit ~signal:v ~code:"L103" ~severity:D.Error
+                "µFSM %s state variable must be a register" u.Meta.ufsm_name)
+        u.Meta.vars;
+      (if valid u.Meta.pcr then
+         match (N.node nl u.Meta.pcr).N.kind with
+         | N.Reg _ -> ()
+         | _ ->
+           emit ~signal:u.Meta.pcr ~code:"L103" ~severity:D.Error
+             "µFSM %s PCR (per-µFSM IIR) must be a register" u.Meta.ufsm_name);
+      let sw = Meta.ufsm_state_width meta u in
+      List.iter
+        (fun (v, lbl) ->
+          if Bitvec.width v <> sw then
+            emit ~code:"L103" ~severity:D.Error
+              "µFSM %s: label %s valuation has width %d, state width is %d"
+              u.Meta.ufsm_name lbl (Bitvec.width v) sw)
+        u.Meta.state_labels;
+      List.iter
+        (fun v ->
+          if Bitvec.width v <> sw then
+            emit ~code:"L103" ~severity:D.Error
+              "µFSM %s: idle state %s has width %d, state width is %d — not \
+               representable"
+              u.Meta.ufsm_name (Bitvec.to_hex_string v) (Bitvec.width v) sw)
+        u.Meta.idle_states;
+      (* L104: unambiguous labels. *)
+      ignore
+        (List.fold_left
+           (fun seen (v, lbl) ->
+             if List.exists (fun (v', _) -> Bitvec.equal v v') seen then begin
+               emit ~code:"L104" ~severity:D.Error
+                 "µFSM %s: state %s is labelled twice (second label %s)"
+                 u.Meta.ufsm_name (Bitvec.to_hex_string v) lbl;
+               seen
+             end
+             else (v, lbl) :: seen)
+           [] u.Meta.state_labels);
+      List.iter
+        (fun (v, lbl) ->
+          if List.exists (Bitvec.equal v) u.Meta.idle_states then
+            emit ~code:"L104" ~severity:D.Error
+              "µFSM %s: label %s is on idle state %s and would be silently \
+               dropped by PL-group collection"
+              u.Meta.ufsm_name lbl (Bitvec.to_hex_string v))
+        u.Meta.state_labels;
+      (* L106: without an idle state every valuation is a candidate PL. *)
+      if u.Meta.idle_states = [] then
+        emit ~code:"L106" ~severity:D.Warning
+          "µFSM %s declares no idle state" u.Meta.ufsm_name)
+    meta.Meta.ufsms;
+
+  (* L105: taint boundaries.  The ARF/AMEM lists are the IFT blockers
+     (shadow pinned to 0 between instructions) and the operand registers are
+     the taint-introduction points — both instrument registers only. *)
+  let check_reg role s =
+    if valid s then
+      match (N.node nl s).N.kind with
+      | N.Reg _ -> ()
+      | _ ->
+        emit ~signal:s ~code:"L105" ~severity:D.Error
+          "%s must be a register — IFT pins/injects shadow state at registers \
+           only"
+          role
+  in
+  List.iteri (fun i s -> check_reg (Printf.sprintf "arf[%d]" i) s) meta.Meta.arf;
+  List.iteri
+    (fun i s -> check_reg (Printf.sprintf "amem[%d]" i) s)
+    meta.Meta.amem;
+  List.iter
+    (fun (k, s) -> check_reg ("operand." ^ k) s)
+    meta.Meta.operand_regs;
+
+  List.rev !diags

@@ -1,0 +1,10 @@
+(** Annotation µLint pass (codes L101–L106): checks that the design metadata
+    — IFR slots, operand stage, commit/flush, µFSM declarations, ARF/AMEM
+    taint boundaries — consistently describes the netlist it annotates. *)
+
+val signals : Designs.Meta.t -> (string * Hdl.Netlist.signal) list
+(** Every signal the metadata references, paired with its role (e.g.
+    ["ifr[0].pc"], ["scb0.var[0]"]).  Shared with the structural pass,
+    which treats these as observability roots. *)
+
+val run : Designs.Meta.t -> Diagnostic.t list

@@ -1,0 +1,101 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  signal : int option;
+  signal_name : string option;
+  message : string;
+}
+
+type report = { design : string; diags : t list }
+
+let make ?signal ?signal_name ~code ~severity message =
+  { code; severity; signal; signal_name; message }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let counts diags =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) diags
+
+let exit_code reports =
+  let e, w =
+    List.fold_left
+      (fun (e, w) r ->
+        let e', w', _ = counts r.diags in
+        (e + e', w + w'))
+      (0, 0) reports
+  in
+  if e > 0 then 2 else if w > 0 then 1 else 0
+
+let where d =
+  match (d.signal_name, d.signal) with
+  | Some nm, Some s -> Printf.sprintf "%s (node %d): " nm s
+  | Some nm, None -> nm ^ ": "
+  | None, Some s -> Printf.sprintf "node %d: " s
+  | None, None -> ""
+
+let pp_report ppf r =
+  let e, w, i = counts r.diags in
+  Format.fprintf ppf "%s: %d error(s), %d warning(s), %d info(s)" r.design e w i;
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "@\n  %s %-7s %s%s" d.code
+        (severity_name d.severity)
+        (where d) d.message)
+    r.diags;
+  Format.fprintf ppf "@\n"
+
+(* Hand-rolled JSON writer (the repo carries no JSON dependency). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json reports =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "[";
+  List.iteri
+    (fun ri r ->
+      if ri > 0 then add ",";
+      let e, w, i = counts r.diags in
+      add "\n  {\"design\": \"%s\", \"errors\": %d, \"warnings\": %d, \"infos\": %d,\n   \"diagnostics\": ["
+        (json_escape r.design) e w i;
+      List.iteri
+        (fun di d ->
+          if di > 0 then add ",";
+          add "\n    {\"code\": \"%s\", \"severity\": \"%s\", " (json_escape d.code)
+            (severity_name d.severity);
+          (match d.signal with
+          | Some s -> add "\"signal\": %d, " s
+          | None -> add "\"signal\": null, ");
+          (match d.signal_name with
+          | Some nm -> add "\"signal_name\": \"%s\", " (json_escape nm)
+          | None -> add "\"signal_name\": null, ");
+          add "\"message\": \"%s\"}" (json_escape d.message))
+        r.diags;
+      if r.diags <> [] then add "\n   ";
+      add "]}")
+    reports;
+  add "\n]\n";
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** µLint diagnostics: severities, stable codes, and text/JSON rendering.
+
+    Codes are stable across releases so CI filters and waivers can key on
+    them: [L0xx] structural netlist findings, [L1xx] annotation findings,
+    [L2xx] reachability findings.  See DESIGN.md §12 for the catalogue. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** Stable diagnostic code, e.g. ["L004"]. *)
+  severity : severity;
+  signal : int option;  (** Offending netlist node, when one exists. *)
+  signal_name : string option;
+  message : string;
+}
+
+type report = { design : string; diags : t list }
+
+val make :
+  ?signal:int ->
+  ?signal_name:string ->
+  code:string ->
+  severity:severity ->
+  string ->
+  t
+
+val severity_name : severity -> string
+
+val counts : t list -> int * int * int
+(** [(errors, warnings, infos)]. *)
+
+val exit_code : report list -> int
+(** 0 when every report is clean, 1 when the worst finding is a warning,
+    2 on any error.  Infos never affect the exit code. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val to_json : report list -> string
+(** One JSON array entry per report, with per-severity counts and every
+    diagnostic — the CI artifact format. *)

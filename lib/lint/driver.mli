@@ -1,0 +1,4 @@
+(** µLint driver: the structural, annotation, and reachability passes over
+    one design, concatenated into a single report. *)
+
+val run_design : Designs.Meta.t -> Diagnostic.report

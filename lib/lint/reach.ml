@@ -1,0 +1,85 @@
+(* Reachability µLint pass (L201–L203): runs the same abstract µFSM
+   reachability analysis Mupath.Synth uses for its static cover-pruning
+   pre-pass, and reports what it would prune.  L202 flags labelled states
+   the abstraction proves unreachable — almost always an annotation bug,
+   since the designer named a state the design can never enter. *)
+
+module Meta = Designs.Meta
+module D = Diagnostic
+
+let run (meta : Meta.t) =
+  List.concat_map
+    (fun (u : Meta.ufsm) ->
+      match Hdl.Analysis.fsm_reachable meta.Meta.nl ~vars:u.Meta.vars with
+      | None ->
+        [
+          D.make ~code:"L203" ~severity:D.Info
+            (Printf.sprintf
+               "µFSM %s: abstract reachability did not converge; none of its \
+                covers are statically pruned"
+               u.Meta.ufsm_name);
+        ]
+      | Some reach ->
+        let reachable v = List.exists (Bitvec.equal v) reach in
+        let idle v = List.exists (Bitvec.equal v) u.Meta.idle_states in
+        let labelled v =
+          List.exists (fun (s, _) -> Bitvec.equal s v) u.Meta.state_labels
+        in
+        let dead_labels =
+          List.filter_map
+            (fun (v, lbl) ->
+              if (not (idle v)) && not (reachable v) then
+                Some
+                  (D.make ~code:"L202" ~severity:D.Warning
+                     (Printf.sprintf
+                        "µFSM %s: labelled state %s (%s) is statically \
+                         unreachable — is the annotation wrong?"
+                        u.Meta.ufsm_name lbl (Bitvec.to_hex_string v)))
+              else None)
+            u.Meta.state_labels
+        in
+        let unlabelled =
+          List.filter
+            (fun v -> (not (idle v)) && not (labelled v))
+            (Meta.all_state_valuations meta u)
+        in
+        let dead_unlabelled =
+          List.filter (fun v -> not (reachable v)) unlabelled
+        in
+        let prune_info =
+          if dead_unlabelled = [] then []
+          else
+            [
+              D.make ~code:"L201" ~severity:D.Info
+                (Printf.sprintf
+                   "µFSM %s: %d of %d unlabelled state(s) statically \
+                    unreachable (%s); synthesis prunes their covers without \
+                    the model checker"
+                   u.Meta.ufsm_name
+                   (List.length dead_unlabelled)
+                   (List.length unlabelled)
+                   (String.concat ", "
+                      (List.map Bitvec.to_hex_string dead_unlabelled)));
+            ]
+        in
+        dead_labels @ prune_info)
+    meta.Meta.ufsms
+
+let statically_dead_unlabelled (meta : Meta.t) =
+  List.concat_map
+    (fun (u : Meta.ufsm) ->
+      match Hdl.Analysis.fsm_reachable meta.Meta.nl ~vars:u.Meta.vars with
+      | None -> []
+      | Some reach ->
+        let reachable v = List.exists (Bitvec.equal v) reach in
+        let idle v = List.exists (Bitvec.equal v) u.Meta.idle_states in
+        let labelled v =
+          List.exists (fun (s, _) -> Bitvec.equal s v) u.Meta.state_labels
+        in
+        List.filter_map
+          (fun v ->
+            if (not (idle v)) && (not (labelled v)) && not (reachable v) then
+              Some (u.Meta.ufsm_name, v)
+            else None)
+          (Meta.all_state_valuations meta u))
+    meta.Meta.ufsms

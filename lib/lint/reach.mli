@@ -1,0 +1,12 @@
+(** Reachability µLint pass (codes L201–L203): abstract µFSM reachability
+    (see {!Hdl.Analysis.fsm_reachable}) reported as lint findings —
+    statically-prunable unlabelled states (info), labelled-but-unreachable
+    states (warning, a likely annotation bug), and non-convergence (info). *)
+
+val run : Designs.Meta.t -> Diagnostic.t list
+
+val statically_dead_unlabelled :
+  Designs.Meta.t -> (string * Bitvec.t) list
+(** The unlabelled, non-idle state valuations the abstraction proves
+    unreachable, as [(µFSM name, valuation)] pairs — exactly the covers the
+    synthesis pre-pass prunes.  Empty for µFSMs where the abstraction bails. *)

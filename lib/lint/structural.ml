@@ -1,0 +1,179 @@
+(* Structural µLint pass (L001–L007): netlist-level findings independent of
+   annotation semantics — combinational cycles, unconnected nodes, a width
+   audit of the width-sensitive kinds, dead logic, foldable constants,
+   unnamed annotated signals, and unused inputs. *)
+
+module N = Hdl.Netlist
+module Meta = Designs.Meta
+module D = Diagnostic
+
+let name_or_id nl s =
+  match (N.node nl s).N.name with
+  | Some nm -> Printf.sprintf "%s (node %d)" nm s
+  | None -> Printf.sprintf "node %d" s
+
+let kind_name = function
+  | N.Input -> "input"
+  | N.Const _ -> "constant"
+  | N.Reg _ -> "register"
+  | N.Wire _ -> "wire"
+  | N.Not _ -> "not"
+  | N.Op2 _ -> "operator"
+  | N.Mux _ -> "mux"
+  | N.Extract _ -> "extract"
+  | N.Concat _ -> "concat"
+  | N.ReduceOr _ -> "reduce-or"
+  | N.ReduceAnd _ -> "reduce-and"
+
+let run (meta : Meta.t) =
+  let nl = meta.Meta.nl in
+  let nn = N.num_nodes nl in
+  let mk ?signal ~code ~severity fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let signal_name =
+          Option.bind signal (fun s -> (N.node nl s).N.name)
+        in
+        D.make ?signal ?signal_name ~code ~severity msg)
+      fmt
+  in
+
+  (* L001: every combinational cycle, one diagnostic per SCC. *)
+  let cycles =
+    List.map
+      (fun scc ->
+        mk ~signal:(List.hd scc) ~code:"L001" ~severity:D.Error
+          "combinational cycle through %s"
+          (String.concat " -> " (List.map (name_or_id nl) scc)))
+      (N.comb_sccs nl)
+  in
+
+  (* L002: unconnected registers and wires. *)
+  let unconnected =
+    N.fold_nodes nl ~init:[] ~f:(fun acc n ->
+        match n.N.kind with
+        | N.Reg { next = None; _ } ->
+          mk ~signal:n.N.id ~code:"L002" ~severity:D.Error
+            "register has no next-state driver"
+          :: acc
+        | N.Wire { driver = None } ->
+          mk ~signal:n.N.id ~code:"L002" ~severity:D.Error "wire has no driver"
+          :: acc
+        | _ -> acc)
+    |> List.rev
+  in
+
+  (* L003: width audit of the width-sensitive kinds.  The construction API
+     enforces these, so a finding means the node table was built or mutated
+     outside it. *)
+  let widths =
+    N.fold_nodes nl ~init:[] ~f:(fun acc n ->
+        let bad fmt =
+          Printf.ksprintf
+            (fun msg ->
+              mk ~signal:n.N.id ~code:"L003" ~severity:D.Error "%s" msg :: acc)
+            fmt
+        in
+        match n.N.kind with
+        | N.Extract { hi; lo; arg } ->
+          let wa = N.width nl arg in
+          if lo < 0 || hi >= wa || hi < lo then
+            bad "extract [%d:%d] outside its %d-bit argument" hi lo wa
+          else if n.N.width <> hi - lo + 1 then
+            bad "extract [%d:%d] has width %d, expected %d" hi lo n.N.width
+              (hi - lo + 1)
+          else acc
+        | N.Concat parts ->
+          let sum = List.fold_left (fun s p -> s + N.width nl p) 0 parts in
+          if n.N.width <> sum then
+            bad "concat has width %d but its parts sum to %d" n.N.width sum
+          else acc
+        | N.Mux { sel; on_true; on_false } ->
+          if N.width nl sel <> 1 then
+            bad "mux selector has width %d, must be 1" (N.width nl sel)
+          else if N.width nl on_true <> n.N.width || N.width nl on_false <> n.N.width
+          then
+            bad "mux branches have widths %d/%d, node has width %d"
+              (N.width nl on_true) (N.width nl on_false) n.N.width
+          else acc
+        | _ -> acc)
+    |> List.rev
+  in
+
+  (* L004/L007: observability.  Roots are all registers, all named signals
+     (the IR's outputs), and every annotated signal; anything outside their
+     cone of influence cannot affect observable behaviour.  Unreferenced
+     inputs are reported separately as info — an input is an interface
+     commitment, not necessarily a bug. *)
+  let named_roots =
+    N.fold_nodes nl ~init:[] ~f:(fun acc n ->
+        if n.N.name <> None then n.N.id :: acc else acc)
+  in
+  let annotated = List.map snd (Annotations.signals meta) in
+  let annotated = List.filter (fun s -> s >= 0 && s < nn) annotated in
+  let roots = N.registers nl @ named_roots @ annotated in
+  let dead = Hdl.Analysis.dead_cells nl ~roots in
+  let dead_diags =
+    List.filter_map
+      (fun s ->
+        match (N.node nl s).N.kind with
+        | N.Const _ | N.Input -> None (* constants are free; inputs -> L007 *)
+        | k ->
+          Some
+            (mk ~signal:s ~code:"L004" ~severity:D.Warning
+               "dead %s: not in the cone of influence of any register, named \
+                signal, or annotated signal"
+               (kind_name k)))
+      dead
+  in
+  let referenced = Array.make (max nn 1) false in
+  N.iter_nodes nl (fun n ->
+      let deps =
+        match n.N.kind with
+        | N.Reg { next; enable; _ } -> List.filter_map Fun.id [ next; enable ]
+        | _ -> N.comb_fanin nl n.N.id
+      in
+      List.iter (fun d -> referenced.(d) <- true) deps);
+  let unused_inputs =
+    List.filter_map
+      (fun s ->
+        if referenced.(s) then None
+        else
+          Some
+            (mk ~signal:s ~code:"L007" ~severity:D.Info
+               "input drives no logic"))
+      (N.inputs nl)
+  in
+
+  (* L005: constant-foldable logic, aggregated into one finding. *)
+  let foldable = Hdl.Analysis.constant_foldable nl in
+  let foldable_diag =
+    match foldable with
+    | [] -> []
+    | l ->
+      let shown = List.filteri (fun i _ -> i < 8) l in
+      [
+        mk ~code:"L005" ~severity:D.Info
+          "%d node(s) are constant-foldable (e.g. %s%s)" (List.length l)
+          (String.concat ", " (List.map (name_or_id nl) shown))
+          (if List.length l > 8 then ", ..." else "");
+      ]
+  in
+
+  (* L006: annotated signals should carry names — counterexample traces and
+     diagnostics refer to signals by name. *)
+  let unnamed_annotated =
+    List.filter_map
+      (fun (role, s) ->
+        if s >= 0 && s < nn && (N.node nl s).N.name = None then
+          Some
+            (mk ~signal:s ~code:"L006" ~severity:D.Warning
+               "annotated signal %s is unnamed — witness traces cannot refer \
+                to it"
+               role)
+        else None)
+      (Annotations.signals meta)
+  in
+
+  cycles @ unconnected @ widths @ dead_diags @ foldable_diag
+  @ unnamed_annotated @ unused_inputs

@@ -1,0 +1,6 @@
+(** Structural µLint pass (codes L001–L007): combinational cycles,
+    unconnected registers/wires, width audit of [Extract]/[Concat]/[Mux],
+    dead cells, constant-foldable logic, unnamed annotated signals, and
+    unused inputs. *)
+
+val run : Designs.Meta.t -> Diagnostic.t list

@@ -26,7 +26,7 @@ type t = {
   mons : (string, monitors) Hashtbl.t;
   edges : ((string * string) * Netlist.signal) list;
   gone_s : Netlist.signal;
-  unlabeled_occs : (string * Netlist.signal) list;
+  unlabeled_occs : (string * Netlist.signal * (Meta.ufsm * Bitvec.t)) list;
   assumes : Netlist.signal list;
   checker : Mc.Checker.t;
 }
@@ -51,7 +51,8 @@ let gone t = t.gone_s
 let assumes t = t.assumes
 let edge_candidates t = List.map fst t.edges
 
-let unlabeled_states t = t.unlabeled_occs
+let unlabeled_states t = List.map (fun (n, s, _) -> (n, s)) t.unlabeled_occs
+let unlabeled_state_info t = t.unlabeled_occs
 
 let edge_flag t e =
   match List.assoc_opt e t.edges with
@@ -247,7 +248,7 @@ let create ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
             let idle = List.exists (Bitvec.equal v) u.Meta.idle_states in
             if labelled || idle then None
             else
-              Some (Meta.state_value meta u v, state_of_ufsm u ==: of_bv v))
+              Some (Meta.state_value meta u v, state_of_ufsm u ==: of_bv v, (u, v)))
           (Meta.all_state_valuations meta u))
       meta.Meta.ufsms
   in

@@ -85,6 +85,11 @@ val unlabeled_states : t -> (string * Hdl.Netlist.signal) list
 (** Occupancy of every unlabeled non-idle µFSM state valuation — candidate
     PLs the DUV-reachability stage is expected to prune (§V-B1). *)
 
+val unlabeled_state_info :
+  t -> (string * Hdl.Netlist.signal * (Designs.Meta.ufsm * Bitvec.t)) list
+(** Like {!unlabeled_states}, with the defining (µFSM, valuation) pair —
+    what the static reachability pre-pass of {!Synth} keys its pruning on. *)
+
 val maxrun_eq : t -> string -> int -> Hdl.Netlist.signal
 (** 1-bit: the IUV's longest consecutive run in the group equals [n]
     (only for labels passed in [revisit_count_labels]; saturates at 15). *)

@@ -10,6 +10,7 @@ type stage_stats = {
   mutable props : int;
   mutable presim_hits : int;
   mutable undetermined : int;
+  mutable pruned_static : int;
 }
 
 type result = {
@@ -43,7 +44,8 @@ type episode = {
 
 let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     ?(max_candidate_sets = 4096) ?(max_revisit_count = 12) ?(presim_episodes = 64)
-    ?(presim_cycles = 48) ~shards ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
+    ?(presim_cycles = 48) ?(static_prune = true) ~shards ~(pool : Pool.t option)
+    ~meta ~iuv ~iuv_pc () =
   let h =
     Harness.create ?cache ?cache_salt ?config ?stimulus ~revisit_count_labels
       ~meta ~iuv ~iuv_pc ()
@@ -51,6 +53,34 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
   let nl = meta.Designs.Meta.nl in
   let chk = Harness.checker h in
   let labels = Harness.labels h in
+  (* Static FSM-abstraction reachability pre-pass: over-approximate each
+     µFSM's reachable state set; a cover over a state outside the
+     over-approximation is provably unsatisfiable, so its checker call can
+     be discharged without the solver.  With [static_prune] off, the same
+     partition is kept but the statically-decided covers are dispatched as
+     a trailing audit batch instead — both modes issue the identical checker
+     sequence for every semantically-live cover, so their reports digest
+     identically, and the audit turns any abstraction unsoundness into a
+     hard failure. *)
+  let static_reach =
+    List.filter_map
+      (fun (u : Designs.Meta.ufsm) ->
+        Option.map
+          (fun set -> (u.Designs.Meta.ufsm_name, set))
+          (Hdl.Analysis.fsm_reachable nl ~vars:u.Designs.Meta.vars))
+      meta.Designs.Meta.ufsms
+  in
+  let member_static_dead ((u : Designs.Meta.ufsm), v) =
+    match List.assoc_opt u.Designs.Meta.ufsm_name static_reach with
+    | None -> false (* abstraction bailed: nothing is pruned for this µFSM *)
+    | Some set -> not (List.exists (Bitvec.equal v) set)
+  in
+  let group_members = Harness.pl_groups meta in
+  let label_static_dead lbl =
+    match List.assoc_opt lbl group_members with
+    | Some members -> members <> [] && List.for_all member_static_dead members
+    | None -> false
+  in
   (* Property sharding (off unless [shards > 1]): K checker instances over
      the same monitored netlist, each owning its own solver and unrolling.
      Shard 0 is the harness checker; the others get seeds derived from
@@ -83,7 +113,10 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
               ~config:cfg ~assumes:(Harness.assumes h) nl)
   in
   let stage names =
-    List.map (fun n -> (n, { props = 0; presim_hits = 0; undetermined = 0 })) names
+    List.map
+      (fun n ->
+        (n, { props = 0; presim_hits = 0; undetermined = 0; pruned_static = 0 }))
+      names
   in
   let stages =
     stage [ "duv_pl"; "iuv_pl"; "prune"; "pl_set"; "revisit"; "hb_edge"; "counts" ]
@@ -250,12 +283,34 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
   in
   let completed_eps = List.filter (fun e -> e.completed) episodes in
 
+  (* Soundness tripwire: a statically-dead PL observed occupied during
+     random simulation contradicts the over-approximation — fail loudly
+     rather than prune a live cover. *)
+  let statically_dead_labels = List.filter label_static_dead labels in
+  List.iter
+    (fun lbl ->
+      if List.exists (fun e -> SS.mem lbl e.occ_any_seen) episodes then
+        failwith
+          (Printf.sprintf
+             "Synth: static reachability abstraction unsound: PL %s observed \
+              in simulation"
+             lbl))
+    statically_dead_labels;
+
   (* ------------------------------------------------------------------ *)
   (* Stage A: PL reachability for the DUV (§V-B1).                        *)
   (* ------------------------------------------------------------------ *)
+  (* Statically-dead covers never reach the checkers here, in either mode:
+     removing them mid-stream only in prune mode would shift the shared
+     RNG/solver state of everything after them and change witnesses.  They
+     are either discharged by the abstraction (prune mode) or deferred to
+     the trailing audit batch (audit mode). *)
+  let live_labels =
+    List.filter (fun lbl -> not (List.mem lbl statically_dead_labels)) labels
+  in
   let duv_pls =
     let keeps =
-      sharded "duv_pl" labels ~f:(fun ~check ~hit lbl ->
+      sharded "duv_pl" live_labels ~f:(fun ~check ~hit lbl ->
           if List.exists (fun e -> SS.mem lbl e.occ_any_seen) episodes then begin
             hit ();
             true
@@ -265,17 +320,34 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
             | Checker.Reachable _ -> true
             | Checker.Unreachable _ | Checker.Undetermined -> false)
     in
-    List.filter_map (fun (lbl, keep) -> if keep then Some lbl else None)
-      (List.combine labels keeps)
+    let keep_of = List.combine live_labels keeps in
+    List.filter
+      (fun lbl -> List.assoc_opt lbl keep_of = Some true)
+      labels
+  in
+  let unlabeled_info = Harness.unlabeled_state_info h in
+  let undecided_unlabeled =
+    List.filter (fun (_, _, m) -> not (member_static_dead m)) unlabeled_info
+  in
+  let undecided_pruned =
+    sharded "duv_pl" undecided_unlabeled ~f:(fun ~check ~hit:_ (name, occ, _) ->
+        match check [ (occ, true) ] with
+        | Checker.Reachable _ -> (name, false)
+        | Checker.Unreachable _ | Checker.Undetermined -> (name, true))
   in
   let pruned_duv_states =
-    List.filter_map Fun.id
-      (sharded "duv_pl" (Harness.unlabeled_states h)
-         ~f:(fun ~check ~hit:_ (name, occ) ->
-           match check [ (occ, true) ] with
-           | Checker.Reachable _ -> None
-           | Checker.Unreachable _ | Checker.Undetermined -> Some name))
+    List.filter_map
+      (fun (name, _, m) ->
+        if member_static_dead m then Some name
+        else if List.assoc_opt name undecided_pruned = Some true then Some name
+        else None)
+      unlabeled_info
   in
+  let n_statically_decided =
+    List.length statically_dead_labels
+    + (List.length unlabeled_info - List.length undecided_unlabeled)
+  in
+  if static_prune then (st "duv_pl").pruned_static <- n_statically_decided;
 
   (* ------------------------------------------------------------------ *)
   (* Stage B: PL reachability for the IUV (§V-B2).                        *)
@@ -574,6 +646,38 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
       revisit_count_labels
   in
 
+  (* Trailing audit (only with [static_prune] off): dispatch every
+     statically-decided cover to the model checker after the main stream,
+     so the main stream's RNG/solver trajectory is identical in both modes
+     while the abstraction's verdicts still get checked.  A [Reachable]
+     verdict here means the over-approximation was unsound — fail loudly
+     rather than let a pruning bug pass silently. *)
+  if not static_prune then begin
+    List.iter
+      (fun lbl ->
+        match check "duv_pl" [ (Harness.occ_any h lbl, true) ] with
+        | Checker.Reachable _ ->
+          failwith
+            (Printf.sprintf
+               "Synth: static reachability abstraction unsound: PL %s is \
+                reachable"
+               lbl)
+        | Checker.Unreachable _ | Checker.Undetermined -> ())
+      statically_dead_labels;
+    List.iter
+      (fun (name, occ, m) ->
+        if member_static_dead m then
+          match check "duv_pl" [ (occ, true) ] with
+          | Checker.Reachable _ ->
+            failwith
+              (Printf.sprintf
+                 "Synth: static reachability abstraction unsound: state %s \
+                  is reachable"
+                 name)
+          | Checker.Unreachable _ | Checker.Undetermined -> ())
+      unlabeled_info
+  end;
+
   (* Decisions (§IV-B): aggregate per source PL. *)
   let decisions =
     let tbl = Hashtbl.create 16 in
@@ -616,12 +720,12 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
 
 let run ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
     ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
-    ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
+    ?static_prune ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
   let shards = max 1 shards in
   let inner pool =
     run_inner ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
       ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
-      ~shards ~pool ~meta ~iuv ~iuv_pc ()
+      ?static_prune ~shards ~pool ~meta ~iuv ~iuv_pc ()
   in
   match pool with
   | Some p -> inner (Some p)
@@ -705,7 +809,11 @@ let pp_result fmt r =
     r.revisit_counts;
   List.iter
     (fun (name, s) ->
-      Format.fprintf fmt "stage %-8s: %4d props, %4d presim hits, %d undetermined@,"
-        name s.props s.presim_hits s.undetermined)
+      Format.fprintf fmt
+        "stage %-8s: %4d props, %4d presim hits, %d undetermined%s@," name
+        s.props s.presim_hits s.undetermined
+        (if s.pruned_static > 0 then
+           Printf.sprintf ", %d static-pruned" s.pruned_static
+         else ""))
     r.stage_stats;
   Format.fprintf fmt "checker: %a@]" Mc.Checker.Stats.pp r.checker_stats

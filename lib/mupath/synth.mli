@@ -30,6 +30,11 @@ type stage_stats = {
   mutable props : int;  (** Model-checker properties evaluated. *)
   mutable presim_hits : int;  (** Facts discharged by the simulation pre-pass. *)
   mutable undetermined : int;
+  mutable pruned_static : int;
+      (** Covers discharged by the static FSM-abstraction reachability
+          pre-pass — never dispatched to simulation or the model checker.
+          Zero when [static_prune] is off (the audit re-checks count as
+          [props] instead). *)
 }
 
 type result = {
@@ -62,6 +67,7 @@ val run :
   ?max_revisit_count:int ->
   ?presim_episodes:int ->
   ?presim_cycles:int ->
+  ?static_prune:bool ->
   ?shards:int ->
   ?pool:Pool.t ->
   meta:Designs.Meta.t ->
@@ -71,6 +77,17 @@ val run :
   result
 (** Note: [meta] is consumed — the harness extends its netlist with monitor
     state, so build a fresh design per call.
+
+    [static_prune] (default [true]) enables the static FSM-abstraction
+    reachability pre-pass: covers over state valuations outside a µFSM's
+    abstract reachable set (see {!Hdl.Analysis.fsm_reachable}) are decided
+    unreachable without dispatching a property.  This is sound — the
+    abstraction over-approximates, so exclusion proves unreachability.
+    With [static_prune = false] those covers are instead dispatched as a
+    trailing audit batch after the main property stream; a [Reachable]
+    audit verdict raises [Failure].  Both modes issue the identical checker
+    sequence for every semantically-live cover, so the {!Synthlc} report
+    digest is bit-identical across modes.
 
     [cache] attaches a persistent verdict store (see {!Mc.Checker.create}):
     every checker property — including each shard's — is looked up before

@@ -70,7 +70,7 @@ let signatures_of_tagged (transponder : Isa.t)
           })
     sources
 
-let analyze_transponder ?cache ?config ?synth_config
+let analyze_transponder ?cache ?config ?synth_config ?static_prune
     ?(stimulus : stimulus_builder option) ?(exclude_sources = [])
     ~(design : unit -> Meta.t) ~(instr : Isa.t)
     ~(transmitters : Isa.opcode list) ~(kinds : Types.transmitter_kind list)
@@ -84,7 +84,7 @@ let analyze_transponder ?cache ?config ?synth_config
     | None -> None
   in
   let synth =
-    Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim
+    Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim ?static_prune
       ~revisit_count_labels ~meta ~iuv:instr ~iuv_pc ()
   in
   (* Candidate transponders have µPATH variability (§V-C): more than one
@@ -184,7 +184,8 @@ let analyze_transponder ?cache ?config ?synth_config
     }
   end
 
-let run ?cache ?config ?synth_config ?(stimulus : stimulus_builder option)
+let run ?cache ?config ?synth_config ?static_prune
+    ?(stimulus : stimulus_builder option)
     ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
     ~(instructions : Isa.t list) ~(transmitters : Isa.opcode list)
     ~(kinds : Types.transmitter_kind list) ~(revisit_count_labels : string list)
@@ -208,8 +209,9 @@ let run ?cache ?config ?synth_config ?(stimulus : stimulus_builder option)
   let cache_of index = List.nth task_caches index in
   let analyze index instr =
     analyze_transponder ?cache:(cache_of index) ?config:(reseed index config)
-      ?synth_config:(reseed index synth_config) ?stimulus ~exclude_sources
-      ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
+      ?synth_config:(reseed index synth_config) ?static_prune ?stimulus
+      ~exclude_sources ~design ~instr ~transmitters ~kinds
+      ~revisit_count_labels ~iuv_pc ()
   in
   let jobs = match pool with Some p -> Pool.jobs p | None -> max 1 jobs in
   let transponders =
@@ -277,21 +279,16 @@ let equal_report a b =
   && List.length a.transponders = List.length b.transponders
   && List.for_all2 equal_transponder a.transponders b.transponders
 
-(* A digest over exactly the facts [equal_report] compares (plus the stage
-   counters), leaving out every wall-clock and cache hit/miss field: two
-   runs that synthesized the same thing digest identically whether their
-   verdicts came from the checker engines or from a warm cache.  Marshaled
-   without sharing so physically different but structurally equal reports
-   serialize to the same bytes. *)
+(* A digest over the semantic facts of a report — everything a verification
+   consumer acts on — leaving out every wall-clock, cache hit/miss, and
+   property-count field: two runs that synthesized the same thing digest
+   identically whether their verdicts came from the checker engines, from a
+   warm cache, or (for statically-dead covers) from the reachability
+   abstraction.  Stage/checker counters are deliberately excluded — they
+   differ between [static_prune] modes even though the synthesized facts do
+   not.  Marshaled without sharing so physically different but structurally
+   equal reports serialize to the same bytes. *)
 let report_digest r =
-  let stats (s : Mc.Checker.Stats.t) =
-    ( s.Mc.Checker.Stats.n_props,
-      s.Mc.Checker.Stats.n_reachable,
-      s.Mc.Checker.Stats.n_unreachable,
-      s.Mc.Checker.Stats.n_undetermined,
-      s.Mc.Checker.Stats.n_sim_discharged,
-      s.Mc.Checker.Stats.n_inductive )
-  in
   let transponder (t : transponder_report) =
     let s = t.synth in
     ( t.instr,
@@ -304,15 +301,12 @@ let report_digest r =
       s.Mupath.Synth.paths,
       s.Mupath.Synth.decisions,
       s.Mupath.Synth.revisit_counts,
-      s.Mupath.Synth.stage_stats,
-      stats s.Mupath.Synth.checker_stats,
       (t.tagged, t.signatures, t.flow_props, t.flow_undetermined) )
   in
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
           ( r.design_name,
-            r.total_mupath_props,
             r.total_flow_props,
             List.map transponder r.transponders )
           [ Marshal.No_sharing ]))

@@ -50,6 +50,7 @@ val analyze_transponder :
   ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
+  ?static_prune:bool ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
   design:(unit -> Designs.Meta.t) ->
@@ -76,11 +77,17 @@ val analyze_transponder :
     are merged into the root store in task order at the join.  A fully-warm
     run replays every verdict — witnesses included — from the store and
     produces a bit-identical report (same {!report_digest}) to the cold run
-    that filled it. *)
+    that filled it.
+
+    [static_prune] is forwarded to {!Mupath.Synth.run} (default [true]):
+    covers over statically-unreachable µFSM states are discharged by the
+    FSM-abstraction reachability pre-pass without dispatching properties.
+    {!report_digest} is bit-identical across [static_prune] modes. *)
 val run :
   ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
+  ?static_prune:bool ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
   ?jobs:int ->
@@ -101,11 +108,13 @@ val equal_report : report -> report -> bool
     compare equal. *)
 
 val report_digest : report -> string
-(** Hex digest over exactly the facts {!equal_report} compares (plus the
-    per-stage property counters) — wall-clock and cache hit/miss fields are
-    excluded.  [equal_report a b] implies
+(** Hex digest over the semantic facts of a report — µPATH sets, decisions,
+    tagged flows, signatures — excluding wall-clock, cache hit/miss, and
+    property/outcome counters.  [equal_report a b] implies
     [report_digest a = report_digest b]; a warm-cache run digests
-    identically to the cold run that filled its store. *)
+    identically to the cold run that filled its store, and the digest is
+    bit-identical across [static_prune] modes (whose stage counters
+    differ). *)
 
 val all_signatures : report -> Types.signature list
 val all_transmitter_opcodes : report -> Isa.opcode list

@@ -35,6 +35,20 @@ fi
 echo "== dune typecheck (@check) =="
 dune build @check || fail=1
 
+# uLint over the built-in designs: exit 2 (errors) fails the gate; exit 1
+# (warnings) is reported but tolerated here — CI uploads the JSON artifact.
+echo "== uLint (built-in designs) =="
+if [ "$fail" -eq 0 ]; then
+  set +e
+  dune exec bin/synthlc_cli.exe -- lint
+  ulint=$?
+  set -e
+  if [ "$ulint" -ge 2 ]; then
+    echo "error: uLint reported errors"
+    fail=1
+  fi
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "lint: FAILED"
   exit 1

@@ -21,4 +21,6 @@ let () =
       Test_pool.suite;
       Test_parallel.suite;
       Test_vcache.suite;
+      Test_analysis.suite;
+      Test_lint.suite;
     ]

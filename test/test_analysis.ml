@@ -1,0 +1,253 @@
+(* Hdl.Analysis tests: constant folding, dead-cell observability, SCC
+   enumeration, comb_cone edge cases, and the abstract µFSM reachability
+   that backs µLint's L2xx pass and the synthesis static-prune pre-pass. *)
+
+module N = Hdl.Netlist
+module A = Hdl.Analysis
+
+let bv w i = Bitvec.of_int ~width:w i
+
+let test_comb_sccs_all_cycles () =
+  let nl = N.create "sccs" in
+  (* Cycle 1: a <-> b through a Not. *)
+  let a = N.wire nl ~name:"a" 1 in
+  let b = N.not_ nl a in
+  N.connect_wire nl a b;
+  (* Cycle 2: a self-loop. *)
+  let s = N.wire nl ~name:"self" 1 in
+  N.connect_wire nl s s;
+  (* A loop broken by a register is not combinational. *)
+  let r = N.reg nl ~name:"r" ~init:(N.Init_value (Bitvec.zero 1)) ~width:1 () in
+  N.connect_reg nl r (N.not_ nl r);
+  (* Plain acyclic logic. *)
+  let i = N.input nl "i" 1 in
+  ignore (N.op2 nl N.Xor i r);
+  let sccs = N.comb_sccs nl in
+  Alcotest.(check int) "two combinational cycles" 2 (List.length sccs);
+  Alcotest.(check bool) "a-b cycle found" true
+    (List.exists (fun c -> List.mem a c && List.mem b c) sccs);
+  Alcotest.(check bool) "self-loop found" true (List.mem [ s ] sccs);
+  Alcotest.(check bool) "register loop not reported" true
+    (not (List.exists (List.mem r) sccs))
+
+let test_const_values () =
+  let nl = N.create "cv" in
+  let c2 = N.const nl (bv 4 2) in
+  let c3 = N.const nl (bv 4 3) in
+  let sum = N.op2 nl N.Add c2 c3 in
+  let inp = N.input nl "x" 4 in
+  let dyn = N.op2 nl N.Xor inp c2 in
+  (* Constant selector folds through the taken branch even though the
+     untaken branch is an input. *)
+  let sel1 = N.const nl (bv 1 1) in
+  let m = N.mux nl ~sel:sel1 ~on_true:c3 ~on_false:inp in
+  (* Unknown selector but equal constant branches still folds. *)
+  let selx = N.reduce_or nl inp in
+  let m2 = N.mux nl ~sel:selx ~on_true:c2 ~on_false:c2 in
+  let vals = A.const_values nl in
+  Alcotest.(check bool) "add folds" true (vals.(sum) = Some (bv 4 5));
+  Alcotest.(check bool) "input is not constant" true (vals.(inp) = None);
+  Alcotest.(check bool) "input-derived is not constant" true (vals.(dyn) = None);
+  Alcotest.(check bool) "const-sel mux folds" true (vals.(m) = Some (bv 4 3));
+  Alcotest.(check bool) "equal-branch mux folds" true (vals.(m2) = Some (bv 4 2));
+  let foldable = A.constant_foldable nl in
+  Alcotest.(check bool) "sum is foldable" true (List.mem sum foldable);
+  Alcotest.(check bool) "mux is foldable" true (List.mem m foldable);
+  Alcotest.(check bool) "consts themselves are not reported" true
+    (not (List.mem c2 foldable));
+  Alcotest.(check bool) "dynamic logic is not reported" true
+    (not (List.mem dyn foldable))
+
+let test_dead_cells () =
+  let nl = N.create "dead" in
+  let i = N.input nl "i" 1 in
+  let en_src = N.not_ nl i in
+  let nxt = N.not_ nl en_src in
+  let r =
+    N.reg nl ~enable:en_src ~name:"r" ~init:(N.Init_value (Bitvec.zero 1))
+      ~width:1 ()
+  in
+  N.connect_reg nl r nxt;
+  let orphan = N.op2 nl N.And i i in
+  let dead = A.dead_cells nl ~roots:[ r ] in
+  (* The closure follows both a register's next and its enable. *)
+  Alcotest.(check bool) "next cone is live" true (not (List.mem nxt dead));
+  Alcotest.(check bool) "enable cone is live" true (not (List.mem en_src dead));
+  Alcotest.(check bool) "orphan logic is dead" true (List.mem orphan dead);
+  (* With no roots, everything is dead. *)
+  let all_dead = A.dead_cells nl ~roots:[] in
+  Alcotest.(check int) "no roots: all nodes dead" (N.num_nodes nl)
+    (List.length all_dead)
+
+let test_comb_cone_edges () =
+  let nl = N.create "cone" in
+  let i = N.input nl "i" 1 in
+  let en = N.not_ nl i in
+  let r =
+    N.reg nl ~enable:en ~name:"r" ~init:(N.Init_value (Bitvec.zero 1)) ~width:1 ()
+  in
+  N.connect_reg nl r (N.not_ nl r);
+  (* Empty root list: empty cone. *)
+  Alcotest.(check int) "empty roots" 0 (Hashtbl.length (N.comb_cone nl []));
+  (* Rooting at the enable expression traverses its combinational fan-in. *)
+  let cone_en = N.comb_cone nl [ en ] in
+  Alcotest.(check bool) "enable cone reaches the input" true
+    (Hashtbl.mem cone_en i);
+  (* A register in its own next-state cone terminates the traversal: the
+     cone contains the register but nothing behind it. *)
+  let nxt = match (N.node nl r).N.kind with
+    | N.Reg { next = Some n; _ } -> n
+    | _ -> Alcotest.fail "r must be a connected register"
+  in
+  let cone = N.comb_cone nl [ nxt ] in
+  Alcotest.(check bool) "self-loop cone contains the reg" true
+    (Hashtbl.mem cone r);
+  Alcotest.(check bool) "but not the enable's fan-in" true
+    (not (Hashtbl.mem cone i))
+
+(* A 2-bit FSM whose next state is a mux tree over explicit constants —
+   the encoding style of the built-in designs.  Only {0,1,2} appear in the
+   tree, so the residue state 3 is provably unreachable. *)
+let test_fsm_reachable_mux_tree () =
+  let nl = N.create "fsm" in
+  let st = N.reg nl ~name:"st" ~init:(N.Init_value (bv 2 0)) ~width:2 () in
+  let a = N.input nl "a" 1 in
+  let b = N.input nl "b" 1 in
+  let nxt =
+    N.mux nl ~sel:a ~on_true:(N.const nl (bv 2 2))
+      ~on_false:
+        (N.mux nl ~sel:b ~on_true:(N.const nl (bv 2 1))
+           ~on_false:(N.const nl (bv 2 0)))
+  in
+  N.connect_reg nl st nxt;
+  match A.fsm_reachable nl ~vars:[ st ] with
+  | None -> Alcotest.fail "expected convergence"
+  | Some set ->
+    let ints = List.sort_uniq compare (List.map Bitvec.to_int set) in
+    Alcotest.(check (list int)) "residue state is unreachable" [ 0; 1; 2 ] ints
+
+let test_fsm_reachable_frozen_enable () =
+  let nl = N.create "frozen" in
+  let en = N.const nl (bv 1 0) in
+  let st = N.reg nl ~enable:en ~name:"st" ~init:(N.Init_value (bv 2 1)) ~width:2 () in
+  N.connect_reg nl st (N.op2 nl N.Add st (N.const nl (bv 2 1)));
+  match A.fsm_reachable nl ~vars:[ st ] with
+  | None -> Alcotest.fail "expected convergence"
+  | Some set ->
+    Alcotest.(check (list int)) "stuck-at-0 enable keeps the reset value"
+      [ 1 ]
+      (List.sort_uniq compare (List.map Bitvec.to_int set))
+
+let test_fsm_reachable_symbolic_init () =
+  let nl = N.create "symb" in
+  let st = N.reg nl ~name:"st" ~init:N.Init_symbolic ~width:2 () in
+  N.connect_reg nl st st;
+  match A.fsm_reachable nl ~vars:[ st ] with
+  | None -> Alcotest.fail "expected convergence"
+  | Some set ->
+    Alcotest.(check (list int)) "symbolic init contributes every value"
+      [ 0; 1; 2; 3 ]
+      (List.sort_uniq compare (List.map Bitvec.to_int set))
+
+let test_fsm_reachable_bails () =
+  let nl = N.create "bail" in
+  (* A var that is not a connected register defeats the analysis. *)
+  let w = N.wire nl ~name:"w" 2 in
+  N.connect_wire nl w (N.const nl (bv 2 0));
+  Alcotest.(check bool) "non-register var bails" true
+    (A.fsm_reachable nl ~vars:[ w ] = None);
+  Alcotest.(check bool) "empty vars bails" true
+    (A.fsm_reachable nl ~vars:[] = None)
+
+let test_fsm_reachable_joint_order () =
+  (* hi cycles 0->1->0 (1 bit), lo is stuck at 1 (1 bit): the joint states
+     must place the first var in the MSBs — {0b01, 0b11}, not {0b10, 0b11}. *)
+  let nl = N.create "joint" in
+  let hi = N.reg nl ~name:"hi" ~init:(N.Init_value (bv 1 0)) ~width:1 () in
+  N.connect_reg nl hi (N.not_ nl hi);
+  let lo = N.reg nl ~name:"lo" ~init:(N.Init_value (bv 1 1)) ~width:1 () in
+  N.connect_reg nl lo lo;
+  match A.fsm_reachable nl ~vars:[ hi; lo ] with
+  | None -> Alcotest.fail "expected convergence"
+  | Some set ->
+    Alcotest.(check (list int)) "first var occupies the MSBs" [ 1; 3 ]
+      (List.sort_uniq compare (List.map Bitvec.to_int set))
+
+let test_fsm_reachable_ibex_ex () =
+  let meta = Designs.Ibex.build () in
+  let u =
+    List.find
+      (fun (u : Designs.Meta.ufsm) -> u.Designs.Meta.ufsm_name = "ex")
+      meta.Designs.Meta.ufsms
+  in
+  match A.fsm_reachable meta.Designs.Meta.nl ~vars:u.Designs.Meta.vars with
+  | None -> Alcotest.fail "expected convergence on ibex ex"
+  | Some set ->
+    Alcotest.(check (list int)) "ibex ex reaches exactly its encoded states"
+      [ 0; 1; 2; 3; 4 ]
+      (List.sort_uniq compare (List.map Bitvec.to_int set))
+
+(* Random DAG netlists: the dead-cell set never intersects any root's
+   combinational cone (comb_cone follows a strict subset of the liveness
+   closure's edges, so every cone member must be live). *)
+let arb_netlist_seed =
+  QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let qcheck_dead_vs_cone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"dead cells never appear in a root cone"
+       arb_netlist_seed (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let nl = N.create "rand" in
+         let i0 = N.input nl "i0" 4 in
+         let i1 = N.input nl "i1" 4 in
+         let r = N.reg nl ~name:"r" ~init:(N.Init_value (bv 4 0)) ~width:4 () in
+         let sigs = ref [ i0; i1; r ] in
+         let pick () =
+           List.nth !sigs (Random.State.int rng (List.length !sigs))
+         in
+         for _ = 1 to 2 + Random.State.int rng 10 do
+           let s =
+             match Random.State.int rng 4 with
+             | 0 -> N.op2 nl N.Add (pick ()) (pick ())
+             | 1 -> N.op2 nl N.Xor (pick ()) (pick ())
+             | 2 -> N.not_ nl (pick ())
+             | _ ->
+               N.mux nl
+                 ~sel:(N.reduce_or nl (pick ()))
+                 ~on_true:(pick ()) ~on_false:(pick ())
+           in
+           sigs := s :: !sigs
+         done;
+         N.connect_reg nl r (List.hd !sigs);
+         let roots = N.registers nl in
+         let dead = A.dead_cells nl ~roots in
+         List.for_all
+           (fun root ->
+             let cone = N.comb_cone nl [ root ] in
+             List.for_all (fun d -> not (Hashtbl.mem cone d)) dead)
+           roots))
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "comb_sccs finds every cycle" `Quick
+        test_comb_sccs_all_cycles;
+      Alcotest.test_case "constant folding" `Quick test_const_values;
+      Alcotest.test_case "dead cells follow next and enable" `Quick
+        test_dead_cells;
+      Alcotest.test_case "comb_cone edge cases" `Quick test_comb_cone_edges;
+      Alcotest.test_case "fsm_reachable: constant mux tree" `Quick
+        test_fsm_reachable_mux_tree;
+      Alcotest.test_case "fsm_reachable: frozen enable" `Quick
+        test_fsm_reachable_frozen_enable;
+      Alcotest.test_case "fsm_reachable: symbolic init" `Quick
+        test_fsm_reachable_symbolic_init;
+      Alcotest.test_case "fsm_reachable: bail conditions" `Quick
+        test_fsm_reachable_bails;
+      Alcotest.test_case "fsm_reachable: joint MSB order" `Quick
+        test_fsm_reachable_joint_order;
+      Alcotest.test_case "fsm_reachable: ibex ex states" `Quick
+        test_fsm_reachable_ibex_ex;
+      qcheck_dead_vs_cone;
+    ] )

@@ -10,11 +10,47 @@ let test_validate_unconnected () =
   let nl = fresh "u" in
   let _r = N.reg nl ~name:"r" ~init:(N.Init_value (Bitvec.zero 4)) ~width:4 () in
   Alcotest.check_raises "unconnected reg"
-    (Failure "Netlist u: unconnected register r") (fun () -> N.validate nl);
+    (Failure "Netlist u: unconnected register r (node 0)") (fun () -> N.validate nl);
   let nl = fresh "w" in
   let _w = N.wire nl ~name:"w0" 4 in
-  Alcotest.check_raises "unconnected wire" (Failure "Netlist w: unconnected wire w0")
+  Alcotest.check_raises "unconnected wire"
+    (Failure "Netlist w: unconnected wire w0 (node 0)")
     (fun () -> N.validate nl)
+
+(* The satellite bugfix: validate reports *every* problem in one Failure —
+   all unconnected registers/wires and all combinational cycles, each with
+   node ids and names. *)
+let test_validate_reports_all () =
+  let nl = fresh "multi" in
+  let r = N.reg nl ~name:"r0" ~init:(N.Init_value (Bitvec.zero 4)) ~width:4 () in
+  let _w = N.wire nl ~name:"dangling" 2 in
+  let c0 = N.wire nl ~name:"loop_a" 1 in
+  N.connect_wire nl c0 (N.not_ nl c0);
+  let c1 = N.wire nl 1 in
+  N.connect_wire nl c1 c1;
+  ignore r;
+  let msg =
+    try
+      N.validate nl;
+      Alcotest.fail "expected validate to raise"
+    with Failure m -> m
+  in
+  let contains sub =
+    let rec go i =
+      i + String.length sub <= String.length msg
+      && (String.sub msg i (String.length sub) = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "counts problems" true (contains "4 problems");
+  Alcotest.(check bool) "reg by name+id" true
+    (contains "unconnected register r0 (node 0)");
+  Alcotest.(check bool) "wire by name+id" true
+    (contains "unconnected wire dangling (node 1)");
+  Alcotest.(check bool) "named cycle" true
+    (contains "combinational cycle through loop_a (node 2)");
+  Alcotest.(check bool) "anonymous self-loop" true
+    (contains (Printf.sprintf "combinational cycle through node %d" c1))
 
 let test_comb_cycle_detected () =
   let nl = fresh "c" in
@@ -154,6 +190,8 @@ let suite =
   ( "hdl",
     [
       Alcotest.test_case "unconnected detection" `Quick test_validate_unconnected;
+      Alcotest.test_case "validate reports all problems" `Quick
+        test_validate_reports_all;
       Alcotest.test_case "combinational cycle" `Quick test_comb_cycle_detected;
       Alcotest.test_case "register breaks cycle" `Quick test_reg_breaks_cycle;
       Alcotest.test_case "width checks" `Quick test_width_checks;
