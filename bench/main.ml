@@ -29,6 +29,7 @@ let experiments =
     ("P1", Experiments2.parallel_speedup);
     ("P2", Experiments2.cache_warmup);
     ("P3", Experiments2.static_prune_bench);
+    ("P4", Experiments2.obs_overhead);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -165,11 +166,33 @@ let write_json path ~profile ~jobs ~total rows =
   | None -> add "  \"cache\": null,\n");
   (match !Experiments2.static_prune_result with
   | Some s ->
-    add "  \"static_prune\": {\"covers_pruned\": %d, \"duv_props_on\": %d, \"duv_props_off\": %d, \"t_on_s\": %.3f, \"t_off_s\": %.3f, \"digest_identical\": %b, \"report_digest\": \"%s\"}\n"
+    add "  \"static_prune\": {\"covers_pruned\": %d, \"duv_props_on\": %d, \"duv_props_off\": %d, \"t_on_s\": %.3f, \"t_off_s\": %.3f, \"digest_identical\": %b, \"report_digest\": \"%s\"},\n"
       s.Experiments2.st_pruned s.Experiments2.st_duv_props_on
       s.Experiments2.st_duv_props_off s.Experiments2.st_t_on
       s.Experiments2.st_t_off s.Experiments2.st_equal s.Experiments2.st_digest
-  | None -> add "  \"static_prune\": null\n");
+  | None -> add "  \"static_prune\": null,\n");
+  (match !Experiments2.obs_result with
+  | Some o ->
+    add "  \"obs\": {\"ns_plain\": %.1f, \"ns_disabled\": %.1f, \"disabled_overhead_pct\": %.3f, \"t_untraced_s\": %.3f, \"t_traced_s\": %.3f, \"events\": %d, \"digest_identical\": %b},\n"
+      o.Experiments2.ob_ns_plain o.Experiments2.ob_ns_disabled
+      o.Experiments2.ob_overhead_pct o.Experiments2.ob_t_off
+      o.Experiments2.ob_t_on o.Experiments2.ob_events o.Experiments2.ob_equal
+  | None -> add "  \"obs\": null,\n");
+  (* The traced run's metric snapshot, merged in as one flat object (the
+     same shape `synthlc_cli --metrics` writes). *)
+  (match !Experiments2.obs_result with
+  | Some o when o.Experiments2.ob_metrics <> [] ->
+    add "  \"metrics\": {\n";
+    List.iteri
+      (fun i (k, v) ->
+        add "    \"%s\": %s%s\n" k
+          (if Float.is_integer v && Float.abs v < 1e15 then
+             Printf.sprintf "%.0f" v
+           else Printf.sprintf "%.17g" v)
+          (if i = List.length o.Experiments2.ob_metrics - 1 then "" else ","))
+      o.Experiments2.ob_metrics;
+    add "  }\n"
+  | Some _ | None -> add "  \"metrics\": null\n");
   add "}\n";
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "wrote %s\n" path

@@ -81,12 +81,62 @@ let print_cache_counters = function
     let hits, misses, stores = Vcache.counters c in
     Printf.printf "cache: hits=%d misses=%d stores=%d\n" hits misses stores
 
+(* Assembly parse failures surface as Cmdliner conversion errors (usage +
+   exit 124), not uncaught exceptions. *)
+let instr_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Isa.parse s) in
+  let print fmt i = Format.pp_print_string fmt (Isa.to_string i) in
+  Arg.conv (parse, print)
+
+let instrs_conv =
+  let parse s =
+    match Isa.parse_list s with
+    | Ok [] -> Error (`Msg "no instructions given")
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt l =
+    Format.pp_print_string fmt (String.concat "; " (List.map Isa.to_string l))
+  in
+  Arg.conv (parse, print)
+
 let instr_arg =
   let doc = "Instruction under verification, in assembly (e.g. 'div r1, r2, r3')." in
-  Arg.(value & opt string "add r1, r2, r3" & info [ "i"; "instr" ] ~docv:"ASM" ~doc)
+  Arg.(
+    value
+    & opt instr_conv (Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD)
+    & info [ "i"; "instr" ] ~docv:"ASM" ~doc)
 
-let parse_instr s =
-  match Isa.parse s with Ok i -> i | Error e -> failwith e
+let trace_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run's spans (checker \
+     dispatches, cache traffic, synthesis stages, engine tasks) to $(docv); \
+     open it in chrome://tracing or ui.perfetto.dev.  Tracing never changes \
+     results: the report digest is bit-identical with and without it."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the run's metrics registry (counters/gauges/histograms, e.g. \
+     $(b,cache.hits)) as a flat JSON object to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Observability wrapper: enable the obs layer when either output was
+   requested, write the files when the action finishes (even on raise, so
+   a failing run still leaves its partial trace behind). *)
+let with_obs ~trace ~metrics f =
+  if trace = None && metrics = None then f ()
+  else begin
+    Obs.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Obs.write_chrome_trace trace;
+        Option.iter Obs.write_metrics_json metrics;
+        Obs.disable ())
+      f
+  end
 
 let config_of depth episodes =
   {
@@ -175,23 +225,24 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname instr depth episodes dot counts shards cache_dir nsp =
-    let iuv = parse_instr instr in
-    let meta = build_design dname in
-    let iuv_pc = iuv_pc_for dname in
-    let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
-    let config = config_of depth episodes in
-    let cache = cache_of cache_dir in
-    let r =
-      Mupath.Synth.run ?cache ~config ~stimulus:stim ~static_prune:(not nsp)
-        ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
-    in
-    Format.printf "%a@." Mupath.Synth.pp_result r;
-    print_cache_counters cache;
-    if dot then
-      List.iteri
-        (fun i p -> Printf.printf "--- uPATH %d DOT ---\n%s" i (Uhb.Dot.of_path p))
-        (Mupath.Synth.to_uhb_paths r)
+  let run dname iuv depth episodes dot counts shards cache_dir nsp trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        let meta = build_design dname in
+        let iuv_pc = iuv_pc_for dname in
+        let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
+        let config = config_of depth episodes in
+        let cache = cache_of cache_dir in
+        let r =
+          Mupath.Synth.run ?cache ~config ~stimulus:stim ~static_prune:(not nsp)
+            ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
+        in
+        Format.printf "%a@." Mupath.Synth.pp_result r;
+        print_cache_counters cache;
+        if dot then
+          List.iteri
+            (fun i p ->
+              Printf.printf "--- uPATH %d DOT ---\n%s" i (Uhb.Dot.of_path p))
+            (Mupath.Synth.to_uhb_paths r))
   in
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit DOT for each uPATH.") in
   let counts =
@@ -201,13 +252,15 @@ let mupath_cmd =
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
     Term.(
       const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
-      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg)
+      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
-  let run dname instrs txs depth episodes static jobs cache_dir nsp =
-    let instructions = List.map parse_instr instrs in
+  let run dname instructions txs depth episodes static jobs cache_dir nsp trace
+      metrics =
+   with_obs ~trace ~metrics @@ fun () ->
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
     in
@@ -255,7 +308,7 @@ let synthlc_cmd =
     Format.printf "@.%a@." Synthlc.Contracts.pp_bundle bundle
   in
   let instrs =
-    Arg.(value & opt (list ~sep:';' string) [ "div r1, r2, r3" ] & info [ "i"; "instrs" ] ~docv:"ASM;..." ~doc:"Transponder instructions, $(b,;)-separated (operands use commas).")
+    Arg.(value & opt instrs_conv [ Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.DIV ] & info [ "i"; "instrs" ] ~docv:"ASM;..." ~doc:"Transponder instructions, separated by $(b,;) or $(b,,) (a segment starting with a mnemonic begins a new instruction).")
   in
   let txs =
     Arg.(value & opt (list string) [ "div"; "lw"; "sw"; "beq"; "add" ] & info [ "t"; "transmitters" ] ~docv:"OPS" ~doc:"Candidate transmitter opcodes.")
@@ -265,7 +318,8 @@ let synthlc_cmd =
     (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
     Term.(
       const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
-      $ jobs_arg $ cache_dir_arg $ no_static_prune_arg)
+      $ jobs_arg $ cache_dir_arg $ no_static_prune_arg $ trace_arg
+      $ metrics_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 
@@ -302,30 +356,38 @@ let scsafe_cmd =
 (* --- cache ------------------------------------------------------------ *)
 
 let cache_cmd =
-  let require_dir = function
-    | Some d -> d
-    | None -> failwith "no cache directory: pass --cache-dir or set SYNTHLC_CACHE"
+  (* A missing directory is a usage error, not a crash: report it through
+     Cmdliner (message on stderr, exit 124) instead of an uncaught
+     [Failure] backtrace. *)
+  let with_dir k = function
+    | Some d -> `Ok (k d)
+    | None ->
+      `Error (false, "no cache directory: pass --cache-dir or set SYNTHLC_CACHE")
   in
   let stats_cmd =
     let run dir =
-      let dir = require_dir dir in
-      let entries = Vcache.disk_entries ~dir in
-      let bytes = List.fold_left (fun a (_, b) -> a + b) 0 entries in
-      Printf.printf "%s: %d entries, %d bytes (format v%d)\n" dir
-        (List.length entries) bytes Vcache.format_version
+      with_dir
+        (fun dir ->
+          let entries = Vcache.disk_entries ~dir in
+          let bytes = List.fold_left (fun a (_, b) -> a + b) 0 entries in
+          Printf.printf "%s: %d entries, %d bytes (format v%d)\n" dir
+            (List.length entries) bytes Vcache.format_version)
+        dir
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Report entry count and total size of a verdict-cache directory")
-      Term.(const run $ cache_dir_arg)
+      Term.(ret (const run $ cache_dir_arg))
   in
   let clear_cmd =
     let run dir =
-      let dir = require_dir dir in
-      Printf.printf "removed %d entries from %s\n" (Vcache.clear_dir ~dir) dir
+      with_dir
+        (fun dir ->
+          Printf.printf "removed %d entries from %s\n" (Vcache.clear_dir ~dir) dir)
+        dir
     in
     Cmd.v
       (Cmd.info "clear" ~doc:"Delete every entry in a verdict-cache directory")
-      Term.(const run $ cache_dir_arg)
+      Term.(ret (const run $ cache_dir_arg))
   in
   Cmd.group
     (Cmd.info "cache" ~doc:"Inspect or clear the persistent verdict cache")

@@ -61,33 +61,52 @@ let path_of dir key = Filename.concat dir (filename_of_key key)
 
 (* Header: "vcache <version> <blob-length>\n<key>\n" followed by exactly
    <blob-length> bytes.  Anything that does not parse — wrong magic or
-   version, truncated blob, key mismatch — reads as a miss. *)
+   version, truncated blob, key mismatch — reads as a miss, and the file
+   is deleted (self-heal): a poisoned entry would otherwise be re-parsed
+   as garbage on every run, and deleting lets the next store rewrite it
+   cleanly. *)
 let read_entry ~dir ~key =
   let path = path_of dir key in
   match In_channel.with_open_bin path In_channel.input_all with
   | exception _ -> None
   | contents -> (
-    try
-      let nl1 = String.index contents '\n' in
-      let header = String.sub contents 0 nl1 in
-      let version, blob_len =
-        Scanf.sscanf header "vcache %d %d" (fun v l -> (v, l))
-      in
-      if version <> format_version then None
-      else
-        let nl2 = String.index_from contents (nl1 + 1) '\n' in
-        let stored_key = String.sub contents (nl1 + 1) (nl2 - nl1 - 1) in
-        if stored_key <> key then None
-        else if String.length contents - nl2 - 1 <> blob_len then None
-        else Some (String.sub contents (nl2 + 1) blob_len)
-    with _ -> None)
+    let parsed =
+      try
+        let nl1 = String.index contents '\n' in
+        let header = String.sub contents 0 nl1 in
+        let version, blob_len =
+          Scanf.sscanf header "vcache %d %d" (fun v l -> (v, l))
+        in
+        if version <> format_version then None
+        else
+          let nl2 = String.index_from contents (nl1 + 1) '\n' in
+          let stored_key = String.sub contents (nl1 + 1) (nl2 - nl1 - 1) in
+          if stored_key <> key then None
+          else if String.length contents - nl2 - 1 <> blob_len then None
+          else Some (String.sub contents (nl2 + 1) blob_len)
+      with _ -> None
+    in
+    match parsed with
+    | Some blob ->
+      if Obs.enabled () then Obs.Metrics.incr "vcache.disk_reads";
+      Some blob
+    | None ->
+      (try Sys.remove path with Sys_error _ -> ());
+      if Obs.enabled () then begin
+        Obs.Metrics.incr "vcache.corrupt_healed";
+        Obs.instant "vcache.corrupt" ~args:[ ("file", filename_of_key key) ]
+      end;
+      None)
 
 let tmp_counter = Atomic.make 0
+
+let tmp_prefix = ".tmp."
 
 let write_entry ~dir ~key blob =
   let tmp =
     Filename.concat dir
-      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) (Atomic.fetch_and_add tmp_counter 1))
+      (Printf.sprintf "%s%d.%d" tmp_prefix (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
   in
   let ok =
     try
@@ -98,14 +117,40 @@ let write_entry ~dir ~key blob =
       true
     with Sys_error _ -> false
   in
-  if ok then
-    try Sys.rename tmp (path_of dir key)
-    with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())
+  if ok then begin
+    (try Sys.rename tmp (path_of dir key)
+     with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ()));
+    if Obs.enabled () then Obs.Metrics.incr "vcache.disk_writes"
+  end
+
+(* Interrupted writers leave tmp files behind; they are only ever renamed
+   over, never read, so any that survive to the next [create] are garbage.
+   Sweeping here cannot race this process's own writes (none have happened
+   yet); racing another live process at worst loses that one write, which
+   [write_entry] already tolerates. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+    Array.fold_left
+      (fun n f ->
+        if String.starts_with ~prefix:tmp_prefix f then
+          match Sys.remove (Filename.concat dir f) with
+          | () -> n + 1
+          | exception Sys_error _ -> n
+        else n)
+      0 files
 
 (* --- store -------------------------------------------------------------- *)
 
 let create ?dir () =
   Option.iter mkdir_p dir;
+  Option.iter
+    (fun d ->
+      let n = sweep_tmp d in
+      if n > 0 && Obs.enabled () then
+        Obs.Metrics.incr "vcache.tmp_swept" ~by:n)
+    dir;
   Root
     {
       r_dir = dir;

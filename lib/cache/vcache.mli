@@ -9,7 +9,9 @@
     - an optional {b on-disk layer} rooted at a directory: one file per
       entry, with a versioned header, atomic tmp+rename writes, and
       corruption-tolerant reads (a malformed, truncated, or
-      version-mismatched file degrades to a miss — never an error).
+      version-mismatched file degrades to a miss — never an error — and
+      is deleted on sight, so a poisoned directory self-heals instead of
+      re-parsing garbage every run).
 
     Entries are immutable: the first write of a key wins and later writes
     of the same key are ignored.  Keys are content digests, so within one
@@ -31,8 +33,9 @@ val format_version : int
 
 val create : ?dir:string -> unit -> t
 (** [create ?dir ()] makes a root store.  With [dir], entries persist as
-    files under that directory (created if missing); without, the store is
-    memory-only.  Raises [Sys_error] if [dir] exists but is not a
+    files under that directory (created if missing), and stale temporary
+    files left by interrupted writers are swept on creation.  Without, the
+    store is memory-only.  Raises [Sys_error] if [dir] exists but is not a
     directory or cannot be created. *)
 
 val dir : t -> string option
@@ -40,7 +43,8 @@ val dir : t -> string option
 
 val find : t -> string -> string option
 (** Look a key up: memory first, then (root stores) disk — a disk hit is
-    promoted into memory.  Any disk-layer problem reads as [None]. *)
+    promoted into memory.  Any disk-layer problem reads as [None]; an
+    entry file that exists but does not parse is also deleted. *)
 
 val add : t -> string -> string -> unit
 (** Insert a binding.  No-op if the key is already present in this layer.

@@ -238,6 +238,42 @@ let assemble program =
   in
   go [] lines
 
+(* Instruction lists accept both ";" and "," between instructions, even
+   though "," also separates operands within one instruction.  The
+   ambiguity resolves on mnemonics: a piece whose first word is a known
+   mnemonic starts a new instruction, any other piece continues the
+   current one's operand list (operands — r0..r3, immediates, imm(rN) —
+   can never collide with a mnemonic). *)
+let parse_list s =
+  let pieces =
+    String.split_on_char ';' s
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let first_word p =
+    match String.index_opt p ' ' with
+    | Some i -> String.sub p 0 i
+    | None -> p
+  in
+  let groups =
+    List.fold_left
+      (fun acc p ->
+        if opcode_of_mnemonic (first_word p) <> None then [ p ] :: acc
+        else
+          match acc with
+          | cur :: rest -> (p :: cur) :: rest
+          | [] -> [ [ p ] ])
+      [] pieces
+  in
+  let lines = List.rev_map (fun g -> String.concat ", " (List.rev g)) groups in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+      match parse l with Ok i -> go (i :: acc) rest | Error e -> Error e)
+  in
+  go [] lines
+
 let random st =
   let op = List.nth all_opcodes (Random.State.int st 32) in
   make ~rd:(Random.State.int st 4) ~rs1:(Random.State.int st 4)

@@ -88,4 +88,12 @@ val parse : string -> (t, string) result
 val assemble : string -> (t list, string) result
 (** Parse a whole program; blank lines and [#] comments are skipped. *)
 
+val parse_list : string -> (t list, string) result
+(** Parse an instruction list separated by [";"] or [","] (or both), e.g.
+    ["add r1, r2, r3; div r1, r2, r3"] or
+    ["add r1, r2, r3, div r1, r2, r3"].  The comma doubles as the operand
+    separator; a segment starting with a known mnemonic begins a new
+    instruction, anything else continues the current one's operands.
+    Empty input parses to [[]]. *)
+
 val random : Random.State.t -> t

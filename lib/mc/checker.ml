@@ -99,8 +99,15 @@ module Stats = struct
     if t.n_props = 0 then 0.
     else 100. *. float_of_int t.n_undetermined /. float_of_int t.n_props
 
+  (* Rate over cache *lookups* (hits + misses), not over all properties:
+     merging stats from a checker with no cache attached must not dilute
+     the rate of the checkers that do have one.  For a single cached
+     checker every property is a lookup, so the two denominators agree. *)
   let hit_rate t =
-    if t.n_props = 0 then 0. else float_of_int t.n_cache_hits /. float_of_int t.n_props
+    let lookups = t.n_cache_hits + t.n_cache_misses in
+    if lookups = 0 then 0. else float_of_int t.n_cache_hits /. float_of_int lookups
+
+  let copy t = merge t (create ())
 
   let pp fmt t =
     Format.fprintf fmt
@@ -340,7 +347,12 @@ let debug =
    draws consumed by the sim pre-pass). *)
 let compute_cover t cover =
   (* 1. simulation pre-pass *)
-  match try_simulation t cover with
+  let sim_result =
+    if Obs.enabled () then
+      Obs.with_span "checker.sim_prepass" (fun () -> try_simulation t cover)
+    else try_simulation t cover
+  in
+  match sim_result with
   | Some cex, draws -> (Reachable cex, true, draws)
   | None, draws -> (
     (* 2. k-induction: a genuine unreachability proof, attempted first
@@ -427,6 +439,16 @@ let check_cover ?name t cover =
       | Inductive _ -> t.stats.Stats.n_inductive <- t.stats.Stats.n_inductive + 1
       | Bounded _ -> ())
     | Undetermined -> t.stats.Stats.n_undetermined <- t.stats.Stats.n_undetermined + 1);
+    if Obs.enabled () then begin
+      Obs.Metrics.incr "checker.props";
+      Obs.Metrics.incr "checker.outcome" ~labels:[ ("tag", outcome_tag outcome) ];
+      if sim_discharged then Obs.Metrics.incr "checker.sim_discharged";
+      (match hit with
+      | None -> ()
+      | Some true -> Obs.Metrics.incr "cache.hits"
+      | Some false -> Obs.Metrics.incr "cache.misses");
+      Obs.Metrics.observe "checker.check_time_s" (Unix.gettimeofday () -. t0)
+    end;
     if debug then
       Printf.eprintf "[checker] %-12s %-24s %.2fs%s\n%!"
         (Option.value name ~default:"?") (outcome_tag outcome)
@@ -439,24 +461,31 @@ let check_cover ?name t cover =
       if Netlist.width t.nl s <> 1 then
         invalid_arg "Checker.check_cover: cover literals must be 1 bit")
     cover;
-  match t.cache with
-  | None ->
-    let outcome, sim_discharged, _draws = compute_cover t cover in
-    finish ~hit:None ~sim_discharged outcome
-  | Some cache -> (
-    let key = cover_key t cover in
-    match Option.bind (Vcache.find cache key) decode_entry with
-    | Some e ->
-      (* Replay the RNG draws the cold run's sim pre-pass consumed, so the
-         stream later properties see is the same whether or not this
-         verdict came from the cache. *)
-      for _ = 1 to e.ce_draws do
-        ignore (Random.State.int t.rng 0x3FFFFFFF)
-      done;
-      finish ~hit:(Some true) ~sim_discharged:e.ce_sim e.ce_outcome
+  let dispatch () =
+    match t.cache with
     | None ->
-      let outcome, sim_discharged, draws = compute_cover t cover in
-      Vcache.add cache key
-        (encode_entry
-           { ce_outcome = outcome; ce_sim = sim_discharged; ce_draws = draws });
-      finish ~hit:(Some false) ~sim_discharged outcome)
+      let outcome, sim_discharged, _draws = compute_cover t cover in
+      finish ~hit:None ~sim_discharged outcome
+    | Some cache -> (
+      let key = cover_key t cover in
+      match Option.bind (Vcache.find cache key) decode_entry with
+      | Some e ->
+        (* Replay the RNG draws the cold run's sim pre-pass consumed, so the
+           stream later properties see is the same whether or not this
+           verdict came from the cache. *)
+        for _ = 1 to e.ce_draws do
+          ignore (Random.State.int t.rng 0x3FFFFFFF)
+        done;
+        finish ~hit:(Some true) ~sim_discharged:e.ce_sim e.ce_outcome
+      | None ->
+        let outcome, sim_discharged, draws = compute_cover t cover in
+        Vcache.add cache key
+          (encode_entry
+             { ce_outcome = outcome; ce_sim = sim_discharged; ce_draws = draws });
+        finish ~hit:(Some false) ~sim_discharged outcome)
+  in
+  if Obs.enabled () then
+    Obs.with_span "checker.check_cover"
+      ~args:(match name with Some n -> [ ("prop", n) ] | None -> [])
+      dispatch
+  else dispatch ()

@@ -54,11 +54,21 @@ module Stats : sig
   (** Field-wise sum, as a fresh record — the aggregation point for
       per-shard and per-task checker instances. *)
 
+  val copy : t -> t
+  (** A snapshot: a fresh record with the same totals.  Use when exposing
+      stats from a live checker, so later checking cannot mutate what the
+      caller already holds. *)
+
   val mean_time : t -> float
+  (** Mean seconds per property (0 when no properties were checked). *)
+
   val pct_undetermined : t -> float
+  (** Percentage of properties left undetermined (0 when none checked). *)
 
   val hit_rate : t -> float
-  (** [n_cache_hits / n_props] (0 when no properties were checked). *)
+  (** [n_cache_hits / (n_cache_hits + n_cache_misses)] — the rate over
+      cache {e lookups}, so stats merged in from checkers with no cache
+      attached do not dilute it (0 when no lookups happened). *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -63,12 +63,15 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
      identically, and the audit turns any abstraction unsoundness into a
      hard failure. *)
   let static_reach =
-    List.filter_map
-      (fun (u : Designs.Meta.ufsm) ->
-        Option.map
-          (fun set -> (u.Designs.Meta.ufsm_name, set))
-          (Hdl.Analysis.fsm_reachable nl ~vars:u.Designs.Meta.vars))
-      meta.Designs.Meta.ufsms
+    let go () =
+      List.filter_map
+        (fun (u : Designs.Meta.ufsm) ->
+          Option.map
+            (fun set -> (u.Designs.Meta.ufsm_name, set))
+            (Hdl.Analysis.fsm_reachable nl ~vars:u.Designs.Meta.vars))
+        meta.Designs.Meta.ufsms
+    in
+    if Obs.enabled () then Obs.with_span "synth.static_reach" go else go ()
   in
   let member_static_dead ((u : Designs.Meta.ufsm), v) =
     match List.assoc_opt u.Designs.Meta.ufsm_name static_reach with
@@ -151,50 +154,58 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
         'r) ->
       'r list =
    fun stage_name items ~f ->
-    match (shard_checkers, pool) with
-    | [| _ |], _ | _, None ->
-      List.map
-        (f
-           ~check:(fun lits -> check stage_name lits)
-           ~hit:(fun () -> hit stage_name))
-        items
-    | cks, Some p ->
-      let k = Array.length cks in
-      let n = List.length items in
-      let chunks = Array.make k [] in
-      List.iteri (fun i x -> chunks.(i mod k) <- (i, x) :: chunks.(i mod k)) items;
-      let results = Array.make n None in
-      let locals =
-        Pool.run p
-          (List.init k (fun ci () ->
-               let ck = cks.(ci) in
-               let props = ref 0 and undet = ref 0 and hits = ref 0 in
-               let check lits =
-                 incr props;
-                 let o = Checker.check_cover ~name:stage_name ck lits in
-                 (match o with Checker.Undetermined -> incr undet | _ -> ());
-                 o
-               in
-               let hit () = incr hits in
-               List.iter
-                 (fun (i, x) -> results.(i) <- Some (f ~check ~hit x))
-                 (List.rev chunks.(ci));
-               (!props, !undet, !hits)))
-      in
-      let s = st stage_name in
-      List.iter
-        (fun (p_, u, h_) ->
-          s.props <- s.props + p_;
-          s.undetermined <- s.undetermined + u;
-          s.presim_hits <- s.presim_hits + h_)
-        locals;
-      (* Publish each shard's staged verdicts, in shard order, so later
-         stages (and later runs) see them through the shared store. *)
-      Array.iter (fun c -> Option.iter Vcache.merge c) shard_caches;
-      Array.to_list
-        (Array.map
-           (function Some r -> r | None -> assert false)
-           results)
+    let go () =
+      match (shard_checkers, pool) with
+      | [| _ |], _ | _, None ->
+        List.map
+          (f
+             ~check:(fun lits -> check stage_name lits)
+             ~hit:(fun () -> hit stage_name))
+          items
+      | cks, Some p ->
+        let k = Array.length cks in
+        let n = List.length items in
+        let chunks = Array.make k [] in
+        List.iteri (fun i x -> chunks.(i mod k) <- (i, x) :: chunks.(i mod k)) items;
+        let results = Array.make n None in
+        let locals =
+          Pool.run p
+            (List.init k (fun ci () ->
+                 let ck = cks.(ci) in
+                 let props = ref 0 and undet = ref 0 and hits = ref 0 in
+                 let check lits =
+                   incr props;
+                   let o = Checker.check_cover ~name:stage_name ck lits in
+                   (match o with Checker.Undetermined -> incr undet | _ -> ());
+                   o
+                 in
+                 let hit () = incr hits in
+                 List.iter
+                   (fun (i, x) -> results.(i) <- Some (f ~check ~hit x))
+                   (List.rev chunks.(ci));
+                 (!props, !undet, !hits)))
+        in
+        let s = st stage_name in
+        List.iter
+          (fun (p_, u, h_) ->
+            s.props <- s.props + p_;
+            s.undetermined <- s.undetermined + u;
+            s.presim_hits <- s.presim_hits + h_)
+          locals;
+        (* Publish each shard's staged verdicts, in shard order, so later
+           stages (and later runs) see them through the shared store. *)
+        Array.iter (fun c -> Option.iter Vcache.merge c) shard_caches;
+        Array.to_list
+          (Array.map
+             (function Some r -> r | None -> assert false)
+             results)
+    in
+    if Obs.enabled () then
+      Obs.with_span "synth.batch"
+        ~args:
+          [ ("stage", stage_name); ("items", string_of_int (List.length items)) ]
+        go
+    else go ()
   in
 
   (* ------------------------------------------------------------------ *)
@@ -279,7 +290,14 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     end
   in
   let episodes =
-    List.filter_map (fun i -> run_episode (0x9e3779b lxor (i * 2654435761))) (List.init presim_episodes (fun i -> i))
+    let go () =
+      List.filter_map (fun i -> run_episode (0x9e3779b lxor (i * 2654435761))) (List.init presim_episodes (fun i -> i))
+    in
+    if Obs.enabled () then
+      Obs.with_span "synth.presim"
+        ~args:[ ("episodes", string_of_int presim_episodes) ]
+        go
+    else go ()
   in
   let completed_eps = List.filter (fun e -> e.completed) episodes in
 
@@ -347,7 +365,11 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     List.length statically_dead_labels
     + (List.length unlabeled_info - List.length undecided_unlabeled)
   in
-  if static_prune then (st "duv_pl").pruned_static <- n_statically_decided;
+  if static_prune then begin
+    (st "duv_pl").pruned_static <- n_statically_decided;
+    if Obs.enabled () then
+      Obs.Metrics.incr "synth.pruned_static" ~by:n_statically_decided
+  end;
 
   (* ------------------------------------------------------------------ *)
   (* Stage B: PL reachability for the IUV (§V-B2).                        *)
@@ -710,8 +732,11 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     revisit_counts;
     stage_stats = stages;
     checker_stats =
+      (* Snapshot, never the live record: the harness checker keeps
+         mutating its stats if the caller reuses it, and the result must
+         not change under it. *)
       (match shard_checkers with
-      | [| c |] -> Checker.stats c
+      | [| c |] -> Checker.Stats.copy (Checker.stats c)
       | cks ->
         Array.fold_left
           (fun acc c -> Checker.Stats.merge acc (Checker.stats c))
@@ -727,11 +752,16 @@ let run ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
       ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
       ?static_prune ~shards ~pool ~meta ~iuv ~iuv_pc ()
   in
-  match pool with
-  | Some p -> inner (Some p)
-  | None ->
-    if shards = 1 then inner None
-    else Pool.with_pool ~jobs:shards (fun p -> inner (Some p))
+  let dispatch () =
+    match pool with
+    | Some p -> inner (Some p)
+    | None ->
+      if shards = 1 then inner None
+      else Pool.with_pool ~jobs:shards (fun p -> inner (Some p))
+  in
+  if Obs.enabled () then
+    Obs.with_span "synth.run" ~args:[ ("instr", Isa.to_string iuv) ] dispatch
+  else dispatch ()
 
 let pl_of_label instr lbl =
   ignore instr;

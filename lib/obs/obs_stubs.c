@@ -1,0 +1,24 @@
+/* Monotonic clock for the observability layer.  CLOCK_MONOTONIC where the
+   platform has it (Linux/macOS), gettimeofday otherwise — span durations
+   must never go backwards under NTP slew, which wall-clock time can. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value obs_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return Val_long((intnat)tv.tv_sec * 1000000000 + (intnat)tv.tv_usec * 1000);
+  }
+}

@@ -104,12 +104,23 @@ let run t thunks =
   else begin
     let results = Array.make n Pending in
     let remaining = ref n in
+    let submitted_ns = if Obs.enabled () then Obs.now_ns () else 0 in
     let wrap i f () =
+      let traced = Obs.enabled () in
+      if traced then begin
+        Obs.Metrics.incr "pool.tasks";
+        Obs.Metrics.observe "pool.queue_wait_s"
+          (float_of_int (Obs.now_ns () - submitted_ns) /. 1e9)
+      end;
+      let t0 = if traced then Obs.now_ns () else 0 in
       (match f () with
       | v -> results.(i) <- Done v
       | exception e ->
         let bt = Printexc.get_raw_backtrace () in
         results.(i) <- Raised (e, bt));
+      if traced then
+        Obs.Metrics.observe "pool.task_run_s"
+          (float_of_int (Obs.now_ns () - t0) /. 1e9);
       Mutex.lock t.mutex;
       decr remaining;
       Condition.broadcast t.progress;

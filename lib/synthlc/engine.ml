@@ -32,6 +32,9 @@ type report = {
   total_flow_props : int;
   jobs : int;
   elapsed : float;
+  metrics : (string * float) list;
+      (* Obs.Metrics snapshot at end of run; [] when tracing is off.
+         Observability only — excluded from equal_report/report_digest. *)
 }
 
 (* Secondary leakage heuristic (§VII-A1): a tagged decision whose
@@ -208,18 +211,44 @@ let run ?cache ?config ?synth_config ?static_prune
   in
   let cache_of index = List.nth task_caches index in
   let analyze index instr =
-    analyze_transponder ?cache:(cache_of index) ?config:(reseed index config)
-      ?synth_config:(reseed index synth_config) ?static_prune ?stimulus
-      ~exclude_sources ~design ~instr ~transmitters ~kinds
-      ~revisit_count_labels ~iuv_pc ()
+    let config = reseed index config in
+    let synth_config = reseed index synth_config in
+    let go () =
+      analyze_transponder ?cache:(cache_of index) ?config ?synth_config
+        ?static_prune ?stimulus ~exclude_sources ~design ~instr ~transmitters
+        ~kinds ~revisit_count_labels ~iuv_pc ()
+    in
+    if Obs.enabled () then
+      (* Ambient task/seed attribution: every span recorded inside this
+         task (checker, cache, synth stages) carries them. *)
+      let seed =
+        match config with Some c -> c.Mc.Checker.seed | None -> 0
+      in
+      Obs.with_ctx
+        [ ("task", string_of_int index); ("seed", string_of_int seed) ]
+        (fun () ->
+          Obs.with_span "engine.task" ~args:[ ("instr", Isa.to_string instr) ] go)
+    else go ()
   in
   let jobs = match pool with Some p -> Pool.jobs p | None -> max 1 jobs in
-  let transponders =
+  let dispatch () =
     match pool with
     | Some p -> Pool.mapi p ~f:analyze instructions
     | None ->
       if jobs = 1 then List.mapi analyze instructions
       else Pool.with_pool ~jobs (fun p -> Pool.mapi p ~f:analyze instructions)
+  in
+  let transponders =
+    if Obs.enabled () then
+      Obs.with_span "engine.run"
+        ~args:
+          [
+            ("design", design_name);
+            ("instructions", string_of_int (List.length instructions));
+            ("jobs", string_of_int jobs);
+          ]
+        dispatch
+    else dispatch ()
   in
   List.iter (fun c -> Option.iter Vcache.merge c) task_caches;
   let checker_totals =
@@ -230,6 +259,15 @@ let run ?cache ?config ?synth_config ?static_prune
   let total_flow_props =
     List.fold_left (fun acc t -> acc + t.flow_props) 0 transponders
   in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let metrics =
+    if Obs.enabled () then begin
+      Obs.Metrics.gauge "engine.elapsed_s" elapsed;
+      Obs.Metrics.gauge "engine.jobs" (float_of_int jobs);
+      Obs.Metrics.snapshot ()
+    end
+    else []
+  in
   {
     design_name;
     transponders;
@@ -237,7 +275,8 @@ let run ?cache ?config ?synth_config ?static_prune
     total_mupath_props = checker_totals.Mc.Checker.Stats.n_props;
     total_flow_props;
     jobs;
-    elapsed = Unix.gettimeofday () -. t0;
+    elapsed;
+    metrics;
   }
 
 (* Semantic report equality: every synthesized fact, ignoring wall-clock

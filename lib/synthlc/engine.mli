@@ -31,6 +31,11 @@ type report = {
   total_flow_props : int;
   jobs : int;  (** Domain count the report was produced with. *)
   elapsed : float;
+  metrics : (string * float) list;
+      (** {!Obs.Metrics.snapshot} taken at the end of the run; [[]] when
+          the obs layer is disabled.  Observability only — excluded from
+          {!equal_report} and {!report_digest} (the digest-exclusion
+          rule), so tracing a run cannot change its identity. *)
 }
 
 val is_secondary : Types.tagged_decision -> bool

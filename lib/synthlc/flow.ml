@@ -32,7 +32,7 @@ let transmitter_pc ~iuv_pc = function
   | Types.Dynamic_younger -> iuv_pc + 1
   | Types.Static -> iuv_pc - 2
 
-let analyze ?cache ?cache_salt ?config ?stimulus ?(precise = true)
+let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
     ~(design : unit -> Meta.t) ~(transponder : Isa.t)
     ~(decisions : (string * string list list) list)
     ~(transmitters : Isa.opcode list) ~(kind : Types.transmitter_kind)
@@ -210,3 +210,15 @@ let analyze ?cache ?cache_salt ?config ?stimulus ?(precise = true)
     transmitters;
   stats.q_time <- Unix.gettimeofday () -. t_start;
   { tagged = List.rev !tagged; stats }
+
+let analyze ?cache ?cache_salt ?config ?stimulus ?precise ~design ~transponder
+    ~decisions ~transmitters ~kind ~operand ~iuv_pc () =
+  let go () =
+    analyze_inner ?cache ?cache_salt ?config ?stimulus ?precise ~design
+      ~transponder ~decisions ~transmitters ~kind ~operand ~iuv_pc ()
+  in
+  if Obs.enabled () then
+    Obs.with_span "flow.analyze"
+      ~args:[ ("transponder", Isa.to_string transponder) ]
+      go
+  else go ()

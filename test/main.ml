@@ -20,6 +20,7 @@ let () =
       Test_synthlc.suite;
       Test_pool.suite;
       Test_parallel.suite;
+      Test_obs.suite;
       Test_vcache.suite;
       Test_analysis.suite;
       Test_lint.suite;

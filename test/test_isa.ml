@@ -62,6 +62,39 @@ let test_assembler () =
   | Ok l -> Alcotest.failf "expected 2 instructions, got %d" (List.length l)
   | Error e -> Alcotest.fail e)
 
+let test_parse_list () =
+  let expect_ok src want =
+    match Isa.parse_list src with
+    | Ok l ->
+      Alcotest.(check (list string)) src want (List.map Isa.to_string l)
+    | Error e -> Alcotest.failf "parse_list %s failed: %s" src e
+  in
+  (* Semicolon separator. *)
+  expect_ok "add r1, r2, r3; div r1, r2, r3"
+    [ "add r1, r2, r3"; "div r1, r2, r3" ];
+  (* Comma separator between instructions: operand commas and instruction
+     commas disambiguate on mnemonics. *)
+  expect_ok "add r1, r2, r3, div r1, r2, r3"
+    [ "add r1, r2, r3"; "div r1, r2, r3" ];
+  (* Mixed separators, extra whitespace. *)
+  expect_ok "add r1, r2, r3 ;  mul r2, r1, r3, sub r3, r2, r1"
+    [ "add r1, r2, r3"; "mul r2, r1, r3"; "sub r3, r2, r1" ];
+  (* Memory operands survive list splitting. *)
+  expect_ok "lw r1, 4(r2); sw r1, 4(r2)" [ "lw r1, 4(r2)"; "sw r1, 4(r2)" ];
+  expect_ok "lw r1, 4(r2), sw r1, 4(r2)" [ "lw r1, 4(r2)"; "sw r1, 4(r2)" ];
+  (* Single instruction, trailing separator, empty input. *)
+  expect_ok "nop" [ "nop" ];
+  expect_ok "add r1, r2, r3;" [ "add r1, r2, r3" ];
+  expect_ok "" [];
+  expect_ok "  ;  " [];
+  (* Errors still propagate. *)
+  (match Isa.parse_list "add r1, r2, r3; frobnicate r1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown mnemonic accepted");
+  match Isa.parse_list "add r1, r2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong arity accepted"
+
 (* Golden-model semantics spot checks. *)
 let exec src ?regs () =
   let st = Golden.create ?regs () in
@@ -121,6 +154,7 @@ let suite =
       Alcotest.test_case "field placement" `Quick test_fields;
       Alcotest.test_case "classes and usage" `Quick test_classes;
       Alcotest.test_case "assembler" `Quick test_assembler;
+      Alcotest.test_case "parse_list separators" `Quick test_parse_list;
       Alcotest.test_case "golden alu" `Quick test_golden_alu;
       Alcotest.test_case "golden memory" `Quick test_golden_mem;
       Alcotest.test_case "golden control flow" `Quick test_golden_control;

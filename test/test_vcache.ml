@@ -130,6 +130,36 @@ let test_concurrent_writers () =
         (Vcache.find reopened k))
     [ 0; 7 ]
 
+(* Self-heal: a poisoned directory recovers on its own — a truncated entry
+   file is deleted the first time it reads as a miss, and tmp files left by
+   interrupted atomic writes are swept when a store is created over the
+   directory. *)
+let test_self_heal () =
+  let dir = temp_dir () in
+  let c = Vcache.create ~dir () in
+  Vcache.add c "key" "a-reasonably-long-payload-to-truncate";
+  let file, _ = List.hd (Vcache.disk_entries ~dir) in
+  let path = Filename.concat dir file in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  overwrite path (String.sub full 0 (String.length full - 5));
+  Alcotest.(check (option string)) "truncated entry reads as a miss" None
+    (Vcache.find (Vcache.create ~dir ()) "key");
+  Alcotest.(check bool) "truncated entry file was deleted" false
+    (Sys.file_exists path);
+  (* Orphan tmp files (interrupted writers) are swept at create time. *)
+  overwrite (Filename.concat dir ".tmp.12345.0") "half-written";
+  overwrite (Filename.concat dir ".tmp.12345.1") "";
+  let c2 = Vcache.create ~dir () in
+  Alcotest.(check bool) "orphan tmp files swept at create" true
+    (Array.for_all
+       (fun f -> not (String.starts_with ~prefix:".tmp." f))
+       (Sys.readdir dir));
+  (* The healed directory works normally afterwards. *)
+  Vcache.add c2 "key" "replacement";
+  Alcotest.(check (option string)) "healed directory stores again"
+    (Some "replacement")
+    (Vcache.find (Vcache.create ~dir ()) "key")
+
 let test_stats_zero_props () =
   let s = Mc.Checker.Stats.create () in
   Alcotest.(check (float 0.)) "mean_time on 0 props" 0.
@@ -138,6 +168,51 @@ let test_stats_zero_props () =
     (Mc.Checker.Stats.pct_undetermined s);
   Alcotest.(check (float 0.)) "hit_rate on 0 props" 0.
     (Mc.Checker.Stats.hit_rate s)
+
+(* Directed Stats.merge edge cases: zero/one-sided merges, all-cache-hit
+   stats, and the lookup-based hit_rate denominator (stats merged in from
+   an uncached checker must not dilute the rate). *)
+let test_stats_merge_edges () =
+  let module S = Mc.Checker.Stats in
+  let mk ~props ~hits ~misses ~undet ~time =
+    let s = S.create () in
+    s.S.n_props <- props;
+    s.S.n_cache_hits <- hits;
+    s.S.n_cache_misses <- misses;
+    s.S.n_undetermined <- undet;
+    s.S.total_time <- time;
+    s
+  in
+  (* empty + empty: still every-rate-guarded *)
+  let e = S.merge (S.create ()) (S.create ()) in
+  Alcotest.(check (float 0.)) "empty merge mean_time" 0. (S.mean_time e);
+  Alcotest.(check (float 0.)) "empty merge pct_undetermined" 0.
+    (S.pct_undetermined e);
+  Alcotest.(check (float 0.)) "empty merge hit_rate" 0. (S.hit_rate e);
+  (* one-sided merge preserves the populated side exactly *)
+  let a = mk ~props:4 ~hits:4 ~misses:0 ~undet:1 ~time:2.0 in
+  let one = S.merge a (S.create ()) in
+  Alcotest.(check int) "one-sided props" 4 one.S.n_props;
+  Alcotest.(check (float 1e-9)) "one-sided mean_time" 0.5 (S.mean_time one);
+  Alcotest.(check (float 1e-9)) "one-sided pct_undetermined" 25.
+    (S.pct_undetermined one);
+  Alcotest.(check (float 0.)) "all-cache-hit shard hit_rate is 1.0" 1.
+    (S.hit_rate one);
+  (* merging in an uncached shard (props but no lookups) must not dilute
+     the rate: 5 hits / 10 lookups = 0.5, regardless of the 20 props *)
+  let cached = mk ~props:10 ~hits:5 ~misses:5 ~undet:0 ~time:1.0 in
+  let uncached = mk ~props:10 ~hits:0 ~misses:0 ~undet:0 ~time:1.0 in
+  let m = S.merge cached uncached in
+  Alcotest.(check int) "mixed merge props" 20 m.S.n_props;
+  Alcotest.(check (float 1e-9)) "hit_rate over lookups, not props" 0.5
+    (S.hit_rate m);
+  (* merge and copy return fresh records: mutating an input afterwards
+     must not change them *)
+  let snap = S.copy a in
+  a.S.n_props <- 1000;
+  a.S.n_undetermined <- 999;
+  Alcotest.(check int) "copy is a snapshot" 4 snap.S.n_props;
+  Alcotest.(check int) "merge result is fresh" 4 one.S.n_props
 
 (* End-to-end: uncached vs cold-cached vs warm-cached SynthLC on the Ibex
    core.  All three reports must be bit-identical (the cache is invisible
@@ -185,10 +260,13 @@ let suite =
         test_netlist_digest_stable;
       Alcotest.test_case "corrupt entries read as misses" `Quick
         test_corruption_is_miss;
+      Alcotest.test_case "corrupt entries + orphan tmp self-heal" `Quick
+        test_self_heal;
       Alcotest.test_case "concurrent writers under Pool" `Quick
         test_concurrent_writers;
       Alcotest.test_case "stats guards on zero properties" `Quick
         test_stats_zero_props;
+      Alcotest.test_case "stats merge edge cases" `Quick test_stats_merge_edges;
       Alcotest.test_case "engine warm run bit-identical (ibex)" `Slow
         test_engine_warm_identical;
     ] )
