@@ -30,6 +30,7 @@ let experiments =
     ("P2", Experiments2.cache_warmup);
     ("P3", Experiments2.static_prune_bench);
     ("P4", Experiments2.obs_overhead);
+    ("P5", Experiments2.static_flow_bench);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -171,6 +172,13 @@ let write_json path ~profile ~jobs ~total rows =
       s.Experiments2.st_duv_props_off s.Experiments2.st_t_on
       s.Experiments2.st_t_off s.Experiments2.st_equal s.Experiments2.st_digest
   | None -> add "  \"static_prune\": null,\n");
+  (match !Experiments2.static_flow_result with
+  | Some s ->
+    add "  \"static_flow\": {\"covers_pruned\": %d, \"flow_props\": %d, \"t_on_s\": %.3f, \"t_off_s\": %.3f, \"digest_identical\": %b, \"report_digest\": \"%s\"},\n"
+      s.Experiments2.sf_pruned s.Experiments2.sf_flow_props
+      s.Experiments2.sf_t_on s.Experiments2.sf_t_off s.Experiments2.sf_equal
+      s.Experiments2.sf_digest
+  | None -> add "  \"static_flow\": null,\n");
   (match !Experiments2.obs_result with
   | Some o ->
     add "  \"obs\": {\"ns_plain\": %.1f, \"ns_disabled\": %.1f, \"disabled_overhead_pct\": %.3f, \"t_untraced_s\": %.3f, \"t_traced_s\": %.3f, \"events\": %d, \"digest_identical\": %b},\n"

@@ -75,6 +75,44 @@ let no_static_prune_arg =
   in
   Arg.(value & flag & info [ "no-static-prune" ] ~doc)
 
+let flow_prune_conv =
+  let parse = function
+    | "on" -> Ok Synthlc.Types.Prune_on
+    | "off" -> Ok Synthlc.Types.Prune_off
+    | "audit" -> Ok Synthlc.Types.Prune_audit
+    | s -> Error (`Msg (Printf.sprintf "invalid prune mode %S (expected on, off, or audit)" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Synthlc.Types.prune_mode_name m) in
+  Arg.conv (parse, print)
+
+let static_flow_prune_arg =
+  let doc =
+    "Static taint-flow pre-pass over the IFT covers: $(b,on) (default) \
+     discharges covers whose destinations lie outside the operand's static \
+     taint cone without checker calls; $(b,off) dispatches them as a \
+     trailing batch and trusts the checker; $(b,audit) dispatches the same \
+     batch but fails the run on any reachable verdict (the unsoundness \
+     tripwire).  All modes issue the same mid-stream checker sequence, so \
+     the report digest is bit-identical across them."
+  in
+  Arg.(
+    value
+    & opt flow_prune_conv Synthlc.Types.Prune_on
+    & info [ "static-flow-prune" ] ~docv:"MODE" ~doc)
+
+let no_static_flow_prune_arg =
+  let doc = "Shorthand for $(b,--static-flow-prune=audit)." in
+  Arg.(value & flag & info [ "no-static-flow-prune" ] ~doc)
+
+let imprecise_ift_arg =
+  let doc =
+    "Degrade the IFT cell rules from value-aware to taint-union for \
+     AND/OR/MUX (the SS VII-B1 precision ablation).  Threaded identically \
+     into the static taint pre-pass, recorded in the report (the digest \
+     differs from a precise run), and namespaced in the verdict cache."
+  in
+  Arg.(value & flag & info [ "imprecise-ift" ] ~doc)
+
 let print_cache_counters = function
   | None -> ()
   | Some c ->
@@ -258,8 +296,8 @@ let mupath_cmd =
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
-  let run dname instructions txs depth episodes static jobs cache_dir nsp trace
-      metrics =
+  let run dname instructions txs depth episodes static jobs cache_dir nsp
+      flow_prune no_flow_prune imprecise trace metrics =
    with_obs ~trace ~metrics @@ fun () ->
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
@@ -284,10 +322,14 @@ let synthlc_cmd =
       List.filter (fun l -> List.mem l available) [ "divU"; "mulU"; "ID" ]
     in
     let cache = cache_of cache_dir in
+    let static_flow_prune =
+      if no_flow_prune then Synthlc.Types.Prune_audit else flow_prune
+    in
     let report =
       Synthlc.Engine.run ?cache ~config ~synth_config:config
-        ~static_prune:(not nsp) ~stimulus ~design ~jobs ~instructions
-        ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
+        ~static_prune:(not nsp) ~precise:(not imprecise) ~static_flow_prune
+        ~stimulus ~design ~jobs ~instructions ~transmitters ~kinds
+        ~revisit_count_labels ~iuv_pc ()
     in
     Format.printf "%a@." Synthlc.Engine.pp_report report;
     Printf.printf "report digest: %s\n" (Synthlc.Engine.report_digest report);
@@ -318,7 +360,8 @@ let synthlc_cmd =
     (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
     Term.(
       const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
-      $ jobs_arg $ cache_dir_arg $ no_static_prune_arg $ trace_arg
+      $ jobs_arg $ cache_dir_arg $ no_static_prune_arg $ static_flow_prune_arg
+      $ no_static_flow_prune_arg $ imprecise_ift_arg $ trace_arg
       $ metrics_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
@@ -420,11 +463,11 @@ let lint_cmd =
        ~man:
          [
            `S Manpage.s_description;
-           `P "Runs the structural (L0xx), annotation (L1xx), and \
-               reachability (L2xx) passes over each named design.  Exit \
-               status is 0 when clean, 1 when the worst finding is a \
-               warning, and 2 on any error; infos never affect the exit \
-               status.";
+           `P "Runs the structural (L0xx), annotation (L1xx), \
+               reachability (L2xx), and taint-flow (T3xx) passes over each \
+               named design.  Exit status is 0 when clean, 1 when the \
+               worst finding is a warning, and 2 on any error; infos never \
+               affect the exit status.";
          ])
     Term.(const run $ json $ names)
 

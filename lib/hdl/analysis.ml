@@ -101,6 +101,136 @@ let dead_cells t ~roots =
   done;
   !acc
 
+(* --- static taint dataflow ---------------------------------------------- *)
+
+(* Word-level may-taint masks to a sequential fixpoint.  The combinational
+   rules mirror [Ift.instrument]'s cell rules with runtime values replaced
+   by static constants where [const_values] knows them and by all-ones
+   (taint may pass) where it does not, so the per-signal mask always
+   over-approximates the dynamic shadow the instrumented design computes —
+   in the matching [precise] mode.  (The precise static rules are *not*
+   sound against the imprecise dynamic rules: a constant-0 AND operand
+   stops taint statically but the union rule propagates it dynamically, so
+   callers must analyze with the same precision they instrument with.) *)
+let taint_reach ?(precise = true) ?(blocked = []) ~sources t =
+  let n = N.num_nodes t in
+  let consts = if precise then const_values t else [||] in
+  let cval s = if precise then consts.(s) else None in
+  let masks = Array.init n (fun s -> Bitvec.zero (N.width t s)) in
+  let is_source = Array.make (max n 1) false in
+  List.iter (fun s -> is_source.(s) <- true) sources;
+  (* An injected source register reads as tainted even when also listed as
+     blocked, matching [Ift]'s phase-3 priority (inject over blocked). *)
+  let is_blocked = Array.make (max n 1) false in
+  List.iter (fun s -> if not is_source.(s) then is_blocked.(s) <- true) blocked;
+  List.iter (fun s -> masks.(s) <- Bitvec.ones (N.width t s)) sources;
+  let order = N.comb_order t in
+  let val_or_ones s =
+    match cval s with Some v -> v | None -> Bitvec.ones (N.width t s)
+  in
+  let nval_or_ones s =
+    match cval s with
+    | Some v -> Bitvec.lognot v
+    | None -> Bitvec.ones (N.width t s)
+  in
+  let repl1 b w = if b then Bitvec.ones w else Bitvec.zero w in
+  let any m = not (Bitvec.is_zero m) in
+  let comb_mask id =
+    let w = N.width t id in
+    match (N.node t id).N.kind with
+    | N.Input | N.Const _ | N.Reg _ -> masks.(id)
+    | N.Wire { driver = Some d } -> masks.(d)
+    | N.Wire { driver = None } -> Bitvec.zero w
+    | N.Not a -> masks.(a)
+    | N.Op2 (N.And, a, b) ->
+      if precise then
+        (* an output bit flips only where a controlling input is tainted *)
+        Bitvec.logor
+          (Bitvec.logand masks.(a) (Bitvec.logor (val_or_ones b) masks.(b)))
+          (Bitvec.logand masks.(b) (val_or_ones a))
+      else Bitvec.logor masks.(a) masks.(b)
+    | N.Op2 (N.Or, a, b) ->
+      if precise then
+        Bitvec.logor
+          (Bitvec.logand masks.(a) (Bitvec.logor (nval_or_ones b) masks.(b)))
+          (Bitvec.logand masks.(b) (nval_or_ones a))
+      else Bitvec.logor masks.(a) masks.(b)
+    | N.Op2 (N.Xor, a, b) -> Bitvec.logor masks.(a) masks.(b)
+    | N.Op2 ((N.Add | N.Sub | N.Mul), a, b) ->
+      (* conservative: any tainted input bit taints the whole word *)
+      repl1 (any (Bitvec.logor masks.(a) masks.(b))) w
+    | N.Op2 ((N.Eq | N.Ult | N.Slt), a, b) ->
+      Bitvec.of_bool (any (Bitvec.logor masks.(a) masks.(b)))
+    | N.Mux { sel; on_true; on_false } ->
+      let tt = masks.(on_true) and tf = masks.(on_false) in
+      let tsel = any masks.(sel) in
+      if precise then begin
+        let base =
+          match cval sel with
+          | Some v -> if Bitvec.is_zero v then tf else tt
+          | None -> Bitvec.logor tt tf
+        in
+        let differ =
+          if not tsel then Bitvec.zero w
+          else
+            match (cval on_true, cval on_false) with
+            | Some vt, Some vf ->
+              Bitvec.logor (Bitvec.logxor vt vf) (Bitvec.logor tt tf)
+            | _ -> Bitvec.ones w
+        in
+        Bitvec.logor base differ
+      end
+      else Bitvec.logor (Bitvec.logor tt tf) (repl1 tsel w)
+    | N.Extract { hi; lo; arg } -> Bitvec.extract masks.(arg) ~hi ~lo
+    | N.Concat parts -> (
+      match parts with
+      | [] -> Bitvec.zero w
+      | p :: rest ->
+        List.fold_left (fun acc p' -> Bitvec.concat acc masks.(p')) masks.(p) rest)
+    | N.ReduceOr a | N.ReduceAnd a -> Bitvec.of_bool (any masks.(a))
+  in
+  (* Alternate combinational and sequential passes until the register masks
+     stop growing.  Every rule is monotone in its input masks and register
+     masks only accumulate, so the loop terminates within (total register
+     bits + 1) iterations. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun id ->
+        match (N.node t id).N.kind with
+        | N.Reg _ | N.Input | N.Const _ -> ()
+        | _ ->
+          if not (is_source.(id) || is_blocked.(id)) then
+            masks.(id) <- comb_mask id)
+      order;
+    N.iter_nodes t (fun node ->
+        match node.N.kind with
+        | N.Reg { next; enable; _ }
+          when not (is_source.(node.N.id) || is_blocked.(node.N.id)) ->
+          let upd =
+            (* A tainted enable makes whether-the-register-updates itself
+               operand-dependent: the whole word may carry taint.  ([Ift]
+               rejects enables outright; the static rule stays sound for
+               designs it cannot instrument.) *)
+            match enable with
+            | Some en when any masks.(en) -> Bitvec.ones node.N.width
+            | _ -> (
+              match next with
+              | Some nxt -> masks.(nxt)
+              | None -> Bitvec.zero node.N.width)
+          in
+          let m = Bitvec.logor masks.(node.N.id) upd in
+          if not (Bitvec.equal m masks.(node.N.id)) then begin
+            masks.(node.N.id) <- m;
+            changed := true
+          end
+        | _ -> ())
+  done;
+  masks
+
+let taint_reaches masks s = not (Bitvec.is_zero masks.(s))
+
 (* --- abstract µFSM reachability ----------------------------------------- *)
 
 module BvSet = Set.Make (Bitvec)

@@ -26,6 +26,39 @@ val dead_cells : Netlist.t -> roots:Netlist.signal list -> Netlist.signal list
     register, or annotated signal": such nodes cannot influence anything
     observable.  Sorted by id. *)
 
+val taint_reach :
+  ?precise:bool ->
+  ?blocked:Netlist.signal list ->
+  sources:Netlist.signal list ->
+  Netlist.t ->
+  Bitvec.t array
+(** Over-approximate word-level taint dataflow on the un-instrumented
+    netlist: seed every [sources] register all-tainted, propagate per-bit
+    may-taint masks through the combinational cones with cell rules
+    mirroring [Ift.instrument]'s (value-aware AND/OR/MUX when [precise],
+    taint-union otherwise; whole-word conservative for arithmetic and
+    comparisons) and across register steps to a fixpoint.  [blocked]
+    registers are kill sites — their masks are pinned to zero (unless also
+    a source; injection wins, as in [Ift]) — and a register behind an
+    enable whose mask is nonzero degrades to all-tainted ([Ift] rejects
+    enables; the static rule stays sound for designs it cannot
+    instrument).
+
+    Returns one mask per signal, indexed by signal id: bit [i] set means
+    taint {e may} reach bit [i] of that signal on some cycle of some
+    execution.  {b Soundness}: the mask contains every bit the
+    [Ift]-instrumented design can dynamically taint under any inject
+    condition, flush schedule, and stimulus — {e when the instrumentation
+    uses the same [precise] mode}.  The precise static rules are not sound
+    against the imprecise dynamic rules (a constant-0 AND operand stops
+    taint statically that the union rule propagates), so analyze with the
+    precision you instrument with.  A µFSM state variable or PCR whose mask
+    is zero can never become tainted, so IFT covers requiring its taint may
+    be discharged as unreachable without the model checker. *)
+
+val taint_reaches : Bitvec.t array -> Netlist.signal -> bool
+(** [taint_reaches (taint_reach ...) s]: some bit of [s] may carry taint. *)
+
 val fsm_reachable :
   Netlist.t -> vars:Netlist.signal list -> Bitvec.t list option
 (** Over-approximate the reachable joint-state set of the given state

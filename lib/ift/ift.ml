@@ -35,7 +35,21 @@ let instrument ?(precise = true) ?(inject = []) ?(blocked = []) ?flush ?(persist
   List.iter
     (fun id ->
       match (node nl id).kind with
-      | Reg { enable = Some _; _ } -> failwith "Ift.instrument: register enables unsupported"
+      | Reg { enable = Some _; _ } ->
+        (* An enabled register holds on enable-0 cycles, which the shadow
+           next-state logic of phase 3 does not model: instrumenting it
+           would silently drop taint on every hold cycle.  Name the
+           offender so the caller knows which annotation to fix. *)
+        let name =
+          match (node nl id).name with
+          | Some nm -> nm
+          | None -> Printf.sprintf "n%d" id
+        in
+        invalid_arg
+          (Printf.sprintf
+             "Ift.instrument: register %s has an enable (unsupported: taint \
+              would be lost on hold cycles)"
+             name)
       | Reg _ ->
         let w = width nl id in
         let name =

@@ -33,10 +33,12 @@ val instrument :
   Hdl.Netlist.t ->
   t
 (** Appends shadow logic for every node present at call time.  Registers
-    with enables are not supported (none of the shipped designs use them).
-    [precise] (default true) selects the value-aware rules for AND/OR/MUX
-    cells; [false] degrades them to taint-union — the ablation knob for
-    measuring how cell-level precision controls §VII-B1 false positives. *)
+    with enables are not supported (the shadow next-state logic would drop
+    taint on hold cycles): a netlist containing one raises
+    [Invalid_argument] naming the register.  [precise] (default true)
+    selects the value-aware rules for AND/OR/MUX cells; [false] degrades
+    them to taint-union — the ablation knob for measuring how cell-level
+    precision controls §VII-B1 false positives. *)
 
 val taint_of : t -> Hdl.Netlist.signal -> Hdl.Netlist.signal
 (** The shadow signal carrying a node's per-bit taint. *)

@@ -1,5 +1,8 @@
-(* µLint entry point: run all three passes over a design's metadata. *)
+(* µLint entry point: run all four passes over a design's metadata. *)
 
 let run_design (meta : Designs.Meta.t) =
-  let diags = Structural.run meta @ Annotations.run meta @ Reach.run meta in
+  let diags =
+    Structural.run meta @ Annotations.run meta @ Reach.run meta
+    @ Taintflow.run meta
+  in
   { Diagnostic.design = meta.Designs.Meta.design_name; diags }

@@ -1,4 +1,4 @@
-(** µLint driver: the structural, annotation, and reachability passes over
-    one design, concatenated into a single report. *)
+(** µLint driver: the structural, annotation, reachability, and taint-flow
+    passes over one design, concatenated into a single report. *)
 
 val run_design : Designs.Meta.t -> Diagnostic.report

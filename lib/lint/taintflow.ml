@@ -1,0 +1,135 @@
+(* Taint-flow µLint pass (T301–T305): runs the same static word-level taint
+   dataflow SynthLC's Flow stage uses for its cover-pruning pre-pass
+   (Hdl.Analysis.taint_reach) and audits the IFT-facing annotations against
+   it — dead operand annotations, vacuous blockers, persistent state no
+   taint can reach, and registers Ift.instrument would reject outright. *)
+
+module Meta = Designs.Meta
+module N = Hdl.Netlist
+module D = Diagnostic
+
+let valid nl s = s >= 0 && s < N.num_nodes nl
+
+let connected_reg nl s =
+  valid nl s
+  &&
+  match (N.node nl s).N.kind with N.Reg { next = Some _; _ } -> true | _ -> false
+
+let node_name nl s =
+  match (N.node nl s).N.name with
+  | Some nm -> nm
+  | None -> Printf.sprintf "n%d" s
+
+let run (meta : Meta.t) =
+  let nl = meta.Meta.nl in
+  let diags = ref [] in
+  let emit ?signal ~code ~severity fmt =
+    Printf.ksprintf
+      (fun msg ->
+        let signal_name = Option.map (node_name nl) signal in
+        diags := D.make ?signal ?signal_name ~code ~severity msg :: !diags)
+      fmt
+  in
+
+  (* T305: Ift.instrument rejects any netlist with an enabled register, so
+     none of SynthLC's flow stage can run on this design as annotated. *)
+  N.iter_nodes nl (fun n ->
+      match n.N.kind with
+      | N.Reg { enable = Some _; _ } ->
+        emit ~signal:n.N.id ~code:"T305" ~severity:D.Warning
+          "register %s has an enable: IFT instrumentation rejects it (taint \
+           would be lost on hold cycles)"
+          (node_name nl n.N.id)
+      | _ -> ());
+
+  (* T304: taint inject (operand) and block (ARF/AMEM) targets must be
+     connected registers — an unconnected one type-checks as a register
+     (so L105 passes it) but Ift.instrument fails and the shadow state has
+     no next-state to pin. *)
+  let check_connected role s =
+    if valid nl s then
+      match (N.node nl s).N.kind with
+      | N.Reg { next = None; _ } ->
+        emit ~signal:s ~code:"T304" ~severity:D.Error
+          "%s is an unconnected register — taint injection/blocking has no \
+           next-state to act on"
+          role
+      | _ -> ()
+  in
+  List.iter
+    (fun (k, s) -> check_connected ("operand." ^ k) s)
+    meta.Meta.operand_regs;
+  List.iteri
+    (fun i s -> check_connected (Printf.sprintf "arf[%d]" i) s)
+    meta.Meta.arf;
+  List.iteri
+    (fun i s -> check_connected (Printf.sprintf "amem[%d]" i) s)
+    meta.Meta.amem;
+
+  let operands =
+    List.filter (fun (_, s) -> connected_reg nl s) meta.Meta.operand_regs
+  in
+  let blocked = meta.Meta.arf @ meta.Meta.amem in
+  let state_sigs =
+    List.concat_map
+      (fun (u : Meta.ufsm) -> u.Meta.pcr :: u.Meta.vars)
+      meta.Meta.ufsms
+    |> List.filter (valid nl)
+  in
+
+  if operands <> [] then begin
+    (* T301: a dead operand annotation — its taint reaches no µFSM state
+       variable or PCR, so no decision can ever be tagged on it and every
+       flow query over it is a statically-wasted cover. *)
+    List.iter
+      (fun (k, r) ->
+        let masks = Hdl.Analysis.taint_reach ~blocked ~sources:[ r ] nl in
+        if
+          not
+            (List.exists (Hdl.Analysis.taint_reaches masks) state_sigs)
+        then
+          (* Info, not warning: a dead operand is wasted flow-stage work,
+             not unsoundness, and legitimately occurs (cva6_cache's rs2
+             steers nothing — the cache channel is address-only). *)
+          emit ~signal:r ~code:"T301" ~severity:D.Info
+            "operand %s taint reaches no µFSM state variable or PCR — SynthLC \
+             can never tag a decision on it"
+            k)
+      operands;
+
+    (* T302: a blocker that blocks nothing.  Analysed with blocking OFF: a
+       blocked register no operand taint can reach even then is certainly a
+       vacuous annotation. *)
+    let unblocked_masks =
+      Hdl.Analysis.taint_reach ~sources:(List.map snd operands) nl
+    in
+    List.iter
+      (fun r ->
+        if connected_reg nl r && not (Hdl.Analysis.taint_reaches unblocked_masks r)
+        then
+          emit ~signal:r ~code:"T302" ~severity:D.Info
+            "blocked register %s blocks nothing: no operand taint can reach \
+             it even without blocking"
+            (node_name nl r))
+      blocked;
+
+    (* T303: persistent-state candidates (symbolically-initialised,
+       non-architectural registers — what the flow stage exempts from the
+       sticky-taint flush) outside every operand's taint cone: the
+       exemption is irrelevant for them. *)
+    let cone_masks =
+      Hdl.Analysis.taint_reach ~blocked ~sources:(List.map snd operands) nl
+    in
+    N.iter_nodes nl (fun n ->
+        match n.N.kind with
+        | N.Reg { init = N.Init_symbolic; _ }
+          when (not (List.mem n.N.id blocked))
+               && not (Hdl.Analysis.taint_reaches cone_masks n.N.id) ->
+          emit ~signal:n.N.id ~code:"T303" ~severity:D.Info
+            "persistent register %s lies outside every operand taint cone — \
+             the sticky-taint flush exemption is irrelevant for it"
+            (node_name nl n.N.id)
+        | _ -> ())
+  end;
+
+  List.rev !diags

@@ -1,0 +1,18 @@
+(** Taint-flow µLint pass (T301–T305).
+
+    Audits the IFT-facing annotations against the same static taint
+    dataflow ({!Hdl.Analysis.taint_reach}) SynthLC's flow stage prunes
+    with:
+    - [T301] (info): an operand register whose taint reaches no µFSM
+      state variable or PCR — a dead transmitter-operand annotation (every
+      flow query over it is statically-wasted work).
+    - [T302] (info): an ARF/AMEM blocker no operand taint can reach even
+      with blocking disabled — it blocks nothing.
+    - [T303] (info): a persistent-state candidate (symbolically-initialised
+      non-architectural register) outside every operand taint cone.
+    - [T304] (error): a taint inject/block target that is an unconnected
+      register.
+    - [T305] (warning): a register with an enable — [Ift.instrument]
+      rejects the whole design. *)
+
+val run : Designs.Meta.t -> Diagnostic.t list

@@ -21,6 +21,13 @@ type transponder_report = {
   signatures : Types.signature list;
   flow_props : int;
   flow_undetermined : int;
+  flow_pruned_static : int;
+      (* Covers discharged by the static taint pre-pass; differs across
+         prune modes (0 in off/audit) so excluded from report_digest. *)
+  static_flow_live : (Types.operand * string list) list;
+      (* The static leakage grid: per operand, the PL labels its taint may
+         reach.  Recomputed independently of Flow's pre-pass and used as a
+         standing tripwire; excluded from report_digest (observability). *)
   flow_time : float;
 }
 
@@ -30,6 +37,10 @@ type report = {
   checker_totals : Mc.Checker.Stats.t;
   total_mupath_props : int;
   total_flow_props : int;
+  total_flow_pruned_static : int;
+  precise : bool;
+      (* IFT cell-rule precision the flow stage ran with.  Part of the
+         digest: imprecise runs answer a different question. *)
   jobs : int;
   elapsed : float;
   metrics : (string * float) list;
@@ -73,7 +84,64 @@ let signatures_of_tagged (transponder : Isa.t)
           })
     sources
 
+(* The static leakage grid, recomputed from scratch (fresh design, fresh
+   analysis) so it is independent of the instance Flow pruned against: per
+   operand, the PL labels whose member µFSMs the operand's taint may reach. *)
+let static_leakage_grid ~precise (design : unit -> Meta.t) =
+  let m = design () in
+  let groups = Mupath.Harness.pl_groups m in
+  let blocked = m.Meta.arf @ m.Meta.amem in
+  List.filter_map
+    (fun op ->
+      match List.assoc_opt (Types.operand_name op) m.Meta.operand_regs with
+      | None -> None
+      | Some r ->
+        let masks =
+          Hdl.Analysis.taint_reach ~precise ~blocked ~sources:[ r ] m.Meta.nl
+        in
+        let live =
+          List.filter_map
+            (fun (label, members) ->
+              if
+                List.exists
+                  (fun ((u : Meta.ufsm), _) ->
+                    List.exists
+                      (Hdl.Analysis.taint_reaches masks)
+                      (u.Meta.pcr :: u.Meta.vars))
+                  members
+              then Some label
+              else None)
+            groups
+        in
+        Some (op, live))
+    [ Types.Rs1; Types.Rs2 ]
+
+(* Standing soundness tripwire: every checker-tagged decision must lie
+   inside the static grid.  Skipped in [Prune_off], whose trailing batch
+   deliberately admits checker verdicts that contradict the abstraction. *)
+let assert_inside_grid ~grid (tagged : Types.tagged_decision list) =
+  List.iter
+    (fun (d : Types.tagged_decision) ->
+      let live =
+        match List.assoc_opt d.Types.input.Types.unsafe_operand grid with
+        | Some l -> l
+        | None -> []
+      in
+      if not (List.exists (fun lbl -> List.mem lbl live) d.Types.dst) then
+        failwith
+          (Printf.sprintf
+             "Engine: static leakage grid violated: tagged decision %s -> \
+              {%s} (%s.%s) lies outside the static taint cone {%s}"
+             d.Types.src
+             (String.concat ", " d.Types.dst)
+             (Isa.mnemonic d.Types.input.Types.transmitter)
+             (Types.operand_name d.Types.input.Types.unsafe_operand)
+             (String.concat ", "
+                (List.concat_map snd grid |> List.sort_uniq compare))))
+    tagged
+
 let analyze_transponder ?cache ?config ?synth_config ?static_prune
+    ?(precise = true) ?(static_flow_prune = Types.Prune_on)
     ?(stimulus : stimulus_builder option) ?(exclude_sources = [])
     ~(design : unit -> Meta.t) ~(instr : Isa.t)
     ~(transmitters : Isa.opcode list) ~(kinds : Types.transmitter_kind list)
@@ -110,6 +178,8 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune
       signatures = [];
       flow_props = 0;
       flow_undetermined = 0;
+      flow_pruned_static = 0;
+      static_flow_live = [];
       flow_time = Unix.gettimeofday () -. t0;
     }
   else begin
@@ -164,9 +234,9 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune
                   in
                   f sim c)
           in
-          Flow.analyze ?cache ?config ?stimulus:stim' ~design:design'
-            ~transponder:instr ~decisions:multi_decisions ~transmitters ~kind
-            ~operand ~iuv_pc ())
+          Flow.analyze ?cache ?config ?stimulus:stim' ~precise
+            ~static_flow_prune ~design:design' ~transponder:instr
+            ~decisions:multi_decisions ~transmitters ~kind ~operand ~iuv_pc ())
         pairs
     in
     let tagged = List.concat_map (fun a -> a.Flow.tagged) all in
@@ -176,6 +246,11 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune
     let flow_undet =
       List.fold_left (fun acc a -> acc + a.Flow.stats.Flow.q_undetermined) 0 all
     in
+    let flow_pruned =
+      List.fold_left (fun acc a -> acc + a.Flow.stats.Flow.q_pruned_static) 0 all
+    in
+    let grid = static_leakage_grid ~precise design in
+    if static_flow_prune <> Types.Prune_off then assert_inside_grid ~grid tagged;
     {
       instr;
       synth;
@@ -183,11 +258,14 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune
       signatures = signatures_of_tagged instr synth.Mupath.Synth.decisions tagged;
       flow_props;
       flow_undetermined = flow_undet;
+      flow_pruned_static = flow_pruned;
+      static_flow_live = grid;
       flow_time = Unix.gettimeofday () -. t0;
     }
   end
 
-let run ?cache ?config ?synth_config ?static_prune
+let run ?cache ?config ?synth_config ?static_prune ?(precise = true)
+    ?(static_flow_prune = Types.Prune_on)
     ?(stimulus : stimulus_builder option)
     ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
     ~(instructions : Isa.t list) ~(transmitters : Isa.opcode list)
@@ -215,8 +293,8 @@ let run ?cache ?config ?synth_config ?static_prune
     let synth_config = reseed index synth_config in
     let go () =
       analyze_transponder ?cache:(cache_of index) ?config ?synth_config
-        ?static_prune ?stimulus ~exclude_sources ~design ~instr ~transmitters
-        ~kinds ~revisit_count_labels ~iuv_pc ()
+        ?static_prune ~precise ~static_flow_prune ?stimulus ~exclude_sources
+        ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
     in
     if Obs.enabled () then
       (* Ambient task/seed attribution: every span recorded inside this
@@ -259,6 +337,9 @@ let run ?cache ?config ?synth_config ?static_prune
   let total_flow_props =
     List.fold_left (fun acc t -> acc + t.flow_props) 0 transponders
   in
+  let total_flow_pruned_static =
+    List.fold_left (fun acc t -> acc + t.flow_pruned_static) 0 transponders
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   let metrics =
     if Obs.enabled () then begin
@@ -274,6 +355,8 @@ let run ?cache ?config ?synth_config ?static_prune
     checker_totals;
     total_mupath_props = checker_totals.Mc.Checker.Stats.n_props;
     total_flow_props;
+    total_flow_pruned_static;
+    precise;
     jobs;
     elapsed;
     metrics;
@@ -310,9 +393,12 @@ let equal_transponder (a : transponder_report) (b : transponder_report) =
   && a.signatures = b.signatures
   && a.flow_props = b.flow_props
   && a.flow_undetermined = b.flow_undetermined
+  && a.flow_pruned_static = b.flow_pruned_static
+  && a.static_flow_live = b.static_flow_live
 
 let equal_report a b =
   a.design_name = b.design_name
+  && a.precise = b.precise
   && a.total_mupath_props = b.total_mupath_props
   && a.total_flow_props = b.total_flow_props
   && List.length a.transponders = List.length b.transponders
@@ -346,6 +432,7 @@ let report_digest r =
     (Digest.string
        (Marshal.to_string
           ( r.design_name,
+            r.precise,
             r.total_flow_props,
             List.map transponder r.transponders )
           [ Marshal.No_sharing ]))
@@ -370,6 +457,8 @@ let pp_report fmt r =
         (List.length t.signatures) t.flow_time;
       List.iter (fun s -> Format.fprintf fmt "%a@," Types.pp_signature s) t.signatures)
     r.transponders;
-  Format.fprintf fmt "@,total properties: %d (uPATH) + %d (IFT), %.1fs (jobs=%d)@,"
-    r.total_mupath_props r.total_flow_props r.elapsed r.jobs;
+  Format.fprintf fmt "@,total properties: %d (uPATH) + %d (IFT, %d pruned \
+                      statically), %.1fs (jobs=%d)@,"
+    r.total_mupath_props r.total_flow_props r.total_flow_pruned_static
+    r.elapsed r.jobs;
   Format.fprintf fmt "checker totals: %a@]" Mc.Checker.Stats.pp r.checker_totals

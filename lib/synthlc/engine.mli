@@ -19,6 +19,15 @@ type transponder_report = {
   signatures : Types.signature list;
   flow_props : int;
   flow_undetermined : int;
+  flow_pruned_static : int;
+      (** IFT covers discharged by the static taint pre-pass without checker
+          calls.  Differs across {!Types.prune_mode}s (0 in off/audit), so
+          excluded from {!report_digest}. *)
+  static_flow_live : (Types.operand * string list) list;
+      (** The static leakage grid: per operand register, the PL labels whose
+          µFSMs the operand's taint may reach.  Recomputed independently of
+          the Flow pre-pass; every tagged decision is asserted to lie inside
+          it (except in {!Types.Prune_off}).  Excluded from the digest. *)
   flow_time : float;
 }
 
@@ -29,6 +38,10 @@ type report = {
       (** {!Mc.Checker.Stats.merge} over every per-instruction synthesis. *)
   total_mupath_props : int;
   total_flow_props : int;
+  total_flow_pruned_static : int;
+  precise : bool;
+      (** IFT cell-rule precision the flow stage ran with.  Part of the
+          digest — imprecise runs answer a different question. *)
   jobs : int;  (** Domain count the report was produced with. *)
   elapsed : float;
   metrics : (string * float) list;
@@ -51,11 +64,23 @@ val signatures_of_tagged :
 (** Assemble signatures per decision source; requires at least two tagged
     destinations per source (the paper's footnote 3). *)
 
+val static_leakage_grid :
+  precise:bool ->
+  (unit -> Designs.Meta.t) ->
+  (Types.operand * string list) list
+(** The static leakage-grid over-approximation for a design: per operand
+    register, the PL labels whose member µFSM state (PCR or vars) the
+    operand's taint may reach under {!Hdl.Analysis.taint_reach} with the
+    ARF/AMEM blocked.  Any decision destination outside the grid can never
+    be tagged by a sound flow analysis. *)
+
 val analyze_transponder :
   ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?static_prune:bool ->
+  ?precise:bool ->
+  ?static_flow_prune:Types.prune_mode ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
   design:(unit -> Designs.Meta.t) ->
@@ -87,12 +112,25 @@ val analyze_transponder :
     [static_prune] is forwarded to {!Mupath.Synth.run} (default [true]):
     covers over statically-unreachable µFSM states are discharged by the
     FSM-abstraction reachability pre-pass without dispatching properties.
-    {!report_digest} is bit-identical across [static_prune] modes. *)
+    {!report_digest} is bit-identical across [static_prune] modes.
+
+    [static_flow_prune] (default {!Types.Prune_on}) is forwarded to
+    {!Flow.analyze}: IFT covers whose destinations lie outside the operand's
+    static taint cone are discharged without checker calls (on), dispatched
+    as a trailing trusted batch (off), or dispatched with a [failwith]
+    tripwire on any reachable verdict (audit).  All modes issue the same
+    mid-stream checker sequence, so {!report_digest} is bit-identical across
+    them whenever the abstraction is sound.  [precise] (default [true])
+    selects the IFT cell-rule precision, is threaded identically into the
+    instrumentation and the static pre-pass, and namespaces the verdict
+    cache when imprecise. *)
 val run :
   ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?static_prune:bool ->
+  ?precise:bool ->
+  ?static_flow_prune:Types.prune_mode ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
   ?jobs:int ->

@@ -17,11 +17,15 @@ type query_stats = {
   mutable q_props : int;
   mutable q_tagged : int;
   mutable q_undetermined : int;
+  mutable q_pruned_static : int;
+  mutable q_audit_props : int;
+  mutable q_audit_undetermined : int;
   mutable q_time : float;
 }
 
 type analysis = {
   tagged : Types.tagged_decision list;
+  static_live : string list;
   stats : query_stats;
 }
 
@@ -33,7 +37,8 @@ let transmitter_pc ~iuv_pc = function
   | Types.Static -> iuv_pc - 2
 
 let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
-    ~(design : unit -> Meta.t) ~(transponder : Isa.t)
+    ?(static_flow_prune = Types.Prune_on) ~(design : unit -> Meta.t)
+    ~(transponder : Isa.t)
     ~(decisions : (string * string list list) list)
     ~(transmitters : Isa.opcode list) ~(kind : Types.transmitter_kind)
     ~(operand : Types.operand) ~iuv_pc () =
@@ -107,9 +112,56 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
   | None ->
     (* The design has no such operand register (e.g. a single-operand toy
        DUV): nothing can be tainted, nothing is tagged. *)
-    { tagged = []; stats = { q_props = 0; q_tagged = 0; q_undetermined = 0; q_time = 0. } }
+    {
+      tagged = [];
+      static_live = [];
+      stats =
+        {
+          q_props = 0;
+          q_tagged = 0;
+          q_undetermined = 0;
+          q_pruned_static = 0;
+          q_audit_props = 0;
+          q_audit_undetermined = 0;
+          q_time = 0.;
+        };
+    }
   | Some op_reg ->
   let blocked = meta.Meta.arf @ meta.Meta.amem in
+
+  (* --- static taint-flow pre-pass -------------------------------------- *)
+  (* Over-approximate, on the un-instrumented netlist, which PL groups the
+     operand's taint may ever reach.  A cover whose destination set lies
+     entirely outside this cone (or is empty — [or_all [] = gnd]) asks the
+     checker to reach a constant-false taint conjunct and is statically
+     unreachable.  All three prune modes keep such covers out of the
+     mid-stream checker sequence so the report digest is mode-invariant;
+     see {!Types.prune_mode}. *)
+  let static_masks =
+    let go () = Hdl.Analysis.taint_reach ~precise ~blocked ~sources:[ op_reg ] nl in
+    if Obs.enabled () then Obs.with_span "flow.static_taint" go else go ()
+  in
+  let label_live =
+    List.map
+      (fun (label, members) ->
+        let m_live ((u : Meta.ufsm), _) =
+          List.exists
+            (fun v -> Hdl.Analysis.taint_reaches static_masks v)
+            (u.Meta.pcr :: u.Meta.vars)
+        in
+        (label, List.exists m_live members))
+      groups
+  in
+  (* Unknown labels are treated as live: never prune on missing data. *)
+  let dst_live ds =
+    List.exists
+      (fun lbl ->
+        match List.assoc_opt lbl label_live with Some b -> b | None -> true)
+      ds
+  in
+  let static_live =
+    List.filter_map (fun (l, live) -> if live then Some l else None) label_live
+  in
   (* Persistent state for the sticky-taint flush of Assumption 3: every
      symbolically-initialized register that is not architectural (cache tag
      and data arrays in the cache DUV). *)
@@ -151,6 +203,13 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
 
   (* --- IUV harness (checker) ------------------------------------------ *)
   let meta = { meta with Meta.extra_assumes = t_word_stable :: meta.Meta.extra_assumes } in
+  (* Imprecise IFT changes what every cover means even if the instrumented
+     netlist digest were to collide, so fold the mode into the verdict-cache
+     namespace explicitly. *)
+  let cache_salt =
+    if precise then cache_salt
+    else Some (Option.value cache_salt ~default:"" ^ "|ift:imprecise")
+  in
   let h =
     Mupath.Harness.create ?cache ?cache_salt ?config ?stimulus ~meta
       ~iuv:transponder ~iuv_pc ()
@@ -158,7 +217,17 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
   let chk = Mupath.Harness.checker h in
 
   (* --- queries ---------------------------------------------------------- *)
-  let stats = { q_props = 0; q_tagged = 0; q_undetermined = 0; q_time = 0. } in
+  let stats =
+    {
+      q_props = 0;
+      q_tagged = 0;
+      q_undetermined = 0;
+      q_pruned_static = 0;
+      q_audit_props = 0;
+      q_audit_undetermined = 0;
+      q_time = 0.;
+    }
+  in
   let iuv_labels = Mupath.Harness.labels h in
   let kind_lits =
     match kind with
@@ -168,6 +237,7 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
     | Types.Static -> [ (prev_gone_t, true) ]
   in
   let tagged = ref [] in
+  let deferred = ref [] in
   List.iter
     (fun tx ->
       (* Intrinsic transmitters can only be the transponder itself. *)
@@ -191,31 +261,77 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
                   @ op_lit @ kind_lits
                 in
                 stats.q_props <- stats.q_props + 1;
-                match Checker.check_cover ~name:"ift" chk lits with
-                | Checker.Reachable _ ->
-                  stats.q_tagged <- stats.q_tagged + 1;
-                  tagged :=
-                    {
-                      Types.src;
-                      dst;
-                      input =
-                        { Types.transmitter = tx; unsafe_operand = operand; kind };
-                    }
-                    :: !tagged
-                | Checker.Undetermined ->
-                  stats.q_undetermined <- stats.q_undetermined + 1
-                | Checker.Unreachable _ -> ())
+                if not (dst_live dst) then begin
+                  (* Statically dead: no destination µFSM lies inside the
+                     operand's taint cone (an empty destination set is dead
+                     by vacuity — its taint conjunct is a constant false). *)
+                  match static_flow_prune with
+                  | Types.Prune_on ->
+                    stats.q_pruned_static <- stats.q_pruned_static + 1;
+                    if Obs.enabled () then Obs.Metrics.incr "flow.pruned_static"
+                  | Types.Prune_off | Types.Prune_audit ->
+                    deferred := (tx, src, dst, lits) :: !deferred
+                end
+                else
+                  match Checker.check_cover ~name:"ift" chk lits with
+                  | Checker.Reachable _ ->
+                    stats.q_tagged <- stats.q_tagged + 1;
+                    tagged :=
+                      {
+                        Types.src;
+                        dst;
+                        input =
+                          { Types.transmitter = tx; unsafe_operand = operand; kind };
+                      }
+                      :: !tagged
+                  | Checker.Undetermined ->
+                    stats.q_undetermined <- stats.q_undetermined + 1
+                  | Checker.Unreachable _ -> ())
               dsts)
           decisions)
     transmitters;
+  (* Trailing batch: in off/audit mode the statically-dead covers are still
+     dispatched, but only after the live mid-stream sequence above so every
+     mode issues the same mid-stream checker calls (same RNG draws, same
+     learned clauses — see {!Types.prune_mode}). *)
+  List.iter
+    (fun (tx, src, dst, lits) ->
+      stats.q_audit_props <- stats.q_audit_props + 1;
+      match Checker.check_cover ~name:"ift" chk lits with
+      | Checker.Reachable _ ->
+        if static_flow_prune = Types.Prune_audit then
+          failwith
+            (Printf.sprintf
+               "Flow: static taint abstraction unsound: cover %s -> {%s} \
+                (%s, %s.%s) is reachable but its destinations lie outside \
+                the static taint cone"
+               src
+               (String.concat ", " dst)
+               (Types.kind_name kind) (Isa.mnemonic tx)
+               (Types.operand_name operand))
+        else begin
+          stats.q_tagged <- stats.q_tagged + 1;
+          tagged :=
+            {
+              Types.src;
+              dst;
+              input = { Types.transmitter = tx; unsafe_operand = operand; kind };
+            }
+            :: !tagged
+        end
+      | Checker.Undetermined ->
+        stats.q_audit_undetermined <- stats.q_audit_undetermined + 1
+      | Checker.Unreachable _ -> ())
+    (List.rev !deferred);
   stats.q_time <- Unix.gettimeofday () -. t_start;
-  { tagged = List.rev !tagged; stats }
+  { tagged = List.rev !tagged; static_live; stats }
 
-let analyze ?cache ?cache_salt ?config ?stimulus ?precise ~design ~transponder
-    ~decisions ~transmitters ~kind ~operand ~iuv_pc () =
+let analyze ?cache ?cache_salt ?config ?stimulus ?precise ?static_flow_prune
+    ~design ~transponder ~decisions ~transmitters ~kind ~operand ~iuv_pc () =
   let go () =
-    analyze_inner ?cache ?cache_salt ?config ?stimulus ?precise ~design
-      ~transponder ~decisions ~transmitters ~kind ~operand ~iuv_pc ()
+    analyze_inner ?cache ?cache_salt ?config ?stimulus ?precise
+      ?static_flow_prune ~design ~transponder ~decisions ~transmitters ~kind
+      ~operand ~iuv_pc ()
   in
   if Obs.enabled () then
     Obs.with_span "flow.analyze"

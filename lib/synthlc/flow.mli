@@ -12,12 +12,30 @@
 
 type query_stats = {
   mutable q_props : int;
+      (** Covers considered, including statically-discharged ones — identical
+          across prune modes and part of the report digest. *)
   mutable q_tagged : int;
   mutable q_undetermined : int;
+  mutable q_pruned_static : int;
+      (** Covers discharged by the static taint pre-pass without a checker
+          call.  Only incremented in {!Types.Prune_on}; excluded from the
+          report digest. *)
+  mutable q_audit_props : int;
+      (** Statically-dead covers dispatched in the trailing batch of
+          {!Types.Prune_off}/{!Types.Prune_audit}.  Excluded from the
+          digest. *)
+  mutable q_audit_undetermined : int;
   mutable q_time : float;
 }
 
-type analysis = { tagged : Types.tagged_decision list; stats : query_stats }
+type analysis = {
+  tagged : Types.tagged_decision list;
+  static_live : string list;
+      (** PL labels inside the operand's static taint cone — the leakage-grid
+          over-approximation.  Every tagged decision's destination set must
+          intersect it (asserted by {!Engine}). *)
+  stats : query_stats;
+}
 
 val transmitter_pc : iuv_pc:int -> Types.transmitter_kind -> int
 (** PC slot the transmitter instance occupies relative to the IUV:
@@ -30,6 +48,7 @@ val analyze :
   ?config:Mc.Checker.config ->
   ?stimulus:(Sim.t -> int -> unit) ->
   ?precise:bool ->
+  ?static_flow_prune:Types.prune_mode ->
   design:(unit -> Designs.Meta.t) ->
   transponder:Isa.t ->
   decisions:(string * string list list) list ->
@@ -43,4 +62,9 @@ val analyze :
     destination sets); [transmitters] are the candidate opcodes considered
     at the transmitter slot (intrinsic analyses only query the transponder
     itself); [precise] selects the IFT cell-rule precision (§VII-B1
-    ablation).  [design] must build a fresh metadata instance per call. *)
+    ablation) — it is threaded identically into the static taint pre-pass
+    and folded into the verdict-cache namespace when imprecise.
+    [static_flow_prune] (default {!Types.Prune_on}) selects what happens to
+    covers the pre-pass proves unreachable; all three modes issue the same
+    mid-stream checker sequence (see {!Types.prune_mode}).  [design] must
+    build a fresh metadata instance per call. *)

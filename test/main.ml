@@ -23,5 +23,6 @@ let () =
       Test_obs.suite;
       Test_vcache.suite;
       Test_analysis.suite;
+      Test_taint.suite;
       Test_lint.suite;
     ]

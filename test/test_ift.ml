@@ -173,6 +173,29 @@ let test_soundness_overapproximation () =
         diff t1
   done
 
+(* An enabled register must be rejected up front, naming the offender — the
+   shadow next-state logic would silently drop taint on every hold cycle. *)
+let test_enable_rejected () =
+  let nl = N.create "en" in
+  let en = N.input nl "en" 1 in
+  let d = N.input nl "d" 4 in
+  let r =
+    N.reg nl ~enable:en ~name:"held" ~init:(N.Init_value (Bitvec.zero 4))
+      ~width:4 ()
+  in
+  N.connect_reg nl r d;
+  match Ift.instrument nl with
+  | exception Invalid_argument msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "message names the register" true (contains "held")
+  | _ -> Alcotest.fail "expected Invalid_argument for enabled register"
+
 let suite =
   ( "ift",
     [
@@ -186,4 +209,5 @@ let suite =
       Alcotest.test_case "no spontaneous taint" `Quick test_monotonic_in_inputs;
       Alcotest.test_case "soundness over-approximation" `Quick
         test_soundness_overapproximation;
+      Alcotest.test_case "enabled register rejected" `Quick test_enable_rejected;
     ] )

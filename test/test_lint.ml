@@ -145,6 +145,87 @@ let test_exit_codes_and_json () =
   Alcotest.(check bool) "json carries codes" true (contains "\"L104\"");
   Alcotest.(check bool) "json counts errors" true (contains "\"errors\"")
 
+(* A design seeding one finding per taint-flow code: a dead operand (T301),
+   a blocker no taint reaches (T302), persistent state outside the cone
+   (T303), an unconnected inject target (T304), an enabled register
+   (T305). *)
+let taint_broken_meta () =
+  let nl = N.create "tbroken" in
+  let ifr_valid = N.input nl "ifr_valid" 1 in
+  let ifr_word = N.input nl "ifr_word" Isa.width in
+  let ifr_pc = N.input nl "ifr_pc" 6 in
+  let commit = N.input nl "commit" 1 in
+  let commit_pc = N.input nl "commit_pc" 6 in
+  let op_valid = N.input nl "op_valid" 1 in
+  let op_pc = N.input nl "op_pc" 6 in
+  let pcr = N.reg nl ~name:"pcr" ~init:(N.Init_value (Bitvec.zero 6)) ~width:6 () in
+  N.connect_reg nl pcr pcr;
+  let svar = N.reg nl ~name:"state" ~init:(N.Init_value (bv 2 0)) ~width:2 () in
+  N.connect_reg nl svar svar;
+  (* T301: a connected operand register that feeds nothing. *)
+  let rs1 = N.reg nl ~name:"rs1_val" ~init:(N.Init_value (Bitvec.zero 8)) ~width:8 () in
+  N.connect_reg nl rs1 (N.input nl "rs1_in" 8);
+  (* T304: an operand register with no next-state. *)
+  let rs2 = N.reg nl ~name:"rs2_val" ~init:(N.Init_value (Bitvec.zero 8)) ~width:8 () in
+  (* T302: a blocked register only a constant drives. *)
+  let arf0 = N.reg nl ~name:"arf0" ~init:(N.Init_value (Bitvec.zero 8)) ~width:8 () in
+  N.connect_reg nl arf0 (N.const nl (Bitvec.zero 8));
+  (* T303: symbolic-init persistent state outside every operand cone. *)
+  let tagmem = N.reg nl ~name:"tagmem" ~init:N.Init_symbolic ~width:8 () in
+  N.connect_reg nl tagmem tagmem;
+  (* T305: an enabled register. *)
+  let held =
+    N.reg nl ~enable:op_valid ~name:"held" ~init:(N.Init_value (Bitvec.zero 4))
+      ~width:4 ()
+  in
+  N.connect_reg nl held (N.input nl "held_in" 4);
+  {
+    Meta.design_name = "tbroken";
+    nl;
+    ifrs = [ { Meta.ifr_valid; ifr_pc; ifr_word } ];
+    operand_stage_valid = op_valid;
+    operand_stage_pc = op_pc;
+    commit;
+    commit_pc;
+    flush = commit;
+    ufsms =
+      [
+        {
+          Meta.ufsm_name = "u";
+          pcr;
+          vars = [ svar ];
+          idle_states = [ bv 2 0 ];
+          state_labels = [ (bv 2 1, "A") ];
+        };
+      ];
+    operand_regs = [ ("rs1", rs1); ("rs2", rs2) ];
+    arf = [ arf0 ];
+    amem = [];
+    extra_assumes = [];
+  }
+
+let test_taintflow_defects () =
+  let diags = Lint.Taintflow.run (taint_broken_meta ()) in
+  let find code = List.filter (fun d -> d.D.code = code) diags in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) ("finds " ^ code) true (find code <> []))
+    [ "T301"; "T302"; "T303"; "T304"; "T305" ];
+  Alcotest.(check bool) "T304 names rs2" true
+    (List.exists (fun d -> d.D.signal_name = Some "rs2_val") (find "T304"));
+  Alcotest.(check bool) "T305 names held" true
+    (List.exists (fun d -> d.D.signal_name = Some "held") (find "T305"));
+  Alcotest.(check bool) "T304 is an error" true
+    (List.for_all (fun d -> d.D.severity = D.Error) (find "T304"));
+  Alcotest.(check bool) "T301/T302/T303 are not errors" true
+    (List.for_all
+       (fun d -> d.D.severity <> D.Error)
+       (find "T301" @ find "T302" @ find "T303"));
+  (* The driver surfaces the taint-flow pass. *)
+  let r = Lint.Driver.run_design (taint_broken_meta ()) in
+  Alcotest.(check bool) "driver runs taintflow" true
+    (List.exists (fun d -> d.D.code = "T304") r.D.diags)
+
 (* The CVA6-lite scoreboard µFSMs are 3-bit with five used states and the
    LDU is 2-bit with three: the abstraction must prove exactly the 13
    unlabelled residues dead — the covers the synthesis pre-pass prunes. *)
@@ -214,6 +295,8 @@ let suite =
       Alcotest.test_case "seeded structural defects" `Quick
         test_structural_defects;
       Alcotest.test_case "exit codes and JSON" `Quick test_exit_codes_and_json;
+      Alcotest.test_case "seeded taint-flow defects" `Quick
+        test_taintflow_defects;
       Alcotest.test_case "cva6 statically-dead states" `Quick
         test_cva6_static_dead;
       Alcotest.test_case "static prune digest-identical" `Quick
