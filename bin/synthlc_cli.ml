@@ -176,7 +176,32 @@ let with_obs ~trace ~metrics f =
       f
   end
 
-let config_of depth episodes =
+let portfolio_arg =
+  let doc =
+    "Race $(docv) diversified solver configurations per hard BMC query \
+     (clause-sharing portfolio).  The canonical solver's verdict and \
+     witness are always the ones reported, so results and the report \
+     digest are bit-identical to $(b,--portfolio=1)."
+  in
+  Arg.(value & opt int 1 & info [ "portfolio" ] ~docv:"K" ~doc)
+
+let no_cse_arg =
+  let doc =
+    "Disable structural hashing (CSE) in the Tseitin encoding — mainly for \
+     measuring the encoding-sharing win.  Changes the solver trajectory, so \
+     witnesses (and the digest) may differ from the default."
+  in
+  Arg.(value & flag & info [ "no-cse" ] ~doc)
+
+let dump_cnf_arg =
+  let doc =
+    "Write the BMC unrolling as DIMACS CNF to $(docv) at the end of the run \
+     for offline debugging (multi-instruction synthlc runs append the task \
+     index to the path)."
+  in
+  Arg.(value & opt (some string) None & info [ "dump-cnf" ] ~docv:"FILE" ~doc)
+
+let config_of depth episodes ~portfolio ~no_cse =
   {
     Mc.Checker.default_config with
     Mc.Checker.bmc_depth = depth;
@@ -184,6 +209,8 @@ let config_of depth episodes =
     induction_max_k = 2;
     sim_episodes = episodes;
     sim_cycles = 44;
+    encode_cse = not no_cse;
+    portfolio_domains = max 1 portfolio;
   }
 
 let stimulus_for dname ~pins meta =
@@ -263,16 +290,17 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname iuv depth episodes dot counts shards cache_dir nsp trace metrics =
+  let run dname iuv depth episodes dot counts shards cache_dir nsp portfolio
+      no_cse dump_cnf trace metrics =
     with_obs ~trace ~metrics (fun () ->
         let meta = build_design dname in
         let iuv_pc = iuv_pc_for dname in
         let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
-        let config = config_of depth episodes in
+        let config = config_of depth episodes ~portfolio ~no_cse in
         let cache = cache_of cache_dir in
         let r =
           Mupath.Synth.run ?cache ~config ~stimulus:stim ~static_prune:(not nsp)
-            ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
+            ?dump_cnf ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
         in
         Format.printf "%a@." Mupath.Synth.pp_result r;
         print_cache_counters cache;
@@ -290,14 +318,15 @@ let mupath_cmd =
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
     Term.(
       const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
-      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg $ trace_arg
-      $ metrics_arg)
+      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg
+      $ portfolio_arg $ no_cse_arg $ dump_cnf_arg $ trace_arg $ metrics_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
   let run dname instructions txs depth episodes static jobs cache_dir nsp
-      flow_prune no_flow_prune imprecise trace metrics =
+      flow_prune no_flow_prune imprecise portfolio no_cse dump_cnf trace
+      metrics =
    with_obs ~trace ~metrics @@ fun () ->
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
@@ -309,7 +338,7 @@ let synthlc_cmd =
       else if dname = "ibex_lite" then Designs.Stimulus.ibex ~pins ~rotate meta
       else Designs.Stimulus.core ~pins ~rotate meta
     in
-    let config = config_of depth episodes in
+    let config = config_of depth episodes ~portfolio ~no_cse in
     let kinds =
       [ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older; Synthlc.Types.Dynamic_younger ]
       @ (if static then [ Synthlc.Types.Static ] else [])
@@ -327,9 +356,9 @@ let synthlc_cmd =
     in
     let report =
       Synthlc.Engine.run ?cache ~config ~synth_config:config
-        ~static_prune:(not nsp) ~precise:(not imprecise) ~static_flow_prune
-        ~stimulus ~design ~jobs ~instructions ~transmitters ~kinds
-        ~revisit_count_labels ~iuv_pc ()
+        ~static_prune:(not nsp) ?dump_cnf ~precise:(not imprecise)
+        ~static_flow_prune ~stimulus ~design ~jobs ~instructions ~transmitters
+        ~kinds ~revisit_count_labels ~iuv_pc ()
     in
     Format.printf "%a@." Synthlc.Engine.pp_report report;
     Printf.printf "report digest: %s\n" (Synthlc.Engine.report_digest report);
@@ -361,8 +390,8 @@ let synthlc_cmd =
     Term.(
       const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
       $ jobs_arg $ cache_dir_arg $ no_static_prune_arg $ static_flow_prune_arg
-      $ no_static_flow_prune_arg $ imprecise_ift_arg $ trace_arg
-      $ metrics_arg)
+      $ no_static_flow_prune_arg $ imprecise_ift_arg $ portfolio_arg
+      $ no_cse_arg $ dump_cnf_arg $ trace_arg $ metrics_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 

@@ -12,11 +12,20 @@ type t = {
   false_lit : Solver.lit;
   mutable steps : Solver.lit array array list; (* reversed: per time, per node, lit array *)
   mutable depth : int;
+  cse : bool;
+  cse_tbl : (int * int * int, Solver.lit) Hashtbl.t;
+      (* Structural hashing of gate outputs, keyed on (gate tag, operand
+         literals).  Constant folding runs first, so keys never contain the
+         true/false literal; all cached gates are permanent level-0
+         definitions, so entries stay valid for the lifetime of [t]. *)
+  mutable cse_hits : int;
+  mutable cse_lookups : int;
 }
 
 let solver t = t.s
 let depth t = t.depth
 let lit_true t = t.true_lit
+let cse_stats t = (t.cse_hits, t.cse_lookups)
 
 (* --- gate helpers ------------------------------------------------------ *)
 
@@ -29,11 +38,25 @@ let g_and t a b =
   else if a = b then a
   else if a = Solver.negate b then t.false_lit
   else begin
-    let z = fresh t in
-    Solver.add_clause t.s [ Solver.negate z; a ];
-    Solver.add_clause t.s [ Solver.negate z; b ];
-    Solver.add_clause t.s [ z; Solver.negate a; Solver.negate b ];
-    z
+    let key = (0, min a b, max a b) in
+    let cached =
+      if t.cse then begin
+        t.cse_lookups <- t.cse_lookups + 1;
+        Hashtbl.find_opt t.cse_tbl key
+      end
+      else None
+    in
+    match cached with
+    | Some z ->
+      t.cse_hits <- t.cse_hits + 1;
+      z
+    | None ->
+      let z = fresh t in
+      Solver.add_clause t.s [ Solver.negate z; a ];
+      Solver.add_clause t.s [ Solver.negate z; b ];
+      Solver.add_clause t.s [ z; Solver.negate a; Solver.negate b ];
+      if t.cse then Hashtbl.replace t.cse_tbl key z;
+      z
   end
 
 let g_or t a b = Solver.negate (g_and t (Solver.negate a) (Solver.negate b))
@@ -46,12 +69,32 @@ let g_xor t a b =
   else if a = b then t.false_lit
   else if a = Solver.negate b then t.true_lit
   else begin
-    let z = fresh t in
-    Solver.add_clause t.s [ Solver.negate z; a; b ];
-    Solver.add_clause t.s [ Solver.negate z; Solver.negate a; Solver.negate b ];
-    Solver.add_clause t.s [ z; Solver.negate a; b ];
-    Solver.add_clause t.s [ z; a; Solver.negate b ];
-    z
+    (* XOR is invariant under sign normalization: a^b = (a0^b0) ^ parity,
+       where a0/b0 strip the sign bits.  Cache the positive form once and
+       re-sign the cached output, so all four polarity variants of the same
+       gate collapse into one definition. *)
+    let sign = (a land 1) lxor (b land 1) in
+    let a0 = a land lnot 1 and b0 = b land lnot 1 in
+    let key = (1, min a0 b0, max a0 b0) in
+    let cached =
+      if t.cse then begin
+        t.cse_lookups <- t.cse_lookups + 1;
+        Hashtbl.find_opt t.cse_tbl key
+      end
+      else None
+    in
+    match cached with
+    | Some z0 ->
+      t.cse_hits <- t.cse_hits + 1;
+      z0 lxor sign
+    | None ->
+      let z = fresh t in
+      Solver.add_clause t.s [ Solver.negate z; a; b ];
+      Solver.add_clause t.s [ Solver.negate z; Solver.negate a; Solver.negate b ];
+      Solver.add_clause t.s [ z; Solver.negate a; b ];
+      Solver.add_clause t.s [ z; a; Solver.negate b ];
+      if t.cse then Hashtbl.replace t.cse_tbl key (z lxor sign);
+      z
   end
 
 let g_mux t sel a b =
@@ -205,7 +248,7 @@ let ensure_depth t k =
     encode_step t
   done
 
-let create ?(assume_initial = []) ~initial ~assumes nl =
+let create ?(assume_initial = []) ?(cse = true) ~initial ~assumes nl =
   Netlist.validate nl;
   let s = Solver.create () in
   let tv = Solver.pos (Solver.new_var s) in
@@ -222,6 +265,10 @@ let create ?(assume_initial = []) ~initial ~assumes nl =
       false_lit = Solver.negate tv;
       steps = [];
       depth = 0;
+      cse;
+      cse_tbl = Hashtbl.create 1024;
+      cse_hits = 0;
+      cse_lookups = 0;
     }
   in
   List.iter

@@ -18,12 +18,21 @@ type t
 
 val create :
   ?assume_initial:Hdl.Netlist.signal list ->
+  ?cse:bool ->
   initial:[ `Reset | `Free ] ->
   assumes:Hdl.Netlist.signal list ->
   Hdl.Netlist.t ->
   t
 (** [assumes] are 1-bit signals constrained to 1 at {e every} unrolled time
-    step; [assume_initial] only at time 0. *)
+    step; [assume_initial] only at time 0.
+
+    [cse] (default [true]) enables structural hashing of the Tseitin
+    encoding: AND/XOR gates (and everything built on them — OR, mux,
+    adders, comparators) are keyed on their operand literals with sign
+    normalization and constant folding, so identical subterms across time
+    steps and across covers map to a single literal instead of being
+    re-encoded.  Purely an encoding-size optimization: the encoded function
+    is unchanged. *)
 
 val solver : t -> Sat.Solver.t
 val depth : t -> int
@@ -44,6 +53,10 @@ val model_value : t -> Hdl.Netlist.signal -> time:int -> Bitvec.t
 
 val lit_true : t -> Sat.Solver.lit
 (** A literal constrained to true (handy for building assumptions). *)
+
+val cse_stats : t -> int * int
+(** [(hits, lookups)] of the structural-hashing cache; [(0, 0)] when
+    [cse:false].  The hit rate measures how much encoding was shared. *)
 
 val add_state_distinct : t -> int -> int -> unit
 (** [add_state_distinct t i j] adds clauses forcing the register states at

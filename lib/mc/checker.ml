@@ -125,6 +125,9 @@ type config = {
   sim_episodes : int;  (* 0 disables the simulation pre-pass *)
   sim_cycles : int;
   seed : int;
+  encode_cse : bool;  (* structural hashing in the Tseitin encoding *)
+  reduce_db : bool;  (* periodic learnt-clause DB reduction *)
+  portfolio_domains : int;  (* <= 1 disables portfolio racing *)
 }
 
 let default_config =
@@ -136,6 +139,9 @@ let default_config =
     sim_episodes = 24;
     sim_cycles = 32;
     seed = 1;
+    encode_cse = true;
+    reduce_db = true;
+    portfolio_domains = 1;
   }
 
 type t = {
@@ -157,13 +163,18 @@ type t = {
    the config, and a caller salt (for inputs the checker cannot see, e.g.
    the stimulus closure's identity).  The per-property key then appends
    the cover literals — see [cover_key]. *)
+(* [encode_cse] and [reduce_db] are part of the key: they change the solver
+   trajectory and hence which witness a Sat query returns.  [portfolio_domains]
+   deliberately is not — the canonical solver's verdict and model are
+   bit-identical whatever the domain count (see Solver.solve_portfolio). *)
 let make_key_prefix ~salt ~assumes ~assume_initial ~(config : config) nl =
-  Printf.sprintf "%s|a:%s|i:%s|c:%d.%d.%d.%d.%d.%d.%d|s:%s" (Netlist.digest nl)
+  Printf.sprintf "%s|a:%s|i:%s|c:%d.%d.%d.%d.%d.%d.%d|e:%b.%b|s:%s"
+    (Netlist.digest nl)
     (String.concat "," (List.map string_of_int assumes))
     (String.concat "," (List.map string_of_int assume_initial))
     config.bmc_depth config.bmc_conflicts config.induction_max_k
     config.induction_conflicts config.sim_episodes config.sim_cycles config.seed
-    salt
+    config.encode_cse config.reduce_db salt
 
 let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
     ?(assume_initial = []) ~assumes nl =
@@ -175,13 +186,18 @@ let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
         | None -> acc)
     |> List.rev
   in
+  let bmc =
+    Blast.create ~assume_initial ~cse:config.encode_cse ~initial:`Reset ~assumes
+      nl
+  in
+  Solver.set_reduce_db (Blast.solver bmc) config.reduce_db;
   {
     nl;
     config;
     assumes;
     assume_initial;
     stimulus;
-    bmc = Blast.create ~assume_initial ~initial:`Reset ~assumes nl;
+    bmc;
     stats = Stats.create ();
     named;
     rng = Random.State.make [| config.seed |];
@@ -275,7 +291,11 @@ let try_induction t cover =
   else begin
     (* Hypothesis units are specific to one cover, so each attempt gets a
        fresh unrolling. *)
-    let ind = Blast.create ~initial:`Free ~assumes:t.assumes t.nl in
+    let ind =
+      Blast.create ~cse:t.config.encode_cse ~initial:`Free ~assumes:t.assumes
+        t.nl
+    in
+    Solver.set_reduce_db (Blast.solver ind) t.config.reduce_db;
     let lits_at time =
       List.map
         (fun (s, pol) ->
@@ -405,7 +425,24 @@ let compute_cover t cover =
       let act = Solver.pos (Solver.new_var s) in
       Solver.add_clause s (Solver.negate act :: List.map snd gates);
       let result =
-        Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts s
+        if t.config.portfolio_domains > 1 then begin
+          let pr =
+            Solver.solve_portfolio ~assumptions:[ act ]
+              ~max_conflicts:t.config.bmc_conflicts
+              ~domains:t.config.portfolio_domains s
+          in
+          if Obs.enabled () then begin
+            Obs.Metrics.incr "sat.portfolio_solves";
+            Obs.Metrics.incr "sat.portfolio_shared" ~by:pr.Solver.p_shared;
+            Obs.Metrics.incr "sat.portfolio_imported" ~by:pr.Solver.p_imported;
+            Obs.Metrics.incr "sat.portfolio_racer_decisive"
+              ~by:pr.Solver.p_racer_decisive
+          end;
+          pr.Solver.p_result
+        end
+        else
+          Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts
+            s
       in
       (* Retire this property's activation clauses. *)
       Solver.add_clause s [ Solver.negate act ];
@@ -422,6 +459,14 @@ let compute_cover t cover =
 
 let check_cover ?name t cover =
   let t0 = Unix.gettimeofday () in
+  (* Snapshots for the per-property sat.* metrics; deltas are taken over the
+     shared BMC solver (the induction pass uses short-lived solvers whose
+     work is not attributed here). *)
+  let bmc_s = Blast.solver t.bmc in
+  let c0 = Solver.num_conflicts bmc_s in
+  let p0 = Solver.num_propagations bmc_s in
+  let r0 = Solver.num_reduces bmc_s in
+  let h0, l0 = Blast.cse_stats t.bmc in
   let finish ~hit ~sim_discharged outcome =
     t.stats.Stats.n_props <- t.stats.Stats.n_props + 1;
     t.stats.Stats.total_time <- t.stats.Stats.total_time +. Unix.gettimeofday () -. t0;
@@ -447,7 +492,18 @@ let check_cover ?name t cover =
       | None -> ()
       | Some true -> Obs.Metrics.incr "cache.hits"
       | Some false -> Obs.Metrics.incr "cache.misses");
-      Obs.Metrics.observe "checker.check_time_s" (Unix.gettimeofday () -. t0)
+      Obs.Metrics.observe "checker.check_time_s" (Unix.gettimeofday () -. t0);
+      Obs.Metrics.observe "sat.conflicts"
+        (float_of_int (Solver.num_conflicts bmc_s - c0));
+      Obs.Metrics.observe "sat.propagations"
+        (float_of_int (Solver.num_propagations bmc_s - p0));
+      Obs.Metrics.gauge "sat.learnt_db" (float_of_int (Solver.num_learnts bmc_s));
+      Obs.Metrics.gauge "sat.learnt_peak"
+        (float_of_int (Solver.learnt_peak bmc_s));
+      Obs.Metrics.incr "sat.reduce_events" ~by:(Solver.num_reduces bmc_s - r0);
+      let hits, lookups = Blast.cse_stats t.bmc in
+      Obs.Metrics.incr "sat.cse_hits" ~by:(hits - h0);
+      Obs.Metrics.incr "sat.cse_lookups" ~by:(lookups - l0)
     end;
     if debug then
       Printf.eprintf "[checker] %-12s %-24s %.2fs%s\n%!"
@@ -489,3 +545,30 @@ let check_cover ?name t cover =
       ~args:(match name with Some n -> [ ("prop", n) ] | None -> [])
       dispatch
   else dispatch ()
+
+(* --- solver introspection ------------------------------------------------ *)
+
+let dump_cnf t = Sat.Dimacs.of_solver (Blast.solver t.bmc)
+
+type sat_stats = {
+  ss_conflicts : int;
+  ss_propagations : int;
+  ss_learnts : int;
+  ss_learnt_peak : int;
+  ss_reduces : int;
+  ss_cse_hits : int;
+  ss_cse_lookups : int;
+}
+
+let sat_stats t =
+  let s = Blast.solver t.bmc in
+  let hits, lookups = Blast.cse_stats t.bmc in
+  {
+    ss_conflicts = Solver.num_conflicts s;
+    ss_propagations = Solver.num_propagations s;
+    ss_learnts = Solver.num_learnts s;
+    ss_learnt_peak = Solver.learnt_peak s;
+    ss_reduces = Solver.num_reduces s;
+    ss_cse_hits = hits;
+    ss_cse_lookups = lookups;
+  }

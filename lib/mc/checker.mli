@@ -81,6 +81,18 @@ type config = {
   sim_episodes : int;  (** 0 disables the simulation pre-pass. *)
   sim_cycles : int;
   seed : int;
+  encode_cse : bool;
+      (** Structural hashing of the Tseitin encoding (default [true]).
+          Part of the verdict-cache key: it changes the solver trajectory
+          and hence which witness a satisfiable query returns. *)
+  reduce_db : bool;
+      (** Periodic learnt-clause DB reduction (default [true]).  Also part
+          of the cache key, for the same reason. *)
+  portfolio_domains : int;
+      (** Race this many diversified solver configurations per hard BMC
+          query (default 1 = off).  Deliberately {e not} part of the cache
+          key: the canonical solver's verdict and witness are bit-identical
+          whatever the domain count — see {!Sat.Solver.solve_portfolio}. *)
 }
 
 val default_config : config
@@ -120,3 +132,22 @@ val check_cover : ?name:string -> t -> (Hdl.Netlist.signal * bool) list -> outco
 
 val stats : t -> Stats.t
 val netlist : t -> Hdl.Netlist.t
+
+val dump_cnf : t -> string
+(** The shared BMC unrolling's current clause set as DIMACS CNF text
+    (via {!Sat.Dimacs.of_solver}) — for offline debugging with external
+    solvers.  Cheap relative to solving, but the text can be large. *)
+
+type sat_stats = {
+  ss_conflicts : int;
+  ss_propagations : int;
+  ss_learnts : int;  (** Learnt clauses currently in the BMC solver's DB. *)
+  ss_learnt_peak : int;
+  ss_reduces : int;  (** reduce_db events on the BMC solver. *)
+  ss_cse_hits : int;
+  ss_cse_lookups : int;
+}
+
+val sat_stats : t -> sat_stats
+(** Cumulative solver/encoding statistics of the shared BMC unrolling
+    (induction uses short-lived side solvers that are not counted). *)

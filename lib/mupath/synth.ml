@@ -44,8 +44,8 @@ type episode = {
 
 let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     ?(max_candidate_sets = 4096) ?(max_revisit_count = 12) ?(presim_episodes = 64)
-    ?(presim_cycles = 48) ?(static_prune = true) ~shards ~(pool : Pool.t option)
-    ~meta ~iuv ~iuv_pc () =
+    ?(presim_cycles = 48) ?(static_prune = true) ?dump_cnf ~shards
+    ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
   let h =
     Harness.create ?cache ?cache_salt ?config ?stimulus ~revisit_count_labels
       ~meta ~iuv ~iuv_pc ()
@@ -718,6 +718,16 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
       labels
   in
 
+  (* Export the harness checker's BMC unrolling for offline debugging.
+     Written at the end of the run so the CNF reflects every cover the
+     synthesis dispatched on the shared solver. *)
+  (match dump_cnf with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Checker.dump_cnf chk);
+    close_out oc);
+
   {
     instr = iuv;
     duv_pls;
@@ -745,12 +755,12 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
 
 let run ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
     ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
-    ?static_prune ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
+    ?static_prune ?dump_cnf ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
   let shards = max 1 shards in
   let inner pool =
     run_inner ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
       ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
-      ?static_prune ~shards ~pool ~meta ~iuv ~iuv_pc ()
+      ?static_prune ?dump_cnf ~shards ~pool ~meta ~iuv ~iuv_pc ()
   in
   let dispatch () =
     match pool with

@@ -68,6 +68,7 @@ val run :
   ?presim_episodes:int ->
   ?presim_cycles:int ->
   ?static_prune:bool ->
+  ?dump_cnf:string ->
   ?shards:int ->
   ?pool:Pool.t ->
   meta:Designs.Meta.t ->

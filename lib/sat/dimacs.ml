@@ -55,6 +55,8 @@ let to_string ~nvars clauses =
     clauses;
   Buffer.contents buf
 
+let of_solver s = to_string ~nvars:(Solver.nvars s) (Solver.export_clauses s)
+
 let load s text =
   match parse text with
   | Error e -> Error e

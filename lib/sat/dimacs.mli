@@ -8,6 +8,10 @@ val parse : string -> (int * int list list, string) result
 val to_string : nvars:int -> int list list -> string
 (** Render clauses (same convention) as DIMACS CNF. *)
 
+val of_solver : Solver.t -> string
+(** Render a solver's current clause set ({!Solver.export_clauses}) as
+    DIMACS CNF — offline debugging of an unrolling with external tools. *)
+
 val load : Solver.t -> string -> (unit, string) result
 (** Parse and add every clause to the solver, allocating variables as
     needed (solver variables are 0-based: DIMACS var k maps to k-1). *)

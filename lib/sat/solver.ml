@@ -27,13 +27,23 @@ module Vec = struct
   let set v i x = v.data.(i) <- x
   let len v = v.len
   let shrink v n = v.len <- n
+  let copy v = { data = Array.copy v.data; len = v.len }
 end
 
-type clause = { lits : int array; mutable activity : float; learnt : bool }
+type clause = {
+  lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable lbd : int;
+      (* Literal block distance at learning time: the number of distinct
+         decision levels among the clause's literals — the Glucose "glue"
+         quality metric.  0 for problem clauses. *)
+}
 
 type t = {
   mutable clauses : clause array; (* arena; index = clause id *)
   mutable nclauses : int;
+  mutable n_learnt : int; (* learnt clauses currently in the arena *)
   mutable watches : Vec.t array; (* per literal *)
   mutable assigns : int array; (* per var: 0 undef, 1 true, 2 false *)
   mutable level : int array;
@@ -43,8 +53,8 @@ type t = {
   mutable heap : int array; (* binary max-heap of vars by activity *)
   mutable heap_pos : int array; (* -1 when not in heap *)
   mutable heap_len : int;
-  trail : Vec.t;
-  trail_lim : Vec.t;
+  mutable trail : Vec.t;
+  mutable trail_lim : Vec.t;
   mutable qhead : int;
   mutable nvars : int;
   mutable var_inc : float;
@@ -53,14 +63,30 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
-  mutable learnt_limit : int;
-  seen : Vec.t; (* scratch for analyze: vars marked *)
+  mutable learnt_limit : int; (* reduce_db trigger; grows geometrically *)
+  mutable reduce_enabled : bool;
+  mutable reduces : int; (* reduce_db events *)
+  mutable learnt_peak : int; (* high-water mark of n_learnt *)
+  mutable has_model : bool; (* last solve ended Sat and no solve undid it *)
+  mutable restart_base : int; (* Luby unit (conflicts); portfolio diversity *)
+  mutable stop_check : (unit -> bool) option;
+      (* Cooperative cancellation for portfolio racers: polled once per
+         search iteration; [true] aborts the solve with [Unknown]. *)
+  mutable share_out : (int array -> int -> unit) option;
+      (* Called with (copy of learnt clause, lbd) on every learn. *)
+  mutable share_in : (unit -> int array list) option;
+      (* Polled at restarts; returned clauses are imported at level 0. *)
+  mutable seen : Vec.t; (* scratch for analyze: vars marked *)
+  mutable seen_arr : bool array; (* persistent analyze marks, cleared via seen *)
+  mutable lbd_seen : int array; (* per-level stamps for LBD computation *)
+  mutable lbd_stamp : int;
 }
 
 let create () =
   {
-    clauses = Array.make 16 { lits = [||]; activity = 0.; learnt = false };
+    clauses = Array.make 16 { lits = [||]; activity = 0.; learnt = false; lbd = 0 };
     nclauses = 0;
+    n_learnt = 0;
     watches = Array.init 16 (fun _ -> Vec.create ());
     assigns = Array.make 8 0;
     level = Array.make 8 0;
@@ -81,13 +107,31 @@ let create () =
     decisions = 0;
     propagations = 0;
     learnt_limit = 4096;
+    reduce_enabled = true;
+    reduces = 0;
+    learnt_peak = 0;
+    has_model = false;
+    restart_base = 100;
+    stop_check = None;
+    share_out = None;
+    share_in = None;
     seen = Vec.create ();
+    seen_arr = Array.make 8 false;
+    lbd_seen = Array.make 8 0;
+    lbd_stamp = 0;
   }
 
 let nvars s = s.nvars
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
+let num_learnts s = s.n_learnt
+let num_reduces s = s.reduces
+let learnt_peak s = s.learnt_peak
+let learnt_limit s = s.learnt_limit
+let set_learnt_limit s n = s.learnt_limit <- max 1 n
+let set_reduce_db s b = s.reduce_enabled <- b
+let has_model s = s.has_model
 
 let grow_arrays s n =
   let cap = Array.length s.assigns in
@@ -111,6 +155,8 @@ let grow_arrays s n =
     s.phase <- copy_bool s.phase;
     s.activity <- copy_float s.activity;
     s.heap <- copy_int s.heap 0;
+    s.seen_arr <- copy_bool s.seen_arr;
+    s.lbd_seen <- copy_int s.lbd_seen 0;
     let hp = Array.make newcap (-1) in
     Array.blit s.heap_pos 0 hp 0 cap;
     s.heap_pos <- hp
@@ -195,6 +241,16 @@ let bump_var s v =
   end;
   if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
 
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    for i = 0 to s.nclauses - 1 do
+      let ci = s.clauses.(i) in
+      if ci.learnt then ci.activity <- ci.activity *. 1e-20
+    done;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
 (* --- assignment ------------------------------------------------------ *)
 
 let lit_val s l =
@@ -213,8 +269,8 @@ let enqueue s l reason =
   s.phase.(var_of l) <- is_pos l;
   Vec.push s.trail l
 
-let add_clause_internal s lits learnt =
-  let c = { lits; activity = 0.; learnt } in
+let add_clause_internal s lits learnt lbd =
+  let c = { lits; activity = 0.; learnt; lbd } in
   if s.nclauses = Array.length s.clauses then begin
     let a = Array.make (2 * s.nclauses) c in
     Array.blit s.clauses 0 a 0 s.nclauses;
@@ -223,11 +279,18 @@ let add_clause_internal s lits learnt =
   let id = s.nclauses in
   s.clauses.(id) <- c;
   s.nclauses <- id + 1;
+  if learnt then begin
+    s.n_learnt <- s.n_learnt + 1;
+    if s.n_learnt > s.learnt_peak then s.learnt_peak <- s.n_learnt
+  end;
   Vec.push s.watches.(negate lits.(0)) id;
   Vec.push s.watches.(negate lits.(1)) id;
   id
 
-let add_clause s lits =
+(* Simplify a clause against the level-0 assignment and add it.  [learnt]
+   clauses carry an [lbd] and are eligible for [reduce_db]; problem clauses
+   are permanent. *)
+let add_simplified s lits ~learnt ~lbd =
   if s.ok then begin
     (* Simplify: drop duplicates and false lits at level 0; detect tautology. *)
     let lits = List.sort_uniq Int.compare lits in
@@ -246,9 +309,11 @@ let add_clause s lits =
           else if lit_val s l = 0 then enqueue s l (-1)
         | _ ->
           let arr = Array.of_list lits in
-          ignore (add_clause_internal s arr false)
+          ignore (add_clause_internal s arr learnt lbd)
     end
   end
+
+let add_clause s lits = add_simplified s lits ~learnt:false ~lbd:0
 
 (* --- propagation ------------------------------------------------------ *)
 
@@ -320,11 +385,12 @@ let propagate s =
 
 (* --- conflict analysis ------------------------------------------------ *)
 
-let seen_mark = Array.make 0 false
-
 let analyze s confl =
-  let seen = Array.make s.nvars false in
-  ignore seen_mark;
+  (* Marks live in the persistent [seen_arr]; every var marked is recorded
+     in the [seen] vec and cleared before returning, so no per-conflict
+     allocation happens on this path. *)
+  let seen = s.seen_arr in
+  Vec.shrink s.seen 0;
   let learnt = ref [] in
   let counter = ref 0 in
   let p = ref (-1) in
@@ -335,7 +401,7 @@ let analyze s confl =
   let continue = ref true in
   while !continue do
     let c = s.clauses.(!cid) in
-    if c.learnt then c.activity <- c.activity +. s.cla_inc;
+    if c.learnt then bump_clause s c;
     let lits = c.lits in
     let start = if !p = -1 then 0 else 1 in
     for k = start to Array.length lits - 1 do
@@ -343,6 +409,7 @@ let analyze s confl =
       let v = var_of q in
       if (not seen.(v)) && s.level.(v) > 0 then begin
         seen.(v) <- true;
+        Vec.push s.seen v;
         bump_var s v;
         if s.level.(v) = decision_level s then incr counter
         else begin
@@ -364,7 +431,28 @@ let analyze s confl =
     if !counter = 0 then continue := false
     else cid := s.reason.(var_of l)
   done;
+  (* Clear the remaining marks (the UIP-path vars were already unset). *)
+  for i = 0 to Vec.len s.seen - 1 do
+    seen.(Vec.get s.seen i) <- false
+  done;
   (negate !p :: !learnt, !btlevel)
+
+(* LBD (glue) of a learnt clause: the number of distinct decision levels
+   among its literals, computed before backjumping (levels still valid).
+   Stamp-based so repeated calls cost O(|clause|) with no allocation. *)
+let compute_lbd s lits =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let stamp = s.lbd_stamp in
+  let n = ref 0 in
+  List.iter
+    (fun l ->
+      let lv = s.level.(var_of l) in
+      if lv > 0 && s.lbd_seen.(lv) <> stamp then begin
+        s.lbd_seen.(lv) <- stamp;
+        incr n
+      end)
+    lits;
+  max 1 !n
 
 let cancel_until s lvl =
   if decision_level s > lvl then begin
@@ -379,6 +467,73 @@ let cancel_until s lvl =
     Vec.shrink s.trail bound;
     Vec.shrink s.trail_lim lvl;
     s.qhead <- Vec.len s.trail
+  end
+
+(* --- learnt-clause DB reduction ---------------------------------------- *)
+
+(* A clause is locked while it is the reason for a current assignment; its
+   implied literal sits at position 0 for as long as the assignment stands
+   (propagation only repositions false literals), so the check is O(1). *)
+let locked s cid =
+  let c = s.clauses.(cid) in
+  Array.length c.lits > 0
+  &&
+  let v = var_of c.lits.(0) in
+  s.assigns.(v) <> 0 && s.reason.(v) = cid
+
+(* Halve the learnt-clause DB, keeping binary clauses, glue clauses
+   (lbd <= 2), and locked clauses unconditionally; the rest are ranked by
+   (activity, lbd, id) and the worse half deleted.  The arena is compacted
+   in place: reasons are remapped through the old->new id map and every
+   watch list is rebuilt with the surviving clauses' current watch
+   positions, which restores the exact pre-reduction watch structure minus
+   the deleted clauses.  Callable at any propagation fixpoint. *)
+let reduce_db s =
+  let removable = ref [] in
+  for cid = 0 to s.nclauses - 1 do
+    let c = s.clauses.(cid) in
+    if c.learnt && Array.length c.lits > 2 && c.lbd > 2 && not (locked s cid)
+    then removable := cid :: !removable
+  done;
+  let arr = Array.of_list !removable in
+  (* Worst first: lowest activity, then highest lbd, then lowest id — a
+     total order, so reduction is deterministic. *)
+  Array.sort
+    (fun a b ->
+      let ca = s.clauses.(a) and cb = s.clauses.(b) in
+      let c = compare ca.activity cb.activity in
+      if c <> 0 then c
+      else
+        let c = compare cb.lbd ca.lbd in
+        if c <> 0 then c else compare a b)
+    arr;
+  let ndrop = Array.length arr / 2 in
+  if ndrop > 0 then begin
+    let drop = Array.make s.nclauses false in
+    for i = 0 to ndrop - 1 do
+      drop.(arr.(i)) <- true
+    done;
+    let map = Array.make s.nclauses (-1) in
+    let j = ref 0 in
+    for cid = 0 to s.nclauses - 1 do
+      if not drop.(cid) then begin
+        map.(cid) <- !j;
+        s.clauses.(!j) <- s.clauses.(cid);
+        incr j
+      end
+    done;
+    s.nclauses <- !j;
+    s.n_learnt <- s.n_learnt - ndrop;
+    for v = 0 to s.nvars - 1 do
+      if s.reason.(v) >= 0 then s.reason.(v) <- map.(s.reason.(v))
+    done;
+    Array.iter (fun w -> Vec.shrink w 0) s.watches;
+    for cid = 0 to s.nclauses - 1 do
+      let lits = s.clauses.(cid).lits in
+      Vec.push s.watches.(negate lits.(0)) cid;
+      Vec.push s.watches.(negate lits.(1)) cid
+    done;
+    s.reduces <- s.reduces + 1
   end
 
 (* --- search ------------------------------------------------------------ *)
@@ -403,6 +558,7 @@ let luby i =
   go (size 1) i
 
 let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
+  s.has_model <- false;
   if not s.ok then Unsat
   else begin
     let assumps = Array.of_list assumptions in
@@ -410,11 +566,20 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
     let result = ref None in
     let restart_idx = ref 0 in
     let conflicts_this_restart = ref 0 in
-    let restart_limit = ref (100 * luby 1) in
+    let restart_limit = ref (s.restart_base * luby 1) in
+    (* Scale the reduce trigger with the problem: a big unrolling earns a
+       proportionally larger learnt DB before the first reduction. *)
+    if s.reduce_enabled then
+      s.learnt_limit <- max s.learnt_limit ((s.nclauses - s.n_learnt) / 2);
     (match propagate s with
     | -1 -> ()
     | _ -> begin s.ok <- false; result := Some Unsat end);
     while !result = None do
+      (match s.stop_check with
+      | Some f when f () -> result := Some Unknown
+      | _ -> ());
+      if !result <> None then ()
+      else begin
       let confl = propagate s in
       if confl >= 0 then begin
         s.conflicts <- s.conflicts + 1;
@@ -427,6 +592,7 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
           result := Some Unknown
         else begin
           let learnt, btlevel = analyze s confl in
+          let lbd = compute_lbd s learnt in
           cancel_until s btlevel;
           (match learnt with
           | [] -> begin s.ok <- false; result := Some Unsat end
@@ -442,11 +608,21 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
             let tmp = arr.(1) in
             arr.(1) <- arr.(!pos1);
             arr.(!pos1) <- tmp;
-            let id = add_clause_internal s arr true in
+            let id = add_clause_internal s arr true lbd in
             enqueue s l id);
+          (match s.share_out with
+          | Some f -> f (Array.of_list learnt) lbd
+          | None -> ());
           s.var_inc <- s.var_inc /. 0.95;
           s.cla_inc <- s.cla_inc /. 0.999
         end
+      end
+      else if s.reduce_enabled && s.n_learnt >= s.learnt_limit then begin
+        (* Propagation fixpoint: safe to halve the learnt DB in place.  The
+           limit grows geometrically so reductions get rarer as the search
+           earns its keepers. *)
+        reduce_db s;
+        s.learnt_limit <- s.learnt_limit + max 1 (s.learnt_limit / 2)
       end
       else if
         !conflicts_this_restart >= !restart_limit && decision_level s > Array.length assumps
@@ -454,8 +630,21 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
         (* Restart, keeping the assumption prefix. *)
         conflicts_this_restart := 0;
         incr restart_idx;
-        restart_limit := 100 * luby (!restart_idx + 1);
-        cancel_until s (min (decision_level s) (Array.length assumps))
+        restart_limit := s.restart_base * luby (!restart_idx + 1);
+        match s.share_in with
+        | None -> cancel_until s (min (decision_level s) (Array.length assumps))
+        | Some f ->
+          (* Portfolio import point: backtrack all the way to level 0 so the
+             foreign clauses can be simplified against the root assignment
+             (units enqueue, satisfied clauses drop), then let the decide
+             branch re-establish the assumptions. *)
+          cancel_until s 0;
+          List.iter
+            (fun lits ->
+              add_simplified s (Array.to_list lits) ~learnt:true
+                ~lbd:(Array.length lits))
+            (f ());
+          if not s.ok then result := Some Unsat
       end
       else begin
         (* Decide: first re-establish pending assumptions, then branch. *)
@@ -483,6 +672,7 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
           end
         end
       end
+      end
     done;
     (* For Sat we keep the trail so [value] can read the model, but reset
        the decision stack before the next call. *)
@@ -493,10 +683,204 @@ let solve ?(assumptions = []) ?(max_conflicts = max_int) s =
       for v = 0 to s.nvars - 1 do
         if s.assigns.(v) <> 0 then s.phase.(v) <- s.assigns.(v) = 1
       done;
+      s.has_model <- true;
       cancel_until s 0
     | _ -> cancel_until s 0);
     match !result with Some r -> r | None -> assert false
   end
 
-let value s v = s.phase.(v)
-let lit_value s l = if is_pos l then s.phase.(var_of l) else not s.phase.(var_of l)
+let value s v =
+  if not s.has_model then
+    invalid_arg "Solver.value: no model (last result was not Sat)";
+  s.phase.(v)
+
+let lit_value s l =
+  if not s.has_model then
+    invalid_arg "Solver.lit_value: no model (last result was not Sat)";
+  if is_pos l then s.phase.(var_of l) else not s.phase.(var_of l)
+
+(* --- CNF export --------------------------------------------------------- *)
+
+(* The solver's clause set in DIMACS convention (variable [v] is [v + 1];
+   negative literals are negated ints): the arena clauses plus the level-0
+   trail units (unit clauses never enter the arena — [add_clause] enqueues
+   them directly).  Exporting mid-search would also capture search
+   assignments, so call this between [solve]s (any quiescent point). *)
+let export_clauses s =
+  let dimacs l = if is_pos l then var_of l + 1 else -(var_of l + 1) in
+  let units_upto =
+    if Vec.len s.trail_lim = 0 then Vec.len s.trail else Vec.get s.trail_lim 0
+  in
+  let units =
+    List.init units_upto (fun i -> [ dimacs (Vec.get s.trail i) ])
+  in
+  let arena =
+    List.init s.nclauses (fun cid ->
+        Array.to_list (Array.map dimacs s.clauses.(cid).lits))
+  in
+  if s.ok then units @ arena else [ [] ]
+
+(* --- cloning and portfolio solving -------------------------------------- *)
+
+(* Deep copy of a quiescent solver (decision level 0 — the state every
+   [solve] leaves behind).  Clause literal arrays are copied because
+   propagation reorders them in place; exchange hooks are not inherited. *)
+let clone s =
+  {
+    clauses =
+      Array.init (Array.length s.clauses) (fun i ->
+          let c = s.clauses.(i) in
+          { lits = Array.copy c.lits; activity = c.activity; learnt = c.learnt; lbd = c.lbd });
+    nclauses = s.nclauses;
+    n_learnt = s.n_learnt;
+    watches = Array.map Vec.copy s.watches;
+    assigns = Array.copy s.assigns;
+    level = Array.copy s.level;
+    reason = Array.copy s.reason;
+    phase = Array.copy s.phase;
+    activity = Array.copy s.activity;
+    heap = Array.copy s.heap;
+    heap_pos = Array.copy s.heap_pos;
+    heap_len = s.heap_len;
+    trail = Vec.copy s.trail;
+    trail_lim = Vec.copy s.trail_lim;
+    qhead = s.qhead;
+    nvars = s.nvars;
+    var_inc = s.var_inc;
+    cla_inc = s.cla_inc;
+    ok = s.ok;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    learnt_limit = s.learnt_limit;
+    reduce_enabled = s.reduce_enabled;
+    reduces = 0;
+    learnt_peak = s.n_learnt;
+    has_model = false;
+    restart_base = s.restart_base;
+    stop_check = None;
+    share_out = None;
+    share_in = None;
+    seen = Vec.create ();
+    seen_arr = Array.make (Array.length s.seen_arr) false;
+    lbd_seen = Array.make (Array.length s.lbd_seen) 0;
+    lbd_stamp = 0;
+  }
+
+(* Deterministic configuration diversity for portfolio racers: scramble the
+   saved phases and pick a different Luby restart unit.  Nothing here
+   affects soundness — only the order the search explores the space. *)
+let diversify ~seed s =
+  let rng = Random.State.make [| 0x5EED1; seed |] in
+  for v = 0 to s.nvars - 1 do
+    if Random.State.int rng 4 < 3 then s.phase.(v) <- Random.State.bool rng
+  done;
+  s.restart_base <-
+    (match seed land 3 with 0 -> 64 | 1 -> 110 | 2 -> 170 | _ -> 260)
+
+type portfolio_result = {
+  p_result : result;
+  p_domains : int;
+  p_first : int;
+  p_racer_decisive : int;
+  p_shared : int;
+  p_imported : int;
+  p_agree : bool;
+}
+
+(* Canonical-authoritative portfolio: the calling solver [s] runs exactly
+   the sequential search — no imported clauses, no cancellation — and its
+   verdict/model is what the caller sees, so results (and everything
+   downstream: witnesses, report digests) are bit-identical to [solve].
+   The remaining [domains - 1] slots run diversified clones that race each
+   other, exchanging small learnt clauses through per-racer inboxes under
+   one mutex; they are cancelled as soon as the canonical solver finishes.
+   Decisive racer verdicts are cross-checked against the canonical one —
+   a contradiction means a soundness bug, and fails loudly. *)
+let solve_portfolio ?(assumptions = []) ?(max_conflicts = max_int)
+    ?(share_lbd = 6) ?pool ~domains s =
+  let domains = max 1 domains in
+  if domains = 1 then
+    {
+      p_result = solve ~assumptions ~max_conflicts s;
+      p_domains = 1;
+      p_first = -1;
+      p_racer_decisive = 0;
+      p_shared = 0;
+      p_imported = 0;
+      p_agree = true;
+    }
+  else begin
+    let n_racers = domains - 1 in
+    let racers =
+      Array.init n_racers (fun i ->
+          let r = clone s in
+          diversify ~seed:((i * 0x9E3779B1) lxor 0x5EED) r;
+          r)
+    in
+    let stop = Atomic.make false in
+    let first = Atomic.make min_int in
+    let shared = Atomic.make 0 in
+    let imported = Atomic.make 0 in
+    let lock = Mutex.create () in
+    let inboxes = Array.init n_racers (fun _ -> ref []) in
+    let canonical () =
+      let r = solve ~assumptions ~max_conflicts s in
+      Atomic.set stop true;
+      ignore (Atomic.compare_and_set first min_int (-1));
+      r
+    in
+    let racer i () =
+      let r = racers.(i) in
+      r.stop_check <- Some (fun () -> Atomic.get stop);
+      r.share_out <-
+        Some
+          (fun lits lbd ->
+            if lbd <= share_lbd && Array.length lits <= 32 then begin
+              Mutex.lock lock;
+              for j = 0 to n_racers - 1 do
+                if j <> i then inboxes.(j) := lits :: !(inboxes.(j))
+              done;
+              Mutex.unlock lock;
+              Atomic.incr shared
+            end);
+      r.share_in <-
+        Some
+          (fun () ->
+            Mutex.lock lock;
+            let l = !(inboxes.(i)) in
+            inboxes.(i) := [];
+            Mutex.unlock lock;
+            List.iter (fun _ -> Atomic.incr imported) l;
+            l);
+      let res = solve ~assumptions ~max_conflicts r in
+      if res <> Unknown then
+        ignore (Atomic.compare_and_set first min_int i);
+      res
+    in
+    let thunks = canonical :: List.init n_racers racer in
+    let results =
+      match pool with
+      | Some p -> Pool.run p thunks
+      | None -> Pool.with_pool ~jobs:domains (fun p -> Pool.run p thunks)
+    in
+    let canon = List.hd results in
+    let racer_results = List.tl results in
+    let decisive = List.filter (fun r -> r <> Unknown) racer_results in
+    let agree =
+      canon = Unknown || List.for_all (fun r -> r = canon) decisive
+    in
+    if not agree then
+      failwith
+        "Solver.solve_portfolio: a racer verdict contradicts the canonical \
+         solver (soundness bug)";
+    {
+      p_result = canon;
+      p_domains = domains;
+      p_first = (match Atomic.get first with x when x = min_int -> -1 | x -> x);
+      p_racer_decisive = List.length decisive;
+      p_shared = Atomic.get shared;
+      p_imported = Atomic.get imported;
+      p_agree = agree;
+    }
+  end

@@ -4,7 +4,14 @@
     first-UIP learning, VSIDS-style activity ordering, Luby restarts, and
     phase saving.  Supports incremental solving under assumptions and a
     conflict budget that yields {!Unknown} when exhausted — the mechanism
-    the model checker uses to produce the paper's [undetermined] outcomes. *)
+    the model checker uses to produce the paper's [undetermined] outcomes.
+
+    Learnt clauses carry an LBD ("glue") score and the database is
+    periodically halved by {!reduce_db} once it outgrows a geometrically
+    growing limit, keeping binary, glue and locked clauses.  A
+    canonical-authoritative portfolio mode ({!solve_portfolio}) races
+    diversified solver clones that exchange small learnt clauses without
+    perturbing the canonical verdict or model. *)
 
 type t
 
@@ -25,7 +32,7 @@ val is_pos : lit -> bool
 type result =
   | Sat
   | Unsat
-  | Unknown (** Conflict budget exhausted. *)
+  | Unknown (** Conflict budget exhausted (or a portfolio racer cancelled). *)
 
 val create : unit -> t
 
@@ -36,21 +43,121 @@ val nvars : t -> int
 
 val add_clause : t -> lit list -> unit
 (** Add a clause.  Adding the empty clause (or a clause that simplifies to
-    it) makes the instance permanently unsatisfiable. *)
+    it) makes the instance permanently unsatisfiable.  Clauses added after a
+    [Sat] result do not invalidate the stored model ({!value} still reads
+    the model of the last [solve]); they take effect at the next [solve]. *)
 
 val solve : ?assumptions:lit list -> ?max_conflicts:int -> t -> result
 (** Solve under the given assumptions.  [max_conflicts] bounds the search;
     when exceeded the result is [Unknown].  The solver can be reused after
-    any outcome; learned clauses persist. *)
+    any outcome; learned clauses persist (subject to {!reduce_db}). *)
 
 val value : t -> int -> bool
 (** [value s v] is the value of variable [v] in the most recent [Sat] model.
-    Variables never touched by the search default to [false]. *)
+    Variables never touched by the search default to [false].
+
+    @raise Invalid_argument if the last [solve] did not return [Sat] (there
+    is no model to read — previously this silently returned stale phase). *)
 
 val lit_value : t -> lit -> bool
+(** Literal counterpart of {!value}; same precondition. *)
+
+val has_model : t -> bool
+(** [true] iff the last [solve] returned [Sat], i.e. {!value}/{!lit_value}
+    may be read. *)
+
+(** {2 Learnt-clause database management} *)
+
+val reduce_db : t -> unit
+(** Halve the learnt-clause database: binary clauses, glue clauses
+    (LBD <= 2) and locked clauses (currently acting as a propagation
+    reason) are kept unconditionally; the rest are ranked by activity then
+    LBD and the worse half deleted.  Runs automatically during [solve]
+    whenever the learnt count reaches the (geometrically growing) limit;
+    callable manually between solves. *)
+
+val set_reduce_db : t -> bool -> unit
+(** Enable/disable automatic database reduction (default: enabled). *)
+
+val learnt_limit : t -> int
+(** Current reduce trigger: when the learnt count reaches this, [solve]
+    calls {!reduce_db} and grows the limit by 3/2. *)
+
+val set_learnt_limit : t -> int -> unit
+(** Override the reduce trigger (clamped to >= 1).  Mainly for tests. *)
+
+val num_learnts : t -> int
+(** Learnt clauses currently in the database. *)
+
+val num_reduces : t -> int
+(** Number of {!reduce_db} events that actually deleted clauses. *)
+
+val learnt_peak : t -> int
+(** High-water mark of {!num_learnts}. *)
+
+(** {2 Statistics} *)
 
 val num_conflicts : t -> int
 (** Total conflicts across all [solve] calls — used for benchmarking. *)
 
 val num_decisions : t -> int
 val num_propagations : t -> int
+
+(** {2 CNF export} *)
+
+val export_clauses : t -> int list list
+(** The solver's current clause set in DIMACS convention (variable [v] is
+    [v+1], negation is integer negation): the clause arena plus the level-0
+    unit assignments (unit clauses never enter the arena).  Returns [[[]]]
+    (the empty clause) if the instance is known unsatisfiable.  Call
+    between [solve]s. *)
+
+(** {2 Portfolio solving} *)
+
+val clone : t -> t
+(** Deep copy of a quiescent solver (every [solve] returns at decision
+    level 0).  The clone shares no mutable state with the original; its
+    per-solve statistics start at zero and exchange hooks are cleared. *)
+
+val diversify : seed:int -> t -> unit
+(** Deterministically scramble saved phases and the restart schedule so
+    portfolio clones explore the search space in different orders.  Does
+    not affect soundness or the clause set. *)
+
+type portfolio_result = {
+  p_result : result;  (** The canonical solver's verdict. *)
+  p_domains : int;  (** Configurations raced (including the canonical). *)
+  p_first : int;
+      (** Who finished decisively first: [-1] the canonical solver, [i >= 0]
+          racer [i].  Informational only. *)
+  p_racer_decisive : int;  (** Racers that returned [Sat]/[Unsat]. *)
+  p_shared : int;  (** Clauses posted to the exchange. *)
+  p_imported : int;  (** Clause imports across all racers. *)
+  p_agree : bool;  (** Decisive racers agreed with the canonical verdict. *)
+}
+
+val solve_portfolio :
+  ?assumptions:lit list ->
+  ?max_conflicts:int ->
+  ?share_lbd:int ->
+  ?pool:Pool.t ->
+  domains:int ->
+  t ->
+  portfolio_result
+(** [solve_portfolio ~domains:k s] races [k] solver configurations on the
+    same query: the canonical solver [s] runs the exact sequential search
+    (same clause DB trajectory, no imports, never cancelled) and [k-1]
+    diversified clones race each other, exchanging learnt clauses with
+    LBD <= [share_lbd] (default 6) through a mutex-protected exchange.
+    The canonical verdict/model is always the one returned, so results are
+    bit-identical to [solve] — racers only provide cross-checking and,
+    on multi-core hosts, early wall-clock verdicts for future use.  The
+    canonical solver finishing cancels the racers.
+
+    With [~pool], thunks run on the given pool (the canonical thunk is
+    submitted first, so a sequential [jobs=1] pool runs it to completion
+    before any racer starts); otherwise a transient pool of [domains] jobs
+    is used.  [domains <= 1] degenerates to plain [solve].
+
+    @raise Failure if a decisive racer contradicts a decisive canonical
+    verdict — that would mean a soundness bug in clause sharing. *)

@@ -140,7 +140,7 @@ let assert_inside_grid ~grid (tagged : Types.tagged_decision list) =
                 (List.concat_map snd grid |> List.sort_uniq compare))))
     tagged
 
-let analyze_transponder ?cache ?config ?synth_config ?static_prune
+let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
     ?(precise = true) ?(static_flow_prune = Types.Prune_on)
     ?(stimulus : stimulus_builder option) ?(exclude_sources = [])
     ~(design : unit -> Meta.t) ~(instr : Isa.t)
@@ -156,7 +156,7 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune
   in
   let synth =
     Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim ?static_prune
-      ~revisit_count_labels ~meta ~iuv:instr ~iuv_pc ()
+      ?dump_cnf ~revisit_count_labels ~meta ~iuv:instr ~iuv_pc ()
   in
   (* Candidate transponders have µPATH variability (§V-C): more than one
      µPATH, or any decision source with several destinations. *)
@@ -264,7 +264,7 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune
     }
   end
 
-let run ?cache ?config ?synth_config ?static_prune ?(precise = true)
+let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
     ?(static_flow_prune = Types.Prune_on)
     ?(stimulus : stimulus_builder option)
     ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
@@ -288,13 +288,22 @@ let run ?cache ?config ?synth_config ?static_prune ?(precise = true)
     List.map (fun _ -> Option.map Vcache.stage cache) instructions
   in
   let cache_of index = List.nth task_caches index in
+  let n_instrs = List.length instructions in
   let analyze index instr =
     let config = reseed index config in
     let synth_config = reseed index synth_config in
+    (* With several instructions, suffix the dump path per task so the
+       files don't clobber each other. *)
+    let dump_cnf =
+      match dump_cnf with
+      | Some path when n_instrs > 1 -> Some (path ^ "." ^ string_of_int index)
+      | d -> d
+    in
     let go () =
       analyze_transponder ?cache:(cache_of index) ?config ?synth_config
-        ?static_prune ~precise ~static_flow_prune ?stimulus ~exclude_sources
-        ~design ~instr ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
+        ?static_prune ?dump_cnf ~precise ~static_flow_prune ?stimulus
+        ~exclude_sources ~design ~instr ~transmitters ~kinds
+        ~revisit_count_labels ~iuv_pc ()
     in
     if Obs.enabled () then
       (* Ambient task/seed attribution: every span recorded inside this

@@ -79,6 +79,7 @@ val analyze_transponder :
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?static_prune:bool ->
+  ?dump_cnf:string ->
   ?precise:bool ->
   ?static_flow_prune:Types.prune_mode ->
   ?stimulus:stimulus_builder ->
@@ -94,6 +95,11 @@ val analyze_transponder :
 
 (** [run]'s [exclude_sources] skips the listed decision-source PLs during
     the IFT stage — a cost-control knob, not a semantic one.
+
+    [dump_cnf] writes the synthesis checker's BMC unrolling to the given
+    path as DIMACS CNF at the end of each task (per-instruction runs
+    suffix the path with the task index) — offline debugging only, no
+    semantic effect.
 
     [jobs] fans {!analyze_transponder} out across that many domains (one
     fresh design + checker per instruction); [pool] reuses an existing
@@ -129,6 +135,7 @@ val run :
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
   ?static_prune:bool ->
+  ?dump_cnf:string ->
   ?precise:bool ->
   ?static_flow_prune:Types.prune_mode ->
   ?stimulus:stimulus_builder ->

@@ -123,6 +123,81 @@ let test_assume_respected_in_model () =
     done
   | o -> Alcotest.failf "expected reachable, got %s" (C.outcome_tag o)
 
+let test_cse_hit_rate () =
+  (* Unrolling the same combinational logic over several time steps must
+     share gate encodings: the structural-hashing cache sees hits, and the
+     CSE'd unrolling allocates fewer solver variables. *)
+  let nl = build_circuit 21 9 in
+  let b = Mc.Blast.create ~cse:true ~initial:`Reset ~assumes:[] nl in
+  Mc.Blast.ensure_depth b 6;
+  let hits, lookups = Mc.Blast.cse_stats b in
+  Alcotest.(check bool) "cse hits" true (hits > 0);
+  Alcotest.(check bool) "hits <= lookups" true (hits <= lookups);
+  let nl' = build_circuit 21 9 in
+  let b' = Mc.Blast.create ~cse:false ~initial:`Reset ~assumes:[] nl' in
+  Mc.Blast.ensure_depth b' 6;
+  Alcotest.(check bool) "cse off counts nothing" true
+    (Mc.Blast.cse_stats b' = (0, 0));
+  Alcotest.(check bool) "cse shrinks the encoding" true
+    (Sat.Solver.nvars (Mc.Blast.solver b) < Sat.Solver.nvars (Mc.Blast.solver b'))
+
+let test_cse_outcomes_agree () =
+  (* CSE is an encoding-only change: verdicts agree with the non-CSE
+     encoding on both reachable and unreachable covers. *)
+  let outcome_with cse =
+    let nl = build_circuit 13 5 in
+    let chk =
+      C.create ~config:{ no_sim_config with C.encode_cse = cse } ~assumes:[] nl
+    in
+    let s n = Option.get (N.find_named nl n) in
+    ( C.outcome_tag (C.check_cover chk [ (s "acc0", true); (s "acc2", true) ]),
+      C.outcome_tag (C.check_cover chk [ (s "acc_hi", true); (s "acc5", false) ]) )
+  in
+  Alcotest.(check (pair string string))
+    "cse on/off verdicts" (outcome_with false) (outcome_with true)
+
+(* Portfolio-vs-sequential verdict agreement on random netlist covers: the
+   same checker configuration, portfolio on vs off, must produce identical
+   outcomes and witnesses (the canonical solver is authoritative). *)
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 10_000)
+
+let portfolio_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:12 ~name:"portfolio agrees on netlist covers"
+       arb_seed (fun seed ->
+         let rng = Random.State.make [| seed; 77 |] in
+         let k1 = Random.State.int rng 64 and k2 = Random.State.int rng 64 in
+         let bits =
+           List.filter_map
+             (fun i ->
+               match Random.State.int rng 3 with
+               | 0 -> Some (i, true)
+               | 1 -> Some (i, false)
+               | _ -> None)
+             [ 0; 1; 2; 3 ]
+         in
+         let cover_of nl =
+           List.map
+             (fun (i, pol) ->
+               (Option.get (N.find_named nl (Printf.sprintf "acc%d" i)), pol))
+             bits
+         in
+         let outcome_with domains =
+           let nl = build_circuit k1 k2 in
+           let chk =
+             C.create
+               ~config:{ no_sim_config with C.portfolio_domains = domains }
+               ~assumes:[] nl
+           in
+           match C.check_cover chk (cover_of nl) with
+           | C.Reachable cex ->
+             Printf.sprintf "reachable:%d:%d" (C.Cex.length cex)
+               (Bitvec.to_int
+                  (C.Cex.value_exn cex "acc" ~cycle:(C.Cex.length cex - 1)))
+           | o -> C.outcome_tag o
+         in
+         bits = [] || outcome_with 1 = outcome_with 3))
+
 let suite =
   ( "blast",
     [
@@ -134,4 +209,7 @@ let suite =
         test_model_values_consistent;
       Alcotest.test_case "assumptions hold along witnesses" `Quick
         test_assume_respected_in_model;
+      Alcotest.test_case "cse hit rate" `Quick test_cse_hit_rate;
+      Alcotest.test_case "cse outcomes agree" `Quick test_cse_outcomes_agree;
+      portfolio_qcheck;
     ] )

@@ -112,6 +112,103 @@ let arb_cnf =
            (int_range 0 ((2 * nv) - 1)))
       >>= fun cls -> return (nv, cls))
 
+(* --- learnt-DB reduction ------------------------------------------------ *)
+
+let test_reduce_db_shrinks () =
+  (* Drive php 8 under a budget large enough to accumulate learnt clauses
+     past the (small) limit; the automatic reduction must fire and shrink
+     the DB below its peak. *)
+  let s = php 8 in
+  S.set_learnt_limit s 50;
+  ignore (S.solve ~max_conflicts:2_000 s);
+  Alcotest.(check bool) "reduce fired" true (S.num_reduces s > 0);
+  (* Learning resumes after the last automatic reduce, so compare around an
+     explicit one: the DB must shrink (php learnt clauses are long and
+     high-LBD, so the removable set is non-empty). *)
+  let before = S.num_learnts s in
+  S.reduce_db s;
+  Alcotest.(check bool) "manual reduce shrinks" true (S.num_learnts s < before);
+  Alcotest.(check bool) "peak above current" true
+    (S.learnt_peak s > S.num_learnts s);
+  (* The solver stays sound after reductions. *)
+  Alcotest.(check bool) "php5 still unsat" true (S.solve (php 5) = S.Unsat)
+
+let test_reduce_db_disabled () =
+  let s = php 6 in
+  S.set_reduce_db s false;
+  S.set_learnt_limit s 1;
+  Alcotest.(check bool) "unsat" true (S.solve s = S.Unsat);
+  Alcotest.(check int) "no reduce events" 0 (S.num_reduces s)
+
+(* --- model guard -------------------------------------------------------- *)
+
+let test_model_guard () =
+  let expect_no_model f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  (* Sat: model readable. *)
+  let s = mk 2 [ [ S.pos 0 ]; [ S.neg_of_var 1 ] ] in
+  Alcotest.(check bool) "sat" true (S.solve s = S.Sat);
+  Alcotest.(check bool) "has_model" true (S.has_model s);
+  Alcotest.(check bool) "model x0" true (S.value s 0);
+  (* Unsat: reads must raise instead of returning stale phase. *)
+  S.add_clause s [ S.neg_of_var 0 ];
+  Alcotest.(check bool) "model survives add_clause" true (S.has_model s);
+  Alcotest.(check bool) "now unsat" true (S.solve s = S.Unsat);
+  Alcotest.(check bool) "no model" false (S.has_model s);
+  expect_no_model (fun () -> S.value s 0);
+  expect_no_model (fun () -> S.lit_value s (S.pos 0));
+  (* Unknown: same guard. *)
+  let s = php 9 in
+  Alcotest.(check bool) "unknown" true (S.solve ~max_conflicts:10 s = S.Unknown);
+  Alcotest.(check bool) "no model after unknown" false (S.has_model s);
+  expect_no_model (fun () -> S.value s 0)
+
+(* --- DIMACS round-trip --------------------------------------------------- *)
+
+let test_dimacs_roundtrip () =
+  let cls = [ [ 1; -2 ]; [ 2; 3; -1 ]; [ -3 ] ] in
+  (match Sat.Dimacs.parse (Sat.Dimacs.to_string ~nvars:3 cls) with
+  | Ok (nv, cls') ->
+    Alcotest.(check int) "nvars" 3 nv;
+    Alcotest.(check bool) "clauses" true (cls = cls')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* Export -> load is equisatisfiable, including level-0 units and after a
+     solve (learnt clauses are implied, so the verdict is preserved). *)
+  let check_export nv cls =
+    let s = mk nv cls in
+    let r = S.solve s in
+    let s2 = S.create () in
+    (match Sat.Dimacs.load s2 (Sat.Dimacs.of_solver s) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "load failed: %s" e);
+    Alcotest.(check bool) "export preserves verdict" true (S.solve s2 = r)
+  in
+  check_export 3 [ [ S.pos 0 ]; [ S.neg_of_var 0; S.pos 1 ]; [ S.pos 2; S.neg_of_var 1 ] ];
+  check_export 2 [ [ S.pos 0 ]; [ S.neg_of_var 0 ] ];
+  check_export 4 [ [ S.pos 0; S.pos 1 ]; [ S.neg_of_var 2; S.pos 3 ] ]
+
+(* Random assumption sequences: a CNF plus several queries, each a list of
+   assumption literals. *)
+let arb_cnf_queries =
+  QCheck.make
+    ~print:(fun (nv, cls, qs) ->
+      Printf.sprintf "nv=%d cls=%s qs=%s" nv
+        (String.concat "; "
+           (List.map (fun c -> String.concat "," (List.map string_of_int c)) cls))
+        (String.concat "; "
+           (List.map (fun q -> String.concat "," (List.map string_of_int q)) qs)))
+    QCheck.Gen.(
+      int_range 1 12 >>= fun nv ->
+      list_size (int_range 1 30)
+        (list_size (int_range 1 4) (int_range 0 ((2 * nv) - 1)))
+      >>= fun cls ->
+      list_size (int_range 1 5)
+        (list_size (int_range 0 3) (int_range 0 ((2 * nv) - 1)))
+      >>= fun qs -> return (nv, cls, qs))
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -136,6 +233,57 @@ let qcheck_tests =
            let s2 = mk nv (cls @ [ [ a ] ]) in
            let r2 = S.solve s2 in
            r1 = r2));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:150
+         ~name:"incremental = fresh per query = brute force" arb_cnf_queries
+         (fun (nv, cls, qs) ->
+           (* One incremental solver answers the whole assumption sequence;
+              a fresh solver (and brute force over clauses + assumption
+              units) must agree on every query. *)
+           let inc = mk nv cls in
+           List.for_all
+             (fun q ->
+               let r_inc = S.solve ~assumptions:q inc in
+               let r_fresh = S.solve ~assumptions:q (mk nv cls) in
+               let r_brute =
+                 brute_force nv (cls @ List.map (fun l -> [ l ]) q)
+               in
+               r_inc = r_fresh
+               &&
+               match r_inc with
+               | S.Sat -> r_brute
+               | S.Unsat -> not r_brute
+               | S.Unknown -> false)
+             qs));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:150 ~name:"sound under aggressive reduce_db"
+         arb_cnf (fun (nv, cls) ->
+           let s = mk nv cls in
+           S.set_learnt_limit s 1;
+           match S.solve s with
+           | S.Sat ->
+             List.for_all
+               (fun c -> List.exists (fun l -> S.lit_value s l) c)
+               cls
+           | S.Unsat -> not (brute_force nv cls)
+           | S.Unknown -> false));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:60
+         ~name:"portfolio verdict and model match sequential" arb_cnf
+         (fun (nv, cls) ->
+           let seq = mk nv cls in
+           let r_seq = S.solve seq in
+           let s = mk nv cls in
+           let pr = S.solve_portfolio ~domains:3 s in
+           pr.S.p_result = r_seq && pr.S.p_agree
+           &&
+           (* The canonical solver is unperturbed, so on Sat its model is
+              bit-identical to the sequential one. *)
+           match r_seq with
+           | S.Sat ->
+             List.init nv (fun v -> v)
+             |> List.for_all (fun v -> S.value s v = S.value seq v)
+           | _ -> true));
   ]
 
 let suite =
@@ -146,6 +294,10 @@ let suite =
       Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
       Alcotest.test_case "conflict budget" `Quick test_budget;
       Alcotest.test_case "assumptions" `Quick test_assumptions;
+      Alcotest.test_case "reduce_db shrinks learnt DB" `Quick test_reduce_db_shrinks;
+      Alcotest.test_case "reduce_db can be disabled" `Quick test_reduce_db_disabled;
+      Alcotest.test_case "model guard" `Quick test_model_guard;
+      Alcotest.test_case "dimacs round-trip" `Quick test_dimacs_roundtrip;
     ]
     @ qcheck_tests )
 
