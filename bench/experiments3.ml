@@ -1,0 +1,79 @@
+(* P7 — design-space fuzz campaign (DESIGN.md §16).
+
+   A small fixed-seed campaign over the parameterized pipeline generator:
+   every sampled design runs the full differential oracle battery
+   (validate, lint admission, elaboration determinism, -j1/-j2 digest
+   identity, warm-cache identity, prune-mode identity, portfolio
+   identity, taint-grid containment).  The bench gate pins the campaign's
+   semantic outputs — zero failures and the deterministic per-design
+   netlist digests — while timings stay warn-only. *)
+
+let section = Experiments.section
+let check = Experiments.check
+
+type fuzz_row = {
+  fz_seed : int;
+  fz_count : int;
+  fz_designs : int;
+  fz_failures : int;
+  fz_skipped : int;
+  fz_checker_props : int;
+  fz_pruned_static : int;
+  fz_digests : string;  (* comma-joined per-design netlist digests *)
+  fz_t_total : float;
+}
+
+let fuzz_result : fuzz_row option ref = ref None
+
+let fuzz_campaign () =
+  section "P7" "Design-space fuzzing - generator + differential oracle battery";
+  let seed = 42 in
+  let count = match Experiments.profile with `Quick -> 2 | `Full -> 8 in
+  let summary =
+    Fuzz.Driver.campaign ~seed ~count
+      ~log:(fun l -> Printf.printf "  %s\n%!" l)
+      ()
+  in
+  let digests =
+    String.concat ","
+      (List.map
+         (fun (_, (o : Fuzz.Oracle.outcome)) -> o.Fuzz.Oracle.netlist_digest)
+         summary.Fuzz.Driver.designs)
+  in
+  let checker_props =
+    List.fold_left
+      (fun acc (_, (o : Fuzz.Oracle.outcome)) -> acc + o.Fuzz.Oracle.checker_props)
+      0 summary.Fuzz.Driver.designs
+  in
+  let pruned =
+    List.fold_left
+      (fun acc (_, (o : Fuzz.Oracle.outcome)) ->
+        acc + o.Fuzz.Oracle.pruned_static + o.Fuzz.Oracle.flow_pruned_static)
+      0 summary.Fuzz.Driver.designs
+  in
+  Printf.printf
+    "  %d designs, %d failures, %d skipped, %d checker props, %d covers \
+     statically pruned, %.1fs\n"
+    (List.length summary.Fuzz.Driver.designs)
+    (List.length summary.Fuzz.Driver.failures)
+    summary.Fuzz.Driver.skipped checker_props pruned
+    summary.Fuzz.Driver.total_time_s;
+  check "fuzz campaign ran every requested design"
+    (List.length summary.Fuzz.Driver.designs = count
+    && summary.Fuzz.Driver.skipped = 0);
+  check "every oracle green on every generated design"
+    (summary.Fuzz.Driver.failures = []);
+  check "static prunes had work on generated designs" (pruned > 0);
+  fuzz_result :=
+    Some
+      {
+        fz_seed = seed;
+        fz_count = count;
+        fz_designs = List.length summary.Fuzz.Driver.designs;
+        fz_failures = List.length summary.Fuzz.Driver.failures;
+        fz_skipped = summary.Fuzz.Driver.skipped;
+        fz_checker_props = checker_props;
+        fz_pruned_static = pruned;
+        fz_digests = digests;
+        fz_t_total = summary.Fuzz.Driver.total_time_s;
+      }

@@ -32,6 +32,7 @@ let experiments =
     ("P4", Experiments2.obs_overhead);
     ("P5", Experiments2.static_flow_bench);
     ("P6", Experiments2.sat_bench);
+    ("P7", Experiments3.fuzz_campaign);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -192,6 +193,14 @@ let write_json path ~profile ~jobs ~total rows =
       s.Experiments2.sb_t_port s.Experiments2.sb_equal
       s.Experiments2.sb_digest
   | None -> add "  \"sat\": null,\n");
+  (match !Experiments3.fuzz_result with
+  | Some f ->
+    add "  \"fuzz\": {\"seed\": %d, \"count\": %d, \"designs\": %d, \"failures\": %d, \"skipped\": %d, \"checker_props\": %d, \"pruned_static\": %d, \"netlist_digests\": \"%s\", \"t_total_s\": %.3f},\n"
+      f.Experiments3.fz_seed f.Experiments3.fz_count f.Experiments3.fz_designs
+      f.Experiments3.fz_failures f.Experiments3.fz_skipped
+      f.Experiments3.fz_checker_props f.Experiments3.fz_pruned_static
+      f.Experiments3.fz_digests f.Experiments3.fz_t_total
+  | None -> add "  \"fuzz\": null,\n");
   (match !Experiments2.obs_result with
   | Some o ->
     add "  \"obs\": {\"ns_plain\": %.1f, \"ns_disabled\": %.1f, \"disabled_overhead_pct\": %.3f, \"t_untraced_s\": %.3f, \"t_traced_s\": %.3f, \"events\": %d, \"digest_identical\": %b},\n"
@@ -247,6 +256,17 @@ let () =
     | [] -> List.map fst experiments @ [ "micro" ]
     | l -> l
   in
+  (* Unknown IDs are a harness error (exit 2), not a silent no-op: a CI
+     step selecting a misspelled experiment must fail loudly rather than
+     produce an empty-but-green run. *)
+  let known = List.map fst experiments @ [ "micro" ] in
+  (match List.filter (fun id -> not (List.mem id known)) selected with
+  | [] -> ()
+  | bad ->
+    Printf.eprintf "bench: unknown experiment id(s): %s (expected: %s)\n"
+      (String.concat ", " bad)
+      (String.concat ", " known);
+    exit 2);
   let rows = ref [] in
   List.iter
     (fun (id, f) ->

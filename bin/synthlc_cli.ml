@@ -469,6 +469,15 @@ let cache_cmd =
 
 let lint_cmd =
   let run json names =
+    (* An unknown design name is a harness error (exit 2), not a
+       Cmdliner-level crash: the 0/1/2 contract below is what CI asserts. *)
+    let unknown = List.filter (fun n -> not (List.mem n design_names)) names in
+    if unknown <> [] then begin
+      Printf.eprintf "lint: unknown design(s): %s (expected: %s)\n"
+        (String.concat ", " unknown)
+        (String.concat ", " design_names);
+      exit 2
+    end;
     let names = if names = [] then design_names else names in
     let reports =
       List.map (fun dname -> Lint.Driver.run_design (build_design dname)) names
@@ -499,6 +508,98 @@ let lint_cmd =
                affect the exit status.";
          ])
     Term.(const run $ json $ names)
+
+(* --- fuzz ------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run seed count budget_s only defect_s out depth episodes =
+    (* Everything unexpected is a harness error: exit 2, mirroring lint's
+       0/1/2 contract (0 = all oracles green, 1 = oracle divergence). *)
+    match
+      let defect =
+        match defect_s with
+        | None -> None
+        | Some s -> (
+          match Fuzz.Gen.defect_of_string s with
+          | Some d -> Some d
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "unknown defect %S (expected: label-idle, pc-width)" s))
+      in
+      let summary =
+        Fuzz.Driver.campaign ~depth ~episodes ~defect ?only ~budget_s
+          ~log:print_endline ~seed ~count ()
+      in
+      Option.iter
+        (fun f ->
+          Out_channel.with_open_text f (fun oc ->
+              output_string oc (Fuzz.Driver.summary_to_json summary)))
+        out;
+      summary
+    with
+    | summary ->
+      Printf.printf
+        "fuzz: seed %d: %d design(s), %d failure(s), %d skipped in %.1fs\n"
+        summary.Fuzz.Driver.seed
+        (List.length summary.Fuzz.Driver.designs)
+        (List.length summary.Fuzz.Driver.failures)
+        summary.Fuzz.Driver.skipped summary.Fuzz.Driver.total_time_s;
+      exit (Fuzz.Driver.exit_code summary)
+    | exception e ->
+      Printf.eprintf "fuzz: harness error: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed; design $(i,i) is derived from (seed, i) alone.")
+  in
+  let count =
+    Arg.(value & opt int 25 & info [ "count" ] ~docv:"N" ~doc:"Number of generated designs.")
+  in
+  let budget =
+    Arg.(value & opt float 0. & info [ "budget-s" ] ~docv:"T" ~doc:"Wall-clock budget in seconds; designs beyond it are skipped (0 = unbounded).")
+  in
+  let only =
+    Arg.(value & opt (some int) None & info [ "only" ] ~docv:"I" ~doc:"Run a single design index (the reproducer form).")
+  in
+  let defect =
+    Arg.(value & opt (some string) None & info [ "inject-defect" ] ~docv:"D" ~doc:"Inject a deliberate metadata defect into every design: $(b,label-idle) or $(b,pc-width).  The lint oracle must catch it.")
+  in
+  let out =
+    Arg.(value & opt (some string) (Some "fuzz_corpus.json") & info [ "out" ] ~docv:"FILE" ~doc:"Corpus summary JSON path (the CI artifact format): per-design digests, oracle verdicts, pruned/checked counts, timing, failures with reproducers.")
+  in
+  let depth =
+    Arg.(value & opt int Fuzz.Driver.default_depth & info [ "depth" ] ~docv:"N" ~doc:"BMC unrolling depth for the oracle battery.")
+  in
+  let episodes =
+    Arg.(value & opt int Fuzz.Driver.default_episodes & info [ "episodes" ] ~docv:"N" ~doc:"Simulation pre-pass episodes for the oracle battery.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Design-space fuzzing: generate pipelines, differentially test the flow"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Samples pipeline configs (frontend depth, MUL/DIV latency \
+               mix, store-buffer depth, cache tags, speculation), elaborates \
+               each into a netlist with auto-derived µFSM/IFR metadata, and \
+               runs a differential oracle battery over it: µLint admission, \
+               elaboration determinism, -j1 vs -j2 digest equality, cold vs \
+               warm verdict-cache bit-identity, static prune on/off/audit \
+               digest identity, --portfolio 2 digest equality, and static \
+               leakage-grid containment of every dynamically tagged flow.";
+           `P "On a failure the config is shrunk along its parameter \
+               lattice (the shrunk config must reproduce the same oracle \
+               failure class) and a one-line reproducer is printed: \
+               $(b,synthlc fuzz --seed S --only I).";
+           `S Manpage.s_exit_status;
+           `P "0 when every oracle on every design passes; 1 on any oracle \
+               divergence; 2 on a harness error (bad usage, unexpected \
+               exception).  This mirrors the $(b,lint) 0/1/2 contract.";
+         ])
+    Term.(
+      const run $ seed $ count $ budget $ only $ defect $ out $ depth
+      $ episodes)
 
 (* --- designs ---------------------------------------------------------- *)
 
@@ -539,5 +640,6 @@ let () =
             scsafe_cmd;
             cache_cmd;
             lint_cmd;
+            fuzz_cmd;
             designs_cmd;
           ]))

@@ -1,0 +1,657 @@
+(* Parameterized pipeline generator.  See gen.mli and DESIGN.md §16.
+
+   The elaborated pipelines are ibex_lite-shaped on purpose: a frontend
+   chain of 1-3 slots feeding a single EX stage whose 3-bit state machine
+   folds in whatever functional units the config asks for.  Everything the
+   config does NOT ask for is simply not built — unreachable state
+   encodings are left unlabeled so the static FSM-reachability prune always
+   has something to discharge, and unused datapath logic never exists, so
+   generated designs stay µLint-clean. *)
+
+type mul_unit = Mul_comb | Mul_iter of { mul_latency : int; mul_zero_skip : bool }
+type div_unit = Div_none | Div_serial of { div_zero_skip : bool }
+type defect = Defect_label_idle | Defect_pc_width
+
+type config = {
+  fe_stages : int;
+  mul : mul_unit;
+  div : div_unit;
+  mem_wait : int;
+  stb_depth : int;
+  dcache_sets : int;
+  speculate : bool;
+  defect : defect option;
+}
+
+let minimal =
+  {
+    fe_stages = 1;
+    mul = Mul_comb;
+    div = Div_none;
+    mem_wait = 0;
+    stb_depth = 0;
+    dcache_sets = 0;
+    speculate = true;
+    defect = None;
+  }
+
+let default =
+  {
+    minimal with
+    div = Div_serial { div_zero_skip = true };
+    mul = Mul_iter { mul_latency = 3; mul_zero_skip = true };
+    mem_wait = 1;
+  }
+
+let sample rng =
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  {
+    fe_stages = pick [ 1; 2; 3 ];
+    mul =
+      pick
+        [
+          Mul_comb;
+          Mul_iter { mul_latency = 2; mul_zero_skip = false };
+          Mul_iter { mul_latency = 3; mul_zero_skip = true };
+          Mul_iter { mul_latency = 4; mul_zero_skip = true };
+        ];
+    div =
+      pick
+        [
+          Div_none;
+          Div_serial { div_zero_skip = false };
+          Div_serial { div_zero_skip = true };
+        ];
+    mem_wait = pick [ 0; 1; 2 ];
+    stb_depth = pick [ 0; 1; 2 ];
+    dcache_sets = pick [ 0; 1; 2 ];
+    speculate = Random.State.bool rng;
+    defect = None;
+  }
+
+(* Private PRNG stream per design index: [--only i] must regenerate design
+   [i] of a campaign without replaying designs 0..i-1. *)
+let config_for ~seed i = sample (Random.State.make [| 0xf022; seed; i |])
+
+let shrink_steps c =
+  let steps = ref [] in
+  let add c' = steps := c' :: !steps in
+  if c.fe_stages > 1 then add { c with fe_stages = c.fe_stages - 1 };
+  (match c.mul with
+  | Mul_comb -> ()
+  | Mul_iter { mul_latency; mul_zero_skip } ->
+    add { c with mul = Mul_comb };
+    if mul_zero_skip then
+      add { c with mul = Mul_iter { mul_latency; mul_zero_skip = false } };
+    if mul_latency > 2 then
+      add { c with mul = Mul_iter { mul_latency = mul_latency - 1; mul_zero_skip } });
+  (match c.div with
+  | Div_none -> ()
+  | Div_serial { div_zero_skip } ->
+    add { c with div = Div_none };
+    if div_zero_skip then
+      add { c with div = Div_serial { div_zero_skip = false } });
+  if c.mem_wait > 0 then add { c with mem_wait = c.mem_wait - 1 };
+  if c.stb_depth > 0 then add { c with stb_depth = c.stb_depth - 1 };
+  if c.dcache_sets > 0 then add { c with dcache_sets = c.dcache_sets - 1 };
+  if not c.speculate then add { c with speculate = true };
+  List.rev !steps
+
+let defect_name = function
+  | Defect_label_idle -> "label-idle"
+  | Defect_pc_width -> "pc-width"
+
+let defect_of_string = function
+  | "label-idle" -> Some Defect_label_idle
+  | "pc-width" -> Some Defect_pc_width
+  | _ -> None
+
+let describe c =
+  let mul =
+    match c.mul with
+    | Mul_comb -> "comb"
+    | Mul_iter { mul_latency; mul_zero_skip } ->
+      Printf.sprintf "iter%d%s" mul_latency (if mul_zero_skip then "z" else "")
+  in
+  let div =
+    match c.div with
+    | Div_none -> "none"
+    | Div_serial { div_zero_skip } -> if div_zero_skip then "serialz" else "serial"
+  in
+  Printf.sprintf "fe=%d mul=%s div=%s memw=%d stb=%d dc=%d spec=%b%s" c.fe_stages
+    mul div c.mem_wait c.stb_depth c.dcache_sets c.speculate
+    (match c.defect with
+    | None -> ""
+    | Some d -> " defect=" ^ defect_name d)
+
+let to_json c =
+  let mul =
+    match c.mul with
+    | Mul_comb -> {|{"kind":"comb"}|}
+    | Mul_iter { mul_latency; mul_zero_skip } ->
+      Printf.sprintf {|{"kind":"iter","latency":%d,"zero_skip":%b}|} mul_latency
+        mul_zero_skip
+  in
+  let div =
+    match c.div with
+    | Div_none -> {|{"kind":"none"}|}
+    | Div_serial { div_zero_skip } ->
+      Printf.sprintf {|{"kind":"serial","zero_skip":%b}|} div_zero_skip
+  in
+  Printf.sprintf
+    {|{"fe_stages":%d,"mul":%s,"div":%s,"mem_wait":%d,"stb_depth":%d,"dcache_sets":%d,"speculate":%b,"defect":%s}|}
+    c.fe_stages mul div c.mem_wait c.stb_depth c.dcache_sets c.speculate
+    (match c.defect with
+    | None -> "null"
+    | Some d -> Printf.sprintf "%S" (defect_name d))
+
+let name c = "fuzz_" ^ String.sub (Digest.to_hex (Digest.string (describe c))) 0 8
+
+let iuv_pc = 2
+
+let pick_iuv c =
+  let mk op = Isa.make ~rd:1 ~rs1:2 ~rs2:3 op in
+  if c.dcache_sets > 0 then mk Isa.LW
+  else if c.stb_depth > 0 then mk Isa.SW
+  else if c.div <> Div_none then mk Isa.DIV
+  else if c.mul <> Mul_comb then mk Isa.MUL
+  else mk Isa.ADD
+
+let pick_transmitters c =
+  let base = [ (pick_iuv c).Isa.op; Isa.ADD ] in
+  List.sort_uniq compare base
+
+let xlen = Isa.xlen
+let pcw = Isa.pc_bits
+let iw = Isa.width
+let mem_words = 8
+
+(* EX states.  Only the states the config can reach are built and labeled;
+   the rest of the 3-bit space stays unreachable on purpose. *)
+let s_idle = 0
+let s_ex = 1
+let s_div = 2
+let s_mem = 3
+let s_excp = 4
+let s_mul = 5
+let s_stb = 6
+
+let fixed_div_latency = 3
+
+let check_range what v lo hi =
+  if v < lo || v > hi then
+    invalid_arg (Printf.sprintf "Fuzz.Gen.build: %s = %d outside [%d, %d]" what v lo hi)
+
+let build cfg =
+  check_range "fe_stages" cfg.fe_stages 1 3;
+  check_range "mem_wait" cfg.mem_wait 0 2;
+  check_range "stb_depth" cfg.stb_depth 0 2;
+  check_range "dcache_sets" cfg.dcache_sets 0 2;
+  (match cfg.mul with
+  | Mul_comb -> ()
+  | Mul_iter { mul_latency; _ } -> check_range "mul_latency" mul_latency 2 4);
+  let module D = Hdl.Dsl.Make (struct
+    let nl = Hdl.Netlist.create (name cfg)
+  end) in
+  let open D in
+  let has_div = cfg.div <> Div_none in
+  let has_mul = cfg.mul <> Mul_comb in
+  let has_stb = cfg.stb_depth > 0 in
+  let conj = List.fold_left ( &: ) in
+  let disj = List.fold_left ( |: ) gnd in
+
+  let if_in = input "if_instr_in" iw in
+  let fetch_pc = reg ~name:"fetch_pc" ~width:pcw () in
+
+  (* Frontend chain: slot 0 is IF (fetch side), slot fe_stages-1 feeds EX. *)
+  let fe =
+    Array.init cfg.fe_stages (fun j ->
+        let n s = if j = 0 then "if_" ^ s else Printf.sprintf "id%d_%s" j s in
+        ( reg ~name:(n "v") ~width:1 (),
+          reg ~name:(n "pc") ~width:pcw (),
+          reg ~name:(n "i") ~width:iw () ))
+  in
+  let fe_v j = let v, _, _ = fe.(j) in v in
+  let fe_pc j = let _, p, _ = fe.(j) in p in
+  let fe_i j = let _, _, i = fe.(j) in i in
+  let last = cfg.fe_stages - 1 in
+
+  let ex_state = reg ~name:"ex_state" ~width:3 () in
+  let ex_pc = reg ~name:"ex_pc" ~width:pcw () in
+  let ex_i = reg ~name:"ex_i" ~width:iw () in
+  let ex_r1 = reg ~name:"operand_rs1" ~width:xlen () in
+  let ex_r2 = reg ~name:"operand_rs2" ~width:xlen () in
+
+  let arf =
+    List.init 3 (fun i -> reg_symbolic ~name:(Printf.sprintf "arf%d" (i + 1)) ~width:xlen ())
+  in
+  let mem =
+    List.init mem_words (fun i ->
+        reg_symbolic ~name:(Printf.sprintf "mem%d" i) ~width:xlen ())
+  in
+
+  (* Decode helpers. *)
+  let f_op i = select i 18 14 in
+  let f_rd i = select i 13 12 in
+  let f_rs1 i = select i 11 10 in
+  let f_rs2 i = select i 9 8 in
+  let f_imm i = select i 7 0 in
+  let op_is i o = eq_const (f_op i) (Isa.opcode_to_int o) in
+  let op_in i os = disj (List.map (op_is i) os) in
+  let cls c i = op_in i (List.filter (fun o -> Isa.class_of o = c) Isa.all_opcodes) in
+  let is_div = cls Isa.Divc in
+  let is_mul = cls Isa.Mulc in
+  let is_load = cls Isa.Load in
+  let is_store = cls Isa.Store in
+  let is_branch = cls Isa.Branch in
+  let is_jump = cls Isa.Jump in
+  let writes_rd i =
+    op_in i (List.filter Isa.writes_rd Isa.all_opcodes) &: (f_rd i <>: zero 2)
+  in
+
+  let st v = eq_const ex_state v in
+  let ex_first = st s_ex in
+  let ex_busy = ~:(st s_idle) in
+  let a = ex_r1 and b = ex_r2 in
+  let imm = f_imm ex_i in
+
+  (* Single-cycle datapath. *)
+  let sll8 x k = if k = 0 then x else concat [ select x (xlen - 1 - k) 0; zero k ] in
+  let srl8 x k = if k = 0 then x else concat [ zero k; select x (xlen - 1) k ] in
+  let sra8 x k = if k = 0 then x else concat [ repeat (msb x) k; select x (xlen - 1) k ] in
+  let shift f = binary_mux (select b 2 0) (List.init 8 (fun k -> f a k)) in
+  let onehot_or d cases = List.fold_left (fun acc (c, v) -> mux c v acc) d cases in
+  let link_val = concat [ ex_pc +: of_int pcw 1; zero 2 ] in
+  let alu_res =
+    onehot_or (zero xlen)
+      ([
+         (op_is ex_i Isa.ADD, a +: b);
+         (op_is ex_i Isa.ADDI, a +: imm);
+         (op_is ex_i Isa.SUB, a -: b);
+         (op_is ex_i Isa.AND, a &: b);
+         (op_is ex_i Isa.ANDI, a &: imm);
+         (op_is ex_i Isa.OR, a |: b);
+         (op_is ex_i Isa.ORI, a |: imm);
+         (op_is ex_i Isa.XOR, a ^: b);
+         (op_is ex_i Isa.XORI, a ^: imm);
+         (op_is ex_i Isa.SLT, zero_extend (a <+ b) xlen);
+         (op_is ex_i Isa.SLTU, zero_extend (a <: b) xlen);
+         (op_is ex_i Isa.SLL, shift sll8);
+         (op_is ex_i Isa.SRL, shift srl8);
+         (op_is ex_i Isa.SRA, shift sra8);
+         (is_jump ex_i, link_val);
+       ]
+      @ if has_mul then [] else [ (op_is ex_i Isa.MUL, a *: b) ])
+  in
+  let br_taken =
+    onehot_or gnd
+      [
+        (op_is ex_i Isa.BEQ, a ==: b);
+        (op_is ex_i Isa.BNE, a <>: b);
+        (op_is ex_i Isa.BLT, a <+ b);
+        (op_is ex_i Isa.BGE, ~:(a <+ b));
+        (op_is ex_i Isa.BLTU, a <: b);
+        (op_is ex_i Isa.BGEU, ~:(a <: b));
+      ]
+  in
+  let pc_bytes = concat [ ex_pc; zero 2 ] in
+  let target = mux (op_is ex_i Isa.JALR) (a +: imm) (pc_bytes +: imm) in
+  let ctrl_taken = is_jump ex_i |: (is_branch ex_i &: br_taken) in
+  let misaligned = select target 1 0 <>: zero 2 in
+  let excp_now = ex_first &: ctrl_taken &: misaligned in
+  let redirect = ex_first &: ctrl_taken &: ~:misaligned in
+  let redirect_pc = uresize (select target 7 2) pcw in
+
+  (* Serial divider (restoring, optionally with CVA6's leading-zero skip;
+     without it the iteration count is a fixed latency, so DIV timing is
+     operand-independent). *)
+  let div_done, div_result =
+    match cfg.div with
+    | Div_none -> (gnd, zero xlen)
+    | Div_serial { div_zero_skip } ->
+      let div_cnt = reg ~name:"div_cnt" ~width:4 () in
+      let div_rem = reg ~name:"div_rem" ~width:xlen () in
+      let div_quo = reg ~name:"div_quo" ~width:xlen () in
+      let div_dvs = reg ~name:"div_dvs" ~width:xlen () in
+      let div_negq = reg ~name:"div_negq" ~width:1 () in
+      let div_negr = reg ~name:"div_negr" ~width:1 () in
+      let div_div0 = reg ~name:"div_div0" ~width:1 () in
+      let div_a0 = reg ~name:"div_a0" ~width:xlen () in
+      let signed_div = op_in ex_i [ Isa.DIV; Isa.REM ] in
+      let abs_x x neg = mux neg (zero xlen -: x) x in
+      let da = abs_x a (signed_div &: msb a) in
+      let db = abs_x b (signed_div &: msb b) in
+      let cnt_init, quo_init =
+        if div_zero_skip then begin
+          let sig_bits =
+            let rec scan k =
+              if k < 0 then zero 4 else mux (bit da k) (of_int 4 (k + 1)) (scan (k - 1))
+            in
+            scan (xlen - 1)
+          in
+          ( sig_bits,
+            mux (eq_const sig_bits 0) (zero xlen)
+              (binary_mux (select (of_int 4 8 -: sig_bits) 2 0)
+                 (List.init 8 (fun k -> sll8 da k))) )
+        end
+        else (of_int 4 fixed_div_latency, da)
+      in
+      let div_step_rem = concat [ select div_rem (xlen - 2) 0; msb div_quo ] in
+      let div_sub = div_step_rem >=: div_dvs in
+      let div_rem_next = mux div_sub (div_step_rem -: div_dvs) div_step_rem in
+      let div_quo_next = concat [ select div_quo (xlen - 2) 0; div_sub ] in
+      let div_done = st s_div &: (eq_const div_cnt 0 |: eq_const div_cnt 1) in
+      let div_quo_final = mux (eq_const div_cnt 0) div_quo div_quo_next in
+      let div_rem_final = mux (eq_const div_cnt 0) div_rem div_rem_next in
+      let div_q = mux div_negq (zero xlen -: div_quo_final) div_quo_final in
+      let div_r = mux div_negr (zero xlen -: div_rem_final) div_rem_final in
+      let div_result =
+        mux div_div0
+          (mux (op_in ex_i [ Isa.REM; Isa.REMU ]) div_a0 (ones xlen))
+          (mux (op_in ex_i [ Isa.REM; Isa.REMU ]) div_r div_q)
+      in
+      div_cnt
+      <== priority_mux
+            [
+              (ex_first &: is_div ex_i, cnt_init);
+              (st s_div &: (div_cnt <>: zero 4), div_cnt -: of_int 4 1);
+            ]
+            div_cnt;
+      div_rem <== priority_mux [ (ex_first, zero xlen); (st s_div, div_rem_next) ] div_rem;
+      div_quo <== priority_mux [ (ex_first, quo_init); (st s_div, div_quo_next) ] div_quo;
+      div_dvs <== mux ex_first db div_dvs;
+      div_negq <== mux ex_first (signed_div &: (msb a ^: msb b) &: (b <>: zero xlen)) div_negq;
+      div_negr <== mux ex_first (signed_div &: msb a) div_negr;
+      div_div0 <== mux ex_first (b ==: zero xlen) div_div0;
+      div_a0 <== mux ex_first a div_a0;
+      (div_done, div_result)
+  in
+
+  (* Iterative multiplier: a counter in front of the combinational product;
+     with zero-skip a zero operand completes in one s_mul cycle. *)
+  let mul_done, mul_result =
+    match cfg.mul with
+    | Mul_comb -> (gnd, zero xlen)
+    | Mul_iter { mul_latency; mul_zero_skip } ->
+      let mul_cnt = reg ~name:"mul_cnt" ~width:3 () in
+      let cnt_init =
+        if mul_zero_skip then
+          mux ((a ==: zero xlen) |: (b ==: zero xlen)) (of_int 3 1) (of_int 3 mul_latency)
+        else of_int 3 mul_latency
+      in
+      mul_cnt
+      <== priority_mux
+            [
+              (ex_first &: is_mul ex_i, cnt_init);
+              (st s_mul &: (mul_cnt <>: zero 3), mul_cnt -: of_int 3 1);
+            ]
+            mul_cnt;
+      (st s_mul &: (eq_const mul_cnt 0 |: eq_const mul_cnt 1), a *: b)
+  in
+
+  (* Store path.  Depth 0 writes memory during the first EX cycle; with a
+     buffer, stores allocate an entry (committing immediately) and the head
+     entry drains to memory one per cycle, holding the memory port — a
+     completing load defers while a drain is in flight (the store→load
+     back-pressure channel). *)
+  let addr = a +: imm in
+  let word_of x = select x 2 0 in
+  let store_now = ex_first &: is_store ex_i in
+  let st_data = mux (op_is ex_i Isa.SB) (concat [ zero 4; select b 3 0 ]) b in
+  let drain, store_done, stb_slots =
+    if not has_stb then begin
+      List.iteri
+        (fun i m -> m <== mux (store_now &: eq_const (word_of addr) i) st_data m)
+        mem;
+      (gnd, gnd, [])
+    end
+    else begin
+      let depth = cfg.stb_depth in
+      let slot k =
+        ( reg ~name:(Printf.sprintf "stb%d_v" k) ~width:1 (),
+          reg ~name:(Printf.sprintf "stb%d_pc" k) ~width:pcw (),
+          reg ~name:(Printf.sprintf "stb%d_a" k) ~width:3 (),
+          reg ~name:(Printf.sprintf "stb%d_d" k) ~width:xlen () )
+      in
+      let slots = List.init depth slot in
+      let v_of (v, _, _, _) = v in
+      let head_v, head_pc, head_a, head_d = List.nth slots 0 in
+      ignore head_pc;
+      let drain = head_v in
+      (* Post-drain view: entries shift down one slot while the head is
+         written to memory. *)
+      let shifted =
+        List.mapi
+          (fun k (v, p, a', d) ->
+            if k + 1 < depth then
+              let v', p', a'', d' = List.nth slots (k + 1) in
+              (mux drain v' v, mux drain p' p, mux drain a'' a', mux drain d' d)
+            else (mux drain gnd v, p, a', d))
+          slots
+      in
+      let can_alloc = disj (List.map (fun s -> ~:(v_of s)) shifted) in
+      let alloc_now = (store_now |: st s_stb) &: can_alloc in
+      (* First free post-drain slot takes the allocation. *)
+      let takes =
+        let rec go busy_below = function
+          | [] -> []
+          | [ s ] -> [ busy_below &: ~:(v_of s) ]
+          | s :: rest -> (busy_below &: ~:(v_of s)) :: go (busy_below &: v_of s) rest
+        in
+        go vdd shifted
+      in
+      List.iteri
+        (fun k (v, p, a', d) ->
+          let sv, sp, sa, sd = List.nth shifted k in
+          let alloc_k = alloc_now &: List.nth takes k in
+          v <== mux alloc_k vdd sv;
+          p <== mux alloc_k ex_pc sp;
+          a' <== mux alloc_k (word_of addr) sa;
+          d <== mux alloc_k st_data sd)
+        slots;
+      List.iteri
+        (fun i m -> m <== mux (drain &: eq_const head_a i) head_d m)
+        mem;
+      (drain, alloc_now, slots)
+    end
+  in
+
+  (* Load path: mem_wait extra wait states, plus a 2-cycle miss penalty
+     when the config has load tags.  The tags are ordinary registers that
+     are NOT architectural state, so their contents persist across
+     instructions — a stateful latency channel. *)
+  let mem_cnt = reg ~name:"mem_cnt" ~width:3 () in
+  let load_engage = ex_first &: is_load ex_i in
+  let word_new = word_of addr in
+  let wait_init =
+    if cfg.dcache_sets = 0 then of_int 3 cfg.mem_wait
+    else begin
+      let sets = cfg.dcache_sets in
+      let dc =
+        List.init sets (fun k ->
+            ( reg ~name:(Printf.sprintf "dc%d_v" k) ~width:1 (),
+              reg ~name:(Printf.sprintf "dc%d_tag" k) ~width:3 () ))
+      in
+      let sel_is k =
+        if sets = 1 then vdd
+        else if k = 1 then bit word_new 0
+        else ~:(bit word_new 0)
+      in
+      let hit_k (v, t) = v &: (t ==: word_new) in
+      let hit =
+        if sets = 1 then hit_k (List.nth dc 0)
+        else mux (bit word_new 0) (hit_k (List.nth dc 1)) (hit_k (List.nth dc 0))
+      in
+      List.iteri
+        (fun k (v, t) ->
+          let fill = load_engage &: ~:hit &: sel_is k in
+          v <== mux fill vdd v;
+          t <== mux fill word_new t)
+        dc;
+      mux hit (of_int 3 cfg.mem_wait) (of_int 3 (cfg.mem_wait + 2))
+    end
+  in
+  mem_cnt
+  <== priority_mux
+        [
+          (load_engage, wait_init);
+          (st s_mem &: (mem_cnt <>: zero 3), mem_cnt -: of_int 3 1);
+        ]
+        mem_cnt;
+  let mem_done = st s_mem &: eq_const mem_cnt 0 &: ~:drain in
+  let mem_rdata = binary_mux word_new mem in
+  let ld_result =
+    mux (op_is ex_i Isa.LB) (sign_extend (select mem_rdata 3 0) xlen) mem_rdata
+  in
+
+  (* Completion and writeback. *)
+  let uses_div_t = if has_div then [ ~:(is_div ex_i) ] else [] in
+  let uses_mul_t = if has_mul then [ ~:(is_mul ex_i) ] else [] in
+  let stb_t = if has_stb then [ ~:(is_store ex_i) ] else [] in
+  let single_cycle = conj ex_first (uses_div_t @ uses_mul_t @ stb_t @ [ ~:(is_load ex_i) ]) in
+  let complete =
+    disj
+      ([ single_cycle &: ~:excp_now; mem_done ]
+      @ (if has_div then [ div_done ] else [])
+      @ (if has_mul then [ mul_done ] else [])
+      @ if has_stb then [ store_done ] else [])
+  in
+  let result =
+    onehot_or alu_res
+      ((if has_div then [ (div_done, div_result) ] else [])
+      @ (if has_mul then [ (mul_done, mul_result) ] else [])
+      @ [ (mem_done, ld_result) ])
+  in
+  List.iteri
+    (fun i r ->
+      r <== mux (complete &: writes_rd ex_i &: eq_const (f_rd ex_i) (i + 1)) result r)
+    arf;
+
+  (* EX transitions. *)
+  let flush_now = redirect |: excp_now |: st s_excp in
+  let accept = (st s_idle |: complete |: st s_excp) &: fe_v last &: ~:flush_now in
+  let rf v =
+    let base = binary_mux v (zero xlen :: arf) in
+    mux (complete &: writes_rd ex_i &: (f_rd ex_i ==: v)) result base
+  in
+  ex_state
+  <== priority_mux
+        ([ (accept, of_int 3 s_ex); (ex_first &: excp_now, of_int 3 s_excp) ]
+        @ (if has_div then [ (ex_first &: is_div ex_i, of_int 3 s_div) ] else [])
+        @ (if has_mul then [ (ex_first &: is_mul ex_i, of_int 3 s_mul) ] else [])
+        @ [ (load_engage, of_int 3 s_mem) ]
+        @ (if has_stb then [ (store_now, of_int 3 s_stb) ] else [])
+        @ [ (complete |: st s_excp, of_int 3 s_idle) ])
+        ex_state;
+  ex_pc <== mux accept (fe_pc last) ex_pc;
+  ex_i <== mux accept (fe_i last) ex_i;
+  ex_r1 <== mux accept (rf (f_rs1 (fe_i last))) ex_r1;
+  ex_r2 <== mux accept (rf (f_rs2 (fe_i last))) ex_r2;
+
+  (* Frontend advance: a bubble-collapsing chain; slot j refills whenever
+     slot j+1 drains it or it is empty.  With speculation off, fetch is
+     starved (bubbles supplied) while an unresolved control transfer sits
+     anywhere in the frontend. *)
+  let loads = Array.make cfg.fe_stages gnd in
+  loads.(last) <- accept |: ~:(fe_v last);
+  for j = last - 1 downto 0 do
+    loads.(j) <- loads.(j + 1) |: ~:(fe_v j)
+  done;
+  let supply =
+    if cfg.speculate then vdd
+    else
+      ~:(disj
+           (List.init cfg.fe_stages (fun j ->
+                fe_v j &: (is_branch (fe_i j) |: is_jump (fe_i j)))))
+  in
+  for j = 0 to last do
+    let upstream_v = if j = 0 then supply else fe_v (j - 1) in
+    let upstream_pc = if j = 0 then fetch_pc else fe_pc (j - 1) in
+    let upstream_i = if j = 0 then if_in else fe_i (j - 1) in
+    fe_v j <== mux flush_now gnd (mux loads.(j) upstream_v (fe_v j));
+    fe_pc j <== mux loads.(j) upstream_pc (fe_pc j);
+    fe_i j <== mux loads.(j) upstream_i (fe_i j)
+  done;
+  let fetch_adv = if cfg.speculate then loads.(0) else loads.(0) &: supply in
+  fetch_pc
+  <== priority_mux
+        [
+          (st s_excp, zero pcw);
+          (redirect, redirect_pc);
+          (fetch_adv, fetch_pc +: of_int pcw 1);
+        ]
+        fetch_pc;
+
+  (* Annotation surface. *)
+  let name_wire nm s =
+    let w = wire ~name:nm (width s) in
+    w <== s;
+    w
+  in
+  let commit_w = name_wire "commit" (complete |: st s_excp) in
+  let commit_pc_w = name_wire "commit_pc" ex_pc in
+  let flush_w = name_wire "flush" flush_now in
+  let operand_valid_w = name_wire "operand_stage_valid" ex_busy in
+
+  let one_state nm pcr v label =
+    {
+      Designs.Meta.ufsm_name = nm;
+      pcr;
+      vars = [ v ];
+      idle_states = [ Bitvec.zero 1 ];
+      state_labels = [ (Bitvec.of_int ~width:1 1, label) ];
+    }
+  in
+  let bv3 v = Bitvec.of_int ~width:3 v in
+  let ex_labels =
+    [ (bv3 s_ex, "EX") ]
+    @ (if has_div then [ (bv3 s_div, "divU") ] else [])
+    @ [ (bv3 s_mem, "memU"); (bv3 s_excp, "exExcp") ]
+    @ (if has_mul then [ (bv3 s_mul, "mulU") ] else [])
+    @ (if has_stb then [ (bv3 s_stb, "stbW") ] else [])
+    @
+    match cfg.defect with
+    | Some Defect_label_idle -> [ (Bitvec.zero 3, "zIDL") ]
+    | _ -> []
+  in
+  let if0_pcr =
+    match cfg.defect with
+    | Some Defect_pc_width ->
+      (* Deliberately ill-typed PCR: one bit short of the PC width. *)
+      let bad = reg ~name:"bad_pcr" ~width:(pcw - 1) () in
+      bad <== bad;
+      bad
+    | _ -> fe_pc 0
+  in
+  let ufsms =
+    [ { (one_state "if0" (fe_pc 0) (fe_v 0) "IF") with Designs.Meta.pcr = if0_pcr } ]
+    @ List.init (cfg.fe_stages - 1) (fun j ->
+          one_state (Printf.sprintf "id%d" (j + 1)) (fe_pc (j + 1)) (fe_v (j + 1)) "ID")
+    @ [
+        {
+          Designs.Meta.ufsm_name = "ex";
+          pcr = ex_pc;
+          vars = [ ex_state ];
+          idle_states = [ Bitvec.zero 3 ];
+          state_labels = ex_labels;
+        };
+      ]
+    @ List.mapi
+        (fun k (v, p, _, _) -> one_state (Printf.sprintf "stb%d" k) p v "STB")
+        stb_slots
+  in
+  {
+    Designs.Meta.design_name = name cfg;
+    nl;
+    ifrs = [ { Designs.Meta.ifr_valid = fe_v 0; ifr_pc = fe_pc 0; ifr_word = fe_i 0 } ];
+    operand_stage_valid = operand_valid_w;
+    operand_stage_pc = ex_pc;
+    commit = commit_w;
+    commit_pc = commit_pc_w;
+    flush = flush_w;
+    ufsms;
+    operand_regs = [ ("rs1", ex_r1); ("rs2", ex_r2) ];
+    arf;
+    amem = mem;
+    extra_assumes = [];
+  }

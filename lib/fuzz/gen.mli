@@ -1,0 +1,100 @@
+(** Parameterized pipeline generator (design-space fuzzing, DESIGN.md §16).
+
+    A [config] names one point in a small pipeline design space — frontend
+    depth, functional-unit latency mix, store-buffer depth, speculation,
+    cache geometry.  [build] elaborates it into a well-formed {!Hdl} DSL
+    design with auto-derived µFSM/IFR metadata ({!Designs.Meta.t}), so a
+    generated design drops straight into {!Synthlc.Engine.run} next to the
+    hand-built cores.
+
+    Elaboration is pure: all randomness lives in {!sample}, and
+    [build c] emits a structurally identical netlist every time, so
+    [Hdl.Netlist.digest] is a stable fingerprint of the config.  The fetch
+    interface reuses the ibex_lite signal names ([fetch_pc],
+    [if_instr_in]), so {!Designs.Stimulus.ibex} drives any generated
+    design unchanged. *)
+
+type mul_unit =
+  | Mul_comb  (** Single-cycle multiplier folded into the ALU. *)
+  | Mul_iter of { mul_latency : int; mul_zero_skip : bool }
+      (** Iterative multiplier, [mul_latency] in [2, 4]; with
+          [mul_zero_skip] a zero operand completes in one cycle (the
+          operand-dependent-latency channel from the paper's §VII-B1). *)
+
+type div_unit =
+  | Div_none  (** No divider: DIV-class opcodes execute as single-cycle. *)
+  | Div_serial of { div_zero_skip : bool }
+      (** Restoring serial divider; with [div_zero_skip] the iteration
+          count is the dividend's significant-bit count (CVA6's
+          leading-zero skip), otherwise a fixed latency. *)
+
+(** Deliberate metadata defects, for oracle-of-the-oracle testing: the
+    netlist stays well-formed but the µFSM annotations violate the µLint
+    admission contract, so the lint oracle must catch the design. *)
+type defect =
+  | Defect_label_idle  (** PL label on an idle state — L104 error. *)
+  | Defect_pc_width  (** Wrong-width PCR on a µFSM — L102 error. *)
+
+type config = {
+  fe_stages : int;  (** Frontend slots (IF + ID chain), in [1, 3]. *)
+  mul : mul_unit;
+  div : div_unit;
+  mem_wait : int;  (** Extra load wait states, in [0, 2]. *)
+  stb_depth : int;  (** Store-buffer entries, in [0, 2]; 0 = direct write. *)
+  dcache_sets : int;
+      (** Direct-mapped load-tag sets, in [0, 2]; misses add 2 wait
+          states and the tags persist across instructions (a
+          store→load-style stateful channel). *)
+  speculate : bool;
+      (** [false] stalls fetch while an unresolved control transfer is in
+          the frontend (no wrong-path fetch). *)
+  defect : defect option;
+}
+
+val minimal : config
+(** The bottom of the parameter lattice: 1 frontend slot, combinational
+    MUL, no divider, no waits, no store buffer, no cache, speculation on. *)
+
+val default : config
+(** An ibex_lite-like midpoint used by docs and benches. *)
+
+val sample : Random.State.t -> config
+(** Draw a config uniformly from the parameter space (defect-free). *)
+
+val config_for : seed:int -> int -> config
+(** [config_for ~seed i] is the config of design [i] of campaign [seed]:
+    a private PRNG stream seeded from [(seed, i)], so [--only i]
+    regenerates design [i] without replaying designs [0..i-1]. *)
+
+val shrink_steps : config -> config list
+(** One-step reductions toward {!minimal} along the parameter lattice
+    (never touches [defect]).  Empty exactly on configs equal to
+    {!minimal} up to [defect]. *)
+
+val describe : config -> string
+(** One-line human-readable form, stable across runs (used for the
+    design-name hash and reproducer output). *)
+
+val to_json : config -> string
+(** The config as a JSON object (corpus summary format). *)
+
+val defect_name : defect -> string
+val defect_of_string : string -> defect option
+
+val name : config -> string
+(** Deterministic design name, ["fuzz_" ^ hash-of-describe]. *)
+
+val build : config -> Designs.Meta.t
+(** Elaborate the config.  Raises [Invalid_argument] on out-of-range
+    parameters. *)
+
+val iuv_pc : int
+(** IUV slot convention shared with the built-in cores. *)
+
+val pick_iuv : config -> Isa.t
+(** A transponder instruction that exercises the config's most
+    interesting unit (load when cached, store when buffered, DIV/MUL when
+    iterative, ADD otherwise). *)
+
+val pick_transmitters : config -> Isa.opcode list
+(** A small transmitter-candidate set matched to [pick_iuv]. *)

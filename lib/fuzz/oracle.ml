@@ -1,0 +1,316 @@
+(* Differential oracle battery.  See oracle.mli. *)
+
+type oracle =
+  | O_validate
+  | O_lint
+  | O_determinism
+  | O_jobs
+  | O_cache_warm
+  | O_prune_modes
+  | O_portfolio
+  | O_grid
+
+type verdict = Pass | Fail of string | Skipped
+
+type outcome = {
+  config : Gen.config;
+  netlist_digest : string;
+  report_digest : string option;
+  verdicts : (oracle * verdict) list;
+  mupath_props : int;
+  flow_props : int;
+  pruned_static : int;
+  flow_pruned_static : int;
+  checker_props : int;
+  time_s : float;
+}
+
+let all_oracles =
+  [
+    O_validate;
+    O_lint;
+    O_determinism;
+    O_jobs;
+    O_cache_warm;
+    O_prune_modes;
+    O_portfolio;
+    O_grid;
+  ]
+
+let oracle_name = function
+  | O_validate -> "validate"
+  | O_lint -> "lint"
+  | O_determinism -> "determinism"
+  | O_jobs -> "jobs"
+  | O_cache_warm -> "cache-warm"
+  | O_prune_modes -> "prune-modes"
+  | O_portfolio -> "portfolio"
+  | O_grid -> "grid"
+
+let failure o =
+  List.find_map
+    (fun (orc, v) -> match v with Fail m -> Some (orc, m) | _ -> None)
+    o.verdicts
+
+let config_of ~depth ~episodes ~portfolio =
+  {
+    Mc.Checker.default_config with
+    Mc.Checker.bmc_depth = depth;
+    bmc_conflicts = 60_000;
+    induction_max_k = 2;
+    sim_episodes = episodes;
+    sim_cycles = 44;
+    portfolio_domains = portfolio;
+  }
+
+(* One Engine.run over the generated design.  Exceptions (including the
+   audit tripwires' [failwith]) are turned into [Error msg] so the caller
+   can attribute them to the oracle the run serves. *)
+let engine_run ~cache ~depth ~episodes ~jobs ~portfolio ~static_prune
+    ~static_flow_prune cfg =
+  let config = config_of ~depth ~episodes ~portfolio in
+  try
+    Ok
+      (Synthlc.Engine.run ~cache ~config ~synth_config:config ~static_prune
+         ~static_flow_prune
+         ~stimulus:(fun ~pins ~rotate meta -> Designs.Stimulus.ibex ~pins ~rotate meta)
+         ~design:(fun () -> Gen.build cfg)
+         ~jobs
+         ~instructions:[ Gen.pick_iuv cfg ]
+         ~transmitters:(Gen.pick_transmitters cfg)
+         ~kinds:[ Synthlc.Types.Intrinsic ]
+         ~revisit_count_labels:[] ~iuv_pc:Gen.iuv_pc ())
+  with
+  | Failure m -> Error m
+  | Invalid_argument m -> Error ("invalid argument: " ^ m)
+
+let grid_violations (report : Synthlc.Engine.report) =
+  List.concat_map
+    (fun (t : Synthlc.Engine.transponder_report) ->
+      List.concat_map
+        (fun (d : Synthlc.Types.tagged_decision) ->
+          let live =
+            match
+              List.assoc_opt d.Synthlc.Types.input.Synthlc.Types.unsafe_operand
+                t.Synthlc.Engine.static_flow_live
+            with
+            | Some l -> l
+            | None -> []
+          in
+          List.filter_map
+            (fun lbl ->
+              if List.mem lbl live then None
+              else
+                Some
+                  (Printf.sprintf "tagged dst %s (src %s, operand %s) outside static grid"
+                     lbl d.Synthlc.Types.src
+                     (Synthlc.Types.operand_name
+                        d.Synthlc.Types.input.Synthlc.Types.unsafe_operand)))
+            d.Synthlc.Types.dst)
+        t.Synthlc.Engine.tagged)
+    report.Synthlc.Engine.transponders
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let run ?(depth = 6) ?(episodes = 3) ?workdir cfg =
+  let t0 = Unix.gettimeofday () in
+  let verdicts = ref [] in
+  let push o v = verdicts := (o, v) :: !verdicts in
+  let report = ref None in
+  let netlist_digest = ref "" in
+  (* Each step returns [true] to continue the battery. *)
+  let step o f =
+    match f () with
+    | None ->
+      push o Pass;
+      true
+    | Some msg ->
+      push o (Fail msg);
+      false
+    | exception Failure m ->
+      push o (Fail m);
+      false
+  in
+  let base_digest = ref "" in
+  let warm_counters = ref None in
+  let workdir =
+    Option.value workdir ~default:(Filename.get_temp_dir_name ())
+  in
+  let cache_dir =
+    Filename.concat workdir
+      (Printf.sprintf "vcache_%d_%s" (Unix.getpid ()) (Gen.name cfg))
+  in
+  rm_rf cache_dir;
+  let check_engine ~jobs ~portfolio ~static_prune ~static_flow_prune ~judge ()
+      =
+    let cache = Vcache.create ~dir:cache_dir () in
+    match
+      engine_run ~cache ~depth ~episodes ~jobs ~portfolio ~static_prune
+        ~static_flow_prune cfg
+    with
+    | Error m -> Some m
+    | Ok r -> judge cache r
+  in
+  let digest_equal what r =
+    let d = Synthlc.Engine.report_digest r in
+    if d = !base_digest then None
+    else
+      Some
+        (Printf.sprintf "%s digest %s != baseline %s" what d !base_digest)
+  in
+  let continue =
+    step O_validate (fun () ->
+        let meta = Gen.build cfg in
+        netlist_digest := Hdl.Netlist.digest meta.Designs.Meta.nl;
+        match Hdl.Netlist.validate meta.Designs.Meta.nl with
+        | () -> None
+        | exception Failure m -> Some m)
+  in
+  let continue =
+    continue
+    && step O_lint (fun () ->
+           let r = Lint.Driver.run_design (Gen.build cfg) in
+           let errors =
+             List.filter
+               (fun (d : Lint.Diagnostic.t) -> d.severity = Lint.Diagnostic.Error)
+               r.Lint.Diagnostic.diags
+           in
+           match errors with
+           | [] -> None
+           | d :: _ ->
+             Some
+               (Printf.sprintf "%d lint error(s), first %s: %s"
+                  (List.length errors) d.Lint.Diagnostic.code
+                  d.Lint.Diagnostic.message))
+  in
+  let continue =
+    continue
+    && step O_determinism (fun () ->
+           let d2 = Hdl.Netlist.digest (Gen.build cfg).Designs.Meta.nl in
+           if d2 = !netlist_digest then None
+           else
+             Some
+               (Printf.sprintf "re-elaboration digest %s != %s" d2
+                  !netlist_digest))
+  in
+  (* Baseline cold run: -j1, both prunes on.  Fills the verdict cache and
+     anchors every digest comparison; a failure here is attributed to the
+     jobs oracle only after the -j2 run, so baseline errors surface as
+     O_jobs harness messages. *)
+  let continue =
+    continue
+    && step O_jobs (fun () ->
+           match
+             check_engine ~jobs:1 ~portfolio:1 ~static_prune:true
+               ~static_flow_prune:Synthlc.Types.Prune_on
+               ~judge:(fun _cache r ->
+                 report := Some r;
+                 base_digest := Synthlc.Engine.report_digest r;
+                 None)
+               ()
+           with
+           | Some m -> Some ("baseline run: " ^ m)
+           | None ->
+             check_engine ~jobs:2 ~portfolio:1 ~static_prune:true
+               ~static_flow_prune:Synthlc.Types.Prune_on
+               ~judge:(fun cache r ->
+                 match digest_equal "-j2" r with
+                 | Some m -> Some m
+                 | None ->
+                   (* The -j2 run doubles as the warm-cache probe; stash
+                      its counters for the next oracle. *)
+                   let hits, misses, _ = Vcache.counters cache in
+                   warm_counters := Some (hits, misses);
+                   None)
+               ())
+  in
+  let continue =
+    continue
+    && step O_cache_warm (fun () ->
+           match !warm_counters with
+           | None -> Some "warm run never executed"
+           | Some (hits, misses) ->
+             if misses > 0 then
+               Some
+                 (Printf.sprintf "warm run missed: hits=%d misses=%d" hits
+                    misses)
+             else if hits = 0 then Some "warm run served no cache hits"
+             else None)
+  in
+  let continue =
+    continue
+    && step O_prune_modes
+         (check_engine ~jobs:1 ~portfolio:1 ~static_prune:false
+            ~static_flow_prune:Synthlc.Types.Prune_audit
+            ~judge:(fun _cache r -> digest_equal "audit (prunes off)" r))
+  in
+  let continue =
+    continue
+    && step O_portfolio
+         (check_engine ~jobs:1 ~portfolio:2 ~static_prune:true
+            ~static_flow_prune:Synthlc.Types.Prune_on
+            ~judge:(fun _cache r -> digest_equal "--portfolio 2" r))
+  in
+  let _ =
+    continue
+    && step O_grid (fun () ->
+           match !report with
+           | None -> Some "no baseline report"
+           | Some r -> (
+             match grid_violations r with
+             | [] -> None
+             | v :: rest ->
+               Some
+                 (if rest = [] then v
+                  else Printf.sprintf "%s (+%d more)" v (List.length rest))))
+  in
+  rm_rf cache_dir;
+  let verdicts =
+    let ran = List.rev !verdicts in
+    ran
+    @ List.filter_map
+        (fun o -> if List.mem_assoc o ran then None else Some (o, Skipped))
+        all_oracles
+  in
+  let mupath_props, flow_props, pruned_static, flow_pruned_static, checker_props
+      =
+    match !report with
+    | None -> (0, 0, 0, 0, 0)
+    | Some r ->
+      let pruned =
+        List.fold_left
+          (fun acc (t : Synthlc.Engine.transponder_report) ->
+            List.fold_left
+              (fun acc (_, (s : Mupath.Synth.stage_stats)) ->
+                acc + s.Mupath.Synth.pruned_static)
+              acc t.Synthlc.Engine.synth.Mupath.Synth.stage_stats)
+          0 r.Synthlc.Engine.transponders
+      in
+      ( r.Synthlc.Engine.total_mupath_props,
+        r.Synthlc.Engine.total_flow_props,
+        pruned,
+        r.Synthlc.Engine.total_flow_pruned_static,
+        r.Synthlc.Engine.checker_totals.Mc.Checker.Stats.n_props )
+  in
+  {
+    config = cfg;
+    netlist_digest = !netlist_digest;
+    report_digest = (match !report with None -> None | Some r -> Some (Synthlc.Engine.report_digest r));
+    verdicts;
+    mupath_props;
+    flow_props;
+    pruned_static;
+    flow_pruned_static;
+    checker_props;
+    time_s = Unix.gettimeofday () -. t0;
+  }
+
+let fails_like ?depth ?episodes ?workdir o cfg =
+  let outcome = run ?depth ?episodes ?workdir cfg in
+  match failure outcome with Some (o', _) -> o' = o | None -> false

@@ -1,0 +1,69 @@
+(** Differential oracle battery for generated designs (DESIGN.md §16).
+
+    Every invariant the repo's PRs shipped becomes one machine-checkable
+    oracle, run against each generated design:
+
+    - [O_validate]: the netlist passes {!Hdl.Netlist.validate};
+    - [O_lint]: µLint admission — no Error-severity diagnostics
+      (exit ≤ 1 under the lint CLI contract);
+    - [O_determinism]: re-elaborating the config reproduces the same
+      {!Hdl.Netlist.digest};
+    - [O_jobs]: [-j 2] reproduces the [-j 1] report digest bit-for-bit;
+    - [O_cache_warm]: a warm verdict-cache run is all-hits/no-misses and
+      digests identically to the cold run that filled the store;
+    - [O_prune_modes]: static FSM-reachability prune off (audit batch,
+      tripwires armed) + static taint-flow prune in audit mode reproduce
+      the pruned run's digest;
+    - [O_portfolio]: [--portfolio 2] reproduces the sequential digest;
+    - [O_grid]: every dynamically tagged decision destination lies inside
+      the static leakage grid of its operand (taint-grid vs dynamic IFT
+      containment).
+
+    The battery stops at the first failing oracle (later ones report
+    [Skipped]); exceptions escaping the battery itself — as opposed to a
+    divergence detected by it — are harness errors and propagate to the
+    caller. *)
+
+type oracle =
+  | O_validate
+  | O_lint
+  | O_determinism
+  | O_jobs
+  | O_cache_warm
+  | O_prune_modes
+  | O_portfolio
+  | O_grid
+
+type verdict = Pass | Fail of string | Skipped
+
+type outcome = {
+  config : Gen.config;
+  netlist_digest : string;
+  report_digest : string option;  (** Baseline run digest, once reached. *)
+  verdicts : (oracle * verdict) list;  (** In battery order. *)
+  mupath_props : int;
+  flow_props : int;
+  pruned_static : int;  (** µPATH covers discharged by the FSM prune. *)
+  flow_pruned_static : int;  (** IFT covers discharged by the taint prune. *)
+  checker_props : int;
+  time_s : float;
+}
+
+val all_oracles : oracle list
+val oracle_name : oracle -> string
+
+val failure : outcome -> (oracle * string) option
+(** First failing oracle, if any. *)
+
+val run :
+  ?depth:int -> ?episodes:int -> ?workdir:string -> Gen.config -> outcome
+(** Run the full battery.  [depth]/[episodes] size the checker (defaults
+    6/3, the quick profile); [workdir] hosts the per-design verdict-cache
+    directory (default: the system temp dir).  The cache directory is
+    deleted afterwards. *)
+
+val fails_like :
+  ?depth:int -> ?episodes:int -> ?workdir:string -> oracle -> Gen.config -> bool
+(** [fails_like o c]: does [c]'s battery fail on exactly oracle class [o]?
+    The shrink predicate — a shrunk config must reproduce the original
+    failure class, not just any failure. *)

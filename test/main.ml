@@ -25,4 +25,5 @@ let () =
       Test_analysis.suite;
       Test_taint.suite;
       Test_lint.suite;
+      Test_fuzz.suite;
     ]
