@@ -77,3 +77,177 @@ let fuzz_campaign () =
         fz_digests = digests;
         fz_t_total = summary.Fuzz.Driver.total_time_s;
       }
+
+(* P8 — known-bits abstract interpretation (DESIGN.md §17).
+
+   One dataflow core ({!Hdl.Absint}) feeds three clients; this experiment
+   pins each one's contract:
+
+   - prune: the gated demo DUV's "gate" µFSM keeps two states the plain
+     FSM abstraction cannot kill but known-bits can — the absint prune
+     must discharge both, and the report digest must be bit-identical
+     across --absint on/off/audit (pruned counters are digest-excluded,
+     pruned state names are digest-included in every mode);
+   - SAT substitution: re-running the P6 cover batch with
+     [Checker.known_bits] off must allocate strictly more induction-side
+     solver variables while synthesizing the identical µPATH set (the
+     BMC side is digest- and CNF-identical by construction: per-step
+     folding of the reset constants subsumes the substitution there);
+   - lint: the A-series pass must produce diagnostics on the built-in
+     designs (all informational — built-ins stay warning-free). *)
+
+type absint_row = {
+  ab_covers_pruned : int;  (* absint-discharged covers, mode on *)
+  ab_pruned_static : int;  (* base static prune, for scale *)
+  ab_t_on : float;
+  ab_t_off : float;
+  ab_t_audit : float;
+  ab_equal : bool;  (* digests identical across on/off/audit *)
+  ab_digest : string;
+  ab_vars_kb_on : int;  (* induction solver vars, known-bits on *)
+  ab_vars_kb_off : int;
+  ab_kb_equal : bool;  (* substitution preserves the synthesized set *)
+  ab_lint_info : int;  (* A-series diagnostics across built-in designs *)
+}
+
+let absint_result : absint_row option ref = ref None
+
+let absint_bench () =
+  section "P8"
+    "Known-bits absint - tri-mode prune identity, SAT substitution, A-series \
+     lint";
+  (* Tri-mode engine runs on the gated demo DUV (see Designs.Gated). *)
+  let gated_config =
+    {
+      Mc.Checker.default_config with
+      Mc.Checker.bmc_depth = 10;
+      sim_episodes = 8;
+      sim_cycles = 16;
+    }
+  in
+  let run_gated absint =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Synthlc.Engine.run ~config:gated_config ~synth_config:gated_config
+        ~absint
+        ~design:(fun () -> Designs.Gated.build ())
+        ~jobs:1
+        ~instructions:[ Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD ]
+        ~transmitters:[ Isa.ADD ]
+        ~kinds:[ Synthlc.Types.Intrinsic ]
+        ~revisit_count_labels:[] ~iuv_pc:Designs.Gated.iuv_pc ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_on, r_on = run_gated Synthlc.Types.Prune_on in
+  let t_off, r_off = run_gated Synthlc.Types.Prune_off in
+  let t_audit, r_audit = run_gated Synthlc.Types.Prune_audit in
+  let sum_stage f (r : Synthlc.Engine.report) =
+    List.fold_left
+      (fun acc (t : Synthlc.Engine.transponder_report) ->
+        List.fold_left
+          (fun acc (_, (s : Mupath.Synth.stage_stats)) -> acc + f s)
+          acc t.Synthlc.Engine.synth.Mupath.Synth.stage_stats)
+      0 r.Synthlc.Engine.transponders
+  in
+  let covers_pruned =
+    sum_stage (fun s -> s.Mupath.Synth.pruned_absint) r_on
+  in
+  let pruned_static =
+    sum_stage (fun s -> s.Mupath.Synth.pruned_static) r_on
+  in
+  let dg_on = Synthlc.Engine.report_digest r_on in
+  let dg_off = Synthlc.Engine.report_digest r_off in
+  let dg_audit = Synthlc.Engine.report_digest r_audit in
+  Printf.printf
+    "  absint on   : %6.1fs (%d covers known-bits-pruned, %d static-pruned)\n"
+    t_on covers_pruned pruned_static;
+  Printf.printf "  absint off  : %6.1fs (pruned covers re-dispatched)\n" t_off;
+  Printf.printf "  absint audit: %6.1fs\n" t_audit;
+  Printf.printf "  report digests: on %s, off %s, audit %s\n" dg_on dg_off
+    dg_audit;
+  check "known-bits prune discharges covers beyond the FSM abstraction"
+    (covers_pruned > 0);
+  check "report digest identical across absint on/off/audit"
+    (dg_on = dg_off && dg_on = dg_audit);
+  (* SAT substitution on a cold cover batch (the P6 batch shape, on the
+     gated DUV — the workload with register-level known bits in both
+     profiles): same synthesized set, fewer induction-side solver
+     variables.  Var count is an encoder property, not a solve-time one,
+     so the depth stays at the workload default. *)
+  let batch_config kb =
+    {
+      gated_config with
+      Mc.Checker.sim_episodes = 0;
+      known_bits = kb;
+    }
+  in
+  let run_batch kb =
+    let meta = Designs.Gated.build () in
+    Obs.enable ();
+    Obs.reset ();
+    let r =
+      Mupath.Synth.run ~config:(batch_config kb) ~presim_episodes:0 ~meta
+        ~iuv:(Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD)
+        ~iuv_pc:Designs.Gated.iuv_pc ()
+    in
+    let snap = Obs.Metrics.snapshot () in
+    Obs.disable ();
+    Obs.reset ();
+    let vars =
+      int_of_float (try List.assoc "sat.ind_vars" snap with Not_found -> 0.)
+    in
+    (vars, r)
+  in
+  let vars_kb, r_kb = run_batch true in
+  let vars_plain, r_plain = run_batch false in
+  Printf.printf
+    "  cover batch induction vars: %d (known-bits on) vs %d (off), %d saved\n"
+    vars_kb vars_plain (vars_plain - vars_kb);
+  check "known-bits substitution drops induction solver variables"
+    (vars_kb < vars_plain);
+  let kb_equal =
+    r_kb.Mupath.Synth.paths = r_plain.Mupath.Synth.paths
+    && r_kb.Mupath.Synth.decisions = r_plain.Mupath.Synth.decisions
+  in
+  check "substitution preserves the synthesized uPATH set" kb_equal;
+  (* A-series lint across the built-in designs: the pass has real findings
+     (stuck registers, dead mux arms) but every one is informational. *)
+  let designs =
+    [
+      Designs.Ibex.build ();
+      Designs.Core.build Designs.Core.baseline;
+      Designs.Gated.build ();
+    ]
+  in
+  let a_diags =
+    List.concat_map
+      (fun meta ->
+        List.filter
+          (fun (d : Lint.Diagnostic.t) -> d.Lint.Diagnostic.code.[0] = 'A')
+          (Lint.Driver.run_design meta).Lint.Diagnostic.diags)
+      designs
+  in
+  Printf.printf "  A-series lint: %d diagnostic(s) across %d built-ins\n"
+    (List.length a_diags) (List.length designs);
+  check "A-series lint fires on the built-in designs" (a_diags <> []);
+  check "A-series findings are all informational"
+    (List.for_all
+       (fun (d : Lint.Diagnostic.t) ->
+         d.Lint.Diagnostic.severity = Lint.Diagnostic.Info)
+       a_diags);
+  absint_result :=
+    Some
+      {
+        ab_covers_pruned = covers_pruned;
+        ab_pruned_static = pruned_static;
+        ab_t_on = t_on;
+        ab_t_off = t_off;
+        ab_t_audit = t_audit;
+        ab_equal = dg_on = dg_off && dg_on = dg_audit;
+        ab_digest = dg_on;
+        ab_vars_kb_on = vars_kb;
+        ab_vars_kb_off = vars_plain;
+        ab_kb_equal = kb_equal;
+        ab_lint_info = List.length a_diags;
+      }

@@ -33,6 +33,7 @@ let experiments =
     ("P5", Experiments2.static_flow_bench);
     ("P6", Experiments2.sat_bench);
     ("P7", Experiments3.fuzz_campaign);
+    ("P8", Experiments3.absint_bench);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -201,6 +202,15 @@ let write_json path ~profile ~jobs ~total rows =
       f.Experiments3.fz_checker_props f.Experiments3.fz_pruned_static
       f.Experiments3.fz_digests f.Experiments3.fz_t_total
   | None -> add "  \"fuzz\": null,\n");
+  (match !Experiments3.absint_result with
+  | Some a ->
+    add "  \"absint\": {\"covers_pruned\": %d, \"pruned_static\": %d, \"t_on_s\": %.3f, \"t_off_s\": %.3f, \"t_audit_s\": %.3f, \"digest_identical\": %b, \"report_digest\": \"%s\", \"vars_kb_on\": %d, \"vars_kb_off\": %d, \"kb_set_identical\": %b, \"lint_info\": %d},\n"
+      a.Experiments3.ab_covers_pruned a.Experiments3.ab_pruned_static
+      a.Experiments3.ab_t_on a.Experiments3.ab_t_off a.Experiments3.ab_t_audit
+      a.Experiments3.ab_equal a.Experiments3.ab_digest
+      a.Experiments3.ab_vars_kb_on a.Experiments3.ab_vars_kb_off
+      a.Experiments3.ab_kb_equal a.Experiments3.ab_lint_info
+  | None -> add "  \"absint\": null,\n");
   (match !Experiments2.obs_result with
   | Some o ->
     add "  \"obs\": {\"ns_plain\": %.1f, \"ns_disabled\": %.1f, \"disabled_overhead_pct\": %.3f, \"t_untraced_s\": %.3f, \"t_traced_s\": %.3f, \"events\": %d, \"digest_identical\": %b},\n"

@@ -10,7 +10,10 @@
 open Cmdliner
 
 let design_names =
-  [ "cva6_lite"; "cva6_mul"; "cva6_op"; "cva6_fixed"; "ibex_lite"; "cva6_cache" ]
+  [
+    "cva6_lite"; "cva6_mul"; "cva6_op"; "cva6_fixed"; "ibex_lite";
+    "cva6_cache"; "gated";
+  ]
 
 let build_design = function
   | "cva6_lite" -> Designs.Core.build Designs.Core.baseline
@@ -19,6 +22,7 @@ let build_design = function
   | "cva6_fixed" -> Designs.Core.build Designs.Core.all_fixed
   | "ibex_lite" -> Designs.Ibex.build ()
   | "cva6_cache" -> Designs.Cache.build ()
+  | "gated" -> Designs.Gated.build ()
   | d -> failwith ("unknown design " ^ d)
 
 let is_cache d = d = "cva6_cache"
@@ -103,6 +107,37 @@ let static_flow_prune_arg =
 let no_static_flow_prune_arg =
   let doc = "Shorthand for $(b,--static-flow-prune=audit)." in
   Arg.(value & flag & info [ "no-static-flow-prune" ] ~doc)
+
+let absint_arg =
+  let doc =
+    "Known-bits abstract-interpretation pruning: $(b,on) (default) \
+     discharges the extra µPATH covers and IFT covers the known-bits \
+     refinement proves unreachable beyond the base pre-passes; $(b,off) \
+     dispatches them as a trailing batch and trusts the checker; \
+     $(b,audit) fails the run on any reachable verdict.  All modes issue \
+     the same mid-stream checker sequence, so the report digest is \
+     bit-identical across them."
+  in
+  Arg.(
+    value
+    & opt flow_prune_conv Synthlc.Types.Prune_on
+    & info [ "absint" ] ~docv:"MODE" ~doc)
+
+(* Mupath's absint mode is a structural variant (it cannot depend on
+   Synthlc.Types); the mapping is one-to-one. *)
+let synth_absint_mode = function
+  | Synthlc.Types.Prune_on -> `On
+  | Synthlc.Types.Prune_off -> `Off
+  | Synthlc.Types.Prune_audit -> `Audit
+
+let no_known_bits_arg =
+  let doc =
+    "Disable known-bits constant substitution in the BMC encoding \
+     (proven-constant bits otherwise encode as constant literals instead \
+     of fresh variables).  Purely an encoding-size optimization; the \
+     report digest is expected to be identical either way."
+  in
+  Arg.(value & flag & info [ "no-known-bits" ] ~doc)
 
 let imprecise_ift_arg =
   let doc =
@@ -201,7 +236,7 @@ let dump_cnf_arg =
   in
   Arg.(value & opt (some string) None & info [ "dump-cnf" ] ~docv:"FILE" ~doc)
 
-let config_of depth episodes ~portfolio ~no_cse =
+let config_of depth episodes ~portfolio ~no_cse ~no_known_bits =
   {
     Mc.Checker.default_config with
     Mc.Checker.bmc_depth = depth;
@@ -210,16 +245,22 @@ let config_of depth episodes ~portfolio ~no_cse =
     sim_episodes = episodes;
     sim_cycles = 44;
     encode_cse = not no_cse;
+    known_bits = not no_known_bits;
     portfolio_domains = max 1 portfolio;
   }
 
+(* The gated demo design has no program-shaped input protocol: it accepts
+   whatever the random pokes feed it, so it runs without a stimulus. *)
 let stimulus_for dname ~pins meta =
-  if is_cache dname then Designs.Stimulus.cache ~pins meta
-  else if dname = "ibex_lite" then Designs.Stimulus.ibex ~pins meta
-  else Designs.Stimulus.core ~pins meta
+  if dname = "gated" then None
+  else if is_cache dname then Some (Designs.Stimulus.cache ~pins meta)
+  else if dname = "ibex_lite" then Some (Designs.Stimulus.ibex ~pins meta)
+  else Some (Designs.Stimulus.core ~pins meta)
 
 let iuv_pc_for dname =
-  if is_cache dname then Designs.Cache.iuv_pc else Designs.Core.iuv_pc
+  if is_cache dname then Designs.Cache.iuv_pc
+  else if dname = "gated" then Designs.Gated.iuv_pc
+  else Designs.Core.iuv_pc
 
 (* --- sim -------------------------------------------------------------- *)
 
@@ -227,6 +268,7 @@ let sim_cmd =
   let run dname program_file cycles =
     let meta = build_design dname in
     if is_cache dname then failwith "sim drives processor cores; use the cache tests for the cache DUV";
+    if dname = "gated" then failwith "sim drives processor cores; the gated demo DUV has no program input";
     let src =
       if program_file = "-" then In_channel.input_all In_channel.stdin
       else In_channel.with_open_text program_file In_channel.input_all
@@ -290,17 +332,18 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname iuv depth episodes dot counts shards cache_dir nsp portfolio
-      no_cse dump_cnf trace metrics =
+  let run dname iuv depth episodes dot counts shards cache_dir nsp absint
+      portfolio no_cse no_known_bits dump_cnf trace metrics =
     with_obs ~trace ~metrics (fun () ->
         let meta = build_design dname in
         let iuv_pc = iuv_pc_for dname in
         let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
-        let config = config_of depth episodes ~portfolio ~no_cse in
+        let config = config_of depth episodes ~portfolio ~no_cse ~no_known_bits in
         let cache = cache_of cache_dir in
         let r =
-          Mupath.Synth.run ?cache ~config ~stimulus:stim ~static_prune:(not nsp)
-            ?dump_cnf ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
+          Mupath.Synth.run ?cache ~config ?stimulus:stim ~static_prune:(not nsp)
+            ~absint:(synth_absint_mode absint) ?dump_cnf
+            ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
         in
         Format.printf "%a@." Mupath.Synth.pp_result r;
         print_cache_counters cache;
@@ -318,27 +361,33 @@ let mupath_cmd =
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
     Term.(
       const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
-      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg
-      $ portfolio_arg $ no_cse_arg $ dump_cnf_arg $ trace_arg $ metrics_arg)
+      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg $ absint_arg
+      $ portfolio_arg $ no_cse_arg $ no_known_bits_arg $ dump_cnf_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
   let run dname instructions txs depth episodes static jobs cache_dir nsp
-      flow_prune no_flow_prune imprecise portfolio no_cse dump_cnf trace
-      metrics =
+      flow_prune no_flow_prune absint imprecise portfolio no_cse no_known_bits
+      dump_cnf trace metrics =
    with_obs ~trace ~metrics @@ fun () ->
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
     in
     let design () = build_design dname in
     let iuv_pc = iuv_pc_for dname in
-    let stimulus ~pins ~rotate meta =
-      if is_cache dname then Designs.Stimulus.cache ~pins meta
-      else if dname = "ibex_lite" then Designs.Stimulus.ibex ~pins ~rotate meta
-      else Designs.Stimulus.core ~pins ~rotate meta
+    let stimulus =
+      if dname = "gated" then None
+      else
+        Some
+          (fun ~pins ~rotate meta ->
+            if is_cache dname then Designs.Stimulus.cache ~pins meta
+            else if dname = "ibex_lite" then
+              Designs.Stimulus.ibex ~pins ~rotate meta
+            else Designs.Stimulus.core ~pins ~rotate meta)
     in
-    let config = config_of depth episodes ~portfolio ~no_cse in
+    let config = config_of depth episodes ~portfolio ~no_cse ~no_known_bits in
     let kinds =
       [ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older; Synthlc.Types.Dynamic_younger ]
       @ (if static then [ Synthlc.Types.Static ] else [])
@@ -357,8 +406,8 @@ let synthlc_cmd =
     let report =
       Synthlc.Engine.run ?cache ~config ~synth_config:config
         ~static_prune:(not nsp) ?dump_cnf ~precise:(not imprecise)
-        ~static_flow_prune ~stimulus ~design ~jobs ~instructions ~transmitters
-        ~kinds ~revisit_count_labels ~iuv_pc ()
+        ~static_flow_prune ~absint ?stimulus ~design ~jobs ~instructions
+        ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
     in
     Format.printf "%a@." Synthlc.Engine.pp_report report;
     Printf.printf "report digest: %s\n" (Synthlc.Engine.report_digest report);
@@ -390,8 +439,9 @@ let synthlc_cmd =
     Term.(
       const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
       $ jobs_arg $ cache_dir_arg $ no_static_prune_arg $ static_flow_prune_arg
-      $ no_static_flow_prune_arg $ imprecise_ift_arg $ portfolio_arg
-      $ no_cse_arg $ dump_cnf_arg $ trace_arg $ metrics_arg)
+      $ no_static_flow_prune_arg $ absint_arg $ imprecise_ift_arg
+      $ portfolio_arg $ no_cse_arg $ no_known_bits_arg $ dump_cnf_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 
@@ -502,10 +552,11 @@ let lint_cmd =
          [
            `S Manpage.s_description;
            `P "Runs the structural (L0xx), annotation (L1xx), \
-               reachability (L2xx), and taint-flow (T3xx) passes over each \
-               named design.  Exit status is 0 when clean, 1 when the \
-               worst finding is a warning, and 2 on any error; infos never \
-               affect the exit status.";
+               reachability (L2xx), taint-flow (T3xx), and known-bits \
+               (A4xx) passes over each named design.  Exit status is 0 \
+               when clean, 1 when the worst finding is a warning, and 2 \
+               on any error; infos (the whole A series) never affect the \
+               exit status.";
          ])
     Term.(const run $ json $ names)
 

@@ -2,6 +2,7 @@
 
 type oracle =
   | O_validate
+  | O_absint
   | O_lint
   | O_determinism
   | O_jobs
@@ -28,6 +29,7 @@ type outcome = {
 let all_oracles =
   [
     O_validate;
+    O_absint;
     O_lint;
     O_determinism;
     O_jobs;
@@ -39,6 +41,7 @@ let all_oracles =
 
 let oracle_name = function
   | O_validate -> "validate"
+  | O_absint -> "absint"
   | O_lint -> "lint"
   | O_determinism -> "determinism"
   | O_jobs -> "jobs"
@@ -171,6 +174,42 @@ let run ?(depth = 6) ?(episodes = 3) ?workdir cfg =
         match Hdl.Netlist.validate meta.Designs.Meta.nl with
         | () -> None
         | exception Failure m -> Some m)
+  in
+  let continue =
+    continue
+    && step O_absint (fun () ->
+           (* Known-bits containment: the {!Hdl.Absint} facts must cover
+              every concrete state of a randomized simulation — the same
+              soundness invariant the prune, lint, and SAT-substitution
+              clients all lean on. *)
+           let nl = (Gen.build cfg).Designs.Meta.nl in
+           let kb = Hdl.Absint.known_bits nl in
+           let sim = Sim.create ~seed:7 nl in
+           let nn = Hdl.Netlist.num_nodes nl in
+           let violation = ref None in
+           (for cycle = 0 to 23 do
+              Sim.poke_random_inputs sim;
+              Sim.eval sim;
+              for s = 0 to nn - 1 do
+                let known, value = kb.(s) in
+                let concrete = Sim.peek sim s in
+                if
+                  !violation = None
+                  && not (Bitvec.equal (Bitvec.logand concrete known) value)
+                then
+                  violation :=
+                    Some
+                      (Printf.sprintf
+                         "cycle %d signal %d: value %s escapes known bits \
+                          (k=%s, v=%s)"
+                         cycle s
+                         (Bitvec.to_hex_string concrete)
+                         (Bitvec.to_hex_string known)
+                         (Bitvec.to_hex_string value))
+              done;
+              Sim.step sim
+            done);
+           !violation)
   in
   let continue =
     continue

@@ -4,6 +4,10 @@
     oracle, run against each generated design:
 
     - [O_validate]: the netlist passes {!Hdl.Netlist.validate};
+    - [O_absint]: known-bits containment — every concrete state of a
+      24-cycle randomized simulation lies inside the {!Hdl.Absint}
+      abstraction (the soundness invariant behind the prune, lint, and
+      SAT-substitution clients);
     - [O_lint]: µLint admission — no Error-severity diagnostics
       (exit ≤ 1 under the lint CLI contract);
     - [O_determinism]: re-elaborating the config reproduces the same
@@ -26,6 +30,7 @@
 
 type oracle =
   | O_validate
+  | O_absint
   | O_lint
   | O_determinism
   | O_jobs

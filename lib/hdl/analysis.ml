@@ -50,7 +50,7 @@ let const_values t =
         match (value on_true, value on_false) with
         | Some a, Some b when Bitvec.equal a b -> Some a
         | _ -> None))
-    | N.Extract { hi; lo; arg } -> Option.map (Bitvec.extract ~hi ~lo) (value arg)
+    | N.Extract { hi; lo; arg } -> slice n arg hi lo
     | N.Concat parts ->
       List.fold_left
         (fun acc p ->
@@ -62,6 +62,43 @@ let const_values t =
     | N.ReduceOr a ->
       Option.map (fun v -> Bitvec.of_bool (not (Bitvec.is_zero v))) (value a)
     | N.ReduceAnd a -> Option.map (fun v -> Bitvec.of_bool (Bitvec.is_ones v)) (value a)
+  (* Bits [hi..lo] of signal [s], folding the extract *through* the
+     structure: a slice of a partially-constant Concat is itself constant
+     whenever the selected range lands on constant parts, even though the
+     whole word is not.  [fuel] bounds chain length so cyclic wire chains in
+     unvalidated netlists (µLint's input) terminate. *)
+  and slice fuel s hi lo =
+    match value s with
+    | Some v -> Some (Bitvec.extract v ~hi ~lo)
+    | None when fuel <= 0 -> None
+    | None -> (
+      match (N.node t s).N.kind with
+      | N.Wire { driver = Some d } -> slice (fuel - 1) d hi lo
+      | N.Not a -> Option.map Bitvec.lognot (slice (fuel - 1) a hi lo)
+      | N.Extract { lo = l2; arg; _ } -> slice (fuel - 1) arg (l2 + hi) (l2 + lo)
+      | N.Concat parts ->
+        (* Walk the parts LSB-first (the list head holds the MSBs),
+           slicing each part that overlaps the requested range. *)
+        let rec collect parts_lsb_first off =
+          match parts_lsb_first with
+          | [] -> Some []
+          | p :: rest ->
+            let w = N.width t p in
+            if off > hi then Some []
+            else if off + w <= lo then collect rest (off + w)
+            else
+              let plo = max lo off - off and phi = min hi (off + w - 1) - off in
+              (match slice (fuel - 1) p phi plo with
+              | None -> None
+              | Some v ->
+                Option.map (fun tl -> v :: tl) (collect rest (off + w)))
+        in
+        (match collect (List.rev parts) 0 with
+        | Some (piece :: pieces) ->
+          (* pieces are LSB-first: fold each higher piece onto the top *)
+          Some (List.fold_left (fun acc v -> Bitvec.concat v acc) piece pieces)
+        | _ -> None)
+      | _ -> None)
   in
   Array.init (max n 1) (fun s -> if s < n then value s else None)
 
@@ -111,11 +148,30 @@ let dead_cells t ~roots =
    in the matching [precise] mode.  (The precise static rules are *not*
    sound against the imprecise dynamic rules: a constant-0 AND operand
    stops taint statically but the union rule propagates it dynamically, so
-   callers must analyze with the same precision they instrument with.) *)
-let taint_reach ?(precise = true) ?(blocked = []) ~sources t =
+   callers must analyze with the same precision they instrument with.)
+
+   [known] optionally supplies per-signal known-bits invariants
+   ([Absint.known_bits] of the same netlist): the precise rules then use
+   the bit-level envelope (a bit proven 0 cannot pass taint through an AND,
+   a partially-known mux select with a proven-1 bit kills the false arm)
+   instead of only whole-word constants.  Sound for the same reason the
+   constant map is: every runtime value of the instrumented design lies
+   inside the invariant envelope.  Ignored when [precise] is false — the
+   imprecise dynamic rules are plain unions, so value reasoning would
+   under-approximate them. *)
+let taint_reach ?(precise = true) ?known ?(blocked = []) ~sources t =
   let n = N.num_nodes t in
-  let consts = if precise then const_values t else [||] in
-  let cval s = if precise then consts.(s) else None in
+  let kb = if precise then known else None in
+  let consts =
+    if precise && kb = None then const_values t else [||]
+  in
+  let cval s =
+    match kb with
+    | Some k ->
+      let kn, v = k.(s) in
+      if Bitvec.is_ones kn then Some v else None
+    | None -> if precise then consts.(s) else None
+  in
   let masks = Array.init n (fun s -> Bitvec.zero (N.width t s)) in
   let is_source = Array.make (max n 1) false in
   List.iter (fun s -> is_source.(s) <- true) sources;
@@ -125,13 +181,50 @@ let taint_reach ?(precise = true) ?(blocked = []) ~sources t =
   List.iter (fun s -> if not is_source.(s) then is_blocked.(s) <- true) blocked;
   List.iter (fun s -> masks.(s) <- Bitvec.ones (N.width t s)) sources;
   let order = N.comb_order t in
+  (* Bits that may be 1 / may be 0 at runtime: with known-bits this is the
+     per-bit envelope; with only the constant map it degrades to all-ones
+     for non-constant signals. *)
   let val_or_ones s =
-    match cval s with Some v -> v | None -> Bitvec.ones (N.width t s)
+    match kb with
+    | Some k ->
+      let kn, v = k.(s) in
+      Bitvec.logor v (Bitvec.lognot kn)
+    | None -> (
+      match cval s with Some v -> v | None -> Bitvec.ones (N.width t s))
   in
   let nval_or_ones s =
-    match cval s with
-    | Some v -> Bitvec.lognot v
-    | None -> Bitvec.ones (N.width t s)
+    match kb with
+    | Some k ->
+      let kn, v = k.(s) in
+      Bitvec.lognot (Bitvec.logand kn v)
+    | None -> (
+      match cval s with
+      | Some v -> Bitvec.lognot v
+      | None -> Bitvec.ones (N.width t s))
+  in
+  (* Bits where the two mux arms may disagree at runtime. *)
+  let may_differ a b =
+    match kb with
+    | Some k ->
+      let ka, va = k.(a) and kbm, vb = k.(b) in
+      let agree =
+        Bitvec.logand (Bitvec.logand ka kbm)
+          (Bitvec.lognot (Bitvec.logxor va vb))
+      in
+      Bitvec.lognot agree
+    | None -> (
+      match (cval a, cval b) with
+      | Some va, Some vb -> Bitvec.logxor va vb
+      | _ -> Bitvec.ones (N.width t a))
+  in
+  (* A select with any proven-1 bit is nonzero at runtime: the mux always
+     takes its true arm. *)
+  let sel_known_nonzero s =
+    match kb with
+    | Some k ->
+      let kn, v = k.(s) in
+      not (Bitvec.is_zero (Bitvec.logand kn v))
+    | None -> false
   in
   let repl1 b w = if b then Bitvec.ones w else Bitvec.zero w in
   let any m = not (Bitvec.is_zero m) in
@@ -166,17 +259,16 @@ let taint_reach ?(precise = true) ?(blocked = []) ~sources t =
       let tsel = any masks.(sel) in
       if precise then begin
         let base =
-          match cval sel with
-          | Some v -> if Bitvec.is_zero v then tf else tt
-          | None -> Bitvec.logor tt tf
+          if sel_known_nonzero sel then tt
+          else
+            match cval sel with
+            | Some v -> if Bitvec.is_zero v then tf else tt
+            | None -> Bitvec.logor tt tf
         in
         let differ =
           if not tsel then Bitvec.zero w
           else
-            match (cval on_true, cval on_false) with
-            | Some vt, Some vf ->
-              Bitvec.logor (Bitvec.logxor vt vf) (Bitvec.logor tt tf)
-            | _ -> Bitvec.ones w
+            Bitvec.logor (may_differ on_true on_false) (Bitvec.logor tt tf)
         in
         Bitvec.logor base differ
       end
@@ -279,7 +371,33 @@ let map2 f a b =
              BvSet.fold (fun vy acc -> BvSet.add (f vx vy) acc) y acc)
            x BvSet.empty)
 
-let fsm_reachable t ~vars =
+(* Known-bits rescue for [fsm_reachable]: a node the value-set evaluation
+   widens to Top can still be bounded by its known-bits envelope when few
+   enough bits are unknown to enumerate.  2^6 = 64 completions = [set_cap]. *)
+let kb_enum_cap = 6
+
+let kb_set known s =
+  match known with
+  | None -> None
+  | Some k ->
+    let kn, v = k.(s) in
+    let w = Bitvec.width kn in
+    let unknown = w - Bitvec.popcount kn in
+    if unknown = 0 then Some (BvSet.singleton v)
+    else if unknown > kb_enum_cap then None
+    else begin
+      let idxs =
+        List.filter (fun i -> not (Bitvec.bit kn i)) (List.init w Fun.id)
+      in
+      let expand acc i =
+        BvSet.fold
+          (fun bv a -> BvSet.add (Bitvec.set_bit bv i true) (BvSet.add bv a))
+          acc BvSet.empty
+      in
+      Some (List.fold_left expand (BvSet.singleton v) idxs)
+    end
+
+let fsm_reachable ?known t ~vars =
   match vars with
   | [] -> None
   | _ -> (
@@ -342,6 +460,12 @@ let fsm_reachable t ~vars =
                 map1 (fun v -> Bitvec.of_bool (not (Bitvec.is_zero v))) (eval a)
               | N.ReduceAnd a ->
                 map1 (fun v -> Bitvec.of_bool (Bitvec.is_ones v)) (eval a)
+            in
+            let v =
+              match v with
+              | Top -> (
+                match kb_set known s with Some set -> clamp set | None -> Top)
+              | Vals _ -> v
             in
             Hashtbl.replace memo s v;
             v

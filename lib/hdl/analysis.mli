@@ -10,9 +10,11 @@ val const_values : Netlist.t -> Bitvec.t option array
 (** Per-signal constant value, when one exists: [Some v] for nodes whose
     value is determined by the netlist structure alone (constants and
     combinational logic over them; a mux with a constant selector folds
-    through the taken branch even if the other branch is not constant).
-    Registers and inputs are never constant.  Tolerates unconnected and
-    cyclic nodes (they fold to [None]). *)
+    through the taken branch even if the other branch is not constant, and
+    an extract folds through Concat/Extract/Wire/Not chains whenever the
+    {e selected} bits land on constant parts, even if the whole source word
+    does not fold).  Registers and inputs are never constant.  Tolerates
+    unconnected and cyclic nodes (they fold to [None]). *)
 
 val constant_foldable : Netlist.t -> Netlist.signal list
 (** Non-[Const] combinational nodes whose value [const_values] proves
@@ -28,6 +30,7 @@ val dead_cells : Netlist.t -> roots:Netlist.signal list -> Netlist.signal list
 
 val taint_reach :
   ?precise:bool ->
+  ?known:(Bitvec.t * Bitvec.t) array ->
   ?blocked:Netlist.signal list ->
   sources:Netlist.signal list ->
   Netlist.t ->
@@ -54,13 +57,23 @@ val taint_reach :
     taint statically that the union rule propagates), so analyze with the
     precision you instrument with.  A µFSM state variable or PCR whose mask
     is zero can never become tainted, so IFT covers requiring its taint may
-    be discharged as unreachable without the model checker. *)
+    be discharged as unreachable without the model checker.
+
+    [known] optionally refines the precise rules with per-signal known-bits
+    invariants ({!Absint.known_bits} of the same netlist): the value-aware
+    AND/OR/MUX rules then use the bit-level envelope instead of only
+    whole-word constants, killing more propagation paths while remaining an
+    over-approximation of the dynamic shadow (runtime values always lie
+    inside the invariant envelope).  Ignored when [precise] is false. *)
 
 val taint_reaches : Bitvec.t array -> Netlist.signal -> bool
 (** [taint_reaches (taint_reach ...) s]: some bit of [s] may carry taint. *)
 
 val fsm_reachable :
-  Netlist.t -> vars:Netlist.signal list -> Bitvec.t list option
+  ?known:(Bitvec.t * Bitvec.t) array ->
+  Netlist.t ->
+  vars:Netlist.signal list ->
+  Bitvec.t list option
 (** Over-approximate the reachable joint-state set of the given state
     registers by abstract interpretation over value sets: starting from the
     registers' reset values (a symbolic init contributes every value), each
@@ -78,4 +91,15 @@ val fsm_reachable :
     absent from [Some set] is truly unreachable in the concrete design
     under {e any} input sequence — environment assumptions only shrink the
     concrete set further — so covers over such states may be discharged
-    as unreachable without the model checker. *)
+    as unreachable without the model checker.
+
+    [known] optionally supplies known-bits invariants
+    ({!Absint.known_bits}): any node the value-set evaluation widens to
+    Top — an input, a foreign register, a wide arithmetic result — is then
+    bounded by enumerating the completions of its unknown bits (when at
+    most {!kb_enum_cap} bits are unknown), letting the product survive
+    where the unrefined analysis bails. *)
+
+val kb_enum_cap : int
+(** Maximum number of unknown bits [fsm_reachable] enumerates when bounding
+    a Top node by its known-bits envelope (2{^ cap} completions). *)

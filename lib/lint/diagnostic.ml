@@ -37,6 +37,52 @@ let exit_code reports =
   in
   if e > 0 then 2 else if w > 0 then 1 else 0
 
+(* Codes are namespaced by prefix (see the .mli); the pass name is derivable
+   from the code alone, which keeps the JSON self-describing without
+   threading pass identity through every emit site. *)
+let pass_of_code code =
+  if String.length code < 2 then "unknown"
+  else
+    match (code.[0], code.[1]) with
+    | 'L', '0' -> "structural"
+    | 'L', '1' -> "annotations"
+    | 'L', '2' -> "reach"
+    | 'T', '3' -> "taintflow"
+    | 'A', '4' -> "knownbits"
+    | _ -> "unknown"
+
+(* One-line catalogue entries: what the rule means, independent of the
+   instance-specific message.  CI dashboards group on these. *)
+let rule_summary = function
+  | "L001" -> "combinational cycle"
+  | "L002" -> "unconnected register or wire"
+  | "L003" -> "width mismatch in extract/concat/mux"
+  | "L004" -> "dead cell outside every cone of influence"
+  | "L005" -> "constant-foldable logic"
+  | "L006" -> "annotated signal is unnamed"
+  | "L007" -> "input drives no logic"
+  | "L101" -> "annotation refers outside the netlist"
+  | "L102" -> "annotated signal has the wrong width"
+  | "L103" -> "malformed uFSM declaration"
+  | "L104" -> "duplicate or idle-state uFSM label"
+  | "L105" -> "IFT annotation target is not a register"
+  | "L106" -> "uFSM declares no idle state"
+  | "L201" -> "unlabelled uFSM states statically unreachable"
+  | "L202" -> "labelled uFSM state statically unreachable"
+  | "L203" -> "abstract reachability did not converge"
+  | "T301" -> "operand taint reaches no uFSM state"
+  | "T302" -> "blocker blocks nothing"
+  | "T303" -> "persistent register outside every taint cone"
+  | "T304" -> "taint inject/block target unconnected"
+  | "T305" -> "enabled register defeats IFT instrumentation"
+  | "A401" -> "signal stuck at one value in every reachable state"
+  | "A402" -> "mux select invariant: one arm is dead"
+  | "A403" -> "comparison outcome is foregone"
+  | "A404" -> "extract discards bits proven 1"
+  | "A405" -> "register never toggles from reset"
+  | "A406" -> "register enable proven always 1"
+  | _ -> "unknown rule"
+
 let where d =
   match (d.signal_name, d.signal) with
   | Some nm, Some s -> Printf.sprintf "%s (node %d): " nm s
@@ -84,7 +130,10 @@ let to_json reports =
       List.iteri
         (fun di d ->
           if di > 0 then add ",";
-          add "\n    {\"code\": \"%s\", \"severity\": \"%s\", " (json_escape d.code)
+          add "\n    {\"code\": \"%s\", \"pass\": \"%s\", \"rule\": \"%s\", \"severity\": \"%s\", "
+            (json_escape d.code)
+            (json_escape (pass_of_code d.code))
+            (json_escape (rule_summary d.code))
             (severity_name d.severity);
           (match d.signal with
           | Some s -> add "\"signal\": %d, " s

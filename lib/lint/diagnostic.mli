@@ -2,7 +2,8 @@
 
     Codes are stable across releases so CI filters and waivers can key on
     them: [L0xx] structural netlist findings, [L1xx] annotation findings,
-    [L2xx] reachability findings.  See DESIGN.md §12 for the catalogue. *)
+    [L2xx] reachability findings, [T3xx] taint-flow findings, [A4xx]
+    known-bits findings.  See DESIGN.md §12 for the catalogue. *)
 
 type severity = Error | Warning | Info
 
@@ -26,6 +27,15 @@ val make :
 
 val severity_name : severity -> string
 
+val pass_of_code : string -> string
+(** The pass a diagnostic code belongs to, derived from its prefix
+    ([L0xx] → ["structural"], … [A4xx] → ["knownbits"]); ["unknown"] for
+    unrecognized codes. *)
+
+val rule_summary : string -> string
+(** One-line catalogue entry for a diagnostic code — what the rule means,
+    independent of the instance-specific message. *)
+
 val counts : t list -> int * int * int
 (** [(errors, warnings, infos)]. *)
 
@@ -37,4 +47,5 @@ val pp_report : Format.formatter -> report -> unit
 
 val to_json : report list -> string
 (** One JSON array entry per report, with per-severity counts and every
-    diagnostic — the CI artifact format. *)
+    diagnostic (including its [pass] name and one-line [rule] summary) —
+    the CI artifact format. *)

@@ -12,6 +12,19 @@ type t = {
   false_lit : Solver.lit;
   mutable steps : Solver.lit array array list; (* reversed: per time, per node, lit array *)
   mutable depth : int;
+  known : (Bitvec.t * Bitvec.t) array option;
+      (* Known-bits invariants ([Hdl.Absint.known_bits] of [nl]): proven
+         bits encode as the true/false literal instead of fresh variables,
+         and constant folding in the gate helpers shrinks everything
+         downstream.  Sound under [`Reset] because the facts hold in every
+         reachable state; sound under [`Free] because the fixpoint is an
+         inductive invariant (closed under the abstract transfer from any
+         conforming state), so substituting its constant bits restricts
+         the free states exactly to the invariant — standard strengthening
+         for relative induction.  Under [`Reset] the substitution is
+         subsumed by per-step constant folding of the reset values (it
+         never changes the encoding); the [`Free] unrolling is where it
+         shrinks the CNF. *)
   cse : bool;
   cse_tbl : (int * int * int, Solver.lit) Hashtbl.t;
       (* Structural hashing of gate outputs, keyed on (gate tag, operand
@@ -142,12 +155,37 @@ let const_lits t v =
 
 (* --- node encoding ------------------------------------------------------ *)
 
-let encode_node t step prev_step time id =
+(* Proven-constant literals for a node, when every bit is known: the node
+   encodes as constants and builds no gates at all. *)
+let fully_known_lits t id =
+  match t.known with
+  | None -> None
+  | Some kb ->
+    let kn, v = kb.(id) in
+    if Bitvec.is_ones kn then Some (const_lits t v) else None
+
+(* Overlay the proven bits of a partially-known node onto its encoded
+   literals (a fresh array: step literals are shared across nodes). *)
+let overlay_known t id lits_arr =
+  match t.known with
+  | None -> lits_arr
+  | Some kb ->
+    let kn, v = kb.(id) in
+    if Bitvec.is_zero kn then lits_arr
+    else
+      Array.mapi
+        (fun i l ->
+          if Bitvec.bit kn i then
+            if Bitvec.bit v i then t.true_lit else t.false_lit
+          else l)
+        lits_arr
+
+let encode_node_gates t step prev_step time id =
   let open Netlist in
   let n = node t.nl id in
   let w = n.width in
   let lits_of s = step.(s) in
-  match n.kind with
+  (match n.kind with
   | Input -> step.(id) <- Array.init w (fun _ -> fresh t)
   | Const v -> step.(id) <- const_lits t v
   | Reg { init; next; enable } ->
@@ -229,7 +267,16 @@ let encode_node t step prev_step time id =
       rev;
     step.(id) <- out
   | ReduceOr a -> step.(id) <- [| g_or_reduce t (lits_of a) |]
-  | ReduceAnd a -> step.(id) <- [| g_and_reduce t (lits_of a) |]
+  | ReduceAnd a -> step.(id) <- [| g_and_reduce t (lits_of a) |]);
+  match n.kind with
+  | Input -> () (* inputs are free by definition: nothing is provable *)
+  | _ -> step.(id) <- overlay_known t id step.(id)
+
+let encode_node t step prev_step time id =
+  match fully_known_lits t id with
+  | Some lits when (Netlist.node t.nl id).Netlist.kind <> Netlist.Input ->
+    step.(id) <- lits
+  | _ -> encode_node_gates t step prev_step time id
 
 let encode_step t =
   let time = t.depth in
@@ -248,7 +295,7 @@ let ensure_depth t k =
     encode_step t
   done
 
-let create ?(assume_initial = []) ?(cse = true) ~initial ~assumes nl =
+let create ?(assume_initial = []) ?known ?(cse = true) ~initial ~assumes nl =
   Netlist.validate nl;
   let s = Solver.create () in
   let tv = Solver.pos (Solver.new_var s) in
@@ -265,6 +312,7 @@ let create ?(assume_initial = []) ?(cse = true) ~initial ~assumes nl =
       false_lit = Solver.negate tv;
       steps = [];
       depth = 0;
+      known;
       cse;
       cse_tbl = Hashtbl.create 1024;
       cse_hits = 0;

@@ -18,6 +18,7 @@ type t
 
 val create :
   ?assume_initial:Hdl.Netlist.signal list ->
+  ?known:(Bitvec.t * Bitvec.t) array ->
   ?cse:bool ->
   initial:[ `Reset | `Free ] ->
   assumes:Hdl.Netlist.signal list ->
@@ -25,6 +26,23 @@ val create :
   t
 (** [assumes] are 1-bit signals constrained to 1 at {e every} unrolled time
     step; [assume_initial] only at time 0.
+
+    [known] optionally supplies per-signal known-bits invariants
+    ({!Hdl.Absint.known_bits} of the same netlist): proven bits encode as
+    the constant true/false literal instead of fresh variables — a fully
+    proven node builds no gates at all — and constant folding in the gate
+    helpers then shrinks everything downstream, on top of [cse].  Sound
+    under [`Reset] because the invariants hold in every reachable state
+    from reset at every cycle (there the substitution is also subsumed by
+    per-step folding of the reset constants, so it never changes the
+    encoding); sound under [`Free] because the known-bits fixpoint is an
+    {e inductive} invariant — closed under the transition relation from
+    any conforming state — so the substitution restricts the free initial
+    state exactly to the invariant, the standard strengthening of
+    k-induction.  The [`Free] unrolling is where the CNF actually shrinks
+    (free registers' proven bits stop being variables), and where the
+    strengthening can prove covers unreachable that plain induction
+    cannot.
 
     [cse] (default [true]) enables structural hashing of the Tseitin
     encoding: AND/XOR gates (and everything built on them — OR, mux,

@@ -126,6 +126,7 @@ type config = {
   sim_cycles : int;
   seed : int;
   encode_cse : bool;  (* structural hashing in the Tseitin encoding *)
+  known_bits : bool;  (* known-bits substitution: BMC + induction strengthening *)
   reduce_db : bool;  (* periodic learnt-clause DB reduction *)
   portfolio_domains : int;  (* <= 1 disables portfolio racing *)
 }
@@ -140,6 +141,7 @@ let default_config =
     sim_cycles = 32;
     seed = 1;
     encode_cse = true;
+    known_bits = true;
     reduce_db = true;
     portfolio_domains = 1;
   }
@@ -151,6 +153,14 @@ type t = {
   assume_initial : Netlist.signal list;
   stimulus : (Sim.t -> int -> unit) option;
   bmc : Blast.t;
+  known : (Bitvec.t * Bitvec.t) array option;
+      (* Known-bits invariants shared by the BMC unrolling and every
+         induction side solver (strengthening); None when the config
+         flag is off. *)
+  mutable ind_vars : int;
+      (* Variables allocated across the short-lived induction solvers,
+         cumulative — the encoder-size counter the BMC-side
+         [Solver.nvars] cannot see. *)
   stats : Stats.t;
   named : (string * Netlist.signal) list;
   rng : Random.State.t;
@@ -163,18 +173,19 @@ type t = {
    the config, and a caller salt (for inputs the checker cannot see, e.g.
    the stimulus closure's identity).  The per-property key then appends
    the cover literals — see [cover_key]. *)
-(* [encode_cse] and [reduce_db] are part of the key: they change the solver
-   trajectory and hence which witness a Sat query returns.  [portfolio_domains]
-   deliberately is not — the canonical solver's verdict and model are
-   bit-identical whatever the domain count (see Solver.solve_portfolio). *)
+(* [encode_cse], [known_bits] and [reduce_db] are part of the key: they
+   change the solver trajectory and hence which witness a Sat query returns.
+   [portfolio_domains] deliberately is not — the canonical solver's verdict
+   and model are bit-identical whatever the domain count (see
+   Solver.solve_portfolio). *)
 let make_key_prefix ~salt ~assumes ~assume_initial ~(config : config) nl =
-  Printf.sprintf "%s|a:%s|i:%s|c:%d.%d.%d.%d.%d.%d.%d|e:%b.%b|s:%s"
+  Printf.sprintf "%s|a:%s|i:%s|c:%d.%d.%d.%d.%d.%d.%d|e:%b.%b.%b|s:%s"
     (Netlist.digest nl)
     (String.concat "," (List.map string_of_int assumes))
     (String.concat "," (List.map string_of_int assume_initial))
     config.bmc_depth config.bmc_conflicts config.induction_max_k
     config.induction_conflicts config.sim_episodes config.sim_cycles config.seed
-    config.encode_cse config.reduce_db salt
+    config.encode_cse config.known_bits config.reduce_db salt
 
 let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
     ?(assume_initial = []) ~assumes nl =
@@ -186,9 +197,12 @@ let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
         | None -> acc)
     |> List.rev
   in
+  let known =
+    if config.known_bits then Some (Hdl.Absint.known_bits nl) else None
+  in
   let bmc =
-    Blast.create ~assume_initial ~cse:config.encode_cse ~initial:`Reset ~assumes
-      nl
+    Blast.create ~assume_initial ?known ~cse:config.encode_cse ~initial:`Reset
+      ~assumes nl
   in
   Solver.set_reduce_db (Blast.solver bmc) config.reduce_db;
   {
@@ -198,6 +212,8 @@ let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
     assume_initial;
     stimulus;
     bmc;
+    known;
+    ind_vars = 0;
     stats = Stats.create ();
     named;
     rng = Random.State.make [| config.seed |];
@@ -292,8 +308,8 @@ let try_induction t cover =
     (* Hypothesis units are specific to one cover, so each attempt gets a
        fresh unrolling. *)
     let ind =
-      Blast.create ~cse:t.config.encode_cse ~initial:`Free ~assumes:t.assumes
-        t.nl
+      Blast.create ?known:t.known ~cse:t.config.encode_cse ~initial:`Free
+        ~assumes:t.assumes t.nl
     in
     Solver.set_reduce_db (Blast.solver ind) t.config.reduce_db;
     let lits_at time =
@@ -326,7 +342,11 @@ let try_induction t cover =
         | Solver.Unknown -> None
       end
     in
-    go 0
+    let r = go 0 in
+    let nv = Solver.nvars (Blast.solver ind) in
+    t.ind_vars <- t.ind_vars + nv;
+    if Obs.enabled () then Obs.Metrics.incr "sat.ind_vars" ~by:nv;
+    r
   end
 
 (* --- verdict cache entries ---------------------------------------------- *)
@@ -500,6 +520,7 @@ let check_cover ?name t cover =
       Obs.Metrics.gauge "sat.learnt_db" (float_of_int (Solver.num_learnts bmc_s));
       Obs.Metrics.gauge "sat.learnt_peak"
         (float_of_int (Solver.learnt_peak bmc_s));
+      Obs.Metrics.gauge "sat.vars" (float_of_int (Solver.nvars bmc_s));
       Obs.Metrics.incr "sat.reduce_events" ~by:(Solver.num_reduces bmc_s - r0);
       let hits, lookups = Blast.cse_stats t.bmc in
       Obs.Metrics.incr "sat.cse_hits" ~by:(hits - h0);
@@ -558,6 +579,8 @@ type sat_stats = {
   ss_reduces : int;
   ss_cse_hits : int;
   ss_cse_lookups : int;
+  ss_vars : int;
+  ss_ind_vars : int;
 }
 
 let sat_stats t =
@@ -571,4 +594,6 @@ let sat_stats t =
     ss_reduces = Solver.num_reduces s;
     ss_cse_hits = hits;
     ss_cse_lookups = lookups;
+    ss_vars = Solver.nvars s;
+    ss_ind_vars = t.ind_vars;
   }

@@ -85,6 +85,18 @@ type config = {
       (** Structural hashing of the Tseitin encoding (default [true]).
           Part of the verdict-cache key: it changes the solver trajectory
           and hence which witness a satisfiable query returns. *)
+  known_bits : bool;
+      (** Substitute {!Hdl.Absint.known_bits} invariants as constant
+          literals in both engines' encodings (default [true]).  On the
+          BMC (reset-state) side the substitution never changes the CNF —
+          per-step folding of the reset constants subsumes it — but on
+          the induction side it is the standard invariant strengthening:
+          the known-bits fixpoint is an inductive invariant, so the
+          free-initial unrollings substitute its constant bits, shrinking
+          variables and clauses (see [ss_ind_vars]) and letting induction
+          discharge covers plain induction cannot.  Part of the cache
+          key: the strengthening can change verdicts (Undetermined
+          becoming Unreachable) and solver trajectories. *)
   reduce_db : bool;
       (** Periodic learnt-clause DB reduction (default [true]).  Also part
           of the cache key, for the same reason. *)
@@ -146,8 +158,17 @@ type sat_stats = {
   ss_reduces : int;  (** reduce_db events on the BMC solver. *)
   ss_cse_hits : int;
   ss_cse_lookups : int;
+  ss_vars : int;  (** Variables allocated in the BMC engine's solver. *)
+  ss_ind_vars : int;
+      (** Variables allocated across the short-lived k-induction side
+          solvers, cumulative over every induction attempt.  This is the
+          counter the known-bits substitution ([config.known_bits])
+          shrinks: the [`Free]-initial unrolling stops allocating
+          variables for proven register bits.  (On the [`Reset]-initial
+          BMC side the substitution is subsumed by per-step constant
+          folding, so [ss_vars] is unaffected by the flag.) *)
 }
 
 val sat_stats : t -> sat_stats
-(** Cumulative solver/encoding statistics of the shared BMC unrolling
-    (induction uses short-lived side solvers that are not counted). *)
+(** Cumulative solver/encoding statistics: the shared BMC unrolling,
+    plus the induction side solvers' variable total. *)

@@ -11,6 +11,7 @@ type stage_stats = {
   mutable presim_hits : int;
   mutable undetermined : int;
   mutable pruned_static : int;
+  mutable pruned_absint : int;
 }
 
 type result = {
@@ -44,7 +45,7 @@ type episode = {
 
 let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     ?(max_candidate_sets = 4096) ?(max_revisit_count = 12) ?(presim_episodes = 64)
-    ?(presim_cycles = 48) ?(static_prune = true) ?dump_cnf ~shards
+    ?(presim_cycles = 48) ?(static_prune = true) ?(absint = `On) ?dump_cnf ~shards
     ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
   let h =
     Harness.create ?cache ?cache_salt ?config ?stimulus ~revisit_count_labels
@@ -84,6 +85,42 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
     | Some members -> members <> [] && List.for_all member_static_dead members
     | None -> false
   in
+  (* Known-bits pre-pass, layered on the FSM abstraction: compute bit-level
+     invariants of the monitored netlist, re-run the reachability analysis
+     with the invariant envelope bounding what the plain value-set analysis
+     widened to Top, and additionally discharge any cover whose occupancy
+     monitor bit is itself proven stuck at 0.  Only covers the FSM
+     abstraction did NOT already discharge count as known-bits prunes.
+     Computed in every [absint] mode so the live/dead partition — and with
+     it the mid-stream checker sequence and the report digest — is
+     mode-independent; the mode only decides whether the extra dead covers
+     are discharged ([`On]) or re-checked in a trailing audit batch
+     ([`Off]/[`Audit], which both fail hard on a [Reachable] verdict). *)
+  let kb =
+    let go () = Hdl.Absint.known_bits nl in
+    if Obs.enabled () then Obs.with_span "synth.absint" go else go ()
+  in
+  let absint_reach =
+    let go () =
+      List.filter_map
+        (fun (u : Designs.Meta.ufsm) ->
+          Option.map
+            (fun set -> (u.Designs.Meta.ufsm_name, set))
+            (Hdl.Analysis.fsm_reachable ~known:kb nl ~vars:u.Designs.Meta.vars))
+        meta.Designs.Meta.ufsms
+    in
+    if Obs.enabled () then Obs.with_span "synth.absint_reach" go else go ()
+  in
+  let member_absint_dead ((u : Designs.Meta.ufsm), v) =
+    match List.assoc_opt u.Designs.Meta.ufsm_name absint_reach with
+    | None -> false
+    | Some set -> not (List.exists (Bitvec.equal v) set)
+  in
+  let label_absint_refined_dead lbl =
+    match List.assoc_opt lbl group_members with
+    | Some members -> members <> [] && List.for_all member_absint_dead members
+    | None -> false
+  in
   (* Property sharding (off unless [shards > 1]): K checker instances over
      the same monitored netlist, each owning its own solver and unrolling.
      Shard 0 is the harness checker; the others get seeds derived from
@@ -118,7 +155,14 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
   let stage names =
     List.map
       (fun n ->
-        (n, { props = 0; presim_hits = 0; undetermined = 0; pruned_static = 0 }))
+        ( n,
+          {
+            props = 0;
+            presim_hits = 0;
+            undetermined = 0;
+            pruned_static = 0;
+            pruned_absint = 0;
+          } ))
       names
   in
   let stages =
@@ -315,6 +359,27 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
              lbl))
     statically_dead_labels;
 
+  (* Known-bits extra dead set: dead under the refined reachability or with
+     a stuck-at-0 occupancy monitor, but NOT already discharged by the FSM
+     abstraction.  Same simulation tripwire as above. *)
+  let absint_dead_labels =
+    List.filter
+      (fun lbl ->
+        (not (List.mem lbl statically_dead_labels))
+        && (label_absint_refined_dead lbl
+           || Hdl.Absint.known_zero kb (Harness.occ_any h lbl)))
+      labels
+  in
+  List.iter
+    (fun lbl ->
+      if List.exists (fun e -> SS.mem lbl e.occ_any_seen) episodes then
+        failwith
+          (Printf.sprintf
+             "Synth: known-bits abstraction unsound: PL %s observed in \
+              simulation"
+             lbl))
+    absint_dead_labels;
+
   (* ------------------------------------------------------------------ *)
   (* Stage A: PL reachability for the DUV (§V-B1).                        *)
   (* ------------------------------------------------------------------ *)
@@ -324,7 +389,11 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
      are either discharged by the abstraction (prune mode) or deferred to
      the trailing audit batch (audit mode). *)
   let live_labels =
-    List.filter (fun lbl -> not (List.mem lbl statically_dead_labels)) labels
+    List.filter
+      (fun lbl ->
+        (not (List.mem lbl statically_dead_labels))
+        && not (List.mem lbl absint_dead_labels))
+      labels
   in
   let duv_pls =
     let keeps =
@@ -344,8 +413,15 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
       labels
   in
   let unlabeled_info = Harness.unlabeled_state_info h in
+  let unlabeled_absint_dead (_, occ, m) =
+    (not (member_static_dead m))
+    && (member_absint_dead m || Hdl.Absint.known_zero kb occ)
+  in
   let undecided_unlabeled =
-    List.filter (fun (_, _, m) -> not (member_static_dead m)) unlabeled_info
+    List.filter
+      (fun ((_, _, m) as info) ->
+        (not (member_static_dead m)) && not (unlabeled_absint_dead info))
+      unlabeled_info
   in
   let undecided_pruned =
     sharded "duv_pl" undecided_unlabeled ~f:(fun ~check ~hit:_ (name, occ, _) ->
@@ -355,21 +431,32 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
   in
   let pruned_duv_states =
     List.filter_map
-      (fun (name, _, m) ->
+      (fun ((name, _, m) as info) ->
         if member_static_dead m then Some name
+        else if unlabeled_absint_dead info then Some name
         else if List.assoc_opt name undecided_pruned = Some true then Some name
         else None)
       unlabeled_info
   in
   let n_statically_decided =
     List.length statically_dead_labels
-    + (List.length unlabeled_info - List.length undecided_unlabeled)
+    + List.length (List.filter (fun (_, _, m) -> member_static_dead m) unlabeled_info)
+  in
+  let n_absint_decided =
+    List.length absint_dead_labels
+    + List.length (List.filter unlabeled_absint_dead unlabeled_info)
   in
   if static_prune then begin
     (st "duv_pl").pruned_static <- n_statically_decided;
     if Obs.enabled () then
       Obs.Metrics.incr "synth.pruned_static" ~by:n_statically_decided
   end;
+  (match absint with
+  | `On ->
+    (st "duv_pl").pruned_absint <- n_absint_decided;
+    if Obs.enabled () then
+      Obs.Metrics.incr "synth.pruned_absint" ~by:n_absint_decided
+  | `Off | `Audit -> ());
 
   (* ------------------------------------------------------------------ *)
   (* Stage B: PL reachability for the IUV (§V-B2).                        *)
@@ -700,6 +787,36 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
       unlabeled_info
   end;
 
+  (* Same discipline for the known-bits extra dead set: with [absint] off
+     or auditing, re-check each discharged cover after the main stream.
+     Synthesis has no honest-feedback path for a late [Reachable] (the
+     result is already assembled from the live covers), so both non-prune
+     modes treat it as an unsoundness failure. *)
+  (match absint with
+  | `On -> ()
+  | `Off | `Audit ->
+    List.iter
+      (fun lbl ->
+        match check "duv_pl" [ (Harness.occ_any h lbl, true) ] with
+        | Checker.Reachable _ ->
+          failwith
+            (Printf.sprintf
+               "Synth: known-bits abstraction unsound: PL %s is reachable" lbl)
+        | Checker.Unreachable _ | Checker.Undetermined -> ())
+      absint_dead_labels;
+    List.iter
+      (fun ((name, occ, _) as info) ->
+        if unlabeled_absint_dead info then
+          match check "duv_pl" [ (occ, true) ] with
+          | Checker.Reachable _ ->
+            failwith
+              (Printf.sprintf
+                 "Synth: known-bits abstraction unsound: state %s is \
+                  reachable"
+                 name)
+          | Checker.Unreachable _ | Checker.Undetermined -> ())
+      unlabeled_info);
+
   (* Decisions (§IV-B): aggregate per source PL. *)
   let decisions =
     let tbl = Hashtbl.create 16 in
@@ -755,12 +872,12 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
 
 let run ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
     ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
-    ?static_prune ?dump_cnf ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
+    ?static_prune ?absint ?dump_cnf ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
   let shards = max 1 shards in
   let inner pool =
     run_inner ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
       ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
-      ?static_prune ?dump_cnf ~shards ~pool ~meta ~iuv ~iuv_pc ()
+      ?static_prune ?absint ?dump_cnf ~shards ~pool ~meta ~iuv ~iuv_pc ()
   in
   let dispatch () =
     match pool with
@@ -850,10 +967,13 @@ let pp_result fmt r =
   List.iter
     (fun (name, s) ->
       Format.fprintf fmt
-        "stage %-8s: %4d props, %4d presim hits, %d undetermined%s@," name
+        "stage %-8s: %4d props, %4d presim hits, %d undetermined%s%s@," name
         s.props s.presim_hits s.undetermined
         (if s.pruned_static > 0 then
            Printf.sprintf ", %d static-pruned" s.pruned_static
+         else "")
+        (if s.pruned_absint > 0 then
+           Printf.sprintf ", %d known-bits-pruned" s.pruned_absint
          else ""))
     r.stage_stats;
   Format.fprintf fmt "checker: %a@]" Mc.Checker.Stats.pp r.checker_stats

@@ -35,6 +35,11 @@ type stage_stats = {
           pre-pass — never dispatched to simulation or the model checker.
           Zero when [static_prune] is off (the audit re-checks count as
           [props] instead). *)
+  mutable pruned_absint : int;
+      (** Covers discharged by the known-bits pre-pass {e beyond} the FSM
+          abstraction: dead under {!Hdl.Analysis.fsm_reachable} refined
+          with {!Hdl.Absint.known_bits}, or with an occupancy monitor bit
+          proven stuck at 0.  Zero unless [absint] is [`On]. *)
 }
 
 type result = {
@@ -68,6 +73,7 @@ val run :
   ?presim_episodes:int ->
   ?presim_cycles:int ->
   ?static_prune:bool ->
+  ?absint:[ `On | `Off | `Audit ] ->
   ?dump_cnf:string ->
   ?shards:int ->
   ?pool:Pool.t ->
@@ -89,6 +95,18 @@ val run :
     audit verdict raises [Failure].  Both modes issue the identical checker
     sequence for every semantically-live cover, so the {!Synthlc} report
     digest is bit-identical across modes.
+
+    [absint] (default [`On]) layers the known-bits pre-pass on top: covers
+    the FSM abstraction left undecided but that die under the
+    known-bits-refined reachability — or whose occupancy monitor bit is
+    proven stuck at 0 ({!Hdl.Absint.known_bits} over the monitored
+    netlist) — are discharged without a property.  The dead/live partition
+    is computed in {e every} mode, so the mid-stream checker sequence and
+    the report digest are bit-identical across [`On]/[`Off]/[`Audit]; with
+    [`Off] or [`Audit] the extra dead covers are re-dispatched as a second
+    trailing batch (after the [static_prune] audit batch), and a
+    [Reachable] verdict raises [Failure] in both — synthesis has no honest
+    path to re-admit a cover after the main stream has run.
 
     [cache] attaches a persistent verdict store (see {!Mc.Checker.create}):
     every checker property — including each shard's — is looked up before

@@ -24,6 +24,9 @@ type transponder_report = {
   flow_pruned_static : int;
       (* Covers discharged by the static taint pre-pass; differs across
          prune modes (0 in off/audit) so excluded from report_digest. *)
+  flow_pruned_absint : int;
+      (* Covers discharged only by the known-bits-refined pre-pass; same
+         digest-exclusion rule as flow_pruned_static. *)
   static_flow_live : (Types.operand * string list) list;
       (* The static leakage grid: per operand, the PL labels its taint may
          reach.  Recomputed independently of Flow's pre-pass and used as a
@@ -38,6 +41,7 @@ type report = {
   total_mupath_props : int;
   total_flow_props : int;
   total_flow_pruned_static : int;
+  total_flow_pruned_absint : int;
   precise : bool;
       (* IFT cell-rule precision the flow stage ran with.  Part of the
          digest: imprecise runs answer a different question. *)
@@ -140,8 +144,16 @@ let assert_inside_grid ~grid (tagged : Types.tagged_decision list) =
                 (List.concat_map snd grid |> List.sort_uniq compare))))
     tagged
 
+(* {!Mupath.Synth} cannot depend on this library's {!Types}, so its absint
+   mode is a structural variant; the mapping is one-to-one. *)
+let synth_absint_mode = function
+  | Types.Prune_on -> `On
+  | Types.Prune_off -> `Off
+  | Types.Prune_audit -> `Audit
+
 let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
     ?(precise = true) ?(static_flow_prune = Types.Prune_on)
+    ?(absint = Types.Prune_on)
     ?(stimulus : stimulus_builder option) ?(exclude_sources = [])
     ~(design : unit -> Meta.t) ~(instr : Isa.t)
     ~(transmitters : Isa.opcode list) ~(kinds : Types.transmitter_kind list)
@@ -156,7 +168,8 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
   in
   let synth =
     Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim ?static_prune
-      ?dump_cnf ~revisit_count_labels ~meta ~iuv:instr ~iuv_pc ()
+      ~absint:(synth_absint_mode absint) ?dump_cnf ~revisit_count_labels ~meta
+      ~iuv:instr ~iuv_pc ()
   in
   (* Candidate transponders have µPATH variability (§V-C): more than one
      µPATH, or any decision source with several destinations. *)
@@ -179,6 +192,7 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
       flow_props = 0;
       flow_undetermined = 0;
       flow_pruned_static = 0;
+      flow_pruned_absint = 0;
       static_flow_live = [];
       flow_time = Unix.gettimeofday () -. t0;
     }
@@ -235,7 +249,7 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
                   f sim c)
           in
           Flow.analyze ?cache ?config ?stimulus:stim' ~precise
-            ~static_flow_prune ~design:design' ~transponder:instr
+            ~static_flow_prune ~absint ~design:design' ~transponder:instr
             ~decisions:multi_decisions ~transmitters ~kind ~operand ~iuv_pc ())
         pairs
     in
@@ -249,6 +263,9 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
     let flow_pruned =
       List.fold_left (fun acc a -> acc + a.Flow.stats.Flow.q_pruned_static) 0 all
     in
+    let flow_pruned_ai =
+      List.fold_left (fun acc a -> acc + a.Flow.stats.Flow.q_pruned_absint) 0 all
+    in
     let grid = static_leakage_grid ~precise design in
     if static_flow_prune <> Types.Prune_off then assert_inside_grid ~grid tagged;
     {
@@ -259,13 +276,14 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
       flow_props;
       flow_undetermined = flow_undet;
       flow_pruned_static = flow_pruned;
+      flow_pruned_absint = flow_pruned_ai;
       static_flow_live = grid;
       flow_time = Unix.gettimeofday () -. t0;
     }
   end
 
 let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
-    ?(static_flow_prune = Types.Prune_on)
+    ?(static_flow_prune = Types.Prune_on) ?(absint = Types.Prune_on)
     ?(stimulus : stimulus_builder option)
     ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
     ~(instructions : Isa.t list) ~(transmitters : Isa.opcode list)
@@ -301,7 +319,7 @@ let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
     in
     let go () =
       analyze_transponder ?cache:(cache_of index) ?config ?synth_config
-        ?static_prune ?dump_cnf ~precise ~static_flow_prune ?stimulus
+        ?static_prune ?dump_cnf ~precise ~static_flow_prune ~absint ?stimulus
         ~exclude_sources ~design ~instr ~transmitters ~kinds
         ~revisit_count_labels ~iuv_pc ()
     in
@@ -349,6 +367,9 @@ let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
   let total_flow_pruned_static =
     List.fold_left (fun acc t -> acc + t.flow_pruned_static) 0 transponders
   in
+  let total_flow_pruned_absint =
+    List.fold_left (fun acc t -> acc + t.flow_pruned_absint) 0 transponders
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   let metrics =
     if Obs.enabled () then begin
@@ -365,6 +386,7 @@ let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
     total_mupath_props = checker_totals.Mc.Checker.Stats.n_props;
     total_flow_props;
     total_flow_pruned_static;
+    total_flow_pruned_absint;
     precise;
     jobs;
     elapsed;
@@ -403,6 +425,7 @@ let equal_transponder (a : transponder_report) (b : transponder_report) =
   && a.flow_props = b.flow_props
   && a.flow_undetermined = b.flow_undetermined
   && a.flow_pruned_static = b.flow_pruned_static
+  && a.flow_pruned_absint = b.flow_pruned_absint
   && a.static_flow_live = b.static_flow_live
 
 let equal_report a b =
@@ -467,7 +490,7 @@ let pp_report fmt r =
       List.iter (fun s -> Format.fprintf fmt "%a@," Types.pp_signature s) t.signatures)
     r.transponders;
   Format.fprintf fmt "@,total properties: %d (uPATH) + %d (IFT, %d pruned \
-                      statically), %.1fs (jobs=%d)@,"
+                      statically, %d known-bits), %.1fs (jobs=%d)@,"
     r.total_mupath_props r.total_flow_props r.total_flow_pruned_static
-    r.elapsed r.jobs;
+    r.total_flow_pruned_absint r.elapsed r.jobs;
   Format.fprintf fmt "checker totals: %a@]" Mc.Checker.Stats.pp r.checker_totals

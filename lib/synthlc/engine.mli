@@ -23,6 +23,10 @@ type transponder_report = {
       (** IFT covers discharged by the static taint pre-pass without checker
           calls.  Differs across {!Types.prune_mode}s (0 in off/audit), so
           excluded from {!report_digest}. *)
+  flow_pruned_absint : int;
+      (** IFT covers discharged {e only} by the known-bits-refined pre-pass
+          ({!Hdl.Absint}) — dead refined, live under the base pre-pass.
+          Same digest-exclusion rule as [flow_pruned_static]. *)
   static_flow_live : (Types.operand * string list) list;
       (** The static leakage grid: per operand register, the PL labels whose
           µFSMs the operand's taint may reach.  Recomputed independently of
@@ -39,6 +43,9 @@ type report = {
   total_mupath_props : int;
   total_flow_props : int;
   total_flow_pruned_static : int;
+  total_flow_pruned_absint : int;
+      (** Sum of per-transponder [flow_pruned_absint]; excluded from the
+          digest. *)
   precise : bool;
       (** IFT cell-rule precision the flow stage ran with.  Part of the
           digest — imprecise runs answer a different question. *)
@@ -82,6 +89,7 @@ val analyze_transponder :
   ?dump_cnf:string ->
   ?precise:bool ->
   ?static_flow_prune:Types.prune_mode ->
+  ?absint:Types.prune_mode ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
   design:(unit -> Designs.Meta.t) ->
@@ -126,7 +134,14 @@ val analyze_transponder :
     as a trailing trusted batch (off), or dispatched with a [failwith]
     tripwire on any reachable verdict (audit).  All modes issue the same
     mid-stream checker sequence, so {!report_digest} is bit-identical across
-    them whenever the abstraction is sound.  [precise] (default [true])
+    them whenever the abstraction is sound.
+
+    [absint] (default {!Types.Prune_on}) governs the known-bits refinement
+    ({!Hdl.Absint}) independently: it is forwarded to {!Mupath.Synth.run}
+    (extra statically-dead µFSM states and known-zero occupancy monitors)
+    and to {!Flow.analyze} (covers dead only under the known-bits-refined
+    taint pre-pass), with the same tri-mode contract and the same
+    digest-invariance guarantee.  [precise] (default [true])
     selects the IFT cell-rule precision, is threaded identically into the
     instrumentation and the static pre-pass, and namespaces the verdict
     cache when imprecise. *)
@@ -138,6 +153,7 @@ val run :
   ?dump_cnf:string ->
   ?precise:bool ->
   ?static_flow_prune:Types.prune_mode ->
+  ?absint:Types.prune_mode ->
   ?stimulus:stimulus_builder ->
   ?exclude_sources:string list ->
   ?jobs:int ->

@@ -18,6 +18,7 @@ type query_stats = {
   mutable q_tagged : int;
   mutable q_undetermined : int;
   mutable q_pruned_static : int;
+  mutable q_pruned_absint : int;
   mutable q_audit_props : int;
   mutable q_audit_undetermined : int;
   mutable q_time : float;
@@ -37,7 +38,8 @@ let transmitter_pc ~iuv_pc = function
   | Types.Static -> iuv_pc - 2
 
 let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
-    ?(static_flow_prune = Types.Prune_on) ~(design : unit -> Meta.t)
+    ?(static_flow_prune = Types.Prune_on) ?(absint = Types.Prune_on)
+    ~(design : unit -> Meta.t)
     ~(transponder : Isa.t)
     ~(decisions : (string * string list list) list)
     ~(transmitters : Isa.opcode list) ~(kind : Types.transmitter_kind)
@@ -121,6 +123,7 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
           q_tagged = 0;
           q_undetermined = 0;
           q_pruned_static = 0;
+          q_pruned_absint = 0;
           q_audit_props = 0;
           q_audit_undetermined = 0;
           q_time = 0.;
@@ -161,6 +164,41 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
   in
   let static_live =
     List.filter_map (fun (l, live) -> if live then Some l else None) label_live
+  in
+  (* --- known-bits refinement of the taint pre-pass ---------------------- *)
+  (* Re-run the same pre-pass with the known-bits invariants from
+     {!Hdl.Absint}: proven-constant selector and operand bits let the
+     precise cell rules drop propagation edges the plain pre-pass keeps,
+     so strictly more covers are proven dead.  The refinement only prunes
+     {e extra} covers (dead refined, live under the base pre-pass); those
+     are tracked separately under [absint] with the same tri-mode contract
+     as [static_flow_prune], so each abstraction is auditable on its own. *)
+  let refined_masks =
+    let go () =
+      let kb = Hdl.Absint.known_bits nl in
+      Hdl.Analysis.taint_reach ~precise ~known:kb ~blocked
+        ~sources:[ op_reg ] nl
+    in
+    if Obs.enabled () then Obs.with_span "flow.absint_taint" go else go ()
+  in
+  let label_live_refined =
+    List.map
+      (fun (label, members) ->
+        let m_live ((u : Meta.ufsm), _) =
+          List.exists
+            (fun v -> Hdl.Analysis.taint_reaches refined_masks v)
+            (u.Meta.pcr :: u.Meta.vars)
+        in
+        (label, List.exists m_live members))
+      groups
+  in
+  let dst_live_refined ds =
+    List.exists
+      (fun lbl ->
+        match List.assoc_opt lbl label_live_refined with
+        | Some b -> b
+        | None -> true)
+      ds
   in
   (* Persistent state for the sticky-taint flush of Assumption 3: every
      symbolically-initialized register that is not architectural (cache tag
@@ -223,6 +261,7 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
       q_tagged = 0;
       q_undetermined = 0;
       q_pruned_static = 0;
+      q_pruned_absint = 0;
       q_audit_props = 0;
       q_audit_undetermined = 0;
       q_time = 0.;
@@ -238,6 +277,7 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
   in
   let tagged = ref [] in
   let deferred = ref [] in
+  let deferred_absint = ref [] in
   List.iter
     (fun tx ->
       (* Intrinsic transmitters can only be the transponder itself. *)
@@ -271,6 +311,18 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
                     if Obs.enabled () then Obs.Metrics.incr "flow.pruned_static"
                   | Types.Prune_off | Types.Prune_audit ->
                     deferred := (tx, src, dst, lits) :: !deferred
+                end
+                else if not (dst_live_refined dst) then begin
+                  (* Dead only under the known-bits-refined pre-pass: the
+                     extra prune attributable to {!Hdl.Absint}.  Kept out of
+                     the mid-stream sequence in every [absint] mode so the
+                     report digest is mode-invariant. *)
+                  match absint with
+                  | Types.Prune_on ->
+                    stats.q_pruned_absint <- stats.q_pruned_absint + 1;
+                    if Obs.enabled () then Obs.Metrics.incr "flow.pruned_absint"
+                  | Types.Prune_off | Types.Prune_audit ->
+                    deferred_absint := (tx, src, dst, lits) :: !deferred_absint
                 end
                 else
                   match Checker.check_cover ~name:"ift" chk lits with
@@ -323,15 +375,47 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
         stats.q_audit_undetermined <- stats.q_audit_undetermined + 1
       | Checker.Unreachable _ -> ())
     (List.rev !deferred);
+  (* Second trailing batch: the known-bits-only prunes, audited under the
+     [absint] mode with the same off/audit semantics. *)
+  List.iter
+    (fun (tx, src, dst, lits) ->
+      stats.q_audit_props <- stats.q_audit_props + 1;
+      match Checker.check_cover ~name:"ift" chk lits with
+      | Checker.Reachable _ ->
+        if absint = Types.Prune_audit then
+          failwith
+            (Printf.sprintf
+               "Flow: known-bits abstraction unsound: cover %s -> {%s} \
+                (%s, %s.%s) is reachable but the refined taint pre-pass \
+                proved its destinations unreachable"
+               src
+               (String.concat ", " dst)
+               (Types.kind_name kind) (Isa.mnemonic tx)
+               (Types.operand_name operand))
+        else begin
+          stats.q_tagged <- stats.q_tagged + 1;
+          tagged :=
+            {
+              Types.src;
+              dst;
+              input = { Types.transmitter = tx; unsafe_operand = operand; kind };
+            }
+            :: !tagged
+        end
+      | Checker.Undetermined ->
+        stats.q_audit_undetermined <- stats.q_audit_undetermined + 1
+      | Checker.Unreachable _ -> ())
+    (List.rev !deferred_absint);
   stats.q_time <- Unix.gettimeofday () -. t_start;
   { tagged = List.rev !tagged; static_live; stats }
 
 let analyze ?cache ?cache_salt ?config ?stimulus ?precise ?static_flow_prune
-    ~design ~transponder ~decisions ~transmitters ~kind ~operand ~iuv_pc () =
+    ?absint ~design ~transponder ~decisions ~transmitters ~kind ~operand
+    ~iuv_pc () =
   let go () =
     analyze_inner ?cache ?cache_salt ?config ?stimulus ?precise
-      ?static_flow_prune ~design ~transponder ~decisions ~transmitters ~kind
-      ~operand ~iuv_pc ()
+      ?static_flow_prune ?absint ~design ~transponder ~decisions ~transmitters
+      ~kind ~operand ~iuv_pc ()
   in
   if Obs.enabled () then
     Obs.with_span "flow.analyze"

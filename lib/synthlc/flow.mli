@@ -20,6 +20,11 @@ type query_stats = {
       (** Covers discharged by the static taint pre-pass without a checker
           call.  Only incremented in {!Types.Prune_on}; excluded from the
           report digest. *)
+  mutable q_pruned_absint : int;
+      (** Covers discharged {e only} by the known-bits-refined pre-pass
+          (dead refined, live under the base pre-pass).  Only incremented
+          when the [absint] mode is {!Types.Prune_on}; excluded from the
+          report digest. *)
   mutable q_audit_props : int;
       (** Statically-dead covers dispatched in the trailing batch of
           {!Types.Prune_off}/{!Types.Prune_audit}.  Excluded from the
@@ -49,6 +54,7 @@ val analyze :
   ?stimulus:(Sim.t -> int -> unit) ->
   ?precise:bool ->
   ?static_flow_prune:Types.prune_mode ->
+  ?absint:Types.prune_mode ->
   design:(unit -> Designs.Meta.t) ->
   transponder:Isa.t ->
   decisions:(string * string list list) list ->
@@ -66,5 +72,11 @@ val analyze :
     and folded into the verdict-cache namespace when imprecise.
     [static_flow_prune] (default {!Types.Prune_on}) selects what happens to
     covers the pre-pass proves unreachable; all three modes issue the same
-    mid-stream checker sequence (see {!Types.prune_mode}).  [design] must
-    build a fresh metadata instance per call. *)
+    mid-stream checker sequence (see {!Types.prune_mode}).  [absint]
+    (default {!Types.Prune_on}) independently governs the covers discharged
+    only by the known-bits-refined pre-pass ({!Hdl.Absint}): they are kept
+    out of the mid-stream sequence in every mode, discharged silently under
+    [Prune_on], re-dispatched in a second trailing batch under
+    [Prune_off]/[Prune_audit], and [Prune_audit] fails hard if any such
+    cover is in fact reachable.  [design] must build a fresh metadata
+    instance per call. *)

@@ -61,6 +61,12 @@ project_semantic() {
       (.obs? // empty
         | kv("obs.digest_identical"; .digest_identical),
           kv("obs.events"; .events)),
+      (.absint? // empty
+        | kv("absint.digest_identical"; .digest_identical),
+          kv("absint.report_digest"; .report_digest),
+          kv("absint.covers_pruned"; .covers_pruned),
+          kv("absint.pruned_static"; .pruned_static),
+          kv("absint.kb_set_identical"; .kb_set_identical)),
       (.fuzz? // empty
         | kv("fuzz.seed"; .seed),
           kv("fuzz.designs"; .designs),

@@ -23,6 +23,7 @@ let () =
       Test_obs.suite;
       Test_vcache.suite;
       Test_analysis.suite;
+      Test_absint.suite;
       Test_taint.suite;
       Test_lint.suite;
       Test_fuzz.suite;

@@ -228,12 +228,40 @@ let qcheck_dead_vs_cone =
              List.for_all (fun d -> not (Hashtbl.mem cone d)) dead)
            roots))
 
+let test_const_values_sliced () =
+  (* An extract whose range lands on the constant parts of a
+     partially-constant concat folds, even though the whole word does not:
+     word = {inp[3:0], 0xA5, inp[3:0]} and we slice out the middle byte. *)
+  let nl = N.create "cvslice" in
+  let inp = N.input nl "x" 4 in
+  let word = N.concat nl [ inp; N.const nl (bv 8 0xA5); inp ] in
+  let mid = N.extract nl ~hi:11 ~lo:4 word in
+  let straddle = N.extract nl ~hi:12 ~lo:4 word in
+  let nib = N.extract nl ~hi:7 ~lo:4 word in
+  (* A second slice routed through Not and a nested Extract: bits [9:6] of
+     word[11:2] are word[11:8], the constant's high nibble, inverted. *)
+  let inv = N.not_ nl word in
+  let mid_inv = N.extract nl ~hi:9 ~lo:6 (N.extract nl ~hi:11 ~lo:2 inv) in
+  let vals = A.const_values nl in
+  Alcotest.(check bool) "whole concat is not constant" true (vals.(word) = None);
+  Alcotest.(check bool) "middle byte folds" true (vals.(mid) = Some (bv 8 0xA5));
+  Alcotest.(check bool) "low nibble of middle folds" true
+    (vals.(nib) = Some (bv 4 0x5));
+  Alcotest.(check bool) "slice touching the input does not fold" true
+    (vals.(straddle) = None);
+  Alcotest.(check bool) "folds through not and nested extract" true
+    (vals.(mid_inv) = Some (bv 4 0x5));
+  Alcotest.(check bool) "sliced constant is foldable" true
+    (List.mem mid (A.constant_foldable nl))
+
 let suite =
   ( "analysis",
     [
       Alcotest.test_case "comb_sccs finds every cycle" `Quick
         test_comb_sccs_all_cycles;
       Alcotest.test_case "constant folding" `Quick test_const_values;
+      Alcotest.test_case "constant folding through slices" `Quick
+        test_const_values_sliced;
       Alcotest.test_case "dead cells follow next and enable" `Quick
         test_dead_cells;
       Alcotest.test_case "comb_cone edge cases" `Quick test_comb_cone_edges;

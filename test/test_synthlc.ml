@@ -155,6 +155,7 @@ let test_grid () =
       flow_props = 3;
       flow_undetermined = 0;
       flow_pruned_static = 0;
+      flow_pruned_absint = 0;
       static_flow_live = [];
       flow_time = 0.1;
     }
