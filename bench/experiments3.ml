@@ -251,3 +251,114 @@ let absint_bench () =
         ab_kb_equal = kb_equal;
         ab_lint_info = List.length a_diags;
       }
+
+(* P9 — Yosys-JSON frontend (DESIGN.md §18).
+
+   The importer's contract is that an exported built-in re-imports as the
+   structurally identical netlist ([Hdl.Netlist.digest] fixpoint, zero
+   admission warnings), and that a synthesis run over the imported design
+   produces the bit-identical µPATH report.  The bench gate pins both:
+   per-design round-trip digests and the imported-vs-builtin report
+   digest on the gated DUV.  Export/import wall times stay warn-only. *)
+
+type frontend_row = {
+  fe_designs : int;  (* built-ins round-tripped *)
+  fe_roundtrip_identical : bool;  (* digest fixpoint on every design *)
+  fe_warnings : int;  (* admission warnings across all round trips *)
+  fe_digests : string;  (* comma-joined per-design netlist digests *)
+  fe_t_export : float;
+  fe_t_import : float;
+  fe_run_identical : bool;  (* imported-vs-builtin report digest, gated *)
+  fe_run_digest : string;
+  fe_t_run : float;  (* mupath on the imported gated DUV *)
+}
+
+let frontend_result : frontend_row option ref = ref None
+
+let frontend_bench () =
+  section "P9" "Yosys-JSON frontend - round-trip fixpoint + imported-run identity";
+  let builtins =
+    [
+      ("cva6_lite", fun () -> Designs.Core.build Designs.Core.baseline);
+      ("ibex_lite", fun () -> Designs.Ibex.build ());
+      ("gated", fun () -> Designs.Gated.build ());
+      ("cva6_cache", fun () -> Designs.Cache.build ());
+    ]
+  in
+  let t_export = ref 0. and t_import = ref 0. in
+  let warnings = ref 0 in
+  let identical = ref true in
+  let digests =
+    List.map
+      (fun (name, build) ->
+        let meta = build () in
+        let nl = meta.Designs.Meta.nl in
+        let t0 = Unix.gettimeofday () in
+        let js = Frontend.Yosys.export_string nl in
+        t_export := !t_export +. (Unix.gettimeofday () -. t0);
+        let t1 = Unix.gettimeofday () in
+        let imp = Frontend.Yosys.import_string ~design:name js in
+        t_import := !t_import +. (Unix.gettimeofday () -. t1);
+        warnings := !warnings + List.length imp.Frontend.Yosys.warnings;
+        let d0 = Hdl.Netlist.digest nl
+        and d1 = Hdl.Netlist.digest imp.Frontend.Yosys.nl in
+        if d0 <> d1 then identical := false;
+        Printf.printf "  %-10s %s -> %s (%d bytes, %d warning(s))\n" name
+          (String.sub d0 0 12) (String.sub d1 0 12) (String.length js)
+          (List.length imp.Frontend.Yosys.warnings);
+        d0)
+      builtins
+  in
+  check "export -> import is the netlist-digest identity on every built-in"
+    !identical;
+  check "round trips admit with zero warnings" (!warnings = 0);
+  Printf.printf "  export %.3fs, import %.3fs across %d designs\n" !t_export
+    !t_import (List.length builtins);
+  (* Imported-run identity: synthesize on the gated DUV rebuilt from its
+     own export + sidecar and demand the bit-identical report. *)
+  let run meta =
+    let config =
+      {
+        Mc.Checker.default_config with
+        Mc.Checker.bmc_depth = 10;
+        sim_episodes = 8;
+        sim_cycles = 16;
+      }
+    in
+    Mupath.Synth.run ~config ~meta
+      ~iuv:(Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD)
+      ~iuv_pc:Designs.Gated.iuv_pc ()
+  in
+  let builtin_meta = Designs.Gated.build () in
+  let imported =
+    let js = Frontend.Yosys.export_string builtin_meta.Designs.Meta.nl in
+    let imp = Frontend.Yosys.import_string ~design:"gated" js in
+    let sidecar =
+      Frontend.Sidecar.of_meta ~stimulus:Frontend.Sidecar.S_none
+        ~iuv_pc:Designs.Gated.iuv_pc builtin_meta
+    in
+    Frontend.Sidecar.resolve imp.Frontend.Yosys.nl sidecar
+  in
+  let r_builtin = run builtin_meta in
+  let t2 = Unix.gettimeofday () in
+  let r_imported = run imported.Frontend.Sidecar.meta in
+  let t_run = Unix.gettimeofday () -. t2 in
+  let dg_builtin = Mupath.Synth.result_digest r_builtin in
+  let dg_imported = Mupath.Synth.result_digest r_imported in
+  Printf.printf "  gated report digest: builtin %s, imported %s (%.1fs)\n"
+    dg_builtin dg_imported t_run;
+  check "imported gated DUV synthesizes the bit-identical report"
+    (dg_builtin = dg_imported);
+  frontend_result :=
+    Some
+      {
+        fe_designs = List.length builtins;
+        fe_roundtrip_identical = !identical;
+        fe_warnings = !warnings;
+        fe_digests = String.concat "," digests;
+        fe_t_export = !t_export;
+        fe_t_import = !t_import;
+        fe_run_identical = dg_builtin = dg_imported;
+        fe_run_digest = dg_builtin;
+        fe_t_run = t_run;
+      }

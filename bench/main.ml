@@ -34,6 +34,7 @@ let experiments =
     ("P6", Experiments2.sat_bench);
     ("P7", Experiments3.fuzz_campaign);
     ("P8", Experiments3.absint_bench);
+    ("P9", Experiments3.frontend_bench);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -211,6 +212,15 @@ let write_json path ~profile ~jobs ~total rows =
       a.Experiments3.ab_vars_kb_on a.Experiments3.ab_vars_kb_off
       a.Experiments3.ab_kb_equal a.Experiments3.ab_lint_info
   | None -> add "  \"absint\": null,\n");
+  (match !Experiments3.frontend_result with
+  | Some f ->
+    add "  \"frontend\": {\"designs\": %d, \"roundtrip_identical\": %b, \"warnings\": %d, \"netlist_digests\": \"%s\", \"t_export_s\": %.3f, \"t_import_s\": %.3f, \"run_identical\": %b, \"run_digest\": \"%s\", \"t_run_s\": %.3f},\n"
+      f.Experiments3.fe_designs f.Experiments3.fe_roundtrip_identical
+      f.Experiments3.fe_warnings f.Experiments3.fe_digests
+      f.Experiments3.fe_t_export f.Experiments3.fe_t_import
+      f.Experiments3.fe_run_identical f.Experiments3.fe_run_digest
+      f.Experiments3.fe_t_run
+  | None -> add "  \"frontend\": null,\n");
   (match !Experiments2.obs_result with
   | Some o ->
     add "  \"obs\": {\"ns_plain\": %.1f, \"ns_disabled\": %.1f, \"disabled_overhead_pct\": %.3f, \"t_untraced_s\": %.3f, \"t_traced_s\": %.3f, \"events\": %d, \"digest_identical\": %b},\n"

@@ -27,11 +27,104 @@ let build_design = function
 
 let is_cache d = d = "cva6_cache"
 
+(* --- design resolution -------------------------------------------------- *)
+(* A design is either a built-in name or a path to a Yosys write_json
+   netlist ([*.json]) with a metadata sidecar next to it.  Imported designs
+   go through the Frontend.Admission pipeline (parse, cell mapping, sidecar
+   resolution, mandatory µLint) before any checker sees them. *)
+
+let is_json_path d = Filename.check_suffix d ".json"
+
+let default_meta_path json_path =
+  Filename.remove_extension json_path ^ ".meta.json"
+
+(* An unknown design name is a harness error: exit 2 with a clean message,
+   matching lint's 0/1/2 contract (mupath/synthlc/lint all agree). *)
+let check_design_name ~cmd d =
+  if (not (is_json_path d)) && not (List.mem d design_names) then begin
+    Printf.eprintf
+      "%s: unknown design %S (expected: %s, or a Yosys .json netlist path)\n"
+      cmd d
+      (String.concat ", " design_names);
+    exit 2
+  end
+
+(* A rejected import is also a harness error: print the full admission
+   report (every offending cell named) and exit 2. *)
+let with_admission ~cmd f =
+  try f ()
+  with Frontend.Diag.Rejected r ->
+    Format.eprintf "%a@." Lint.Diagnostic.pp_report r;
+    Printf.eprintf "%s: design rejected at admission\n" cmd;
+    exit 2
+
+type design_src =
+  | Builtin of string
+  | Imported of Frontend.Admission.design * string * string
+      (* admission result, netlist path, sidecar path *)
+
+let resolve_design ~cmd ?meta d =
+  check_design_name ~cmd d;
+  if is_json_path d then begin
+    let meta_path = Option.value meta ~default:(default_meta_path d) in
+    let a =
+      with_admission ~cmd (fun () ->
+          Frontend.Admission.load ~json_path:d ~meta_path ())
+    in
+    Imported (a, d, meta_path)
+  end
+  else Builtin d
+
+(* Fresh meta per call (Mupath.Synth consumes its meta).  The admission
+   pass above already vetted the import, so rebuilds skip µLint. *)
+let builder_of ~cmd = function
+  | Builtin d -> fun () -> build_design d
+  | Imported (a, json_path, meta_path) ->
+    let first = ref (Some a.Frontend.Admission.meta) in
+    fun () -> (
+      match !first with
+      | Some m ->
+        first := None;
+        m
+      | None ->
+        (with_admission ~cmd (fun () ->
+             Frontend.Admission.load ~lint:false ~json_path ~meta_path ()))
+          .Frontend.Admission.meta)
+
+let stim_kind_of = function
+  | Builtin d ->
+    if d = "gated" then `None
+    else if is_cache d then `Cache
+    else if d = "ibex_lite" then `Ibex
+    else `Core
+  | Imported (a, _, _) -> (
+    match a.Frontend.Admission.stimulus with
+    | Frontend.Sidecar.S_none -> `None
+    | Frontend.Sidecar.S_core -> `Core
+    | Frontend.Sidecar.S_ibex -> `Ibex
+    | Frontend.Sidecar.S_cache -> `Cache)
+
+let iuv_pc_of = function
+  | Builtin d ->
+    if is_cache d then Designs.Cache.iuv_pc
+    else if d = "gated" then Designs.Gated.iuv_pc
+    else Designs.Core.iuv_pc
+  | Imported (a, _, _) -> a.Frontend.Admission.iuv_pc
+
 let design_arg =
   let doc =
-    "Design under verification: " ^ String.concat ", " design_names ^ "."
+    "Design under verification: " ^ String.concat ", " design_names
+    ^ ", or a path to a Yosys $(b,write_json) netlist (anything ending in \
+       .json; see the $(b,import) subcommand and --meta)."
   in
   Arg.(value & opt string "cva6_lite" & info [ "d"; "design" ] ~docv:"DESIGN" ~doc)
+
+let meta_arg =
+  let doc =
+    "Metadata sidecar for an imported .json design (µFSM/IFR annotations by \
+     signal name).  Default: $(i,DESIGN).meta.json next to the netlist."
+  in
+  Arg.(value & opt (some string) None & info [ "meta" ] ~docv:"FILE" ~doc)
 
 let depth_arg =
   Arg.(value & opt int 12 & info [ "depth" ] ~docv:"N" ~doc:"BMC unrolling depth.")
@@ -249,18 +342,26 @@ let config_of depth episodes ~portfolio ~no_cse ~no_known_bits =
     portfolio_domains = max 1 portfolio;
   }
 
-(* The gated demo design has no program-shaped input protocol: it accepts
-   whatever the random pokes feed it, so it runs without a stimulus. *)
-let stimulus_for dname ~pins meta =
-  if dname = "gated" then None
-  else if is_cache dname then Some (Designs.Stimulus.cache ~pins meta)
-  else if dname = "ibex_lite" then Some (Designs.Stimulus.ibex ~pins meta)
-  else Some (Designs.Stimulus.core ~pins meta)
+(* `None (e.g. the gated demo) means no program-shaped input protocol: the
+   design accepts whatever the random pokes feed it, so it runs without a
+   stimulus. *)
+let stimulus_of src ~pins meta =
+  match stim_kind_of src with
+  | `None -> None
+  | `Cache -> Some (Designs.Stimulus.cache ~pins meta)
+  | `Ibex -> Some (Designs.Stimulus.ibex ~pins meta)
+  | `Core -> Some (Designs.Stimulus.core ~pins meta)
 
-let iuv_pc_for dname =
-  if is_cache dname then Designs.Cache.iuv_pc
-  else if dname = "gated" then Designs.Gated.iuv_pc
-  else Designs.Core.iuv_pc
+let rotating_stimulus_of src =
+  match stim_kind_of src with
+  | `None -> None
+  | (`Cache | `Ibex | `Core) as k ->
+    Some
+      (fun ~pins ~rotate meta ->
+        match k with
+        | `Cache -> Designs.Stimulus.cache ~pins meta
+        | `Ibex -> Designs.Stimulus.ibex ~pins ~rotate meta
+        | `Core -> Designs.Stimulus.core ~pins ~rotate meta)
 
 (* --- sim -------------------------------------------------------------- *)
 
@@ -332,12 +433,13 @@ let sim_cmd =
 (* --- mupath ----------------------------------------------------------- *)
 
 let mupath_cmd =
-  let run dname iuv depth episodes dot counts shards cache_dir nsp absint
-      portfolio no_cse no_known_bits dump_cnf trace metrics =
+  let run dname meta_path iuv depth episodes dot counts shards cache_dir nsp
+      absint portfolio no_cse no_known_bits dump_cnf trace metrics =
+    let src = resolve_design ~cmd:"mupath" ?meta:meta_path dname in
     with_obs ~trace ~metrics (fun () ->
-        let meta = build_design dname in
-        let iuv_pc = iuv_pc_for dname in
-        let stim = stimulus_for dname ~pins:[ (iuv_pc, iuv) ] meta in
+        let meta = builder_of ~cmd:"mupath" src () in
+        let iuv_pc = iuv_pc_of src in
+        let stim = stimulus_of src ~pins:[ (iuv_pc, iuv) ] meta in
         let config = config_of depth episodes ~portfolio ~no_cse ~no_known_bits in
         let cache = cache_of cache_dir in
         let r =
@@ -346,6 +448,7 @@ let mupath_cmd =
             ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
         in
         Format.printf "%a@." Mupath.Synth.pp_result r;
+        Printf.printf "report digest: %s\n" (Mupath.Synth.result_digest r);
         print_cache_counters cache;
         if dot then
           List.iteri
@@ -360,33 +463,25 @@ let mupath_cmd =
   Cmd.v
     (Cmd.info "mupath" ~doc:"RTL2MuPATH: synthesize the uPATH set for one instruction")
     Term.(
-      const run $ design_arg $ instr_arg $ depth_arg $ episodes_arg $ dot
-      $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg $ absint_arg
-      $ portfolio_arg $ no_cse_arg $ no_known_bits_arg $ dump_cnf_arg
-      $ trace_arg $ metrics_arg)
+      const run $ design_arg $ meta_arg $ instr_arg $ depth_arg $ episodes_arg
+      $ dot $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg
+      $ absint_arg $ portfolio_arg $ no_cse_arg $ no_known_bits_arg
+      $ dump_cnf_arg $ trace_arg $ metrics_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
-  let run dname instructions txs depth episodes static jobs cache_dir nsp
-      flow_prune no_flow_prune absint imprecise portfolio no_cse no_known_bits
-      dump_cnf trace metrics =
-   with_obs ~trace ~metrics @@ fun () ->
+  let run dname meta_path instructions txs depth episodes static jobs cache_dir
+      nsp flow_prune no_flow_prune absint imprecise portfolio no_cse
+      no_known_bits dump_cnf trace metrics =
+    let src = resolve_design ~cmd:"synthlc" ?meta:meta_path dname in
+    with_obs ~trace ~metrics @@ fun () ->
     let transmitters =
       List.filter_map Isa.opcode_of_mnemonic txs
     in
-    let design () = build_design dname in
-    let iuv_pc = iuv_pc_for dname in
-    let stimulus =
-      if dname = "gated" then None
-      else
-        Some
-          (fun ~pins ~rotate meta ->
-            if is_cache dname then Designs.Stimulus.cache ~pins meta
-            else if dname = "ibex_lite" then
-              Designs.Stimulus.ibex ~pins ~rotate meta
-            else Designs.Stimulus.core ~pins ~rotate meta)
-    in
+    let design = builder_of ~cmd:"synthlc" src in
+    let iuv_pc = iuv_pc_of src in
+    let stimulus = rotating_stimulus_of src in
     let config = config_of depth episodes ~portfolio ~no_cse ~no_known_bits in
     let kinds =
       [ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older; Synthlc.Types.Dynamic_younger ]
@@ -437,11 +532,11 @@ let synthlc_cmd =
   Cmd.v
     (Cmd.info "synthlc" ~doc:"SynthLC: synthesize leakage signatures and contracts")
     Term.(
-      const run $ design_arg $ instrs $ txs $ depth_arg $ episodes_arg $ static
-      $ jobs_arg $ cache_dir_arg $ no_static_prune_arg $ static_flow_prune_arg
-      $ no_static_flow_prune_arg $ absint_arg $ imprecise_ift_arg
-      $ portfolio_arg $ no_cse_arg $ no_known_bits_arg $ dump_cnf_arg
-      $ trace_arg $ metrics_arg)
+      const run $ design_arg $ meta_arg $ instrs $ txs $ depth_arg
+      $ episodes_arg $ static $ jobs_arg $ cache_dir_arg $ no_static_prune_arg
+      $ static_flow_prune_arg $ no_static_flow_prune_arg $ absint_arg
+      $ imprecise_ift_arg $ portfolio_arg $ no_cse_arg $ no_known_bits_arg
+      $ dump_cnf_arg $ trace_arg $ metrics_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 
@@ -518,10 +613,28 @@ let cache_cmd =
 (* --- lint ------------------------------------------------------------- *)
 
 let lint_cmd =
+  (* Lint a .json import without the fail-fast admission wrapper: frontend
+     warnings and the lint findings land in one printable report, and a
+     rejected import contributes its error report (exit 2 via the shared
+     exit-code computation) instead of aborting the other designs. *)
+  let lint_imported path =
+    match
+      let { Frontend.Yosys.nl; warnings } = Frontend.Yosys.import_file path in
+      let sc = Frontend.Sidecar.resolve_file nl (default_meta_path path) in
+      let r = Lint.Driver.run_design sc.Frontend.Sidecar.meta in
+      { r with Lint.Diagnostic.diags = warnings @ r.Lint.Diagnostic.diags }
+    with
+    | r -> r
+    | exception Frontend.Diag.Rejected r -> r
+  in
   let run json names =
     (* An unknown design name is a harness error (exit 2), not a
        Cmdliner-level crash: the 0/1/2 contract below is what CI asserts. *)
-    let unknown = List.filter (fun n -> not (List.mem n design_names)) names in
+    let unknown =
+      List.filter
+        (fun n -> (not (is_json_path n)) && not (List.mem n design_names))
+        names
+    in
     if unknown <> [] then begin
       Printf.eprintf "lint: unknown design(s): %s (expected: %s)\n"
         (String.concat ", " unknown)
@@ -530,7 +643,11 @@ let lint_cmd =
     end;
     let names = if names = [] then design_names else names in
     let reports =
-      List.map (fun dname -> Lint.Driver.run_design (build_design dname)) names
+      List.map
+        (fun dname ->
+          if is_json_path dname then lint_imported dname
+          else Lint.Driver.run_design (build_design dname))
+        names
     in
     if json then print_string (Lint.Diagnostic.to_json reports)
     else
@@ -543,7 +660,7 @@ let lint_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON (the CI artifact format).")
   in
   let names =
-    Arg.(value & pos_all string [] & info [] ~docv:"DESIGN" ~doc:"Designs to lint (default: all built-ins).")
+    Arg.(value & pos_all string [] & info [] ~docv:"DESIGN" ~doc:"Designs to lint: built-in names or .json netlist paths (default: all built-ins).")
   in
   Cmd.v
     (Cmd.info "lint"
@@ -652,6 +769,117 @@ let fuzz_cmd =
       const run $ seed $ count $ budget $ only $ defect $ out $ depth
       $ episodes)
 
+(* --- import / export --------------------------------------------------- *)
+
+let import_cmd =
+  let run path meta_path top json =
+    let meta_path = Option.value meta_path ~default:(default_meta_path path) in
+    match Frontend.Admission.load ?top ~json_path:path ~meta_path () with
+    | d ->
+      let reports = [ d.Frontend.Admission.report ] in
+      if json then print_string (Lint.Diagnostic.to_json reports)
+      else begin
+        Format.printf "%a@." Lint.Diagnostic.pp_report
+          d.Frontend.Admission.report;
+        let nl = d.Frontend.Admission.meta.Designs.Meta.nl in
+        Printf.printf
+          "admitted: %s (%d nodes, %d regs, %d uFSMs) stimulus=%s iuv_pc=%d\n"
+          d.Frontend.Admission.meta.Designs.Meta.design_name
+          (Hdl.Netlist.num_nodes nl)
+          (List.length (Hdl.Netlist.registers nl))
+          (List.length d.Frontend.Admission.meta.Designs.Meta.ufsms)
+          (Frontend.Sidecar.stim_name d.Frontend.Admission.stimulus)
+          d.Frontend.Admission.iuv_pc
+      end;
+      exit (Lint.Diagnostic.exit_code reports)
+    | exception Frontend.Diag.Rejected r ->
+      if json then print_string (Lint.Diagnostic.to_json [ r ])
+      else Format.printf "%a@." Lint.Diagnostic.pp_report r;
+      Printf.eprintf "import: rejected %s\n" path;
+      exit 2
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN.json" ~doc:"Yosys $(b,write_json) netlist to admit.")
+  in
+  let top =
+    Arg.(value & opt (some string) None & info [ "top" ] ~docv:"MODULE" ~doc:"Module to import (default: the module with the $(b,top) attribute, else the only non-blackbox module).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the admission report as JSON (the CI artifact format).")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:"Admit a Yosys JSON netlist: parse, map cells, resolve the \
+             sidecar, run uLint"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Runs the full admission pipeline without any synthesis: parse \
+               the netlist, map every cell onto the word-level IR (naming \
+               each unsupported cell type and instance), resolve the \
+               metadata sidecar by signal name, and run the mandatory uLint \
+               filter.  The printed report is exactly what $(b,mupath) and \
+               $(b,synthlc) gate on before touching a checker.";
+           `S Manpage.s_exit_status;
+           `P "0 when admitted clean, 1 when admitted with warnings, 2 when \
+               rejected (unsupported cells, malformed JSON or sidecar, \
+               clock-discipline or lint errors).";
+         ])
+    Term.(const run $ path $ meta_arg $ top $ json)
+
+let export_cmd =
+  let run dname out meta_out =
+    if not (List.mem dname design_names) then begin
+      Printf.eprintf "export: unknown design %S (expected: %s)\n" dname
+        (String.concat ", " design_names);
+      exit 2
+    end;
+    let meta = build_design dname in
+    let out =
+      match out with Some o -> o | None -> meta.Designs.Meta.design_name ^ ".json"
+    in
+    let meta_out = Option.value meta_out ~default:(default_meta_path out) in
+    let src = Builtin dname in
+    let stimulus =
+      match stim_kind_of src with
+      | `None -> Frontend.Sidecar.S_none
+      | `Core -> Frontend.Sidecar.S_core
+      | `Ibex -> Frontend.Sidecar.S_ibex
+      | `Cache -> Frontend.Sidecar.S_cache
+    in
+    let sidecar =
+      Frontend.Sidecar.of_meta ~stimulus ~iuv_pc:(iuv_pc_of src) meta
+    in
+    Out_channel.with_open_text out (fun oc ->
+        output_string oc (Frontend.Yosys.export_string meta.Designs.Meta.nl));
+    Out_channel.with_open_text meta_out (fun oc ->
+        output_string oc (Frontend.Json.to_string sidecar);
+        output_char oc '\n');
+    Printf.printf "wrote %s and %s\n" out meta_out
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Netlist output path (default: $(i,DESIGN).json in the current directory).")
+  in
+  let meta_out =
+    Arg.(value & opt (some string) None & info [ "meta-out" ] ~docv:"FILE" ~doc:"Sidecar output path (default: derived from the netlist path).")
+  in
+  let dname =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"Built-in design to export.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a built-in design as Yosys-compatible JSON plus its \
+             metadata sidecar"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "The emitted netlist round-trips: importing it yields a \
+               netlist whose digest is identical to the built-in's, which \
+               is how examples/ stays honest (the committed example is a \
+               checked-in $(b,export) output).";
+         ])
+    Term.(const run $ dname $ out $ meta_out)
+
 (* --- designs ---------------------------------------------------------- *)
 
 let designs_cmd =
@@ -692,5 +920,7 @@ let () =
             cache_cmd;
             lint_cmd;
             fuzz_cmd;
+            import_cmd;
+            export_cmd;
             designs_cmd;
           ]))

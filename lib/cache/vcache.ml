@@ -126,18 +126,28 @@ let write_entry ~dir ~key blob =
 (* Interrupted writers leave tmp files behind; they are only ever renamed
    over, never read, so any that survive to the next [create] are garbage.
    Sweeping here cannot race this process's own writes (none have happened
-   yet); racing another live process at worst loses that one write, which
-   [write_entry] already tolerates. *)
+   yet) — but a concurrently *live* process may have a tmp file mid-write,
+   and deleting it under that writer loses its entry.  Only files older
+   than [tmp_max_age] (no write takes a minute) are treated as orphans. *)
+let tmp_max_age = 60.0
+
 let sweep_tmp dir =
   match Sys.readdir dir with
   | exception Sys_error _ -> 0
   | files ->
+    let now = Unix.gettimeofday () in
     Array.fold_left
       (fun n f ->
-        if String.starts_with ~prefix:tmp_prefix f then
-          match Sys.remove (Filename.concat dir f) with
-          | () -> n + 1
-          | exception Sys_error _ -> n
+        if String.starts_with ~prefix:tmp_prefix f then begin
+          let path = Filename.concat dir f in
+          match Unix.stat path with
+          | exception Unix.Unix_error _ -> n
+          | st when now -. st.Unix.st_mtime <= tmp_max_age -> n
+          | _ -> (
+            match Sys.remove path with
+            | () -> n + 1
+            | exception Sys_error _ -> n)
+        end
         else n)
       0 files
 

@@ -1,0 +1,13 @@
+(* Frontend admission diagnostics.  See diag.mli. *)
+
+exception Rejected of Lint.Diagnostic.report
+
+let reject ~design diags =
+  raise (Rejected { Lint.Diagnostic.design; diags })
+
+let make severity ?signal_name ~code message =
+  Lint.Diagnostic.make ?signal_name ~code ~severity message
+
+let error = make Lint.Diagnostic.Error
+let warning = make Lint.Diagnostic.Warning
+let info = make Lint.Diagnostic.Info

@@ -1,0 +1,325 @@
+(* Recursive-descent JSON parser and printer.  See json.mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Parse_error of string
+
+(* --- parser ------------------------------------------------------------- *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg =
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min c.pos (String.length c.src) - 1 do
+    if c.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" !line !col msg))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error c (Printf.sprintf "expected %c, found %c" ch x)
+  | None -> error c (Printf.sprintf "expected %c, found end of input" ch)
+
+let utf8_of_code buf u =
+  (* Encode a Unicode scalar value as UTF-8. *)
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_hex4 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek c with
+    | Some ch ->
+      let d =
+        match ch with
+        | '0' .. '9' -> Char.code ch - Char.code '0'
+        | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+        | _ -> error c "invalid \\u escape"
+      in
+      v := (!v * 16) + d
+    | None -> error c "truncated \\u escape");
+    advance c
+  done;
+  !v
+
+let parse_string_lit c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | Some '"' -> Buffer.add_char buf '"'; advance c
+      | Some '\\' -> Buffer.add_char buf '\\'; advance c
+      | Some '/' -> Buffer.add_char buf '/'; advance c
+      | Some 'b' -> Buffer.add_char buf '\b'; advance c
+      | Some 'f' -> Buffer.add_char buf '\012'; advance c
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c
+      | Some 't' -> Buffer.add_char buf '\t'; advance c
+      | Some 'u' ->
+        advance c;
+        utf8_of_code buf (parse_hex4 c)
+      | Some ch -> error c (Printf.sprintf "invalid escape \\%c" ch)
+      | None -> error c "truncated escape");
+      loop ()
+    | Some ch when Char.code ch < 0x20 -> error c "raw control character in string"
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let consume_while p =
+    let rec go () =
+      match peek c with
+      | Some ch when p ch ->
+        advance c;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  if peek c = Some '-' then advance c;
+  (* JSON forbids leading zeros: 0 alone is fine, 01 is not. *)
+  let int_start = c.pos in
+  consume_while (function '0' .. '9' -> true | _ -> false);
+  if c.pos = int_start then error c "expected a digit";
+  if
+    c.pos - int_start > 1
+    && c.src.[int_start] = '0'
+  then error c "leading zero in number";
+  (match peek c with
+  | Some '.' ->
+    is_float := true;
+    advance c;
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error c (Printf.sprintf "invalid number %s" text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+      (* Out-of-range integer literal: keep it as a float. *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error c (Printf.sprintf "invalid number %s" text))
+
+let parse_keyword c word value =
+  String.iter (fun ch -> expect c ch) word;
+  value
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Assoc []
+    end
+    else begin
+      let members = ref [] in
+      let rec loop () =
+        skip_ws c;
+        let key = parse_string_lit c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        members := (key, v) :: !members;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          loop ()
+        | Some '}' -> advance c
+        | _ -> error c "expected , or } in object"
+      in
+      loop ();
+      Assoc (List.rev !members)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec loop () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          loop ()
+        | Some ']' -> advance c
+        | _ -> error c "expected , or ] in array"
+      in
+      loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_lit c)
+  | Some 't' -> parse_keyword c "true" (Bool true)
+  | Some 'f' -> parse_keyword c "false" (Bool false)
+  | Some 'n' -> parse_keyword c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c (Printf.sprintf "unexpected character %c" ch)
+
+let parse_string src =
+  let c = { src; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  (match peek c with
+  | Some ch -> error c (Printf.sprintf "trailing garbage starting with %c" ch)
+  | None -> ());
+  v
+
+let parse_file path = parse_string (In_channel.with_open_bin path In_channel.input_all)
+
+(* --- printer ------------------------------------------------------------ *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(compact = false) v =
+  let buf = Buffer.create 1024 in
+  let indent n = if not compact then Buffer.add_string buf (String.make n ' ') in
+  let newline () = if not compact then Buffer.add_char buf '\n' in
+  (* Scalars and flat lists of scalars print inline (Yosys keeps bit lists
+     on one line); structured values get one member per line. *)
+  let is_scalar = function
+    | Null | Bool _ | Int _ | Float _ | String _ -> true
+    | List _ | Assoc _ -> false
+  in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f -> Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | String s -> escape buf s
+    | List items when compact || List.for_all is_scalar items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf (if compact then "," else ", ");
+          go depth item)
+        items;
+      Buffer.add_char buf ']'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          newline ();
+          indent (depth + 2);
+          go (depth + 2) item)
+        items;
+      newline ();
+      indent depth;
+      Buffer.add_char buf ']'
+    | Assoc [] -> Buffer.add_string buf "{}"
+    | Assoc members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          newline ();
+          indent (depth + 2);
+          escape buf k;
+          Buffer.add_string buf (if compact then ":" else ": ");
+          go (depth + 2) v)
+        members;
+      newline ();
+      indent depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  newline ();
+  Buffer.contents buf
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let member k = function
+  | Assoc members -> List.assoc_opt k members
+  | _ -> None
+
+let to_assoc = function Assoc m -> Some m | _ -> None
+let to_list = function List l -> Some l | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+let to_str = function String s -> Some s | _ -> None

@@ -1,0 +1,39 @@
+(** Minimal JSON reader/writer for the Yosys netlist frontend.
+
+    The repo carries no JSON dependency ({!Lint.Diagnostic.to_json} is
+    hand-rolled for the same reason), so the frontend brings its own
+    parser.  Object member order is preserved — Yosys emits cells and
+    netnames in a meaningful order and the importer's determinism leans
+    on it. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Parse_error of string
+(** Raised by the parsers; the message includes line/column. *)
+
+val parse_string : string -> t
+val parse_file : string -> t
+(** [parse_file] raises [Sys_error] on unreadable paths and
+    {!Parse_error} on malformed content. *)
+
+val to_string : ?compact:bool -> t -> string
+(** Serialize.  The default layout mirrors Yosys' own pretty-printer
+    closely enough for small diffs; [compact] drops all whitespace. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Assoc ...)] is the value bound to [k], if any; [None] on
+    non-objects. *)
+
+val to_assoc : t -> (string * t) list option
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_str : t -> string option

@@ -1,0 +1,1354 @@
+(* Yosys write_json importer/exporter.  See yosys.mli for the contract,
+   DESIGN.md §18 for the architecture. *)
+
+module N = Hdl.Netlist
+module D = Lint.Diagnostic
+
+type t = { nl : N.t; warnings : D.t list }
+
+(* A connection bit: a net id, or an inline 0/1/x/z constant. *)
+type bit = Bnet of int | Bconst of char
+
+type cell = {
+  c_inst : string;
+  c_type : string;
+  c_params : (string * Json.t) list;
+  c_conns : (string * bit array) list;
+}
+
+(* Schema-level problems inside one cell or connection; converted to an
+   F512 rejection by the import driver. *)
+exception Malformed of string
+
+(* --- cell classification ------------------------------------------------ *)
+
+type cls =
+  | C_comb (* word-level combinational *)
+  | C_ff (* $dff family *)
+  | C_gate (* 1-bit gate-level combinational *)
+  | C_gate_ff (* $_DFF_P_ / $_DFFE_P?_ *)
+  | C_wire (* $pos / $_BUF_: forward-declarable buffers *)
+  | C_reject of string
+
+let starts p s = String.starts_with ~prefix:p s
+
+let reject_reason ty =
+  if starts "$mem" ty then
+    "memory cell; run Yosys `memory_map` to lower memories to flip-flops"
+  else if
+    List.mem ty [ "$dlatch"; "$adlatch"; "$dlatchsr"; "$sr" ]
+    || starts "$_DLATCH" ty || starts "$_SR_" ty
+  then "level-sensitive latch; this flow is synchronous-only"
+  else if
+    List.mem ty [ "$dffsr"; "$dffsre"; "$aldff"; "$aldffe"; "$sdffce"; "$ff" ]
+    || starts "$_DFFSR" ty || starts "$_ALDFF" ty || starts "$_SDFFCE" ty
+    || starts "$_FF" ty
+  then
+    "flip-flop variant outside the supported $dff/$dffe/$adff/$adffe/\
+     $sdff/$sdffe family"
+  else if starts "$_DFF" ty || starts "$_SDFF" ty then
+    "gate-level flip-flop with negative clock/reset polarity (only \
+     $_DFF_P_, $_DFFE_PP_ and $_DFFE_PN_ are supported)"
+  else if
+    List.mem ty
+      [
+        "$assert"; "$assume"; "$cover"; "$live"; "$fair"; "$check";
+        "$anyconst"; "$anyseq"; "$allconst"; "$allseq"; "$initstate";
+        "$equiv";
+      ]
+  then "formal/verification cell; strip with Yosys `chformal -remove`"
+  else if List.mem ty [ "$print"; "$scopeinfo"; "$specify2"; "$specify3"; "$specrule" ]
+  then "simulation/metadata cell with no synthesizable semantics"
+  else if List.mem ty [ "$div"; "$mod"; "$divfloor"; "$modfloor"; "$pow" ] then
+    "word-level divider/power cell; decompose it (Yosys `techmap`) before \
+     import"
+  else if
+    List.mem ty
+      [
+        "$shift"; "$shiftx"; "$bmux"; "$demux"; "$lut"; "$sop"; "$alu";
+        "$lcu"; "$macc"; "$macc_v2"; "$fa"; "$fsm";
+      ]
+  then "coarse-grained cell; `techmap` it to the base word-level library"
+  else if
+    List.mem ty [ "$tribuf"; "$_TBUF_" ]
+    || starts "$_MUX4" ty || starts "$_MUX8" ty || starts "$_MUX16" ty
+  then "tristate or wide-mux cell outside the supported library"
+  else if ty <> "" && ty.[0] = '$' then "unknown Yosys internal cell type"
+  else
+    "instance of a user module (hierarchical design); run Yosys `flatten` \
+     first"
+
+let classify = function
+  | "$pos" | "$_BUF_" -> C_wire
+  | "$not" | "$neg" | "$and" | "$or" | "$xor" | "$xnor" | "$reduce_and"
+  | "$reduce_or" | "$reduce_xor" | "$reduce_xnor" | "$reduce_bool"
+  | "$logic_not" | "$logic_and" | "$logic_or" | "$add" | "$sub" | "$mul"
+  | "$eq" | "$ne" | "$eqx" | "$nex" | "$lt" | "$le" | "$gt" | "$ge" | "$shl"
+  | "$shr" | "$sshl" | "$sshr" | "$mux" | "$pmux" | "$slice" | "$concat"
+  | "$const" ->
+    C_comb
+  | "$dff" | "$dffe" | "$adff" | "$adffe" | "$sdff" | "$sdffe" -> C_ff
+  | "$_NOT_" | "$_AND_" | "$_NAND_" | "$_OR_" | "$_NOR_" | "$_XOR_"
+  | "$_XNOR_" | "$_ANDNOT_" | "$_ORNOT_" | "$_MUX_" | "$_NMUX_" | "$_AOI3_"
+  | "$_OAI3_" | "$_AOI4_" | "$_OAI4_" ->
+    C_gate
+  | "$_DFF_P_" | "$_DFFE_PP_" | "$_DFFE_PN_" -> C_gate_ff
+  | ty -> C_reject (reject_reason ty)
+
+let is_ff = function C_ff | C_gate_ff -> true | _ -> false
+
+let clk_pin = function C_ff -> "CLK" | _ -> "C"
+let out_pin cls = if is_ff cls then "Q" else "Y"
+
+(* --- small helpers ------------------------------------------------------ *)
+
+let bin_int inst key s =
+  String.fold_left
+    (fun acc ch ->
+      match ch with
+      | '0' | 'x' | 'z' -> acc * 2
+      | '1' -> (acc * 2) + 1
+      | _ ->
+        raise
+          (Malformed
+             (Printf.sprintf "cell %s: parameter %s: bad binary literal %S"
+                inst key s)))
+    0 s
+
+let param_int c key ~default =
+  match List.assoc_opt key c.c_params with
+  | None -> default
+  | Some (Json.Int n) -> n
+  | Some (Json.String s) -> bin_int c.c_inst key s
+  | Some _ ->
+    raise
+      (Malformed
+         (Printf.sprintf "cell %s: parameter %s is not an integer" c.c_inst key))
+
+(* Parameter as a bit-vector of exactly [width] bits; x/z read as 0 (the
+   caller accounts for the warning). *)
+let param_bv c key ~width =
+  let normalize v =
+    let wv = Bitvec.width v in
+    if wv = width then v
+    else if wv > width then Bitvec.extract ~hi:(width - 1) ~lo:0 v
+    else Bitvec.concat (Bitvec.zero (width - wv)) v
+  in
+  match List.assoc_opt key c.c_params with
+  | None -> Bitvec.zero width
+  | Some (Json.Int n) -> Bitvec.of_int ~width n
+  | Some (Json.String s) ->
+    let s = String.map (function 'x' | 'z' -> '0' | ch -> ch) s in
+    if s = "" then Bitvec.zero width
+    else if String.for_all (function '0' | '1' -> true | _ -> false) s then
+      normalize (Bitvec.of_binary_string s)
+    else
+      raise
+        (Malformed
+           (Printf.sprintf "cell %s: parameter %s: bad binary literal"
+              c.c_inst key))
+  | Some _ ->
+    raise
+      (Malformed
+         (Printf.sprintf "cell %s: parameter %s is not a bit-vector" c.c_inst
+            key))
+
+let bit_str = function Bnet n -> string_of_int n | Bconst ch -> String.make 1 ch
+
+let pattern_key bits =
+  String.concat "," (Array.to_list (Array.map bit_str bits))
+
+(* --- import ------------------------------------------------------------- *)
+
+type psrc = P_input of string * int | P_cell of cell * cls
+
+type prod = { key : int; out : int array; src : psrc }
+
+type netname = { nn_name : string; nn_hide : bool; nn_init : Json.t option }
+
+exception Cycle of string list
+
+let attr_true j name =
+  match Option.bind (Json.member "attributes" j) (Json.member name) with
+  | Some (Json.Int n) -> n <> 0
+  | Some (Json.String s) -> String.exists (fun ch -> ch = '1') s
+  | _ -> false
+
+let import ?top j =
+  let design = ref "netlist" in
+  let fail code msg = Diag.reject ~design:!design [ Diag.error ~code msg ] in
+  (* ---- module selection ---- *)
+  let modules =
+    match Json.member "modules" j with
+    | Some (Json.Assoc m) -> m
+    | _ -> fail "F502" "missing \"modules\" object"
+  in
+  let mod_name, mj =
+    match top with
+    | Some nm -> (
+      match List.assoc_opt nm modules with
+      | Some m -> (nm, m)
+      | None ->
+        fail "F502"
+          (Printf.sprintf "no module %S (available: %s)" nm
+             (String.concat ", " (List.map fst modules))))
+    | None -> (
+      let candidates =
+        List.filter (fun (_, m) -> not (attr_true m "blackbox")) modules
+      in
+      match List.filter (fun (_, m) -> attr_true m "top") candidates with
+      | [ m ] -> m
+      | _ :: _ :: _ -> fail "F502" "multiple modules carry the top attribute"
+      | [] -> (
+        match candidates with
+        | [ m ] -> m
+        | [] -> fail "F502" "no non-blackbox module in the netlist"
+        | _ ->
+          fail "F502"
+            (Printf.sprintf
+               "cannot choose a top module among %s; pass --top"
+               (String.concat ", " (List.map fst candidates)))))
+  in
+  design := mod_name;
+  let errs = ref [] and warns = ref [] in
+  let err d = errs := d :: !errs in
+  let warn d = warns := d :: !warns in
+  let flush_errs () =
+    if !errs <> [] then
+      Diag.reject ~design:mod_name (List.rev_append !errs (List.rev !warns))
+  in
+  let xz_bits = ref 0 in
+  let bit_of_json ~where = function
+    | Json.Int n -> Bnet n
+    | Json.String ("0" | "1" | "x" | "z" as s) ->
+      if s = "x" || s = "z" then incr xz_bits;
+      Bconst (if s = "1" then '1' else '0')
+    | _ -> raise (Malformed (where ^ ": bad connection bit"))
+  in
+  let bits_of_json ~where v =
+    match Json.to_list v with
+    | Some l -> Array.of_list (List.map (bit_of_json ~where) l)
+    | None -> raise (Malformed (where ^ ": connection is not a bit list"))
+  in
+  (* ---- ports ---- *)
+  let ports =
+    match Json.member "ports" mj with
+    | Some (Json.Assoc l) ->
+      List.filter_map
+        (fun (pname, pj) ->
+          let where = "port " ^ pname in
+          match
+            let dir =
+              match Option.bind (Json.member "direction" pj) Json.to_str with
+              | Some d -> d
+              | None -> raise (Malformed (where ^ ": missing direction"))
+            in
+            let bits =
+              match Json.member "bits" pj with
+              | Some b -> bits_of_json ~where b
+              | None -> raise (Malformed (where ^ ": missing bits"))
+            in
+            (dir, bits)
+          with
+          | "inout", _ ->
+            err
+              (Diag.error ~code:"F502" ~signal_name:pname
+                 (Printf.sprintf "port %s: unsupported direction \"inout\""
+                    pname));
+            None
+          | dir, bits when dir = "input" || dir = "output" ->
+            if Array.length bits = 0 then begin
+              err
+                (Diag.error ~code:"F502" ~signal_name:pname
+                   (Printf.sprintf "port %s: zero width" pname));
+              None
+            end
+            else Some (pname, dir, bits)
+          | dir, _ ->
+            err
+              (Diag.error ~code:"F502" ~signal_name:pname
+                 (Printf.sprintf "port %s: unknown direction %S" pname dir));
+            None
+          | exception Malformed m ->
+            err (Diag.error ~code:"F512" ~signal_name:pname m);
+            None)
+        l
+    | _ -> []
+  in
+  (* ---- memories section: named rejection, pre-analysis ---- *)
+  (match Json.member "memories" mj with
+  | Some (Json.Assoc (_ :: _ as mems)) ->
+    List.iter
+      (fun (mname, _) ->
+        err
+          (Diag.error ~code:"F501" ~signal_name:mname
+             (Printf.sprintf
+                "memory block %s: memories are not supported; run Yosys \
+                 `memory_map` to lower them to flip-flops"
+                mname)))
+      mems
+  | _ -> ());
+  (* ---- cells: parse and classify; every unsupported cell is named ---- *)
+  let cells =
+    match Json.member "cells" mj with
+    | Some (Json.Assoc l) ->
+      List.filter_map
+        (fun (inst, cj) ->
+          let ty =
+            match Option.bind (Json.member "type" cj) Json.to_str with
+            | Some t -> t
+            | None -> ""
+          in
+          match classify ty with
+          | C_reject reason ->
+            err
+              (Diag.error ~code:"F501" ~signal_name:inst
+                 (Printf.sprintf "unsupported cell type %s (instance %s): %s"
+                    ty inst reason));
+            None
+          | cls -> (
+            match
+              let params =
+                match Json.member "parameters" cj with
+                | Some (Json.Assoc p) -> p
+                | _ -> []
+              in
+              let conns =
+                match Json.member "connections" cj with
+                | Some (Json.Assoc cs) ->
+                  List.map
+                    (fun (pin, bj) ->
+                      ( pin,
+                        bits_of_json
+                          ~where:(Printf.sprintf "cell %s pin %s" inst pin)
+                          bj ))
+                    cs
+                | _ -> []
+              in
+              { c_inst = inst; c_type = ty; c_params = params; c_conns = conns }
+            with
+            | c -> Some (c, cls)
+            | exception Malformed m ->
+              err (Diag.error ~code:"F512" ~signal_name:inst m);
+              None))
+        l
+    | _ -> []
+  in
+  flush_errs ();
+  let conn_opt c pin = List.assoc_opt pin c.c_conns in
+  let conn c pin =
+    match conn_opt c pin with
+    | Some b -> b
+    | None ->
+      raise
+        (Malformed
+           (Printf.sprintf "cell %s (%s): missing connection %s" c.c_inst
+              c.c_type pin))
+  in
+  (* ---- clock discipline: one net, positive polarity, input-driven ---- *)
+  let clock_net = ref None in
+  List.iter
+    (fun (c, cls) ->
+      if is_ff cls then begin
+        (match c.c_type with
+        | "$_DFF_P_" | "$_DFFE_PP_" | "$_DFFE_PN_" -> ()
+        | _ ->
+          if param_int c "CLK_POLARITY" ~default:1 = 0 then
+            err
+              (Diag.error ~code:"F503" ~signal_name:c.c_inst
+                 (Printf.sprintf
+                    "cell %s (%s): negative clock polarity is not supported"
+                    c.c_inst c.c_type)));
+        match conn c (clk_pin cls) with
+        | [| Bnet n |] -> (
+          match !clock_net with
+          | None -> clock_net := Some n
+          | Some n0 when n0 = n -> ()
+          | Some n0 ->
+            err
+              (Diag.error ~code:"F503" ~signal_name:c.c_inst
+                 (Printf.sprintf
+                    "cell %s: second clock net %d (first was %d); \
+                     single-clock designs only"
+                    c.c_inst n n0)))
+        | [| Bconst _ |] ->
+          err
+            (Diag.error ~code:"F503" ~signal_name:c.c_inst
+               (Printf.sprintf "cell %s: constant clock" c.c_inst))
+        | _ ->
+          err
+            (Diag.error ~code:"F503" ~signal_name:c.c_inst
+               (Printf.sprintf "cell %s: clock pin is not 1 bit" c.c_inst))
+        | exception Malformed m -> err (Diag.error ~code:"F512" m)
+      end)
+    cells;
+  flush_errs ();
+  let is_clock_bit = function
+    | Bnet n -> !clock_net = Some n
+    | Bconst _ -> false
+  in
+  (* ---- netnames table (for register names and init values) ---- *)
+  let nn_tbl : (string, netname list) Hashtbl.t = Hashtbl.create 64 in
+  let nn_order = ref [] in
+  (match Json.member "netnames" mj with
+  | Some (Json.Assoc l) ->
+    List.iter
+      (fun (nm, nj) ->
+        match
+          bits_of_json ~where:("netname " ^ nm)
+            (Option.value (Json.member "bits" nj) ~default:(Json.List []))
+        with
+        | bits ->
+          let hide =
+            match Json.member "hide_name" nj with
+            | Some (Json.Int n) -> n <> 0
+            | _ -> false
+          in
+          let init = Option.bind (Json.member "attributes" nj) (Json.member "init") in
+          let key = pattern_key bits in
+          let entry = { nn_name = nm; nn_hide = hide; nn_init = init } in
+          Hashtbl.replace nn_tbl key
+            (Option.value (Hashtbl.find_opt nn_tbl key) ~default:[] @ [ entry ]);
+          nn_order := (nm, bits, hide) :: !nn_order
+        | exception Malformed m -> err (Diag.error ~code:"F512" ~signal_name:nm m))
+      l
+  | _ -> ());
+  let nn_order = List.rev !nn_order in
+  flush_errs ();
+  (* ---- producers: one per input port (clock elided) and cell ---- *)
+  let min_bit out =
+    Array.fold_left (fun acc b -> min acc b) max_int out
+  in
+  let clock_port =
+    List.find_opt
+      (fun (_, dir, bits) ->
+        dir = "input" && Array.exists is_clock_bit bits)
+      ports
+  in
+  (match clock_port with
+  | Some (pname, _, bits) when Array.length bits > 1 ->
+    err
+      (Diag.error ~code:"F503" ~signal_name:pname
+         (Printf.sprintf
+            "clock must be a dedicated 1-bit input port (port %s is %d bits)"
+            pname (Array.length bits)))
+  | _ -> ());
+  let prods = ref [] in
+  List.iter
+    (fun (pname, dir, bits) ->
+      if dir = "input" && not (Array.exists is_clock_bit bits) then begin
+        match
+          Array.map
+            (function
+              | Bnet n -> n
+              | Bconst _ ->
+                raise
+                  (Malformed
+                     (Printf.sprintf "port %s: constant bit in input port"
+                        pname)))
+            bits
+        with
+        | out ->
+          prods :=
+            { key = min_bit out; out; src = P_input (pname, Array.length out) }
+            :: !prods
+        | exception Malformed m -> err (Diag.error ~code:"F512" ~signal_name:pname m)
+      end)
+    ports;
+  List.iter
+    (fun (c, cls) ->
+      match conn c (out_pin cls) with
+      | bits -> (
+        match
+          Array.map
+            (function
+              | Bnet n -> n
+              | Bconst _ ->
+                raise
+                  (Malformed
+                     (Printf.sprintf "cell %s: constant bit in output pin"
+                        c.c_inst)))
+            bits
+        with
+        | out when Array.length out > 0 ->
+          prods := { key = min_bit out; out; src = P_cell (c, cls) } :: !prods
+        | _ ->
+          err
+            (Diag.error ~code:"F512" ~signal_name:c.c_inst
+               (Printf.sprintf "cell %s: zero-width output" c.c_inst))
+        | exception Malformed m ->
+          err (Diag.error ~code:"F512" ~signal_name:c.c_inst m))
+      | exception Malformed m ->
+        err (Diag.error ~code:"F512" ~signal_name:c.c_inst m))
+    cells;
+  flush_errs ();
+  let prod_label p =
+    match p.src with
+    | P_input (nm, _) -> Printf.sprintf "port %s" nm
+    | P_cell (c, _) -> Printf.sprintf "%s (%s)" c.c_inst c.c_type
+  in
+  let prods =
+    Array.of_list
+      (List.sort
+         (fun a b ->
+           match Int.compare a.key b.key with
+           | 0 -> String.compare (prod_label a) (prod_label b)
+           | c -> c)
+         !prods)
+  in
+  let np = Array.length prods in
+  (* bit id -> (producer index, offset) *)
+  let bit2prod : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun i p ->
+      Array.iteri
+        (fun off b ->
+          match Hashtbl.find_opt bit2prod b with
+          | Some (i0, _) ->
+            err
+              (Diag.error ~code:"F506"
+                 (Printf.sprintf "net %d driven by both %s and %s" b
+                    (prod_label prods.(i0)) (prod_label p)))
+          | None -> Hashtbl.replace bit2prod b (i, off))
+        p.out)
+    prods;
+  (* Undriven-net and clock-as-data scan over every consumer position. *)
+  let check_use ~who pin bits =
+    Array.iter
+      (fun b ->
+        match b with
+        | Bconst _ -> ()
+        | Bnet n ->
+          if is_clock_bit b then
+            err
+              (Diag.error ~code:"F503"
+                 (Printf.sprintf "clock net %d also used as data by %s (pin %s)"
+                    n who pin))
+          else if not (Hashtbl.mem bit2prod n) then
+            err
+              (Diag.error ~code:"F505"
+                 (Printf.sprintf "net %d (%s, pin %s) has no driver" n who pin)))
+      bits
+  in
+  List.iter
+    (fun (c, cls) ->
+      let op = out_pin cls and ck = clk_pin cls in
+      List.iter
+        (fun (pin, bits) ->
+          if pin <> op && not (is_ff cls && pin = ck) then
+            check_use ~who:(Printf.sprintf "cell %s (%s)" c.c_inst c.c_type) pin
+              bits)
+        c.c_conns)
+    cells;
+  List.iter
+    (fun (pname, dir, bits) ->
+      if dir = "output" then check_use ~who:("output port " ^ pname) "-" bits)
+    ports;
+  (match (!clock_net, clock_port) with
+  | Some n, None ->
+    err
+      (Diag.error ~code:"F503"
+         (Printf.sprintf
+            "clock net %d is not driven by a top-level input port \
+             (clock trees must be cleaned up before import, e.g. Yosys \
+             `opt_clean`)"
+            n))
+  | _ -> ());
+  flush_errs ();
+  (* ---- emission: DFS over producers in min-output-bit order ---- *)
+  let nl = N.create mod_name in
+  (* Chunk-level memo: inline constants and slices synthesized while
+     resolving a connection pattern are shared (deterministically) across
+     patterns. *)
+  let chunk_memo : (string, N.signal) Hashtbl.t = Hashtbl.create 64 in
+  let pattern_memo : (string, N.signal) Hashtbl.t = Hashtbl.create 256 in
+  let sigs = Array.make (max np 1) (-1) in
+  let const_node v =
+    let k = "c:" ^ Bitvec.to_binary_string v in
+    match Hashtbl.find_opt chunk_memo k with
+    | Some s -> s
+    | None ->
+      let s = N.const nl v in
+      Hashtbl.replace chunk_memo k s;
+      s
+  in
+  (* Resolve a connection pattern to a signal.  Producers of every net bit
+     in the pattern must already be emitted. *)
+  let resolve bits =
+    let key = pattern_key bits in
+    match Hashtbl.find_opt pattern_memo key with
+    | Some s -> s
+    | None ->
+      let w = Array.length bits in
+      if w = 0 then raise (Malformed "zero-width connection");
+      (* Decompose LSB->MSB into maximal constant runs and producer slices. *)
+      let chunks = ref [] in
+      let i = ref 0 in
+      while !i < w do
+        (match bits.(!i) with
+        | Bconst _ ->
+          let j = ref !i in
+          while !j < w && (match bits.(!j) with Bconst _ -> true | _ -> false) do
+            incr j
+          done;
+          let run =
+            Array.to_list (Array.sub bits !i (!j - !i))
+            |> List.map (function Bconst ch -> ch | _ -> assert false)
+          in
+          chunks := `Const run :: !chunks;
+          i := !j
+        | Bnet n ->
+          let p, off = Hashtbl.find bit2prod n in
+          let j = ref (!i + 1) in
+          let k = ref (off + 1) in
+          while
+            !j < w
+            && (match bits.(!j) with
+               | Bnet n' -> (
+                 match Hashtbl.find_opt bit2prod n' with
+                 | Some (p', off') -> p' = p && off' = !k
+                 | None -> false)
+               | Bconst _ -> false)
+          do
+            incr j;
+            incr k
+          done;
+          chunks := `Slice (p, off, !k - 1) :: !chunks;
+          i := !j)
+      done;
+      let chunks = List.rev !chunks (* LSB-first *) in
+      let build_chunk = function
+        | `Const run ->
+          (* run is LSB-first; of_binary_string wants MSB-first. *)
+          let s =
+            String.init (List.length run) (fun k ->
+                List.nth run (List.length run - 1 - k))
+          in
+          const_node (Bitvec.of_binary_string s)
+        | `Slice (p, lo, hi) ->
+          let s = sigs.(p) in
+          let wp = Array.length prods.(p).out in
+          if lo = 0 && hi = wp - 1 then s
+          else
+            let k = Printf.sprintf "x:%d:%d:%d" s lo hi in
+            (match Hashtbl.find_opt chunk_memo k with
+            | Some e -> e
+            | None ->
+              let e = N.extract nl ~hi ~lo s in
+              Hashtbl.replace chunk_memo k e;
+              e)
+      in
+      let s =
+        match chunks with
+        | [ one ] -> build_chunk one
+        | many ->
+          (* Build LSB->MSB (stable creation order), concat MSB-first. *)
+          let built =
+            List.fold_left (fun acc ch -> build_chunk ch :: acc) [] many
+          in
+          N.concat nl built
+      in
+      Hashtbl.replace pattern_memo key s;
+      s
+  in
+  let rsig c pin = resolve (conn c pin) in
+  (* Widen or truncate a signal to [w] bits. *)
+  let ext_sig ~signed s w =
+    let ws = N.width nl s in
+    if ws = w then s
+    else if ws > w then N.extract nl ~hi:(w - 1) ~lo:0 s
+    else if signed then begin
+      let m = N.extract nl ~hi:(ws - 1) ~lo:(ws - 1) s in
+      N.concat nl (List.init (w - ws) (fun _ -> m) @ [ s ])
+    end
+    else N.concat nl [ const_node (Bitvec.zero (w - ws)); s ]
+  in
+  let yext s yw =
+    if N.width nl s >= yw then s
+    else N.concat nl [ const_node (Bitvec.zero (yw - N.width nl s)); s ]
+  in
+  let a_signed c = param_int c "A_SIGNED" ~default:0 <> 0 in
+  let both_signed c =
+    a_signed c && param_int c "B_SIGNED" ~default:0 <> 0
+  in
+  (* Deferred connections: flip-flop D/EN/reset inputs and wire drivers
+     resolve after every producer exists (feedback is legal there). *)
+  let deferred_ffs = ref [] and deferred_wires = ref [] in
+  let reg_name_of c out =
+    let qkey = pattern_key (Array.map (fun b -> Bnet b) out) in
+    let entries = Option.value (Hashtbl.find_opt nn_tbl qkey) ~default:[] in
+    let base =
+      match List.find_opt (fun e -> not e.nn_hide) entries with
+      | Some e -> e.nn_name
+      | None -> (
+        match entries with e :: _ -> e.nn_name | [] -> c.c_inst)
+    in
+    let base =
+      if N.find_named nl base = None then base
+      else Printf.sprintf "%s$%d" base (min_bit out)
+    in
+    let init =
+      match List.find_opt (fun e -> e.nn_init <> None) entries with
+      | Some { nn_init = Some (Json.String s); _ } ->
+        if String.exists (fun ch -> ch = 'x' || ch = 'z') s then begin
+          warn
+            (Diag.warning ~code:"F504" ~signal_name:base
+               (Printf.sprintf
+                  "register %s: init value contains x/z bits; treating \
+                   initialization as symbolic"
+                  base));
+          N.Init_symbolic
+        end
+        else
+          let w = Array.length out in
+          let v = Bitvec.of_binary_string s in
+          let wv = Bitvec.width v in
+          let v =
+            if wv = w then v
+            else if wv > w then Bitvec.extract ~hi:(w - 1) ~lo:0 v
+            else Bitvec.concat (Bitvec.zero (w - wv)) v
+          in
+          N.Init_value v
+      | Some { nn_init = Some (Json.Int n); _ } ->
+        N.Init_value (Bitvec.of_int ~width:(Array.length out) n)
+      | _ -> N.Init_symbolic
+    in
+    (base, init)
+  in
+  let build_cell c cls out =
+    let yw () = Array.length out in
+    match cls with
+    | C_ff | C_gate_ff ->
+      let name, init = reg_name_of c out in
+      let r = N.reg nl ~name ~init ~width:(Array.length out) () in
+      (if starts "$adff" c.c_type then
+         warn
+           (Diag.warning ~code:"F503" ~signal_name:name
+              (Printf.sprintf
+                 "cell %s: asynchronous reset modeled as synchronous \
+                  (this abstraction is sound for reachability only if \
+                  reset is quiescent mid-trace)"
+                 c.c_inst)));
+      deferred_ffs := (c, cls, r) :: !deferred_ffs;
+      r
+    | C_wire ->
+      let wsig = N.wire nl (Array.length out) in
+      deferred_wires := (c, wsig) :: !deferred_wires;
+      wsig
+    | C_gate -> (
+      let g pin = rsig c pin in
+      match c.c_type with
+      | "$_NOT_" -> N.not_ nl (g "A")
+      | "$_AND_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.op2 nl N.And a b
+      | "$_NAND_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.not_ nl (N.op2 nl N.And a b)
+      | "$_OR_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.op2 nl N.Or a b
+      | "$_NOR_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.not_ nl (N.op2 nl N.Or a b)
+      | "$_XOR_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.op2 nl N.Xor a b
+      | "$_XNOR_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.not_ nl (N.op2 nl N.Xor a b)
+      | "$_ANDNOT_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.op2 nl N.And a (N.not_ nl b)
+      | "$_ORNOT_" ->
+        let a = g "A" in
+        let b = g "B" in
+        N.op2 nl N.Or a (N.not_ nl b)
+      | "$_MUX_" ->
+        let a = g "A" in
+        let b = g "B" in
+        let s = g "S" in
+        N.mux nl ~sel:s ~on_true:b ~on_false:a
+      | "$_NMUX_" ->
+        let a = g "A" in
+        let b = g "B" in
+        let s = g "S" in
+        N.not_ nl (N.mux nl ~sel:s ~on_true:b ~on_false:a)
+      | "$_AOI3_" ->
+        let a = g "A" in
+        let b = g "B" in
+        let cc = g "C" in
+        N.not_ nl (N.op2 nl N.Or (N.op2 nl N.And a b) cc)
+      | "$_OAI3_" ->
+        let a = g "A" in
+        let b = g "B" in
+        let cc = g "C" in
+        N.not_ nl (N.op2 nl N.And (N.op2 nl N.Or a b) cc)
+      | "$_AOI4_" ->
+        let a = g "A" in
+        let b = g "B" in
+        let cc = g "C" in
+        let d = g "D" in
+        N.not_ nl (N.op2 nl N.Or (N.op2 nl N.And a b) (N.op2 nl N.And cc d))
+      | "$_OAI4_" ->
+        let a = g "A" in
+        let b = g "B" in
+        let cc = g "C" in
+        let d = g "D" in
+        N.not_ nl (N.op2 nl N.And (N.op2 nl N.Or a b) (N.op2 nl N.Or cc d))
+      | _ -> assert false)
+    | C_comb -> (
+      match c.c_type with
+      | "$const" ->
+        N.const nl (param_bv c "VALUE" ~width:(yw ()))
+      | "$slice" ->
+        let a = rsig c "A" in
+        let off = param_int c "OFFSET" ~default:0 in
+        let hi = off + yw () - 1 in
+        if off < 0 || hi >= N.width nl a then
+          raise
+            (Malformed
+               (Printf.sprintf "cell %s: $slice range [%d:%d] exceeds input \
+                                width %d"
+                  c.c_inst hi off (N.width nl a)));
+        N.extract nl ~hi ~lo:off a
+      | "$concat" ->
+        let parts =
+          if conn_opt c "A0" <> None then begin
+            let rec gather k acc =
+              match conn_opt c (Printf.sprintf "A%d" k) with
+              | Some b -> gather (k + 1) (b :: acc)
+              | None -> List.rev acc
+            in
+            gather 0 []
+          end
+          else [ conn c "A"; conn c "B" ]
+        in
+        (* Parts are LSB-first; resolve in that order, concat MSB-first. *)
+        let built =
+          List.fold_left (fun acc b -> resolve b :: acc) [] parts
+        in
+        N.concat nl built
+      | "$mux" ->
+        let a = rsig c "A" in
+        let b = rsig c "B" in
+        let s = rsig c "S" in
+        N.mux nl ~sel:s ~on_true:b ~on_false:a
+      | "$pmux" ->
+        let a = rsig c "A" in
+        let w = N.width nl a in
+        let sbits = conn c "S" in
+        let bbits = conn c "B" in
+        if Array.length bbits <> w * Array.length sbits then
+          raise
+            (Malformed (Printf.sprintf "cell %s: $pmux B/S width mismatch" c.c_inst));
+        let acc = ref a in
+        Array.iteri
+          (fun k sb ->
+            let s = resolve [| sb |] in
+            let b = resolve (Array.sub bbits (k * w) w) in
+            acc := N.mux nl ~sel:s ~on_true:b ~on_false:!acc)
+          sbits;
+        !acc
+      | "$not" ->
+        let a = ext_sig ~signed:(a_signed c) (rsig c "A") (yw ()) in
+        N.not_ nl a
+      | "$neg" ->
+        let a = ext_sig ~signed:(a_signed c) (rsig c "A") (yw ()) in
+        N.op2 nl N.Sub (const_node (Bitvec.zero (yw ()))) a
+      | "$and" | "$or" | "$xor" | "$xnor" | "$add" | "$sub" | "$mul" ->
+        let signed = both_signed c in
+        let a = ext_sig ~signed (rsig c "A") (yw ()) in
+        let b = ext_sig ~signed (rsig c "B") (yw ()) in
+        let op =
+          match c.c_type with
+          | "$and" -> N.And
+          | "$or" -> N.Or
+          | "$xor" | "$xnor" -> N.Xor
+          | "$add" -> N.Add
+          | "$sub" -> N.Sub
+          | _ -> N.Mul
+        in
+        let r = N.op2 nl op a b in
+        if c.c_type = "$xnor" then N.not_ nl r else r
+      | "$eq" | "$ne" | "$eqx" | "$nex" ->
+        (if c.c_type = "$eqx" || c.c_type = "$nex" then
+           warn
+             (Diag.warning ~code:"F504" ~signal_name:c.c_inst
+                (Printf.sprintf
+                   "cell %s: %s treated as its 2-valued counterpart (no x \
+                    semantics)"
+                   c.c_inst c.c_type)));
+        let signed = both_signed c in
+        let a0 = rsig c "A" in
+        let b0 = rsig c "B" in
+        let w = max (N.width nl a0) (N.width nl b0) in
+        let a = ext_sig ~signed a0 w in
+        let b = ext_sig ~signed b0 w in
+        let e = N.op2 nl N.Eq a b in
+        let r =
+          if c.c_type = "$ne" || c.c_type = "$nex" then N.not_ nl e else e
+        in
+        yext r (yw ())
+      | "$lt" | "$le" | "$gt" | "$ge" ->
+        let signed = both_signed c in
+        let a0 = rsig c "A" in
+        let b0 = rsig c "B" in
+        let w = max (N.width nl a0) (N.width nl b0) in
+        let a = ext_sig ~signed a0 w in
+        let b = ext_sig ~signed b0 w in
+        let op = if signed then N.Slt else N.Ult in
+        let r =
+          match c.c_type with
+          | "$lt" -> N.op2 nl op a b
+          | "$gt" -> N.op2 nl op b a
+          | "$le" -> N.not_ nl (N.op2 nl op b a)
+          | _ -> N.not_ nl (N.op2 nl op a b)
+        in
+        yext r (yw ())
+      | "$reduce_or" | "$reduce_bool" -> yext (N.reduce_or nl (rsig c "A")) (yw ())
+      | "$reduce_and" -> yext (N.reduce_and nl (rsig c "A")) (yw ())
+      | "$reduce_xor" | "$reduce_xnor" ->
+        let a = rsig c "A" in
+        let w = N.width nl a in
+        let acc = ref (if w = 1 then a else N.extract nl ~hi:0 ~lo:0 a) in
+        for k = 1 to w - 1 do
+          acc := N.op2 nl N.Xor !acc (N.extract nl ~hi:k ~lo:k a)
+        done;
+        let r = if c.c_type = "$reduce_xnor" then N.not_ nl !acc else !acc in
+        yext r (yw ())
+      | "$logic_not" -> yext (N.not_ nl (N.reduce_or nl (rsig c "A"))) (yw ())
+      | "$logic_and" | "$logic_or" ->
+        let a = N.reduce_or nl (rsig c "A") in
+        let b = N.reduce_or nl (rsig c "B") in
+        let op = if c.c_type = "$logic_and" then N.And else N.Or in
+        yext (N.op2 nl op a b) (yw ())
+      | "$shl" | "$sshl" | "$shr" | "$sshr" ->
+        let w = yw () in
+        let asig = a_signed c in
+        let a = ext_sig ~signed:asig (rsig c "A") w in
+        let b = rsig c "B" in
+        let wb = N.width nl b in
+        let left = c.c_type = "$shl" || c.c_type = "$sshl" in
+        let arith = c.c_type = "$sshr" && asig in
+        let sign () = N.extract nl ~hi:(w - 1) ~lo:(w - 1) a in
+        let acc = ref a in
+        for k = 0 to wb - 1 do
+          let amt = if k >= 62 then max_int else 1 lsl k in
+          let bk = if wb = 1 then b else N.extract nl ~hi:k ~lo:k b in
+          let shifted =
+            if amt >= w then
+              if arith then
+                let m = sign () in
+                if w = 1 then m else N.concat nl (List.init w (fun _ -> m))
+              else const_node (Bitvec.zero w)
+            else if left then
+              let low = N.extract nl ~hi:(w - 1 - amt) ~lo:0 !acc in
+              N.concat nl [ low; const_node (Bitvec.zero amt) ]
+            else
+              let hi = N.extract nl ~hi:(w - 1) ~lo:amt !acc in
+              if arith then
+                let m = sign () in
+                N.concat nl (List.init amt (fun _ -> m) @ [ hi ])
+              else N.concat nl [ const_node (Bitvec.zero amt); hi ]
+          in
+          acc := N.mux nl ~sel:bk ~on_true:shifted ~on_false:!acc
+        done;
+        !acc
+      | ty -> raise (Malformed (Printf.sprintf "unhandled cell type %s" ty)))
+    | C_reject _ -> assert false
+  in
+  (* Combinational dependencies: producer indices read at build time. *)
+  let deps i =
+    match prods.(i).src with
+    | P_input _ -> []
+    | P_cell (_, (C_ff | C_gate_ff | C_wire)) -> []
+    | P_cell (c, cls) ->
+      let op = out_pin cls in
+      let acc = ref [] in
+      List.iter
+        (fun (pin, bits) ->
+          if pin <> op then
+            Array.iter
+              (fun b ->
+                match b with
+                | Bnet n -> (
+                  match Hashtbl.find_opt bit2prod n with
+                  | Some (p, _) when not (List.mem p !acc) -> acc := p :: !acc
+                  | _ -> ())
+                | Bconst _ -> ())
+              bits)
+        c.c_conns;
+      List.rev !acc
+  in
+  let state = Array.make (max np 1) 0 in
+  let stack = ref [] in
+  let rec emit i =
+    match state.(i) with
+    | 2 -> ()
+    | 1 ->
+      let rec cycle acc = function
+        | [] -> acc
+        | j :: _ when j = i -> i :: acc
+        | j :: rest -> cycle (j :: acc) rest
+      in
+      raise (Cycle (List.map (fun j -> prod_label prods.(j)) (cycle [] !stack)))
+    | _ ->
+      state.(i) <- 1;
+      stack := i :: !stack;
+      List.iter emit (deps i);
+      (sigs.(i) <-
+        (match prods.(i).src with
+        | P_input (nm, w) -> N.input nl nm w
+        | P_cell (c, cls) -> build_cell c cls prods.(i).out));
+      stack := List.tl !stack;
+      state.(i) <- 2
+  in
+  (try
+     for i = 0 to np - 1 do
+       emit i
+     done;
+     (* Phase 2: feedback connections, in producer order. *)
+     List.iter
+       (fun (c, cls, r) ->
+         let d = rsig c "D" in
+         match c.c_type with
+         | "$dff" | "$_DFF_P_" -> N.connect_reg nl r d
+         | "$dffe" | "$_DFFE_PP_" | "$_DFFE_PN_" ->
+           N.connect_reg nl r d;
+           let en = rsig c (if cls = C_gate_ff then "E" else "EN") in
+           let pol =
+             if c.c_type = "$_DFFE_PN_" then 0
+             else if c.c_type = "$_DFFE_PP_" then 1
+             else param_int c "EN_POLARITY" ~default:1
+           in
+           N.connect_enable nl r (if pol = 0 then N.not_ nl en else en)
+         | _ ->
+           let sync = starts "$sdff" c.c_type in
+           let rpin, vkey, polkey =
+             if sync then ("SRST", "SRST_VALUE", "SRST_POLARITY")
+             else ("ARST", "ARST_VALUE", "ARST_POLARITY")
+           in
+           let rst = rsig c rpin in
+           let rst =
+             if param_int c polkey ~default:1 = 0 then N.not_ nl rst else rst
+           in
+           let v = const_node (param_bv c vkey ~width:(N.width nl r)) in
+           let hold =
+             if c.c_type = "$adffe" || c.c_type = "$sdffe" then begin
+               let en = rsig c "EN" in
+               let en =
+                 if param_int c "EN_POLARITY" ~default:1 = 0 then N.not_ nl en
+                 else en
+               in
+               N.mux nl ~sel:en ~on_true:d ~on_false:r
+             end
+             else d
+           in
+           N.connect_reg nl r (N.mux nl ~sel:rst ~on_true:v ~on_false:hold))
+       (List.rev !deferred_ffs);
+     List.iter
+       (fun (c, wsig) ->
+         let d = rsig c "A" in
+         N.connect_wire nl wsig
+           (ext_sig ~signed:(a_signed c) d (N.width nl wsig)))
+       (List.rev !deferred_wires);
+     (* Output ports: force their cones into existence and carry the port
+        name onto the driving node when it has none (so sidecars can refer
+        to outputs by port name). *)
+     List.iter
+       (fun (pname, dir, bits) ->
+         if dir = "output" then begin
+           let s = resolve bits in
+           if (N.node nl s).N.name = None && N.find_named nl pname = None then
+             N.set_name nl s pname
+         end)
+       ports
+   with
+  | Malformed m -> Diag.reject ~design:mod_name [ Diag.error ~code:"F512" m ]
+  | Failure m -> Diag.reject ~design:mod_name [ Diag.error ~code:"F512" m ]
+  | Cycle labels ->
+    Diag.reject ~design:mod_name
+      [
+        Diag.error ~code:"F507"
+          (Printf.sprintf "combinational cycle through %s"
+             (String.concat " -> " labels));
+      ]);
+  (* Names for every exactly-matching public netname. *)
+  List.iter
+    (fun (nm, bits, hide) ->
+      if not hide then
+        let full_match =
+          if Array.length bits = 0 then None
+          else
+            match bits.(0) with
+            | Bconst _ -> None
+            | Bnet n0 -> (
+              match Hashtbl.find_opt bit2prod n0 with
+              | Some (p, 0) when Array.length prods.(p).out = Array.length bits
+                -> (
+                let ok = ref true in
+                Array.iteri
+                  (fun off b ->
+                    match b with
+                    | Bnet n when Hashtbl.find_opt bit2prod n = Some (p, off) ->
+                      ()
+                    | _ -> ok := false)
+                  bits;
+                match !ok with true -> Some sigs.(p) | false -> None)
+              | _ -> None)
+        in
+        match full_match with
+        | Some s when (N.node nl s).N.name = None && N.find_named nl nm = None
+          ->
+          N.set_name nl s nm
+        | Some _ -> ()
+        | None ->
+          warn
+            (Diag.info ~code:"F509" ~signal_name:nm
+               (Printf.sprintf
+                  "netname %s does not align with a word-level node; name \
+                   dropped"
+                  nm)))
+    nn_order;
+  if !xz_bits > 0 then
+    warn
+      (Diag.warning ~code:"F504"
+         (Printf.sprintf "%d x/z constant bit(s) treated as 0" !xz_bits));
+  (match N.validate nl with
+  | () -> ()
+  | exception Failure m ->
+    Diag.reject ~design:mod_name
+      (Diag.error ~code:"F508" m :: List.rev !warns));
+  { nl; warnings = List.rev !warns }
+
+let import_string ?top ~design s =
+  match Json.parse_string s with
+  | exception Json.Parse_error m ->
+    Diag.reject ~design [ Diag.error ~code:"F502" m ]
+  | j -> import ?top j
+
+let import_file ?top path =
+  let design = Filename.remove_extension (Filename.basename path) in
+  match Json.parse_file path with
+  | exception Sys_error m -> Diag.reject ~design [ Diag.error ~code:"F502" m ]
+  | exception Json.Parse_error m ->
+    Diag.reject ~design [ Diag.error ~code:"F502" (path ^ ": " ^ m) ]
+  | j -> import ?top j
+
+(* --- export ------------------------------------------------------------- *)
+
+let export nl =
+  N.validate nl;
+  let n = N.num_nodes nl in
+  let has_regs = N.registers nl <> [] in
+  (* Net ids: Yosys convention starts at 2; the synthetic clock takes the
+     first id, then every node gets a fresh consecutive range in id order —
+     the importer recovers creation order from min output ids. *)
+  let next = ref 2 in
+  let clk_bit =
+    if has_regs then begin
+      let b = !next in
+      incr next;
+      Some b
+    end
+    else None
+  in
+  let bits =
+    Array.init n (fun id ->
+        let w = N.width nl id in
+        let b0 = !next in
+        next := !next + w;
+        Array.init w (fun k -> b0 + k))
+  in
+  let jbits id = Json.List (Array.to_list (Array.map (fun b -> Json.Int b) bits.(id))) in
+  let jclk () = Json.List [ Json.Int (Option.get clk_bit) ] in
+  let cell_name id =
+    match (N.node nl id).N.name with
+    | Some nm -> nm
+    | None -> Printf.sprintf "$n%d" id
+  in
+  let dir d = Json.String d in
+  let cells = ref [] in
+  let netnames = ref [] in
+  let add_cell id ty ~params ~dirs ~conns =
+    cells :=
+      ( cell_name id,
+        Json.Assoc
+          [
+            ("hide_name", Json.Int (if (N.node nl id).N.name = None then 1 else 0));
+            ("type", Json.String ty);
+            ("parameters", Json.Assoc params);
+            ("attributes", Json.Assoc []);
+            ("port_directions", Json.Assoc dirs);
+            ("connections", Json.Assoc conns);
+          ] )
+      :: !cells
+  in
+  let pint k v = (k, Json.Int v) in
+  N.iter_nodes nl (fun node ->
+      let id = node.N.id in
+      let w = node.N.width in
+      (match node.N.kind with
+      | N.Input -> ()
+      | N.Const v ->
+        add_cell id "$const"
+          ~params:[ ("VALUE", Json.String (Bitvec.to_binary_string v)); pint "WIDTH" w ]
+          ~dirs:[ ("Y", dir "output") ]
+          ~conns:[ ("Y", jbits id) ]
+      | N.Reg { next = nx; enable; init = _ } ->
+        let nx = Option.get nx in
+        let ty = if enable = None then "$dff" else "$dffe" in
+        let params =
+          [ pint "WIDTH" w; pint "CLK_POLARITY" 1 ]
+          @ if enable = None then [] else [ pint "EN_POLARITY" 1 ]
+        in
+        let dirs =
+          [ ("CLK", dir "input"); ("D", dir "input"); ("Q", dir "output") ]
+          @ if enable = None then [] else [ ("EN", dir "input") ]
+        in
+        let conns =
+          [ ("CLK", jclk ()); ("D", jbits nx); ("Q", jbits id) ]
+          @
+          match enable with
+          | None -> []
+          | Some en -> [ ("EN", jbits en) ]
+        in
+        add_cell id ty ~params ~dirs ~conns
+      | N.Wire { driver } ->
+        let d = Option.get driver in
+        add_cell id "$pos"
+          ~params:[ pint "A_SIGNED" 0; pint "A_WIDTH" (N.width nl d); pint "Y_WIDTH" w ]
+          ~dirs:[ ("A", dir "input"); ("Y", dir "output") ]
+          ~conns:[ ("A", jbits d); ("Y", jbits id) ]
+      | N.Not a ->
+        add_cell id "$not"
+          ~params:[ pint "A_SIGNED" 0; pint "A_WIDTH" (N.width nl a); pint "Y_WIDTH" w ]
+          ~dirs:[ ("A", dir "input"); ("Y", dir "output") ]
+          ~conns:[ ("A", jbits a); ("Y", jbits id) ]
+      | N.Op2 (op, a, b) ->
+        let ty, signed =
+          match op with
+          | N.And -> ("$and", 0)
+          | N.Or -> ("$or", 0)
+          | N.Xor -> ("$xor", 0)
+          | N.Add -> ("$add", 0)
+          | N.Sub -> ("$sub", 0)
+          | N.Mul -> ("$mul", 0)
+          | N.Eq -> ("$eq", 0)
+          | N.Ult -> ("$lt", 0)
+          | N.Slt -> ("$lt", 1)
+        in
+        add_cell id ty
+          ~params:
+            [
+              pint "A_SIGNED" signed; pint "B_SIGNED" signed;
+              pint "A_WIDTH" (N.width nl a); pint "B_WIDTH" (N.width nl b);
+              pint "Y_WIDTH" w;
+            ]
+          ~dirs:[ ("A", dir "input"); ("B", dir "input"); ("Y", dir "output") ]
+          ~conns:[ ("A", jbits a); ("B", jbits b); ("Y", jbits id) ]
+      | N.Mux { sel; on_true; on_false } ->
+        add_cell id "$mux"
+          ~params:[ pint "WIDTH" w ]
+          ~dirs:
+            [
+              ("A", dir "input"); ("B", dir "input"); ("S", dir "input");
+              ("Y", dir "output");
+            ]
+          ~conns:
+            [
+              ("A", jbits on_false); ("B", jbits on_true); ("S", jbits sel);
+              ("Y", jbits id);
+            ]
+      | N.Extract { hi = _; lo; arg } ->
+        add_cell id "$slice"
+          ~params:
+            [ pint "OFFSET" lo; pint "A_WIDTH" (N.width nl arg); pint "Y_WIDTH" w ]
+          ~dirs:[ ("A", dir "input"); ("Y", dir "output") ]
+          ~conns:[ ("A", jbits arg); ("Y", jbits id) ]
+      | N.Concat parts ->
+        (* parts is MSB-first; ports A0.. are LSB-first. *)
+        let lsb_first = List.rev parts in
+        let conns =
+          List.mapi (fun k p -> (Printf.sprintf "A%d" k, jbits p)) lsb_first
+          @ [ ("Y", jbits id) ]
+        in
+        let dirs =
+          List.mapi (fun k _ -> (Printf.sprintf "A%d" k, dir "input")) lsb_first
+          @ [ ("Y", dir "output") ]
+        in
+        add_cell id "$concat" ~params:[ pint "Y_WIDTH" w ] ~dirs ~conns
+      | N.ReduceOr a ->
+        add_cell id "$reduce_or"
+          ~params:[ pint "A_SIGNED" 0; pint "A_WIDTH" (N.width nl a); pint "Y_WIDTH" w ]
+          ~dirs:[ ("A", dir "input"); ("Y", dir "output") ]
+          ~conns:[ ("A", jbits a); ("Y", jbits id) ]
+      | N.ReduceAnd a ->
+        add_cell id "$reduce_and"
+          ~params:[ pint "A_SIGNED" 0; pint "A_WIDTH" (N.width nl a); pint "Y_WIDTH" w ]
+          ~dirs:[ ("A", dir "input"); ("Y", dir "output") ]
+          ~conns:[ ("A", jbits a); ("Y", jbits id) ]);
+      match node.N.name with
+      | None -> ()
+      | Some nm ->
+        let attrs =
+          match node.N.kind with
+          | N.Reg { init = N.Init_value v; _ } ->
+            [ ("init", Json.String (Bitvec.to_binary_string v)) ]
+          | _ -> []
+        in
+        netnames :=
+          ( nm,
+            Json.Assoc
+              [
+                ("hide_name", Json.Int 0);
+                ("bits", jbits id);
+                ("attributes", Json.Assoc attrs);
+              ] )
+          :: !netnames);
+  let ports =
+    (match clk_bit with
+    | Some b ->
+      [
+        ( "clk",
+          Json.Assoc
+            [ ("direction", dir "input"); ("bits", Json.List [ Json.Int b ]) ]
+        );
+      ]
+    | None -> [])
+    @ List.filter_map
+        (fun id ->
+          match (N.node nl id).N.kind with
+          | N.Input ->
+            Some
+              ( cell_name id,
+                Json.Assoc [ ("direction", dir "input"); ("bits", jbits id) ] )
+          | _ -> None)
+        (N.inputs nl)
+  in
+  Json.Assoc
+    [
+      ("creator", Json.String "synthlc export");
+      ( "modules",
+        Json.Assoc
+          [
+            ( N.name nl,
+              Json.Assoc
+                [
+                  ("attributes", Json.Assoc [ ("top", Json.Int 1) ]);
+                  ("ports", Json.Assoc ports);
+                  ("cells", Json.Assoc (List.rev !cells));
+                  ("netnames", Json.Assoc (List.rev !netnames));
+                ] );
+          ] );
+    ]
+
+let export_string nl = Json.to_string (export nl)

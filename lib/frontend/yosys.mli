@@ -1,0 +1,55 @@
+(** Yosys [write_json] netlist frontend.
+
+    {2 Import}
+
+    [import] maps one module of a Yosys JSON netlist onto {!Hdl.Netlist}:
+    the word-level cell library ($add/$sub/$and/$or/$xor/$not/$mux/$eq/
+    $lt/$shl/$shr/$slice/$concat/$pmux/…), the $dff/$dffe/$adff/$sdff
+    flip-flop family, and the [$_*_] gate-level forms Yosys emits after
+    [abc].  Everything else — memories, latches, $assert, tristates,
+    unknown types — is rejected {e by name}: the importer collects a
+    diagnostic per offending cell (type and instance) and raises
+    {!Diag.Rejected} before any analysis runs.  It never silently
+    misencodes a cell.
+
+    Single-clock discipline: every flip-flop must be clocked by the same
+    positive-polarity net, driven by a dedicated 1-bit input port; that
+    port is elided from the imported netlist (the {!Hdl} IR is implicitly
+    synchronous).  [$adff]/[$sdff] asynchronous/synchronous resets are
+    both modeled as a synchronous reset mux (a warning records the
+    async→sync abstraction).
+
+    {2 Export}
+
+    [export] emits a Yosys-compatible JSON netlist from a validated
+    {!Hdl.Netlist}.  The encoding is chosen so that the round trip is the
+    identity on {!Hdl.Netlist.digest}: one cell per node with output bit
+    ids assigned in node order, constants as [$const] cells, wires as
+    [$pos], extracts as [$slice], concats as an [A0..An] [$concat], and
+    named nodes recorded as netnames (register init values as ["init"]
+    attributes).  [import (export nl)] is structurally identical to [nl]
+    — the fuzz battery's round-trip oracle holds this as an invariant. *)
+
+type t = {
+  nl : Hdl.Netlist.t;
+  warnings : Lint.Diagnostic.t list;
+      (** Non-fatal admission findings: x/z bits zeroed, async-reset
+          abstraction, unrepresentable netnames, … *)
+}
+
+val import : ?top:string -> Json.t -> t
+(** Raises {!Diag.Rejected} with the full collected report on any
+    unsupported or malformed construct.  [top] selects a module by name;
+    the default is the module marked with the [top] attribute, or the
+    only non-blackbox module. *)
+
+val import_string : ?top:string -> design:string -> string -> t
+(** Parse then import; [design] attributes parse errors. *)
+
+val import_file : ?top:string -> string -> t
+
+val export : Hdl.Netlist.t -> Json.t
+(** Validates first: raises [Failure] on an unconnected or cyclic
+    netlist. *)
+
+val export_string : Hdl.Netlist.t -> string

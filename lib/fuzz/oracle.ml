@@ -5,6 +5,7 @@ type oracle =
   | O_absint
   | O_lint
   | O_determinism
+  | O_roundtrip
   | O_jobs
   | O_cache_warm
   | O_prune_modes
@@ -32,6 +33,7 @@ let all_oracles =
     O_absint;
     O_lint;
     O_determinism;
+    O_roundtrip;
     O_jobs;
     O_cache_warm;
     O_prune_modes;
@@ -44,6 +46,7 @@ let oracle_name = function
   | O_absint -> "absint"
   | O_lint -> "lint"
   | O_determinism -> "determinism"
+  | O_roundtrip -> "roundtrip"
   | O_jobs -> "jobs"
   | O_cache_warm -> "cache-warm"
   | O_prune_modes -> "prune-modes"
@@ -237,6 +240,57 @@ let run ?(depth = 6) ?(episodes = 3) ?workdir cfg =
              Some
                (Printf.sprintf "re-elaboration digest %s != %s" d2
                   !netlist_digest))
+  in
+  let continue =
+    continue
+    && step O_roundtrip (fun () ->
+           (* Frontend round trip: export the generated design as Yosys
+              JSON, import it back, and require digest identity with the
+              original elaboration — the exporter, parser, cell mapping,
+              and emission order all differentially tested on every fuzzed
+              pipeline.  The sidecar writer/reader round-trips too. *)
+           let meta = Gen.build cfg in
+           let js = Frontend.Yosys.export_string meta.Designs.Meta.nl in
+           match
+             Frontend.Yosys.import_string ~design:(Gen.name cfg) js
+           with
+           | exception Frontend.Diag.Rejected r ->
+             let first =
+               match r.Lint.Diagnostic.diags with
+               | d :: _ -> d.Lint.Diagnostic.message
+               | [] -> "empty report"
+             in
+             Some ("re-import rejected: " ^ first)
+           | { Frontend.Yosys.nl; warnings } -> (
+             let d2 = Hdl.Netlist.digest nl in
+             if d2 <> !netlist_digest then
+               Some
+                 (Printf.sprintf "round-trip digest %s != %s" d2
+                    !netlist_digest)
+             else if warnings <> [] then
+               Some
+                 (Printf.sprintf "re-import warned: %s"
+                    (List.hd warnings).Lint.Diagnostic.message)
+             else
+               let sj =
+                 Frontend.Json.to_string
+                   (Frontend.Sidecar.of_meta ~stimulus:Frontend.Sidecar.S_ibex
+                      ~iuv_pc:Gen.iuv_pc meta)
+               in
+               match
+                 Frontend.Sidecar.resolve nl (Frontend.Json.parse_string sj)
+               with
+               | exception Frontend.Diag.Rejected r ->
+                 let first =
+                   match r.Lint.Diagnostic.diags with
+                   | d :: _ -> d.Lint.Diagnostic.message
+                   | [] -> "empty report"
+                 in
+                 Some ("sidecar round trip rejected: " ^ first)
+               | sc ->
+                 if sc.Frontend.Sidecar.iuv_pc <> Gen.iuv_pc then
+                   Some "sidecar round trip changed iuv_pc"
+                 else None))
   in
   (* Baseline cold run: -j1, both prunes on.  Fills the verdict cache and
      anchors every digest comparison; a failure here is attributed to the

@@ -12,6 +12,10 @@
       (exit ≤ 1 under the lint CLI contract);
     - [O_determinism]: re-elaborating the config reproduces the same
       {!Hdl.Netlist.digest};
+    - [O_roundtrip]: exporting the design as Yosys JSON
+      ({!Frontend.Yosys.export_string}) and importing it back reproduces
+      the original netlist digest with no warnings, and the metadata
+      sidecar survives its own write/read cycle;
     - [O_jobs]: [-j 2] reproduces the [-j 1] report digest bit-for-bit;
     - [O_cache_warm]: a warm verdict-cache run is all-hits/no-misses and
       digests identically to the cold run that filled the store;
@@ -33,6 +37,7 @@ type oracle =
   | O_absint
   | O_lint
   | O_determinism
+  | O_roundtrip
   | O_jobs
   | O_cache_warm
   | O_prune_modes

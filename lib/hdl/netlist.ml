@@ -37,8 +37,23 @@ let create netlist_name =
 let name t = t.netlist_name
 
 let node t s =
-  if s < 0 || s >= t.count then invalid_arg "Netlist.node: bad signal";
+  if s < 0 || s >= t.count then
+    invalid_arg
+      (Printf.sprintf "Netlist.node: bad signal %d in %s (%d nodes)" s
+         t.netlist_name t.count);
   t.nodes.(s)
+
+(* Shared by every error site: name the offending node when it has a name,
+   and always give its id, so a failure inside a large elaboration points
+   at the node rather than just the operation. *)
+let describe_node n =
+  match n.name with
+  | Some nm -> Printf.sprintf "%s (node %d)" nm n.id
+  | None -> Printf.sprintf "node %d" n.id
+
+let describe t s =
+  if s < 0 || s >= t.count then Printf.sprintf "signal %d" s
+  else describe_node t.nodes.(s)
 
 let width t s = (node t s).width
 let num_nodes t = t.count
@@ -56,12 +71,21 @@ let fold_nodes t ~init ~f =
 let find_named t nm = Hashtbl.find_opt t.names nm
 
 let register_name t s nm =
-  if Hashtbl.mem t.names nm then
-    failwith (Printf.sprintf "Netlist %s: duplicate name %s" t.netlist_name nm);
+  (match Hashtbl.find_opt t.names nm with
+  | Some holder ->
+    failwith
+      (Printf.sprintf "Netlist %s: duplicate name %s (held by %s, wanted for node %d)"
+         t.netlist_name nm (describe t holder) s)
+  | None -> ());
   Hashtbl.replace t.names nm s
 
 let add t ?name width kind =
-  if width <= 0 then invalid_arg "Netlist.add: width must be positive";
+  if width <= 0 then
+    invalid_arg
+      (Printf.sprintf "Netlist.add: width must be positive, got %d for %s (node %d)"
+         width
+         (match name with Some nm -> nm | None -> "<unnamed>")
+         t.count);
   if t.count = Array.length t.nodes then begin
     let a = Array.make (2 * t.count) t.nodes.(0) in
     Array.blit t.nodes 0 a 0 t.count;
@@ -88,7 +112,12 @@ let const t v = add t (Bitvec.width v) (Const v)
 let reg t ?enable ~name ~init ~width () =
   (match init with
   | Init_value v ->
-    if Bitvec.width v <> width then invalid_arg "Netlist.reg: init width mismatch"
+    if Bitvec.width v <> width then
+      invalid_arg
+        (Printf.sprintf
+           "Netlist.reg: init width mismatch for %s (node %d): init is %d bits, \
+            register is %d"
+           name t.count (Bitvec.width v) width)
   | Init_symbolic -> ());
   add t ~name width (Reg { init; next = None; enable })
 
@@ -98,31 +127,58 @@ let connect_reg t r nxt =
   match (node t r).kind with
   | Reg re ->
     (match re.next with
-    | Some _ -> failwith "Netlist.connect_reg: already connected"
+    | Some _ ->
+      failwith
+        (Printf.sprintf "Netlist.connect_reg: %s already connected" (describe t r))
     | None ->
-      if width t nxt <> width t r then failwith "Netlist.connect_reg: width mismatch";
+      if width t nxt <> width t r then
+        failwith
+          (Printf.sprintf
+             "Netlist.connect_reg: width mismatch: %s is %d bits, next %s is %d"
+             (describe t r) (width t r) (describe t nxt) (width t nxt));
       re.next <- Some nxt)
-  | _ -> failwith "Netlist.connect_reg: not a register"
+  | _ ->
+    failwith
+      (Printf.sprintf "Netlist.connect_reg: %s is not a register" (describe t r))
 
 let connect_enable t r en =
   match (node t r).kind with
   | Reg re ->
     (match re.enable with
-    | Some _ -> failwith "Netlist.connect_enable: already connected"
+    | Some _ ->
+      failwith
+        (Printf.sprintf "Netlist.connect_enable: %s already connected"
+           (describe t r))
     | None ->
-      if width t en <> 1 then failwith "Netlist.connect_enable: enable must be 1 bit";
+      if width t en <> 1 then
+        failwith
+          (Printf.sprintf
+             "Netlist.connect_enable: enable for %s must be 1 bit, %s is %d"
+             (describe t r) (describe t en) (width t en));
       re.enable <- Some en)
-  | _ -> failwith "Netlist.connect_enable: not a register"
+  | _ ->
+    failwith
+      (Printf.sprintf "Netlist.connect_enable: %s is not a register"
+         (describe t r))
 
 let connect_wire t w drv =
   match (node t w).kind with
   | Wire wi ->
     (match wi.driver with
-    | Some _ -> failwith "Netlist.connect_wire: already connected"
+    | Some _ ->
+      failwith
+        (Printf.sprintf "Netlist.connect_wire: %s already connected"
+           (describe t w))
     | None ->
-      if width t drv <> width t w then failwith "Netlist.connect_wire: width mismatch";
+      if width t drv <> width t w then
+        failwith
+          (Printf.sprintf
+             "Netlist.connect_wire: width mismatch: %s is %d bits, driver %s is %d"
+             (describe t w) (width t w) (describe t drv) (width t drv));
       wi.driver <- Some drv)
-  | _ -> failwith "Netlist.connect_wire: not a wire"
+  | _ ->
+    failwith
+      (Printf.sprintf "Netlist.connect_wire: %s is not a wire" (describe t w))
 
 let not_ t a = add t (width t a) (Not a)
 
@@ -130,24 +186,39 @@ let op2 t op a b =
   let wa = width t a and wb = width t b in
   (match op with
   | And | Or | Xor | Add | Sub | Mul | Eq | Ult | Slt ->
-    if wa <> wb then invalid_arg "Netlist.op2: width mismatch");
+    if wa <> wb then
+      invalid_arg
+        (Printf.sprintf "Netlist.op2: width mismatch: %s is %d bits, %s is %d"
+           (describe t a) wa (describe t b) wb));
   let w = match op with Eq | Ult | Slt -> 1 | _ -> wa in
   add t w (Op2 (op, a, b))
 
 let mux t ~sel ~on_true ~on_false =
-  if width t sel <> 1 then invalid_arg "Netlist.mux: selector must be 1 bit";
+  if width t sel <> 1 then
+    invalid_arg
+      (Printf.sprintf "Netlist.mux: selector %s must be 1 bit, got %d"
+         (describe t sel) (width t sel));
   if width t on_true <> width t on_false then
-    invalid_arg "Netlist.mux: branch width mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Netlist.mux: branch width mismatch: %s is %d bits, %s is %d"
+         (describe t on_true) (width t on_true) (describe t on_false)
+         (width t on_false));
   add t (width t on_true) (Mux { sel; on_true; on_false })
 
 let extract t ~hi ~lo arg =
   let w = width t arg in
-  if lo < 0 || hi >= w || hi < lo then invalid_arg "Netlist.extract: bad range";
+  if lo < 0 || hi >= w || hi < lo then
+    invalid_arg
+      (Printf.sprintf "Netlist.extract: bad range [%d:%d] of %s (%d bits)" hi lo
+         (describe t arg) w);
   add t (hi - lo + 1) (Extract { hi; lo; arg })
 
 let concat t parts =
   match parts with
-  | [] -> invalid_arg "Netlist.concat: empty"
+  | [] ->
+    invalid_arg
+      (Printf.sprintf "Netlist.concat: empty part list in %s" t.netlist_name)
   | [ s ] -> s
   | _ ->
     let w = List.fold_left (fun acc s -> acc + width t s) 0 parts in
@@ -218,11 +289,7 @@ let comb_sccs t =
   List.rev !sccs
 
 let validate t =
-  let describe n =
-    match n.name with
-    | Some nm -> Printf.sprintf "%s (node %d)" nm n.id
-    | None -> Printf.sprintf "node %d" n.id
-  in
+  let describe = describe_node in
   (* Collect every problem before failing: all unconnected registers and
      wires, then every combinational cycle (one per nontrivial SCC), so a
      partial design surfaces its full repair list in one error. *)

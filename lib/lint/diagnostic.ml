@@ -49,6 +49,7 @@ let pass_of_code code =
     | 'L', '2' -> "reach"
     | 'T', '3' -> "taintflow"
     | 'A', '4' -> "knownbits"
+    | 'F', '5' -> "frontend"
     | _ -> "unknown"
 
 (* One-line catalogue entries: what the rule means, independent of the
@@ -81,6 +82,18 @@ let rule_summary = function
   | "A404" -> "extract discards bits proven 1"
   | "A405" -> "register never toggles from reset"
   | "A406" -> "register enable proven always 1"
+  | "F501" -> "unsupported cell type in imported netlist"
+  | "F502" -> "malformed netlist JSON"
+  | "F503" -> "clock discipline violation"
+  | "F504" -> "x/z constant bit treated as 0"
+  | "F505" -> "undriven net consumed by a cell"
+  | "F506" -> "net driven by more than one cell"
+  | "F507" -> "combinational cycle among imported cells"
+  | "F508" -> "imported netlist failed validation"
+  | "F509" -> "netname not representable on the word-level IR"
+  | "F510" -> "sidecar names an unknown signal"
+  | "F511" -> "malformed metadata sidecar"
+  | "F512" -> "malformed cell connection or parameter"
   | _ -> "unknown rule"
 
 let where d =

@@ -933,6 +933,26 @@ let to_uhb_decisions r =
         dsts)
     r.decisions
 
+(* Semantic fields only: stage_stats and checker_stats are observability
+   (they vary with prune modes, cache warmth, and shard count), so two runs
+   that uncovered the same µPATH set digest identically — the same contract
+   as Synthlc.Engine.report_digest. *)
+let result_digest r =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( r.instr,
+            r.duv_pls,
+            r.pruned_duv_states,
+            r.iuv_pls,
+            r.implications,
+            r.exclusives,
+            (r.naive_sets, r.candidate_sets),
+            r.paths,
+            r.decisions,
+            r.revisit_counts )
+          [ Marshal.No_sharing ]))
+
 let pp_result fmt r =
   Format.fprintf fmt "@[<v>== RTL2MuPATH result for %s ==@," (Isa.to_string r.instr);
   Format.fprintf fmt "DUV PLs (%d): %s@," (List.length r.duv_pls)

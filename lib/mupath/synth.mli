@@ -129,3 +129,8 @@ val run :
 val to_uhb_paths : result -> Uhb.Path.t list
 val to_uhb_decisions : result -> Uhb.Decision.t list
 val pp_result : Format.formatter -> result -> unit
+
+val result_digest : result -> string
+(** Hex digest of the semantic result fields (µPATH set, implications,
+    decisions, revisit counts) — excludes stage/checker statistics, so it
+    is stable across job counts, cache warmth, and prune modes. *)

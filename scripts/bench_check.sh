@@ -74,7 +74,14 @@ project_semantic() {
           kv("fuzz.skipped"; .skipped),
           kv("fuzz.checker_props"; .checker_props),
           kv("fuzz.pruned_static"; .pruned_static),
-          kv("fuzz.netlist_digests"; .netlist_digests))
+          kv("fuzz.netlist_digests"; .netlist_digests)),
+      (.frontend? // empty
+        | kv("frontend.designs"; .designs),
+          kv("frontend.roundtrip_identical"; .roundtrip_identical),
+          kv("frontend.warnings"; .warnings),
+          kv("frontend.netlist_digests"; .netlist_digests),
+          kv("frontend.run_identical"; .run_identical),
+          kv("frontend.run_digest"; .run_digest))
     ] | .[]
   ' "$1"
 }
@@ -87,7 +94,11 @@ project_timing() {
       kv("total_time_s"; .total_time_s),
       (.experiments[]? | kv("experiment.\(.id).time_s"; .time_s)),
       (.cache? // empty | kv("cache.t_warm_s"; .t_warm_s)),
-      (.fuzz? // empty | kv("fuzz.t_total_s"; .t_total_s))
+      (.fuzz? // empty | kv("fuzz.t_total_s"; .t_total_s)),
+      (.frontend? // empty
+        | kv("frontend.t_export_s"; .t_export_s),
+          kv("frontend.t_import_s"; .t_import_s),
+          kv("frontend.t_run_s"; .t_run_s))
     ] | .[]
   ' "$1"
 }

@@ -27,4 +27,5 @@ let () =
       Test_taint.suite;
       Test_lint.suite;
       Test_fuzz.suite;
+      Test_frontend.suite;
     ]

@@ -1,0 +1,289 @@
+(* Yosys-JSON frontend tests: JSON parser round trips, golden parse of the
+   committed example (digest-identical to the built-in elaboration),
+   per-class rejection of unsupported constructs with messages naming the
+   cell type and instance, sidecar resolution errors, qcheck round-trip
+   over fuzz-generated pipelines, and the CLI exit-2 agreement between
+   mupath/synthlc/lint on unknown design names. *)
+
+module J = Frontend.Json
+module Y = Frontend.Yosys
+module N = Hdl.Netlist
+module D = Lint.Diagnostic
+
+let example_json = "../examples/ibex_lite.json"
+let example_meta = "../examples/ibex_lite.meta.json"
+let cli = "../bin/synthlc_cli.exe"
+
+(* --- Json --------------------------------------------------------------- *)
+
+let test_json_basics () =
+  let j = J.parse_string {| {"a": [1, -2, 3], "b": "x\nyA", "c": {"d": true, "e": null}, "f": 2.5} |} in
+  Alcotest.(check (option int)) "int" (Some 1)
+    (Option.bind (J.member "a" j) (fun l ->
+         match l with J.List (x :: _) -> J.to_int x | _ -> None));
+  Alcotest.(check (option string)) "escapes" (Some "x\nyA")
+    (Option.bind (J.member "b" j) J.to_str);
+  (* print -> parse is the identity *)
+  let j2 = J.parse_string (J.to_string j) in
+  Alcotest.(check bool) "print/parse round trip" true (j = j2);
+  let j3 = J.parse_string (J.to_string ~compact:true j) in
+  Alcotest.(check bool) "compact print/parse round trip" true (j = j3)
+
+let test_json_errors () =
+  List.iter
+    (fun src ->
+      match J.parse_string src with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parsed malformed input %S" src)
+    [ "{"; "[1,]"; "{\"a\" 1}"; "\"unterminated"; "01"; "nul"; "{} trailing" ]
+
+(* --- golden example ------------------------------------------------------ *)
+
+let test_golden_example () =
+  let { Y.nl; warnings } = Y.import_file example_json in
+  Alcotest.(check (list string)) "no warnings" []
+    (List.map (fun (d : D.t) -> d.D.message) warnings);
+  let builtin = Designs.Ibex.build () in
+  Alcotest.(check string) "digest identical to built-in ibex_lite"
+    (N.digest builtin.Designs.Meta.nl)
+    (N.digest nl);
+  let sc = Frontend.Sidecar.resolve_file nl example_meta in
+  Alcotest.(check int) "iuv_pc" 2 sc.Frontend.Sidecar.iuv_pc;
+  Alcotest.(check bool) "stimulus ibex" true
+    (sc.Frontend.Sidecar.stimulus = Frontend.Sidecar.S_ibex);
+  let meta = sc.Frontend.Sidecar.meta in
+  Alcotest.(check int) "uFSM count"
+    (List.length builtin.Designs.Meta.ufsms)
+    (List.length meta.Designs.Meta.ufsms);
+  Alcotest.(check int) "ARF size"
+    (List.length builtin.Designs.Meta.arf)
+    (List.length meta.Designs.Meta.arf)
+
+let test_example_admission () =
+  let d =
+    Frontend.Admission.load ~json_path:example_json ~meta_path:example_meta ()
+  in
+  let errors =
+    List.filter
+      (fun (x : D.t) -> x.D.severity = D.Error)
+      d.Frontend.Admission.report.D.diags
+  in
+  Alcotest.(check int) "no admission errors" 0 (List.length errors)
+
+(* --- rejection per unsupported-cell class -------------------------------- *)
+
+let wrap_module cells =
+  Printf.sprintf
+    {|{ "modules": { "m": { "attributes": {"top": 1},
+        "ports": {
+          "clk": {"direction": "input", "bits": [2]},
+          "a": {"direction": "input", "bits": [3]},
+          "q": {"direction": "output", "bits": [4]}
+        },
+        "cells": { %s },
+        "netnames": {} } } }|}
+    cells
+
+let reject_msgs src =
+  match Y.import_string ~design:"t" src with
+  | _ -> Alcotest.fail "import unexpectedly admitted the design"
+  | exception Frontend.Diag.Rejected r ->
+    List.map (fun (d : D.t) -> (d.D.code, d.D.message)) r.D.diags
+
+let check_rejects ~what ~code ~needles cells =
+  let msgs = reject_msgs (wrap_module cells) in
+  let all = String.concat "\n" (List.map snd msgs) in
+  Alcotest.(check bool)
+    (what ^ ": carries code " ^ code)
+    true
+    (List.exists (fun (c, _) -> c = code) msgs);
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and al = String.length all in
+        let rec go i = i + nl <= al && (String.sub all i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: message mentions %S" what needle)
+        true found)
+    needles
+
+let test_reject_memory () =
+  check_rejects ~what:"memory" ~code:"F501"
+    ~needles:[ "$mem_v2"; "mem0"; "memory" ]
+    {|"mem0": {"type": "$mem_v2", "parameters": {}, "connections": {"RD_DATA": [4]}}|}
+
+let test_reject_latch () =
+  check_rejects ~what:"latch" ~code:"F501"
+    ~needles:[ "$dlatch"; "lat1"; "latch" ]
+    {|"lat1": {"type": "$dlatch", "parameters": {},
+       "connections": {"Q": [4], "D": [3], "EN": [3]}}|}
+
+let test_reject_assert () =
+  check_rejects ~what:"$assert" ~code:"F501"
+    ~needles:[ "$assert"; "chk"; "formal" ]
+    {|"chk": {"type": "$assert", "parameters": {}, "connections": {"A": [3], "EN": [3]}},
+      "buf": {"type": "$pos", "parameters": {}, "connections": {"A": [3], "Y": [4]}}|}
+
+let test_reject_unknown () =
+  check_rejects ~what:"unknown cell" ~code:"F501"
+    ~needles:[ "$frobnicate"; "u7" ]
+    {|"u7": {"type": "$frobnicate", "parameters": {}, "connections": {"Y": [4], "A": [3]}}|}
+
+let test_reject_negative_clock () =
+  check_rejects ~what:"negative clock polarity" ~code:"F503"
+    ~needles:[ "$dff"; "r0"; "polarity" ]
+    {|"r0": {"type": "$dff", "parameters": {"WIDTH": 1, "CLK_POLARITY": 0},
+       "connections": {"CLK": [2], "D": [3], "Q": [4]}}|}
+
+let test_rejections_collected () =
+  (* Every unsupported cell is named before rejection — not just the
+     first. *)
+  let msgs =
+    reject_msgs
+      (wrap_module
+         {|"mem0": {"type": "$mem_v2", "parameters": {}, "connections": {"RD_DATA": [4]}},
+           "lat1": {"type": "$dlatch", "parameters": {}, "connections": {"Q": [5], "D": [3], "EN": [3]}},
+           "chk": {"type": "$assert", "parameters": {}, "connections": {"A": [3], "EN": [3]}}|})
+  in
+  Alcotest.(check int) "all three cells reported" 3
+    (List.length (List.filter (fun (c, _) -> c = "F501") msgs))
+
+let test_reject_malformed () =
+  let msgs =
+    match Y.import_string ~design:"t" "{ \"modules\": " with
+    | _ -> Alcotest.fail "parsed truncated JSON"
+    | exception Frontend.Diag.Rejected r ->
+      List.map (fun (d : D.t) -> d.D.code) r.D.diags
+  in
+  Alcotest.(check (list string)) "truncated JSON is F502" [ "F502" ] msgs
+
+let test_xz_zeroed_with_warning () =
+  let src =
+    wrap_module
+      {|"inv": {"type": "$not", "parameters": {"A_WIDTH": 2, "Y_WIDTH": 1},
+         "connections": {"A": ["x", "0"], "Y": [4]}}|}
+  in
+  let { Y.nl = _; warnings } = Y.import_string ~design:"t" src in
+  Alcotest.(check bool) "F504 warning emitted" true
+    (List.exists (fun (d : D.t) -> d.D.code = "F504") warnings)
+
+(* --- sidecar errors ------------------------------------------------------ *)
+
+let import_example () = (Y.import_file example_json).Y.nl
+
+let test_sidecar_unknown_signal () =
+  let nl = import_example () in
+  let sidecar =
+    J.parse_string
+      {|{"design": "ibex_lite", "iuv_pc": 2,
+         "ifrs": [{"valid": "no_such_signal", "pc": "if_pc", "word": "if_i"}],
+         "operand_stage": {"valid": "operand_stage_valid", "pc": "ex_pc"},
+         "commit": "commit", "commit_pc": "commit_pc", "flush": "flush"}|}
+  in
+  match Frontend.Sidecar.resolve nl sidecar with
+  | _ -> Alcotest.fail "resolved a sidecar naming an unknown signal"
+  | exception Frontend.Diag.Rejected r ->
+    let d =
+      List.find (fun (d : D.t) -> d.D.code = "F510") r.D.diags
+    in
+    Alcotest.(check (option string)) "names the missing signal"
+      (Some "no_such_signal") d.D.signal_name
+
+let test_sidecar_malformed () =
+  let nl = import_example () in
+  match Frontend.Sidecar.resolve nl (J.parse_string {|{"iuv_pc": "two"}|}) with
+  | _ -> Alcotest.fail "resolved a malformed sidecar"
+  | exception Frontend.Diag.Rejected r ->
+    Alcotest.(check bool) "F511 diagnostics" true
+      (List.for_all (fun (d : D.t) -> d.D.code = "F511") r.D.diags
+      && r.D.diags <> [])
+
+(* --- round trip ---------------------------------------------------------- *)
+
+let roundtrip_ok meta =
+  let nl = meta.Designs.Meta.nl in
+  let d0 = N.digest nl in
+  let { Y.nl = nl'; warnings } =
+    Y.import_string ~design:"rt" (Y.export_string nl)
+  in
+  warnings = [] && String.equal d0 (N.digest nl')
+
+let test_roundtrip_builtins () =
+  List.iter
+    (fun (name, meta) ->
+      Alcotest.(check bool) (name ^ " round-trips digest-identically") true
+        (roundtrip_ok meta))
+    [
+      ("cva6_lite", Designs.Core.build Designs.Core.baseline);
+      ("ibex_lite", Designs.Ibex.build ());
+      ("gated", Designs.Gated.build ());
+      ("cva6_cache", Designs.Cache.build ());
+    ]
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:12 ~name:"fuzz-generated designs round-trip"
+    QCheck.(map (fun i -> i land 0xff) int)
+    (fun i ->
+      let cfg = Fuzz.Gen.config_for ~seed:5 i in
+      roundtrip_ok (Fuzz.Gen.build cfg))
+
+(* --- CLI contracts ------------------------------------------------------- *)
+
+let exit_of cmdline =
+  Sys.command (Printf.sprintf "%s >/dev/null 2>&1" cmdline)
+
+let test_cli_unknown_design_agreement () =
+  List.iter
+    (fun sub ->
+      Alcotest.(check int)
+        (sub ^ " exits 2 on an unknown design")
+        2
+        (exit_of (Printf.sprintf "%s %s" cli sub)))
+    [
+      "mupath -d no_such_design -i 'add r1, r2, r3'";
+      "synthlc -d no_such_design";
+      "lint no_such_design";
+    ]
+
+let test_cli_import_contract () =
+  Alcotest.(check int) "import of the committed example exits 0" 0
+    (exit_of (Printf.sprintf "%s import %s --meta %s" cli example_json example_meta));
+  Alcotest.(check int) "import of a missing file exits 2" 2
+    (exit_of (Printf.sprintf "%s import no_such_file.json" cli))
+
+let suite =
+  ( "frontend",
+    [
+      Alcotest.test_case "json parse/print basics" `Quick test_json_basics;
+      Alcotest.test_case "json parse errors" `Quick test_json_errors;
+      Alcotest.test_case "golden parse of committed example" `Quick
+        test_golden_example;
+      Alcotest.test_case "committed example passes admission" `Quick
+        test_example_admission;
+      Alcotest.test_case "reject memory cells by name" `Quick
+        test_reject_memory;
+      Alcotest.test_case "reject latches by name" `Quick test_reject_latch;
+      Alcotest.test_case "reject $assert by name" `Quick test_reject_assert;
+      Alcotest.test_case "reject unknown cells by name" `Quick
+        test_reject_unknown;
+      Alcotest.test_case "reject negative clock polarity" `Quick
+        test_reject_negative_clock;
+      Alcotest.test_case "all unsupported cells collected" `Quick
+        test_rejections_collected;
+      Alcotest.test_case "malformed JSON is F502" `Quick test_reject_malformed;
+      Alcotest.test_case "x/z bits zeroed with F504 warning" `Quick
+        test_xz_zeroed_with_warning;
+      Alcotest.test_case "sidecar unknown signal is F510" `Quick
+        test_sidecar_unknown_signal;
+      Alcotest.test_case "malformed sidecar is F511" `Quick
+        test_sidecar_malformed;
+      Alcotest.test_case "built-ins round-trip digest-identically" `Quick
+        test_roundtrip_builtins;
+      QCheck_alcotest.to_alcotest qcheck_roundtrip;
+      Alcotest.test_case "mupath/synthlc/lint agree on exit 2" `Quick
+        test_cli_unknown_design_agreement;
+      Alcotest.test_case "import CLI exit contract" `Quick
+        test_cli_import_contract;
+    ] )

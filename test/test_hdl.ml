@@ -88,6 +88,73 @@ let test_width_checks () =
        false
      with Invalid_argument _ -> true)
 
+(* Satellite audit: every construction/connection error names the offending
+   node (name when set, id always), so a failure deep inside elaboration or
+   import points at the node, not just the operation. *)
+let test_error_messages_name_nodes () =
+  let nl = fresh "e" in
+  let a = N.input nl "a" 4 and b = N.input nl "b" 8 in
+  let expect_msg what f needles =
+    let msg =
+      try
+        f ();
+        Alcotest.failf "%s: expected an exception" what
+      with
+      | Failure m | Invalid_argument m -> m
+    in
+    let contains sub =
+      let rec go i =
+        i + String.length sub <= String.length msg
+        && (String.sub msg i (String.length sub) = sub || go (i + 1))
+      in
+      go 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s mentions %S (got %S)" what needle msg)
+          true (contains needle))
+      needles
+  in
+  expect_msg "op2 mismatch"
+    (fun () -> ignore (N.op2 nl N.Add a b))
+    [ "a (node 0)"; "b (node 1)"; "4"; "8" ];
+  expect_msg "mux selector"
+    (fun () -> ignore (N.mux nl ~sel:b ~on_true:a ~on_false:a))
+    [ "b (node 1)"; "1 bit" ];
+  expect_msg "extract range"
+    (fun () -> ignore (N.extract nl ~hi:4 ~lo:0 a))
+    [ "a (node 0)"; "[4:0]" ];
+  expect_msg "bad signal"
+    (fun () -> ignore (N.node nl 99))
+    [ "99"; "e" ];
+  let r = N.reg nl ~name:"r" ~init:N.Init_symbolic ~width:4 () in
+  expect_msg "connect_reg width"
+    (fun () -> N.connect_reg nl r b)
+    [ "r (node 2)"; "b (node 1)" ];
+  expect_msg "connect_reg not a register"
+    (fun () -> N.connect_reg nl a b)
+    [ "a (node 0)"; "not a register" ];
+  N.connect_reg nl r a;
+  expect_msg "connect_reg already connected"
+    (fun () -> N.connect_reg nl r a)
+    [ "r (node 2)"; "already connected" ];
+  expect_msg "connect_enable width"
+    (fun () -> N.connect_enable nl r b)
+    [ "r (node 2)"; "b (node 1)" ];
+  let w = N.wire nl ~name:"w" 4 in
+  expect_msg "connect_wire width"
+    (fun () -> N.connect_wire nl w b)
+    [ "w (node 3)"; "b (node 1)" ];
+  expect_msg "duplicate name"
+    (fun () -> ignore (N.input nl "a" 1))
+    [ "a (node 0)"; "duplicate" ];
+  expect_msg "reg init width"
+    (fun () ->
+      ignore
+        (N.reg nl ~name:"bad" ~init:(N.Init_value (Bitvec.zero 2)) ~width:4 ()))
+    [ "bad"; "2"; "4" ]
+
 let test_names_unique () =
   let nl = fresh "n" in
   let _ = N.input nl "x" 1 in
@@ -195,6 +262,8 @@ let suite =
       Alcotest.test_case "combinational cycle" `Quick test_comb_cycle_detected;
       Alcotest.test_case "register breaks cycle" `Quick test_reg_breaks_cycle;
       Alcotest.test_case "width checks" `Quick test_width_checks;
+      Alcotest.test_case "error messages name nodes" `Quick
+        test_error_messages_name_nodes;
       Alcotest.test_case "unique names" `Quick test_names_unique;
       Alcotest.test_case "topological order" `Quick test_comb_order;
       Alcotest.test_case "combinational cone" `Quick test_comb_cone;

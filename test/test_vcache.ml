@@ -146,14 +146,24 @@ let test_self_heal () =
     (Vcache.find (Vcache.create ~dir ()) "key");
   Alcotest.(check bool) "truncated entry file was deleted" false
     (Sys.file_exists path);
-  (* Orphan tmp files (interrupted writers) are swept at create time. *)
-  overwrite (Filename.concat dir ".tmp.12345.0") "half-written";
-  overwrite (Filename.concat dir ".tmp.12345.1") "";
+  (* Orphan tmp files (interrupted writers) are swept at create time — but
+     only once they are older than the safety threshold, so a concurrently
+     live writer's in-flight tmp file survives. *)
+  let stale0 = Filename.concat dir ".tmp.12345.0" in
+  let stale1 = Filename.concat dir ".tmp.12345.1" in
+  let fresh = Filename.concat dir ".tmp.12345.2" in
+  overwrite stale0 "half-written";
+  overwrite stale1 "";
+  overwrite fresh "in-flight";
+  let old = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes stale0 old old;
+  Unix.utimes stale1 old old;
   let c2 = Vcache.create ~dir () in
-  Alcotest.(check bool) "orphan tmp files swept at create" true
-    (Array.for_all
-       (fun f -> not (String.starts_with ~prefix:".tmp." f))
-       (Sys.readdir dir));
+  Alcotest.(check bool) "stale orphan tmp files swept at create" false
+    (Sys.file_exists stale0 || Sys.file_exists stale1);
+  Alcotest.(check bool) "fresh tmp file (live writer) survives the sweep" true
+    (Sys.file_exists fresh);
+  Sys.remove fresh;
   (* The healed directory works normally afterwards. *)
   Vcache.add c2 "key" "replacement";
   Alcotest.(check (option string)) "healed directory stores again"
