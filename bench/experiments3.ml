@@ -362,3 +362,149 @@ let frontend_bench () =
         fe_run_digest = dg_builtin;
         fe_t_run = t_run;
       }
+
+(* P10 — equivalence-aware netlist reduction (DESIGN.md §19).
+
+   Three contracts of the SAT sweep, pinned on gate-level variants
+   produced by {!Hdl.Gateify} (the committed examples/ibex_lite_gl.json
+   is this lowering serialized):
+
+   - reduction: the gate-level ibex_lite sweeps at least 20% of its
+     combinational nodes away (merge ratio is a semantic gate key);
+   - tri-mode identity: a synthesis run over the gate-level gated DUV is
+     report-digest-identical with sweep off / on / audit, and identical
+     to the word-level original — canonical witnesses make the verdict
+     stream encoding-independent;
+   - semantic cache: a cold gate-level run fills the behavioral-key
+     namespace and the word-level original replays from it warm with
+     zero misses.  Wall-clock (off vs on) stays warn-only. *)
+
+type sweep_row = {
+  sw_comb_nodes : int;  (* gate-level ibex_lite combinational nodes *)
+  sw_merged : int;  (* nodes swept away *)
+  sw_classes : int;  (* proven classes with at least one merge *)
+  sw_t_off : float;  (* gl gated synth, sweep off *)
+  sw_t_on : float;  (* gl gated synth, sweep on *)
+  sw_equal : bool;  (* digest identical off/on/audit + word-level *)
+  sw_digest : string;
+  sw_sem_hits : int;  (* warm word-level run, semantic namespace *)
+  sw_sem_misses : int;
+  sw_sem_equal : bool;  (* cross-variant cached digests identical *)
+}
+
+let sweep_result : sweep_row option ref = ref None
+
+(* Gate-level variant of a built-in, metadata re-resolved by name over
+   the lowered netlist — the in-process equivalent of export --gate-level
+   followed by import. *)
+let gl_variant ~stimulus ~iuv_pc build =
+  let meta = build () in
+  let gl_nl, _ = Hdl.Gateify.run meta.Designs.Meta.nl in
+  let sc =
+    Frontend.Sidecar.resolve gl_nl
+      (Frontend.Sidecar.of_meta ~stimulus ~iuv_pc meta)
+  in
+  sc.Frontend.Sidecar.meta
+
+let sweep_bench () =
+  section "P10"
+    "Equivalence sweep - gate-level reduction, tri-mode identity, semantic \
+     cache";
+  (* Reduction ratio on the gate-level ibex_lite. *)
+  let gl_ibex =
+    gl_variant ~stimulus:Frontend.Sidecar.S_ibex ~iuv_pc:2 Designs.Ibex.build
+  in
+  let _, _, stats =
+    Hdl.Equiv.reduce
+      ~barriers:(Designs.Meta.signals gl_ibex)
+      gl_ibex.Designs.Meta.nl
+  in
+  let ratio =
+    float_of_int stats.Hdl.Equiv.merged
+    /. float_of_int (max 1 stats.Hdl.Equiv.comb_nodes)
+  in
+  Printf.printf
+    "  gate-level ibex_lite: %d/%d comb nodes merged (%.1f%%), %d classes, \
+     %d SAT queries\n"
+    stats.Hdl.Equiv.merged stats.Hdl.Equiv.comb_nodes (100. *. ratio)
+    stats.Hdl.Equiv.classes stats.Hdl.Equiv.sat_queries;
+  check "gate-level sweep merges at least 20% of combinational nodes"
+    (ratio >= 0.20);
+  (* Tri-mode synthesis identity on the gate-level gated DUV. *)
+  let gated_config =
+    {
+      Mc.Checker.default_config with
+      Mc.Checker.bmc_depth = 10;
+      sim_episodes = 8;
+      sim_cycles = 16;
+    }
+  in
+  let gl_gated () =
+    gl_variant ~stimulus:Frontend.Sidecar.S_none ~iuv_pc:Designs.Gated.iuv_pc
+      Designs.Gated.build
+  in
+  let run ?cache ?(semantic_cache = false) ~sweep meta =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Mupath.Synth.run ?cache ~semantic_cache
+        ~config:{ gated_config with Mc.Checker.sweep }
+        ~meta
+        ~iuv:(Isa.make ~rd:1 ~rs1:2 ~rs2:3 Isa.ADD)
+        ~iuv_pc:Designs.Gated.iuv_pc ()
+    in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t_off, r_off = run ~sweep:Mc.Checker.Sweep_off (gl_gated ()) in
+  let t_on, r_on = run ~sweep:Mc.Checker.Sweep_on (gl_gated ()) in
+  let t_audit, r_audit = run ~sweep:Mc.Checker.Sweep_audit (gl_gated ()) in
+  let _, r_word = run ~sweep:Mc.Checker.Sweep_off (Designs.Gated.build ()) in
+  let dg_off = Mupath.Synth.result_digest r_off in
+  let dg_on = Mupath.Synth.result_digest r_on in
+  let dg_audit = Mupath.Synth.result_digest r_audit in
+  let dg_word = Mupath.Synth.result_digest r_word in
+  Printf.printf "  gl gated: off %.1fs, on %.1fs, audit %.1fs\n" t_off t_on
+    t_audit;
+  Printf.printf "  report digests: off %s, on %s, audit %s, word-level %s\n"
+    dg_off dg_on dg_audit dg_word;
+  let equal = dg_off = dg_on && dg_off = dg_audit && dg_off = dg_word in
+  check "report digest identical across sweep off/on/audit and variants" equal;
+  (* Semantic cache: cold gate-level fill, warm word-level replay. *)
+  let dir = "_vcache_sweep_bench" in
+  ignore (Vcache.clear_dir ~dir);
+  let cold = Vcache.create ~dir () in
+  let _, r_cold =
+    run ~cache:cold ~semantic_cache:true ~sweep:Mc.Checker.Sweep_on
+      (gl_gated ())
+  in
+  let warm = Vcache.create ~dir () in
+  let _, r_warm =
+    run ~cache:warm ~semantic_cache:true ~sweep:Mc.Checker.Sweep_on
+      (Designs.Gated.build ())
+  in
+  let hits, misses, _ = Vcache.counters warm in
+  let sem_equal =
+    Mupath.Synth.result_digest r_cold = Mupath.Synth.result_digest r_warm
+  in
+  ignore (Vcache.clear_dir ~dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  Printf.printf
+    "  semantic cache: warm word-level run %d hits / %d misses, digest %s\n"
+    hits misses
+    (if sem_equal then "identical" else "DIVERGED");
+  check "semantic namespace: word-level run replays the gate-level fill"
+    (hits > 0 && misses = 0);
+  check "cross-variant cached digests identical" sem_equal;
+  sweep_result :=
+    Some
+      {
+        sw_comb_nodes = stats.Hdl.Equiv.comb_nodes;
+        sw_merged = stats.Hdl.Equiv.merged;
+        sw_classes = stats.Hdl.Equiv.classes;
+        sw_t_off = t_off;
+        sw_t_on = t_on;
+        sw_equal = equal;
+        sw_digest = dg_off;
+        sw_sem_hits = hits;
+        sw_sem_misses = misses;
+        sw_sem_equal = sem_equal;
+      }

@@ -35,6 +35,7 @@ let experiments =
     ("P7", Experiments3.fuzz_campaign);
     ("P8", Experiments3.absint_bench);
     ("P9", Experiments3.frontend_bench);
+    ("P10", Experiments3.sweep_bench);
   ]
 
 (* --- Bechamel micro-benchmarks of the substrates ---------------------- *)
@@ -221,6 +222,15 @@ let write_json path ~profile ~jobs ~total rows =
       f.Experiments3.fe_run_identical f.Experiments3.fe_run_digest
       f.Experiments3.fe_t_run
   | None -> add "  \"frontend\": null,\n");
+  (match !Experiments3.sweep_result with
+  | Some s ->
+    add "  \"sweep\": {\"comb_nodes\": %d, \"merged\": %d, \"classes\": %d, \"t_off_s\": %.3f, \"t_on_s\": %.3f, \"digest_identical\": %b, \"report_digest\": \"%s\", \"sem_hits\": %d, \"sem_misses\": %d, \"sem_identical\": %b},\n"
+      s.Experiments3.sw_comb_nodes s.Experiments3.sw_merged
+      s.Experiments3.sw_classes s.Experiments3.sw_t_off s.Experiments3.sw_t_on
+      s.Experiments3.sw_equal s.Experiments3.sw_digest
+      s.Experiments3.sw_sem_hits s.Experiments3.sw_sem_misses
+      s.Experiments3.sw_sem_equal
+  | None -> add "  \"sweep\": null,\n");
   (match !Experiments2.obs_result with
   | Some o ->
     add "  \"obs\": {\"ns_plain\": %.1f, \"ns_disabled\": %.1f, \"disabled_overhead_pct\": %.3f, \"t_untraced_s\": %.3f, \"t_traced_s\": %.3f, \"events\": %d, \"digest_identical\": %b},\n"

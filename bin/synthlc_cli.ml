@@ -232,6 +232,37 @@ let no_known_bits_arg =
   in
   Arg.(value & flag & info [ "no-known-bits" ] ~doc)
 
+let sweep_conv =
+  let parse = function
+    | "on" -> Ok Mc.Checker.Sweep_on
+    | "off" -> Ok Mc.Checker.Sweep_off
+    | "audit" -> Ok Mc.Checker.Sweep_audit
+    | s -> Error (`Msg (Printf.sprintf "invalid sweep mode %S (expected on, off, or audit)" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Mc.Checker.sweep_mode_tag m) in
+  Arg.conv (parse, print)
+
+let sweep_arg =
+  let doc =
+    "Equivalence-sweep the netlist the SAT engines encode: $(b,off) \
+     (default) encodes the design as-is; $(b,on) merges SAT-proven \
+     equivalent combinational nodes before encoding ($(b,Hdl.Equiv)); \
+     $(b,audit) computes with the swept engine and re-runs every \
+     SAT-resolved cover on an unswept engine, failing the run on any \
+     verdict or witness divergence.  Witnesses are canonical, so the \
+     report digest is bit-identical across all three modes."
+  in
+  Arg.(value & opt sweep_conv Mc.Checker.Sweep_off & info [ "sweep" ] ~docv:"MODE" ~doc)
+
+let semantic_cache_arg =
+  let doc =
+    "Key the verdict cache by behavioral signatures instead of netlist \
+     structure, so semantically equivalent variants of one design (e.g. a \
+     gate-level re-synthesis) share cached verdicts.  Requires \
+     $(b,--cache-dir)."
+  in
+  Arg.(value & flag & info [ "semantic-cache" ] ~doc)
+
 let imprecise_ift_arg =
   let doc =
     "Degrade the IFT cell rules from value-aware to taint-union for \
@@ -329,7 +360,7 @@ let dump_cnf_arg =
   in
   Arg.(value & opt (some string) None & info [ "dump-cnf" ] ~docv:"FILE" ~doc)
 
-let config_of depth episodes ~portfolio ~no_cse ~no_known_bits =
+let config_of depth episodes ~portfolio ~no_cse ~no_known_bits ~sweep =
   {
     Mc.Checker.default_config with
     Mc.Checker.bmc_depth = depth;
@@ -340,6 +371,7 @@ let config_of depth episodes ~portfolio ~no_cse ~no_known_bits =
     encode_cse = not no_cse;
     known_bits = not no_known_bits;
     portfolio_domains = max 1 portfolio;
+    sweep;
   }
 
 (* `None (e.g. the gated demo) means no program-shaped input protocol: the
@@ -434,16 +466,20 @@ let sim_cmd =
 
 let mupath_cmd =
   let run dname meta_path iuv depth episodes dot counts shards cache_dir nsp
-      absint portfolio no_cse no_known_bits dump_cnf trace metrics =
+      absint portfolio no_cse no_known_bits sweep semantic_cache dump_cnf trace
+      metrics =
     let src = resolve_design ~cmd:"mupath" ?meta:meta_path dname in
     with_obs ~trace ~metrics (fun () ->
         let meta = builder_of ~cmd:"mupath" src () in
         let iuv_pc = iuv_pc_of src in
         let stim = stimulus_of src ~pins:[ (iuv_pc, iuv) ] meta in
-        let config = config_of depth episodes ~portfolio ~no_cse ~no_known_bits in
+        let config =
+          config_of depth episodes ~portfolio ~no_cse ~no_known_bits ~sweep
+        in
         let cache = cache_of cache_dir in
         let r =
-          Mupath.Synth.run ?cache ~config ?stimulus:stim ~static_prune:(not nsp)
+          Mupath.Synth.run ?cache ~config ?stimulus:stim ~semantic_cache
+            ~static_prune:(not nsp)
             ~absint:(synth_absint_mode absint) ?dump_cnf
             ~revisit_count_labels:counts ~shards ~meta ~iuv ~iuv_pc ()
         in
@@ -466,14 +502,14 @@ let mupath_cmd =
       const run $ design_arg $ meta_arg $ instr_arg $ depth_arg $ episodes_arg
       $ dot $ counts $ shards_arg $ cache_dir_arg $ no_static_prune_arg
       $ absint_arg $ portfolio_arg $ no_cse_arg $ no_known_bits_arg
-      $ dump_cnf_arg $ trace_arg $ metrics_arg)
+      $ sweep_arg $ semantic_cache_arg $ dump_cnf_arg $ trace_arg $ metrics_arg)
 
 (* --- synthlc ---------------------------------------------------------- *)
 
 let synthlc_cmd =
   let run dname meta_path instructions txs depth episodes static jobs cache_dir
       nsp flow_prune no_flow_prune absint imprecise portfolio no_cse
-      no_known_bits dump_cnf trace metrics =
+      no_known_bits sweep semantic_cache dump_cnf trace metrics =
     let src = resolve_design ~cmd:"synthlc" ?meta:meta_path dname in
     with_obs ~trace ~metrics @@ fun () ->
     let transmitters =
@@ -482,7 +518,9 @@ let synthlc_cmd =
     let design = builder_of ~cmd:"synthlc" src in
     let iuv_pc = iuv_pc_of src in
     let stimulus = rotating_stimulus_of src in
-    let config = config_of depth episodes ~portfolio ~no_cse ~no_known_bits in
+    let config =
+      config_of depth episodes ~portfolio ~no_cse ~no_known_bits ~sweep
+    in
     let kinds =
       [ Synthlc.Types.Intrinsic; Synthlc.Types.Dynamic_older; Synthlc.Types.Dynamic_younger ]
       @ (if static then [ Synthlc.Types.Static ] else [])
@@ -499,7 +537,7 @@ let synthlc_cmd =
       if no_flow_prune then Synthlc.Types.Prune_audit else flow_prune
     in
     let report =
-      Synthlc.Engine.run ?cache ~config ~synth_config:config
+      Synthlc.Engine.run ?cache ~config ~synth_config:config ~semantic_cache
         ~static_prune:(not nsp) ?dump_cnf ~precise:(not imprecise)
         ~static_flow_prune ~absint ?stimulus ~design ~jobs ~instructions
         ~transmitters ~kinds ~revisit_count_labels ~iuv_pc ()
@@ -536,7 +574,7 @@ let synthlc_cmd =
       $ episodes_arg $ static $ jobs_arg $ cache_dir_arg $ no_static_prune_arg
       $ static_flow_prune_arg $ no_static_flow_prune_arg $ absint_arg
       $ imprecise_ift_arg $ portfolio_arg $ no_cse_arg $ no_known_bits_arg
-      $ dump_cnf_arg $ trace_arg $ metrics_arg)
+      $ sweep_arg $ semantic_cache_arg $ dump_cnf_arg $ trace_arg $ metrics_arg)
 
 (* --- scsafe ----------------------------------------------------------- *)
 
@@ -772,7 +810,7 @@ let fuzz_cmd =
 (* --- import / export --------------------------------------------------- *)
 
 let import_cmd =
-  let run path meta_path top json =
+  let run path meta_path top json sweep =
     let meta_path = Option.value meta_path ~default:(default_meta_path path) in
     match Frontend.Admission.load ?top ~json_path:path ~meta_path () with
     | d ->
@@ -789,7 +827,27 @@ let import_cmd =
           (List.length (Hdl.Netlist.registers nl))
           (List.length d.Frontend.Admission.meta.Designs.Meta.ufsms)
           (Frontend.Sidecar.stim_name d.Frontend.Admission.stimulus)
-          d.Frontend.Admission.iuv_pc
+          d.Frontend.Admission.iuv_pc;
+        if sweep then begin
+          let meta = d.Frontend.Admission.meta in
+          let reduced, _, st =
+            Hdl.Equiv.reduce ~barriers:(Designs.Meta.signals meta) nl
+          in
+          Printf.printf
+            "sweep: %d/%d comb nodes merged (%.1f%%) -> %d nodes \
+             (classes=%d complement=%d const=%d vetoed=%d sat=%d/%d unknown=%d)\n"
+            st.Hdl.Equiv.merged st.Hdl.Equiv.comb_nodes
+            (if st.Hdl.Equiv.comb_nodes = 0 then 0.
+             else
+               100.
+               *. float_of_int st.Hdl.Equiv.merged
+               /. float_of_int st.Hdl.Equiv.comb_nodes)
+            (Hdl.Netlist.num_nodes reduced)
+            st.Hdl.Equiv.classes st.Hdl.Equiv.complement_merged
+            st.Hdl.Equiv.const_merged st.Hdl.Equiv.vetoed
+            st.Hdl.Equiv.sat_refuted st.Hdl.Equiv.sat_queries
+            st.Hdl.Equiv.sat_unknown
+        end
       end;
       exit (Lint.Diagnostic.exit_code reports)
     | exception Frontend.Diag.Rejected r ->
@@ -806,6 +864,9 @@ let import_cmd =
   in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the admission report as JSON (the CI artifact format).")
+  in
+  let sweep =
+    Arg.(value & flag & info [ "sweep" ] ~doc:"After admission, run the equivalence sweep ($(b,Hdl.Equiv)) on the imported netlist and print reduction statistics (merged node count, class breakdown, SAT query tally).")
   in
   Cmd.v
     (Cmd.info "import"
@@ -825,10 +886,10 @@ let import_cmd =
                rejected (unsupported cells, malformed JSON or sidecar, \
                clock-discipline or lint errors).";
          ])
-    Term.(const run $ path $ meta_arg $ top $ json)
+    Term.(const run $ path $ meta_arg $ top $ json $ sweep)
 
 let export_cmd =
-  let run dname out meta_out =
+  let run dname out meta_out gate =
     if not (List.mem dname design_names) then begin
       Printf.eprintf "export: unknown design %S (expected: %s)\n" dname
         (String.concat ", " design_names);
@@ -850,8 +911,12 @@ let export_cmd =
     let sidecar =
       Frontend.Sidecar.of_meta ~stimulus ~iuv_pc:(iuv_pc_of src) meta
     in
+    let nl =
+      if gate then fst (Hdl.Gateify.run meta.Designs.Meta.nl)
+      else meta.Designs.Meta.nl
+    in
     Out_channel.with_open_text out (fun oc ->
-        output_string oc (Frontend.Yosys.export_string meta.Designs.Meta.nl));
+        output_string oc (Frontend.Yosys.export_string nl));
     Out_channel.with_open_text meta_out (fun oc ->
         output_string oc (Frontend.Json.to_string sidecar);
         output_char oc '\n');
@@ -866,6 +931,9 @@ let export_cmd =
   let dname =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"Built-in design to export.")
   in
+  let gate =
+    Arg.(value & flag & info [ "gate-level" ] ~doc:"Lower the netlist to 1-bit gates ($(b,Hdl.Gateify)) before exporting — a post-synthesis-shaped variant of the same design.  Annotated signals keep their names, so the sidecar is unchanged and the variant admits against the same metadata.")
+  in
   Cmd.v
     (Cmd.info "export"
        ~doc:"Export a built-in design as Yosys-compatible JSON plus its \
@@ -878,7 +946,7 @@ let export_cmd =
                is how examples/ stays honest (the committed example is a \
                checked-in $(b,export) output).";
          ])
-    Term.(const run $ dname $ out $ meta_out)
+    Term.(const run $ dname $ out $ meta_out $ gate)
 
 (* --- designs ---------------------------------------------------------- *)
 

@@ -40,6 +40,15 @@ let all_state_valuations t u =
   let w = ufsm_state_width t u in
   List.init (1 lsl w) (fun i -> Bitvec.of_int ~width:w i)
 
+let signals t =
+  let ufsm u = (u.pcr :: u.vars) in
+  List.sort_uniq compare
+    (List.concat_map (fun s -> [ s.ifr_valid; s.ifr_pc; s.ifr_word ]) t.ifrs
+    @ [ t.operand_stage_valid; t.operand_stage_pc; t.commit; t.commit_pc; t.flush ]
+    @ List.concat_map ufsm t.ufsms
+    @ List.map snd t.operand_regs
+    @ t.arf @ t.amem @ t.extra_assumes)
+
 let count_pcrs t = List.length t.ufsms
 
 let count_ufsm_state_regs t =

@@ -63,5 +63,11 @@ val all_state_valuations : t -> ufsm -> Bitvec.t list
 (** Every constant valuation of the µFSM's state variables, idle included —
     the starting point of PL enumeration (§V-B1). *)
 
+val signals : t -> Hdl.Netlist.signal list
+(** Every netlist signal the metadata references (IFR slots, stage
+    interface, µFSM registers, operand registers, ARF/memory, extra
+    assumes), deduplicated and sorted — the merge-barrier set handed to
+    the equivalence sweep so annotated semantics survive reduction. *)
+
 val count_pcrs : t -> int
 val count_ufsm_state_regs : t -> int

@@ -10,6 +10,7 @@ type oracle =
   | O_cache_warm
   | O_prune_modes
   | O_portfolio
+  | O_sweep
   | O_grid
 
 type verdict = Pass | Fail of string | Skipped
@@ -38,6 +39,7 @@ let all_oracles =
     O_cache_warm;
     O_prune_modes;
     O_portfolio;
+    O_sweep;
     O_grid;
   ]
 
@@ -51,6 +53,7 @@ let oracle_name = function
   | O_cache_warm -> "cache-warm"
   | O_prune_modes -> "prune-modes"
   | O_portfolio -> "portfolio"
+  | O_sweep -> "sweep"
   | O_grid -> "grid"
 
 let failure o =
@@ -73,8 +76,8 @@ let config_of ~depth ~episodes ~portfolio =
    audit tripwires' [failwith]) are turned into [Error msg] so the caller
    can attribute them to the oracle the run serves. *)
 let engine_run ~cache ~depth ~episodes ~jobs ~portfolio ~static_prune
-    ~static_flow_prune cfg =
-  let config = config_of ~depth ~episodes ~portfolio in
+    ~static_flow_prune ~sweep cfg =
+  let config = { (config_of ~depth ~episodes ~portfolio) with Mc.Checker.sweep } in
   try
     Ok
       (Synthlc.Engine.run ~cache ~config ~synth_config:config ~static_prune
@@ -153,12 +156,12 @@ let run ?(depth = 6) ?(episodes = 3) ?workdir cfg =
       (Printf.sprintf "vcache_%d_%s" (Unix.getpid ()) (Gen.name cfg))
   in
   rm_rf cache_dir;
-  let check_engine ~jobs ~portfolio ~static_prune ~static_flow_prune ~judge ()
-      =
+  let check_engine ?(sweep = Mc.Checker.Sweep_off) ~jobs ~portfolio
+      ~static_prune ~static_flow_prune ~judge () =
     let cache = Vcache.create ~dir:cache_dir () in
     match
       engine_run ~cache ~depth ~episodes ~jobs ~portfolio ~static_prune
-        ~static_flow_prune cfg
+        ~static_flow_prune ~sweep cfg
     with
     | Error m -> Some m
     | Ok r -> judge cache r
@@ -349,6 +352,26 @@ let run ?(depth = 6) ?(episodes = 3) ?workdir cfg =
          (check_engine ~jobs:1 ~portfolio:2 ~static_prune:true
             ~static_flow_prune:Synthlc.Types.Prune_on
             ~judge:(fun _cache r -> digest_equal "--portfolio 2" r))
+  in
+  (* Sweep tri-mode identity: the equivalence-swept engines (and the
+     audit's swept-vs-unswept cross-check, whose divergence tripwire
+     raises Failure into this step) must reproduce the unswept baseline
+     digest bit-for-bit. *)
+  let continue =
+    continue
+    && step O_sweep (fun () ->
+           match
+             check_engine ~sweep:Mc.Checker.Sweep_on ~jobs:1 ~portfolio:1
+               ~static_prune:true ~static_flow_prune:Synthlc.Types.Prune_on
+               ~judge:(fun _cache r -> digest_equal "--sweep on" r)
+               ()
+           with
+           | Some m -> Some m
+           | None ->
+             check_engine ~sweep:Mc.Checker.Sweep_audit ~jobs:1 ~portfolio:1
+               ~static_prune:true ~static_flow_prune:Synthlc.Types.Prune_on
+               ~judge:(fun _cache r -> digest_equal "--sweep audit" r)
+               ())
   in
   let _ =
     continue

@@ -23,6 +23,9 @@
       tripwires armed) + static taint-flow prune in audit mode reproduce
       the pruned run's digest;
     - [O_portfolio]: [--portfolio 2] reproduces the sequential digest;
+    - [O_sweep]: equivalence-swept runs ([config.sweep] on, then audit —
+      the audit re-running every SAT-resolved cover unswept with its
+      divergence tripwire armed) reproduce the unswept digest;
     - [O_grid]: every dynamically tagged decision destination lies inside
       the static leakage grid of its operand (taint-grid vs dynamic IFT
       containment).
@@ -42,6 +45,7 @@ type oracle =
   | O_cache_warm
   | O_prune_modes
   | O_portfolio
+  | O_sweep
   | O_grid
 
 type verdict = Pass | Fail of string | Skipped

@@ -1,0 +1,901 @@
+module S = Sat.Solver
+
+type cls = {
+  rep : Netlist.signal;
+  members : (Netlist.signal * bool) list;
+  const_value : Bitvec.t option;
+}
+
+type stats = {
+  comb_nodes : int;
+  candidates : int;
+  classes : int;
+  merged : int;
+  complement_merged : int;
+  const_merged : int;
+  vetoed : int;
+  sat_queries : int;
+  sat_refuted : int;
+  sat_unknown : int;
+  patterns : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Concrete evaluation.  [eval_step] evaluates combinational logic in
+   topological order; inputs and registers must be pre-populated in
+   [values] by the caller (free sources for sweeping, sequential state
+   for the canonical stimulus). *)
+
+let eval_step nl order values =
+  let open Netlist in
+  Array.iter
+    (fun id ->
+      match (node nl id).kind with
+      | Input | Reg _ -> ()
+      | Const v -> values.(id) <- v
+      | Wire { driver = Some d } -> values.(id) <- values.(d)
+      | Wire { driver = None } -> assert false
+      | Not a -> values.(id) <- Bitvec.lognot values.(a)
+      | Op2 (op, a, b) ->
+        let va = values.(a) and vb = values.(b) in
+        values.(id) <-
+          (match op with
+          | And -> Bitvec.logand va vb
+          | Or -> Bitvec.logor va vb
+          | Xor -> Bitvec.logxor va vb
+          | Add -> Bitvec.add va vb
+          | Sub -> Bitvec.sub va vb
+          | Mul -> Bitvec.mul va vb
+          | Eq -> Bitvec.of_bool (Bitvec.equal va vb)
+          | Ult -> Bitvec.of_bool (Bitvec.ult va vb)
+          | Slt -> Bitvec.of_bool (Bitvec.slt va vb))
+      | Mux { sel; on_true; on_false } ->
+        values.(id) <-
+          (if Bitvec.is_zero values.(sel) then values.(on_false)
+           else values.(on_true))
+      | Extract { hi; lo; arg } -> values.(id) <- Bitvec.extract values.(arg) ~hi ~lo
+      | Concat parts ->
+        let v =
+          List.fold_left
+            (fun acc p ->
+              match acc with
+              | None -> Some values.(p)
+              | Some hi -> Some (Bitvec.concat hi values.(p)))
+            None parts
+        in
+        values.(id) <- Option.get v
+      | ReduceOr a -> values.(id) <- Bitvec.of_bool (not (Bitvec.is_zero values.(a)))
+      | ReduceAnd a -> values.(id) <- Bitvec.of_bool (Bitvec.is_ones values.(a)))
+    order
+
+(* ------------------------------------------------------------------ *)
+(* Depth-0 CNF encoding of the combinational logic, directly on the SAT
+   solver: inputs and register outputs are free variables.  This is a
+   deliberately separate, miniature cousin of [Mc.Blast] — [lib/hdl]
+   sits below [lib/mc], and sweeping needs no time unrolling. *)
+
+type enc = {
+  s : S.t;
+  lt : S.lit; (* constant true *)
+  lits : S.lit array array; (* per node, LSB first *)
+  and_cache : (S.lit * S.lit, S.lit) Hashtbl.t;
+  xor_cache : (int * int, S.lit) Hashtbl.t;
+}
+
+let fresh e = S.pos (S.new_var e.s)
+
+let g_and e a b =
+  let lf = S.negate e.lt in
+  if a = lf || b = lf then lf
+  else if a = e.lt then b
+  else if b = e.lt then a
+  else if a = b then a
+  else if a = S.negate b then lf
+  else begin
+    let key = (min a b, max a b) in
+    match Hashtbl.find_opt e.and_cache key with
+    | Some z -> z
+    | None ->
+      let z = fresh e in
+      S.add_clause e.s [ S.negate z; a ];
+      S.add_clause e.s [ S.negate z; b ];
+      S.add_clause e.s [ z; S.negate a; S.negate b ];
+      Hashtbl.add e.and_cache key z;
+      z
+  end
+
+let g_or e a b = S.negate (g_and e (S.negate a) (S.negate b))
+
+let g_xor e a b =
+  let lf = S.negate e.lt in
+  if a = lf then b
+  else if a = e.lt then S.negate b
+  else if b = lf then a
+  else if b = e.lt then S.negate a
+  else if a = b then lf
+  else if a = S.negate b then e.lt
+  else begin
+    (* Fold signs out: xor(~a, b) = ~xor(a, b). *)
+    let va = S.var_of a and vb = S.var_of b in
+    let sign = S.is_pos a <> S.is_pos b in
+    let key = (min va vb, max va vb) in
+    let z =
+      match Hashtbl.find_opt e.xor_cache key with
+      | Some z -> z
+      | None ->
+        let pa = S.pos va and pb = S.pos vb in
+        let z = fresh e in
+        S.add_clause e.s [ S.negate z; pa; pb ];
+        S.add_clause e.s [ S.negate z; S.negate pa; S.negate pb ];
+        S.add_clause e.s [ z; S.negate pa; pb ];
+        S.add_clause e.s [ z; pa; S.negate pb ];
+        Hashtbl.add e.xor_cache key z;
+        z
+    in
+    if sign then S.negate z else z
+  end
+
+let g_mux e sel t f =
+  let lf = S.negate e.lt in
+  if sel = e.lt then t
+  else if sel = lf then f
+  else if t = f then t
+  else if t = e.lt && f = lf then sel
+  else if t = lf && f = e.lt then S.negate sel
+  else begin
+    let z = fresh e in
+    S.add_clause e.s [ S.negate sel; S.negate t; z ];
+    S.add_clause e.s [ S.negate sel; t; S.negate z ];
+    S.add_clause e.s [ sel; S.negate f; z ];
+    S.add_clause e.s [ sel; f; S.negate z ];
+    S.add_clause e.s [ S.negate t; S.negate f; z ];
+    S.add_clause e.s [ t; f; S.negate z ];
+    z
+  end
+
+let full_add e a b cin =
+  let ab = g_xor e a b in
+  (g_xor e ab cin, g_or e (g_and e a b) (g_and e cin ab))
+
+let ripple_add e ?(cin : S.lit option) la lb =
+  let w = Array.length la in
+  let carry = ref (match cin with Some c -> c | None -> S.negate e.lt) in
+  Array.init w (fun i ->
+      let s, c = full_add e la.(i) lb.(i) !carry in
+      carry := c;
+      s)
+
+(* Unsigned less-than by LSB-to-MSB scan: at each bit, a difference
+   overrides the verdict of the lower bits. *)
+let ripple_ult e la lb =
+  let w = Array.length la in
+  let lt = ref (S.negate e.lt) in
+  for i = 0 to w - 1 do
+    let diff = g_xor e la.(i) lb.(i) in
+    lt := g_mux e diff lb.(i) !lt
+  done;
+  !lt
+
+let ripple_slt e la lb =
+  let w = Array.length la in
+  let lt = ref (S.negate e.lt) in
+  for i = 0 to w - 1 do
+    let diff = g_xor e la.(i) lb.(i) in
+    (* At the sign bit the comparison flips: a set sign means smaller. *)
+    let when_diff = if i = w - 1 then la.(i) else lb.(i) in
+    lt := g_mux e diff when_diff !lt
+  done;
+  !lt
+
+let encode nl order =
+  let s = S.create () in
+  let tv = S.new_var s in
+  let lt = S.pos tv in
+  S.add_clause s [ lt ];
+  let e =
+    {
+      s;
+      lt;
+      lits = Array.make (Netlist.num_nodes nl) [||];
+      and_cache = Hashtbl.create 1024;
+      xor_cache = Hashtbl.create 1024;
+    }
+  in
+  let lf = S.negate lt in
+  let open Netlist in
+  Array.iter
+    (fun id ->
+      let n = node nl id in
+      let w = n.width in
+      let l =
+        match n.kind with
+        | Input | Reg _ -> Array.init w (fun _ -> fresh e)
+        | Const v -> Array.init w (fun i -> if Bitvec.bit v i then lt else lf)
+        | Wire { driver = Some d } -> e.lits.(d)
+        | Wire { driver = None } -> assert false
+        | Not a -> Array.map S.negate e.lits.(a)
+        | Op2 (op, a, b) -> (
+          let la = e.lits.(a) and lb = e.lits.(b) in
+          match op with
+          | And -> Array.init w (fun i -> g_and e la.(i) lb.(i))
+          | Or -> Array.init w (fun i -> g_or e la.(i) lb.(i))
+          | Xor -> Array.init w (fun i -> g_xor e la.(i) lb.(i))
+          | Add -> ripple_add e la lb
+          | Sub -> ripple_add e ~cin:lt la (Array.map S.negate lb)
+          | Mul ->
+            let acc = ref (Array.make w lf) in
+            for j = 0 to w - 1 do
+              let row =
+                Array.init w (fun i ->
+                    if i >= j then g_and e la.(i - j) lb.(j) else lf)
+              in
+              acc := ripple_add e !acc row
+            done;
+            !acc
+          | Eq ->
+            let z =
+              Array.to_list la
+              |> List.mapi (fun i ai -> S.negate (g_xor e ai lb.(i)))
+              |> List.fold_left (g_and e) lt
+            in
+            [| z |]
+          | Ult -> [| ripple_ult e la lb |]
+          | Slt -> [| ripple_slt e la lb |])
+        | Mux { sel; on_true; on_false } ->
+          let ls = e.lits.(sel).(0) in
+          let la = e.lits.(on_true) and lb = e.lits.(on_false) in
+          Array.init w (fun i -> g_mux e ls la.(i) lb.(i))
+        | Extract { hi; lo; arg } -> Array.sub e.lits.(arg) lo (hi - lo + 1)
+        | Concat parts ->
+          List.rev parts
+          |> List.map (fun p -> Array.to_list e.lits.(p))
+          |> List.concat |> Array.of_list
+        | ReduceOr a -> [| Array.fold_left (g_or e) lf e.lits.(a) |]
+        | ReduceAnd a -> [| Array.fold_left (g_and e) lt e.lits.(a) |]
+      in
+      e.lits.(id) <- l)
+    order;
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Union-find with parity: each node carries whether it equals (false)
+   or complements (true) its parent. *)
+
+type uf = { parent : int array; parity : bool array; rank : int array }
+
+let uf_create n =
+  { parent = Array.init n Fun.id; parity = Array.make n false; rank = Array.make n 0 }
+
+let rec uf_find u x =
+  if u.parent.(x) = x then (x, false)
+  else begin
+    let r, p = uf_find u u.parent.(x) in
+    let px = u.parity.(x) <> p in
+    u.parent.(x) <- r;
+    u.parity.(x) <- px;
+    (r, px)
+  end
+
+let uf_union u x y ph =
+  let rx, px = uf_find u x and ry, py = uf_find u y in
+  if rx <> ry then begin
+    (* parity(x -> y) = ph, so parity(rx -> ry) = px xor ph xor py *)
+    let pr = px <> ph <> py in
+    if u.rank.(rx) < u.rank.(ry) then begin
+      u.parent.(rx) <- ry;
+      u.parity.(rx) <- pr
+    end
+    else begin
+      u.parent.(ry) <- rx;
+      u.parity.(ry) <- pr;
+      if u.rank.(rx) = u.rank.(ry) then u.rank.(rx) <- u.rank.(rx) + 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+
+type analysis = {
+  a_classes : cls list;
+  a_comb : int;
+  a_cands : int;
+  a_queries : int;
+  a_refuted : int;
+  a_unknown : int;
+  a_patterns : int;
+  a_candidate : bool array; (* per node: sweepable *)
+}
+
+let is_comb (k : Netlist.kind) =
+  match k with
+  | Input | Const _ | Reg _ | Wire _ -> false
+  | Not _ | Op2 _ | Mux _ | Extract _ | Concat _ | ReduceOr _ | ReduceAnd _ -> true
+
+let complement_trace t =
+  String.map (function '0' -> '1' | '1' -> '0' | c -> c) t
+
+let analyze_internal ?(patterns = 64) ?(max_conflicts = 10_000) ?(barriers = [])
+    nl =
+  Netlist.validate nl;
+  let n = Netlist.num_nodes nl in
+  let order = Netlist.comb_order nl in
+  let barrier = Array.make n false in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Equiv: barrier signal out of range";
+      barrier.(s) <- true)
+    barriers;
+  let comb = Array.make n false in
+  let candidate = Array.make n false in
+  let eligible = Array.make n false in
+  Netlist.iter_nodes nl (fun nd ->
+      let id = nd.Netlist.id in
+      if is_comb nd.Netlist.kind then begin
+        comb.(id) <- true;
+        if nd.Netlist.name = None && not barrier.(id) then candidate.(id) <- true
+      end;
+      (match nd.Netlist.kind with Netlist.Wire _ -> () | _ -> eligible.(id) <- true));
+  let sources =
+    List.sort compare (Netlist.inputs nl @ Netlist.registers nl)
+  in
+  (* Traces. *)
+  let bufs = Array.init n (fun _ -> Buffer.create 128) in
+  let first_val = Array.make n None in
+  let is_const_trace = Array.make n true in
+  let pattern_count = ref 0 in
+  let values = Array.make n (Bitvec.zero 1) in
+  let run_pattern fill =
+    List.iter (fun s -> values.(s) <- fill s) sources;
+    eval_step nl order values;
+    for id = 0 to n - 1 do
+      Buffer.add_string bufs.(id) (Bitvec.to_hex_string values.(id));
+      Buffer.add_char bufs.(id) ';';
+      (match first_val.(id) with
+      | None -> first_val.(id) <- Some values.(id)
+      | Some v -> if not (Bitvec.equal v values.(id)) then is_const_trace.(id) <- false)
+    done;
+    incr pattern_count
+  in
+  let rng = Random.State.make [| 0x53eeb; n |] in
+  for _ = 1 to max 1 patterns do
+    run_pattern (fun s -> Bitvec.random rng (Netlist.width nl s))
+  done;
+  (* SAT side. *)
+  let e = encode nl order in
+  let queries = ref 0 and refuted = ref 0 and unknown = ref 0 in
+  let miter_solve diffs =
+    let act = fresh e in
+    S.add_clause e.s (S.negate act :: diffs);
+    incr queries;
+    let r = S.solve ~assumptions:[ act ] ~max_conflicts e.s in
+    (match r with
+    | S.Sat ->
+      incr refuted;
+      (* Counterexample pattern: the model's source values refine the
+         partition so this pair never pairs up again. *)
+      run_pattern (fun s ->
+          let ls = e.lits.(s) in
+          Bitvec.of_bits
+            (List.init (Array.length ls) (fun i -> S.lit_value e.s ls.(i))))
+    | S.Unsat -> ()
+    | S.Unknown -> incr unknown);
+    S.add_clause e.s [ S.negate act ];
+    r
+  in
+  let pair_diffs a b ph =
+    let la = e.lits.(a) and lb = e.lits.(b) in
+    Array.to_list la
+    |> List.mapi (fun i ai ->
+           g_xor e ai (if ph then S.negate lb.(i) else lb.(i)))
+  in
+  let const_diffs a v =
+    e.lits.(a) |> Array.to_list
+    |> List.mapi (fun i ai -> if Bitvec.bit v i then S.negate ai else ai)
+  in
+  (* Partition from current traces: eligible nodes keyed by width + trace
+     (1-bit nodes: the lexicographically smaller of trace / complemented
+     trace, remembering which phase matched). *)
+  let classify () =
+    let tbl : (string, (int * bool) list ref) Hashtbl.t = Hashtbl.create 256 in
+    let ordered = ref [] in
+    for id = n - 1 downto 0 do
+      if eligible.(id) then begin
+        let w = Netlist.width nl id in
+        let t = Buffer.contents bufs.(id) in
+        let key, ph =
+          if w = 1 then begin
+            let ct = complement_trace t in
+            if String.compare ct t < 0 then ("1|" ^ ct, true) else ("1|" ^ t, false)
+          end
+          else (string_of_int w ^ "|" ^ t, false)
+        in
+        match Hashtbl.find_opt tbl key with
+        | Some l -> l := (id, ph) :: !l
+        | None ->
+          let l = ref [ (id, ph) ] in
+          Hashtbl.add tbl key l;
+          ordered := l :: !ordered
+      end
+    done;
+    (* [ordered] lists classes by ascending lowest member id; members are
+       ascending already (downward loop + cons). *)
+    List.filter_map
+      (fun l -> match !l with [] | [ _ ] -> None | ms -> Some ms)
+      (List.rev !ordered)
+  in
+  let proven : (int * int * bool, bool) Hashtbl.t = Hashtbl.create 256 in
+  (* proven maps (low, high, phase) to true (equal) / false (refuted or
+     budget-exhausted: never retried). *)
+  let fixpoint = ref false in
+  while not !fixpoint do
+    fixpoint := true;
+    let classes = classify () in
+    List.iter
+      (fun members ->
+        match members with
+        | [] -> ()
+        | (rep, prep) :: rest ->
+          List.iter
+            (fun (m, pm) ->
+              let ph = prep <> pm in
+              let key = (rep, m, ph) in
+              if not (Hashtbl.mem proven key) then begin
+                match miter_solve (pair_diffs rep m ph) with
+                | S.Unsat -> Hashtbl.replace proven key true
+                | S.Sat ->
+                  Hashtbl.replace proven key false;
+                  fixpoint := false
+                | S.Unknown -> Hashtbl.replace proven key false
+              end)
+            rest)
+      classes
+  done;
+  (* Transitive closure of the proven equalities. *)
+  let u = uf_create n in
+  Hashtbl.iter (fun (a, b, ph) eq -> if eq then uf_union u a b ph) proven;
+  let groups : (int, (int * bool) list ref) Hashtbl.t = Hashtbl.create 64 in
+  for id = n - 1 downto 0 do
+    if eligible.(id) then begin
+      let r, p = uf_find u id in
+      match Hashtbl.find_opt groups r with
+      | Some l -> l := (id, p) :: !l
+      | None -> Hashtbl.add groups r (ref [ (id, p) ])
+    end
+  done;
+  (* Constant proving: group representatives and lone combinational nodes
+     whose trace never varied. *)
+  let try_const id =
+    match first_val.(id) with
+    | Some v when is_const_trace.(id) && comb.(id) -> (
+      match miter_solve (const_diffs id v) with S.Unsat -> Some v | _ -> None)
+    | _ -> None
+  in
+  let classes = ref [] in
+  let group_list =
+    Hashtbl.fold (fun _ l acc -> !l :: acc) groups []
+    |> List.map (fun ms -> List.sort compare ms)
+    |> List.sort compare
+  in
+  List.iter
+    (fun ms ->
+      match ms with
+      | [] -> ()
+      | [ (id, _) ] ->
+        (* Singleton: only interesting if provably constant. *)
+        if is_const_trace.(id) then
+          Option.iter
+            (fun v -> classes := { rep = id; members = []; const_value = Some v } :: !classes)
+            (try_const id)
+      | (rep, prep) :: rest ->
+        let members = List.map (fun (m, pm) -> (m, prep <> pm)) rest in
+        let const_value = if is_const_trace.(rep) then try_const rep else None in
+        classes := { rep; members; const_value } :: !classes)
+    group_list;
+  let a_classes = List.rev !classes in
+  let a_comb = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 comb in
+  let a_cands =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 candidate
+  in
+  {
+    a_classes;
+    a_comb;
+    a_cands;
+    a_queries = !queries;
+    a_refuted = !refuted;
+    a_unknown = !unknown;
+    a_patterns = !pattern_count;
+    a_candidate = candidate;
+  }
+
+let stats_of_analysis a ~classes ~merged ~complement_merged ~const_merged ~vetoed
+    =
+  {
+    comb_nodes = a.a_comb;
+    candidates = a.a_cands;
+    classes;
+    merged;
+    complement_merged;
+    const_merged;
+    vetoed;
+    sat_queries = a.a_queries;
+    sat_refuted = a.a_refuted;
+    sat_unknown = a.a_unknown;
+    patterns = a.a_patterns;
+  }
+
+let analyze ?patterns ?max_conflicts ?barriers nl =
+  let a = analyze_internal ?patterns ?max_conflicts ?barriers nl in
+  (* Pre-veto would-be merge counts. *)
+  let classes = ref 0
+  and merged = ref 0
+  and compl_ = ref 0
+  and const_ = ref 0 in
+  List.iter
+    (fun c ->
+      let cand = a.a_candidate in
+      let here = ref 0 in
+      (match c.const_value with
+      | Some _ -> if cand.(c.rep) then (incr here; incr const_)
+      | None -> ());
+      List.iter
+        (fun (m, ph) ->
+          if cand.(m) then begin
+            incr here;
+            if ph then incr compl_;
+            if c.const_value <> None then incr const_
+          end)
+        c.members;
+      if !here > 0 then incr classes;
+      merged := !merged + !here)
+    a.a_classes;
+  ( a.a_classes,
+    stats_of_analysis a ~classes:!classes ~merged:!merged
+      ~complement_merged:!compl_ ~const_merged:!const_ ~vetoed:0 )
+
+(* ------------------------------------------------------------------ *)
+(* Rewriting. *)
+
+type merge = { m_rep : int; m_phase : bool; m_const : Bitvec.t option }
+
+let reduce ?patterns ?max_conflicts ?(barriers = []) nl =
+  let a = analyze_internal ?patterns ?max_conflicts ~barriers nl in
+  let n = Netlist.num_nodes nl in
+  let cand = a.a_candidate in
+  let merge_to : merge option array = Array.make n None in
+  List.iter
+    (fun c ->
+      (match c.const_value with
+      | Some v when cand.(c.rep) ->
+        merge_to.(c.rep) <- Some { m_rep = c.rep; m_phase = false; m_const = Some v }
+      | _ -> ());
+      List.iter
+        (fun (m, ph) ->
+          if cand.(m) then
+            let mc =
+              match c.const_value with
+              | Some v -> Some (if ph then Bitvec.lognot v else v)
+              | None -> None
+            in
+            merge_to.(m) <- Some { m_rep = c.rep; m_phase = ph; m_const = mc })
+        c.members)
+    a.a_classes;
+  (* Cycle veto: wire drivers may point forward, so redirecting a fanin
+     onto a lower-id representative with a different cone can close a
+     combinational loop.  Kahn-peel the rewritten dependency graph; while
+     a cyclic residue remains, abandon the lowest-id merge feeding it. *)
+  let target o =
+    match merge_to.(o) with
+    | Some { m_const = Some _; _ } -> None (* constants depend on nothing *)
+    | Some { m_rep; _ } -> Some m_rep
+    | None -> Some o
+  in
+  let vetoed = ref 0 in
+  let consumers = Array.make n [] in
+  for u = 0 to n - 1 do
+    List.iter (fun o -> consumers.(o) <- u :: consumers.(o)) (Netlist.comb_fanin nl u)
+  done;
+  let rec veto_pass () =
+    let indeg = Array.make n 0 in
+    let succ = Array.make n [] in
+    for u = 0 to n - 1 do
+      if merge_to.(u) = None then
+        List.iter
+          (fun o ->
+            match target o with
+            | Some t ->
+              indeg.(u) <- indeg.(u) + 1;
+              succ.(t) <- u :: succ.(t)
+            | None -> ())
+          (Netlist.comb_fanin nl u)
+    done;
+    let queue = Queue.create () in
+    let remaining = ref 0 in
+    for u = 0 to n - 1 do
+      if merge_to.(u) = None then begin
+        incr remaining;
+        if indeg.(u) = 0 then Queue.add u queue
+      end
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      decr remaining;
+      List.iter
+        (fun v ->
+          indeg.(v) <- indeg.(v) - 1;
+          if indeg.(v) = 0 then Queue.add v queue)
+        succ.(u)
+    done;
+    if !remaining > 0 then begin
+      (* Residue contains a cycle; it can only have been closed by a
+         merge redirect, so some merged node [o] has its representative
+         and a consumer both stuck in the residue. *)
+      let in_residue u = merge_to.(u) = None && indeg.(u) > 0 in
+      let victim = ref None in
+      for o = n - 1 downto 0 do
+        match merge_to.(o) with
+        | Some { m_rep; m_const = None; _ }
+          when in_residue m_rep && List.exists in_residue consumers.(o) ->
+          victim := Some o
+        | _ -> ()
+      done;
+      match !victim with
+      | Some o ->
+        merge_to.(o) <- None;
+        incr vetoed;
+        veto_pass ()
+      | None -> failwith "Equiv.reduce: internal: unresolvable combinational cycle"
+    end
+  in
+  veto_pass ();
+  (* Rebuild in id order.  Constants are pooled (so proven constants and
+     duplicate unnamed literals share one node); complement merges
+     materialize one cached inverter per representative. *)
+  let out = Netlist.create (Netlist.name nl) in
+  let image = Array.make n (-1) in
+  let barrier = Array.make n false in
+  List.iter (fun s -> barrier.(s) <- true) barriers;
+  let const_pool : (Bitvec.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let not_pool : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let const_of v =
+    match Hashtbl.find_opt const_pool v with
+    | Some s -> s
+    | None ->
+      let s = Netlist.const out v in
+      Hashtbl.add const_pool v s;
+      s
+  in
+  let not_of s =
+    match Hashtbl.find_opt not_pool s with
+    | Some z -> z
+    | None ->
+      let z = Netlist.not_ out s in
+      Hashtbl.add not_pool s z;
+      z
+  in
+  let merged = ref 0 and compl_ = ref 0 and const_ = ref 0 in
+  let merged_classes : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let img o = image.(o) in
+  Netlist.iter_nodes nl (fun nd ->
+      let id = nd.Netlist.id in
+      let w = nd.Netlist.width in
+      let name = nd.Netlist.name in
+      match merge_to.(id) with
+      | Some { m_rep; m_phase; m_const } ->
+        incr merged;
+        Hashtbl.replace merged_classes m_rep ();
+        (match m_const with
+        | Some v ->
+          incr const_;
+          image.(id) <- const_of v
+        | None ->
+          if m_phase then begin
+            incr compl_;
+            image.(id) <- not_of image.(m_rep)
+          end
+          else image.(id) <- image.(m_rep))
+      | None ->
+        let s =
+          match nd.Netlist.kind with
+          | Netlist.Input -> Netlist.input out (Option.get name) w
+          | Netlist.Const v ->
+            if name = None && not barrier.(id) then begin
+              (* Duplicate unnamed literal: share the pooled node. *)
+              match Hashtbl.find_opt const_pool v with
+              | Some s ->
+                incr merged;
+                incr const_;
+                s
+              | None -> const_of v
+            end
+            else begin
+              let s = Netlist.const out v in
+              if not (Hashtbl.mem const_pool v) then Hashtbl.add const_pool v s;
+              s
+            end
+          | Netlist.Reg { init; _ } ->
+            Netlist.reg out ~name:(Option.get name) ~init ~width:w ()
+          | Netlist.Wire _ -> Netlist.wire out ?name w
+          | Netlist.Not a -> Netlist.not_ out (img a)
+          | Netlist.Op2 (op, x, y) -> Netlist.op2 out op (img x) (img y)
+          | Netlist.Mux { sel; on_true; on_false } ->
+            Netlist.mux out ~sel:(img sel) ~on_true:(img on_true)
+              ~on_false:(img on_false)
+          | Netlist.Extract { hi; lo; arg } -> Netlist.extract out ~hi ~lo (img arg)
+          | Netlist.Concat parts -> Netlist.concat out (List.map img parts)
+          | Netlist.ReduceOr x -> Netlist.reduce_or out (img x)
+          | Netlist.ReduceAnd x -> Netlist.reduce_and out (img x)
+        in
+        (match (name, nd.Netlist.kind) with
+        | Some nm, (Netlist.Const _ | Netlist.Not _ | Netlist.Op2 _ | Netlist.Mux _
+                   | Netlist.Extract _ | Netlist.Concat _ | Netlist.ReduceOr _
+                   | Netlist.ReduceAnd _) ->
+          Netlist.set_name out s nm
+        | _ -> ());
+        image.(id) <- s);
+  (* Second pass: sequential and forward connections. *)
+  Netlist.iter_nodes nl (fun nd ->
+      match nd.Netlist.kind with
+      | Netlist.Reg { next; enable; _ } when merge_to.(nd.Netlist.id) = None ->
+        Option.iter
+          (fun nx -> Netlist.connect_reg out image.(nd.Netlist.id) (img nx))
+          next;
+        Option.iter
+          (fun en -> Netlist.connect_enable out image.(nd.Netlist.id) (img en))
+          enable
+      | Netlist.Wire { driver } when merge_to.(nd.Netlist.id) = None ->
+        Option.iter
+          (fun d -> Netlist.connect_wire out image.(nd.Netlist.id) (img d))
+          driver
+      | _ -> ());
+  Netlist.validate out;
+  let stats =
+    stats_of_analysis a
+      ~classes:(Hashtbl.length merged_classes)
+      ~merged:!merged ~complement_merged:!compl_ ~const_merged:!const_
+      ~vetoed:!vetoed
+  in
+  (out, image, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical stimulus: behavioral fingerprints independent of node ids
+   and construction order.  Inputs are driven by name-seeded PRNGs,
+   symbolic-init registers start at zero, so any two netlists with the
+   same interface names and the same observable behavior produce the
+   same signatures for their named signals. *)
+
+let stimulus_seed name episode =
+  let d = Digest.string name in
+  Array.init 5 (fun i ->
+      if i = 4 then episode
+      else
+        let b j = Char.code d.[(4 * i) + j] in
+        (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3)
+
+let signatures ?(episodes = 4) ?(cycles = 24) nl =
+  Netlist.validate nl;
+  let n = Netlist.num_nodes nl in
+  let order = Netlist.comb_order nl in
+  let bufs = Array.init n (fun _ -> Buffer.create 256) in
+  let values = Array.make n (Bitvec.zero 1) in
+  let inputs = Netlist.inputs nl in
+  let regs = Netlist.registers nl in
+  for episode = 0 to episodes - 1 do
+    let rngs =
+      List.map
+        (fun i ->
+          let name =
+            match (Netlist.node nl i).Netlist.name with
+            | Some nm -> nm
+            | None -> assert false
+          in
+          (i, Random.State.make (stimulus_seed name episode)))
+        inputs
+    in
+    List.iter
+      (fun r ->
+        match (Netlist.node nl r).Netlist.kind with
+        | Netlist.Reg { init = Netlist.Init_value v; _ } -> values.(r) <- v
+        | Netlist.Reg { init = Netlist.Init_symbolic; _ } ->
+          values.(r) <- Bitvec.zero (Netlist.width nl r)
+        | _ -> assert false)
+      regs;
+    for _cycle = 1 to cycles do
+      List.iter
+        (fun (i, st) -> values.(i) <- Bitvec.random st (Netlist.width nl i))
+        rngs;
+      eval_step nl order values;
+      for id = 0 to n - 1 do
+        Buffer.add_string bufs.(id) (Bitvec.to_hex_string values.(id));
+        Buffer.add_char bufs.(id) ';'
+      done;
+      (* Clock edge, mirroring [Sim.step]. *)
+      let latched =
+        List.filter_map
+          (fun r ->
+            match (Netlist.node nl r).Netlist.kind with
+            | Netlist.Reg { next = Some nx; enable; _ } ->
+              let update =
+                match enable with
+                | None -> true
+                | Some en -> not (Bitvec.is_zero values.(en))
+              in
+              if update then Some (r, values.(nx)) else None
+            | _ -> None)
+          regs
+      in
+      List.iter (fun (r, v) -> values.(r) <- v) latched
+    done
+  done;
+  Array.mapi
+    (fun id buf ->
+      Digest.to_hex
+        (Digest.string
+           (string_of_int (Netlist.width nl id) ^ ":" ^ Buffer.contents buf)))
+    bufs
+
+let semantic_digest ?episodes ?cycles nl =
+  let sigs = signatures ?episodes ?cycles nl in
+  let named = ref [] in
+  Netlist.iter_nodes nl (fun nd ->
+      match nd.Netlist.name with
+      | Some nm ->
+        named :=
+          Printf.sprintf "%s=%d:%s" nm nd.Netlist.width sigs.(nd.Netlist.id)
+          :: !named
+      | None -> ());
+  let sorted = List.sort compare !named in
+  Digest.to_hex (Digest.string (String.concat "\n" sorted))
+
+(* Name-structural descriptors, in post-order over node ids (operands
+   always precede their consumers, so one left-to-right pass suffices).
+   A named node is its name — nothing below it leaks into any consumer's
+   descriptor — so the strings are stable across semantically equivalent
+   netlist variants as long as logic above the named frontier is built
+   identically (which is exactly how per-variant monitor construction
+   works: the same code, over name-resolved signals).  Hash-consing via
+   per-node digests keeps the pass linear. *)
+let describe_all nl =
+  let n = Netlist.num_nodes nl in
+  let desc = Array.make n "" in
+  let op_tag = function
+    | Netlist.And -> "and"
+    | Netlist.Or -> "or"
+    | Netlist.Xor -> "xor"
+    | Netlist.Add -> "add"
+    | Netlist.Sub -> "sub"
+    | Netlist.Mul -> "mul"
+    | Netlist.Eq -> "eq"
+    | Netlist.Ult -> "ult"
+    | Netlist.Slt -> "slt"
+  in
+  Netlist.iter_nodes nl (fun nd ->
+      let id = nd.Netlist.id in
+      let d s = desc.(s) in
+      let term =
+        match nd.Netlist.name with
+        | Some nm -> Printf.sprintf "name:%s:%d" nm nd.Netlist.width
+        | None -> (
+          match nd.Netlist.kind with
+          | Netlist.Input -> assert false (* inputs are always named *)
+          | Netlist.Const v -> "const:" ^ Bitvec.to_hex_string v
+          | Netlist.Reg _ ->
+            (* Registers are always named, so this arm is unreachable for
+               admitted netlists; key on the id as a safe fallback. *)
+            Printf.sprintf "reg:%d" id
+          | Netlist.Wire { driver = Some s } -> "wire:" ^ d s
+          | Netlist.Wire { driver = None } -> Printf.sprintf "wire:%d" id
+          | Netlist.Not a -> "not:" ^ d a
+          | Netlist.Op2 (op, a, b) ->
+            Printf.sprintf "%s:%s:%s" (op_tag op) (d a) (d b)
+          | Netlist.Mux { sel; on_true; on_false } ->
+            Printf.sprintf "mux:%s:%s:%s" (d sel) (d on_true) (d on_false)
+          | Netlist.Extract { hi; lo; arg } ->
+            Printf.sprintf "ex:%d:%d:%s" hi lo (d arg)
+          | Netlist.Concat parts ->
+            "cat:" ^ String.concat ":" (List.map d parts)
+          | Netlist.ReduceOr a -> "ror:" ^ d a
+          | Netlist.ReduceAnd a -> "rand:" ^ d a)
+      in
+      desc.(id) <-
+        Digest.to_hex
+          (Digest.string (string_of_int nd.Netlist.width ^ "|" ^ term)));
+  desc

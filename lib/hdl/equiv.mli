@@ -1,0 +1,110 @@
+(** Simulation-guided SAT sweeping (fraig-style equivalence reduction).
+
+    Combinational nodes are treated as functions of the netlist's primary
+    inputs and register outputs.  64 random patterns partition them into
+    candidate equivalence classes (1-bit nodes additionally pair up with
+    their complements); incremental miter queries on {!Sat.Solver} then
+    prove or refute each candidate, with every refutation yielding a
+    counterexample pattern that refines the partition, to a fixpoint.
+
+    Proven classes are merged by a deterministic representative rule:
+    the lowest node id wins.  Ports (inputs), registers, named signals —
+    which covers everything a µFSM/IFR metadata sidecar can reference,
+    since sidecars resolve signals by name — and caller-supplied extra
+    signals are {e merge barriers}: they may anchor a class (serve as its
+    representative for lower-id'd duplicates to merge into is not possible
+    since barriers keep their position; rather, duplicates {e of} them are
+    redirected onto them) but are never themselves rewritten away, so the
+    observable semantics of the design are untouched.
+
+    The pass also proves constants: a candidate whose value is invariant
+    under every pattern is checked against that constant, and proven
+    constants merge into a [Const] node — strictly stronger than the
+    known-bits analysis ({!Absint}), which only propagates structural
+    constants. *)
+
+type cls = {
+  rep : Netlist.signal;  (** Lowest-id member: the representative. *)
+  members : (Netlist.signal * bool) list;
+      (** Other proven-equal members, sorted by id.  The flag is [true]
+          when the member equals the {e complement} of the representative
+          (1-bit classes only). *)
+  const_value : Bitvec.t option;
+      (** When the class is additionally proven equal to a constant. *)
+}
+
+type stats = {
+  comb_nodes : int;  (** Combinational (non-source, non-wire) nodes. *)
+  candidates : int;  (** Sweepable subset: unnamed and not a barrier. *)
+  classes : int;  (** Proven classes that produced at least one merge. *)
+  merged : int;  (** Candidates rewritten away. *)
+  complement_merged : int;  (** Merges through an inverter. *)
+  const_merged : int;  (** Merges onto a proven constant. *)
+  vetoed : int;
+      (** Proven merges abandoned because applying them would have created
+          a combinational cycle through a wire's forward driver. *)
+  sat_queries : int;
+  sat_refuted : int;  (** Queries whose counterexample refined the classes. *)
+  sat_unknown : int;  (** Conflict-budget exhaustions; candidate not merged. *)
+  patterns : int;  (** Simulation patterns used, including counterexamples. *)
+}
+
+val analyze :
+  ?patterns:int ->
+  ?max_conflicts:int ->
+  ?barriers:Netlist.signal list ->
+  Netlist.t ->
+  cls list * stats
+(** Prove equivalence classes without rewriting the netlist (the µLint
+    client).  [patterns] (default 64) is the initial random-pattern count;
+    [max_conflicts] (default 10_000) bounds each miter query; [barriers]
+    adds extra merge barriers on top of the built-in rule.  Classes are
+    sorted by representative id.  The netlist must validate. *)
+
+val reduce :
+  ?patterns:int ->
+  ?max_conflicts:int ->
+  ?barriers:Netlist.signal list ->
+  Netlist.t ->
+  Netlist.t * Netlist.signal array * stats
+(** Sweep: returns the reduced netlist together with the total mapping
+    [image] — [image.(old_id)] is the signal in the new netlist carrying
+    the same value — and merge statistics.  Every named signal, input and
+    register survives under its own name; node ids are renumbered densely.
+    Merges that would create a combinational cycle (possible because wire
+    drivers may point forward) are vetoed deterministically and counted. *)
+
+(** {1 Semantic identity} *)
+
+val signatures : ?episodes:int -> ?cycles:int -> Netlist.t -> string array
+(** Per-node behavioral fingerprints under a canonical stimulus: for each
+    of [episodes] (default 4) episodes, registers start at their init value
+    (symbolic-init registers at zero) and every input is driven for
+    [cycles] (default 24) cycles by a PRNG seeded from the {e input's name}
+    and the episode index — so the fingerprint of a node depends only on
+    its behavior and the design's interface names, never on node ids or
+    construction order.  Two nodes (in the same or different netlists) with
+    equal observable behavior under this stimulus get equal signatures. *)
+
+val semantic_digest : ?episodes:int -> ?cycles:int -> Netlist.t -> string
+(** Hex digest of the design's observable behavior: the sorted
+    [(name, width, signature)] set of all named signals and inputs under
+    the canonical stimulus of {!signatures}.  Independent of the module
+    name and of internal structure, so a word-level design and its
+    gate-level re-synthesis digest identically — the key of the Vcache
+    semantic namespace. *)
+
+val describe_all : Netlist.t -> string array
+(** Name-structural descriptor per node: a named node is identified by its
+    (name, width); an unnamed node by its kind and its operands'
+    descriptors, hash-consed into one digest per node.  Descriptors of a
+    wire are transparent to its driver.
+
+    Unlike {!signatures} (behavioral, collision-prone for logic the
+    canonical stimulus never exercises), descriptors never collide for
+    structurally distinct cones, and they are stable across semantically
+    equivalent netlist variants for any logic built identically above the
+    named-signal frontier — the property semantic cache keys need:
+    per-variant monitor construction runs the same code over name-resolved
+    signals, so a cover's literals descriptor-match across variants while
+    two different covers never do. *)

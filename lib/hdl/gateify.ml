@@ -1,0 +1,165 @@
+(* Word-level -> gate-level lowering; see the interface for the contract.
+   [bits.(id)] holds the 1-bit signals of a lowered node (LSB first);
+   word-level survivors (sources, arithmetic macros, wires) instead get
+   [word.(id)].  Each use of a word-level signal re-extracts the bits it
+   needs — deliberately redundant, mirroring post-synthesis netlists. *)
+
+module N = Netlist
+
+type st = {
+  out : N.t;
+  bits : N.signal array array; (* [||] when the node is word-level *)
+  word : int array; (* -1 when not (yet) materialized *)
+  is_word : bool array;
+}
+
+let use_bits st nl o =
+  if st.is_word.(o) then
+    let w = N.width nl o in
+    Array.init w (fun i -> N.extract st.out ~hi:i ~lo:i st.word.(o))
+  else st.bits.(o)
+
+let word_of st o =
+  if st.is_word.(o) then st.word.(o)
+  else if st.word.(o) >= 0 then st.word.(o)
+  else begin
+    let b = st.bits.(o) in
+    let s =
+      if Array.length b = 1 then b.(0)
+      else N.concat st.out (List.rev (Array.to_list b))
+    in
+    st.word.(o) <- s;
+    s
+  end
+
+let run nl =
+  N.validate nl;
+  let n = N.num_nodes nl in
+  let out = N.create (N.name nl) in
+  let st =
+    { out; bits = Array.make n [||]; word = Array.make n (-1); is_word = Array.make n false }
+  in
+  let mark_word id s =
+    st.is_word.(id) <- true;
+    st.word.(id) <- s
+  in
+  N.iter_nodes nl (fun nd ->
+      let id = nd.N.id in
+      let w = nd.N.width in
+      match nd.N.kind with
+      | N.Input -> mark_word id (N.input out (Option.get nd.N.name) w)
+      | N.Const v ->
+        let s = N.const out v in
+        Option.iter (N.set_name out s) nd.N.name;
+        mark_word id s
+      | N.Reg { init; _ } ->
+        mark_word id (N.reg out ~name:(Option.get nd.N.name) ~init ~width:w ())
+      | N.Wire _ -> mark_word id (N.wire out ?name:nd.N.name w)
+      | N.Op2 (((N.Add | N.Sub | N.Mul | N.Slt) as op), a, b) ->
+        (* Arithmetic macro: stays word-level. *)
+        let s = N.op2 out op (word_of st a) (word_of st b) in
+        Option.iter (N.set_name out s) nd.N.name;
+        mark_word id s
+      | kind ->
+        let bits =
+          match kind with
+          | N.Not a -> Array.map (N.not_ out) (use_bits st nl a)
+          | N.Op2 (((N.And | N.Or | N.Xor) as op), a, b) ->
+            let ba = use_bits st nl a and bb = use_bits st nl b in
+            Array.mapi (fun i x -> N.op2 out op x bb.(i)) ba
+          | N.Op2 (N.Eq, a, b) ->
+            let ba = use_bits st nl a and bb = use_bits st nl b in
+            let xnors =
+              Array.mapi (fun i x -> N.not_ out (N.op2 out N.Xor x bb.(i))) ba
+            in
+            let tree =
+              if Array.length xnors = 1 then xnors.(0)
+              else
+                Array.fold_left
+                  (fun acc x ->
+                    match acc with
+                    | None -> Some x
+                    | Some y -> Some (N.op2 out N.And y x))
+                  None xnors
+                |> Option.get
+            in
+            [| tree |]
+          | N.Op2 (N.Ult, a, b) ->
+            (* LSB-to-MSB scan: a difference at a higher bit overrides. *)
+            let ba = use_bits st nl a and bb = use_bits st nl b in
+            let lt = ref (N.const out (Bitvec.zero 1)) in
+            Array.iteri
+              (fun i x ->
+                let diff = N.op2 out N.Xor x bb.(i) in
+                lt := N.mux out ~sel:diff ~on_true:bb.(i) ~on_false:!lt)
+              ba;
+            [| !lt |]
+          | N.Op2 ((N.Add | N.Sub | N.Mul | N.Slt), _, _) -> assert false
+          | N.Mux { sel; on_true; on_false } ->
+            let s1 = (use_bits st nl sel).(0) in
+            let bt = use_bits st nl on_true and bf = use_bits st nl on_false in
+            Array.mapi
+              (fun i t -> N.mux out ~sel:s1 ~on_true:t ~on_false:bf.(i))
+              bt
+          | N.Extract { hi; lo; arg } ->
+            if st.is_word.(arg) then
+              Array.init (hi - lo + 1) (fun i ->
+                  N.extract out ~hi:(lo + i) ~lo:(lo + i) st.word.(arg))
+            else Array.sub st.bits.(arg) lo (hi - lo + 1)
+          | N.Concat parts ->
+            Array.concat (List.map (use_bits st nl) (List.rev parts))
+          | N.ReduceOr a ->
+            let ba = use_bits st nl a in
+            if Array.length ba = 1 then
+              (* Keep a fresh node (x | x) so naming never aliases. *)
+              [| N.op2 out N.Or ba.(0) ba.(0) |]
+            else
+              [|
+                Array.fold_left
+                  (fun acc x ->
+                    match acc with
+                    | None -> Some x
+                    | Some y -> Some (N.op2 out N.Or y x))
+                  None ba
+                |> Option.get;
+              |]
+          | N.ReduceAnd a ->
+            let ba = use_bits st nl a in
+            if Array.length ba = 1 then [| N.op2 out N.And ba.(0) ba.(0) |]
+            else
+              [|
+                Array.fold_left
+                  (fun acc x ->
+                    match acc with
+                    | None -> Some x
+                    | Some y -> Some (N.op2 out N.And y x))
+                  None ba
+                |> Option.get;
+              |]
+          | N.Input | N.Const _ | N.Reg _ | N.Wire _ -> assert false
+        in
+        st.bits.(id) <- bits;
+        (* A named combinational signal reappears as a fresh named node so
+           sidecars keep resolving it (never aliasing an existing name). *)
+        Option.iter
+          (fun nm ->
+            let s =
+              if w = 1 then N.extract out ~hi:0 ~lo:0 bits.(0)
+              else N.concat out (List.rev (Array.to_list bits))
+            in
+            N.set_name out s nm;
+            st.word.(id) <- s)
+          nd.N.name);
+  (* Sequential / forward connections. *)
+  N.iter_nodes nl (fun nd ->
+      match nd.N.kind with
+      | N.Reg { next; enable; _ } ->
+        Option.iter (fun nx -> N.connect_reg out st.word.(nd.N.id) (word_of st nx)) next;
+        Option.iter (fun en -> N.connect_enable out st.word.(nd.N.id) (word_of st en)) enable
+      | N.Wire { driver } ->
+        Option.iter (fun d -> N.connect_wire out st.word.(nd.N.id) (word_of st d)) driver
+      | _ -> ());
+  (* Total mapping. *)
+  let image = Array.init n (fun id -> word_of st id) in
+  N.validate out;
+  (out, image)

@@ -24,6 +24,10 @@ type t = {
   mutable nodes : node array;
   mutable count : int;
   names : (string, signal) Hashtbl.t;
+  mutable digest_cache : string option;
+      (* Memoized [digest]: the checker recomputes the digest per cover for
+         every cache key, so it must be O(1) between mutations.  Every
+         mutation path (add / set_name / connect functions) clears it. *)
 }
 
 let create netlist_name =
@@ -32,6 +36,7 @@ let create netlist_name =
     nodes = Array.make 64 { id = 0; width = 1; kind = Input; name = None };
     count = 0;
     names = Hashtbl.create 64;
+    digest_cache = None;
   }
 
 let name t = t.netlist_name
@@ -80,6 +85,7 @@ let register_name t s nm =
   Hashtbl.replace t.names nm s
 
 let add t ?name width kind =
+  t.digest_cache <- None;
   if width <= 0 then
     invalid_arg
       (Printf.sprintf "Netlist.add: width must be positive, got %d for %s (node %d)"
@@ -99,6 +105,7 @@ let add t ?name width kind =
   id
 
 let set_name t s nm =
+  t.digest_cache <- None;
   let n = node t s in
   (match n.name with
   | Some old -> Hashtbl.remove t.names old
@@ -124,6 +131,7 @@ let reg t ?enable ~name ~init ~width () =
 let wire t ?name w = add t ?name w (Wire { driver = None })
 
 let connect_reg t r nxt =
+  t.digest_cache <- None;
   match (node t r).kind with
   | Reg re ->
     (match re.next with
@@ -142,6 +150,7 @@ let connect_reg t r nxt =
       (Printf.sprintf "Netlist.connect_reg: %s is not a register" (describe t r))
 
 let connect_enable t r en =
+  t.digest_cache <- None;
   match (node t r).kind with
   | Reg re ->
     (match re.enable with
@@ -162,6 +171,7 @@ let connect_enable t r en =
          (describe t r))
 
 let connect_wire t w drv =
+  t.digest_cache <- None;
   match (node t w).kind with
   | Wire wi ->
     (match wi.driver with
@@ -359,7 +369,7 @@ let inputs t =
 
 (* --- structural digest --------------------------------------------------- *)
 
-let digest t =
+let compute_digest t =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let sig_opt = function None -> "." | Some s -> string_of_int s in
@@ -392,3 +402,11 @@ let digest t =
       | ReduceAnd a -> add "rand %d" a);
       Buffer.add_char buf '\n');
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest t =
+  match t.digest_cache with
+  | Some d -> d
+  | None ->
+    let d = compute_digest t in
+    t.digest_cache <- Some d;
+    d

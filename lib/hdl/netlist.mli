@@ -128,4 +128,8 @@ val digest : t -> string
     kind, operand wiring, constant values, and register initialization.
     A pure function of construction order, so independently elaborated
     copies of the same design digest identically across processes — the
-    design component of the verdict-cache key ({!Mc.Checker}). *)
+    design component of the verdict-cache key ({!Mc.Checker}).
+
+    Memoized per instance: the first call walks the node table, repeated
+    calls on an unmutated netlist are O(1).  Any mutation (adding a node,
+    naming one, connecting a register/enable/wire) invalidates the cache. *)

@@ -1,8 +1,8 @@
-(* µLint entry point: run all five passes over a design's metadata. *)
+(* µLint entry point: run all six passes over a design's metadata. *)
 
 let run_design (meta : Designs.Meta.t) =
   let diags =
     Structural.run meta @ Annotations.run meta @ Reach.run meta
-    @ Taintflow.run meta @ Knownbits.run meta
+    @ Taintflow.run meta @ Knownbits.run meta @ Equiv.run meta
   in
   { Diagnostic.design = meta.Designs.Meta.design_name; diags }

@@ -1,5 +1,5 @@
 (** µLint driver: the structural, annotation, reachability, taint-flow,
-    and known-bits passes over one design, concatenated into a single
-    report. *)
+    known-bits, and equivalence passes over one design, concatenated into
+    a single report. *)
 
 val run_design : Designs.Meta.t -> Diagnostic.report

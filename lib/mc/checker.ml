@@ -12,7 +12,17 @@
       unreachability;
    4. otherwise, exhausting the BMC depth without solver budget overruns
       yields a bounded unreachability verdict ([Bounded]), the analogue of
-      the paper's undetermined-as-unreachable configuration (SS VII-B4). *)
+      the paper's undetermined-as-unreachable configuration (SS VII-B4).
+
+   The SAT engines may run on an equivalence-swept copy of the netlist
+   ([config.sweep]): [Hdl.Equiv.reduce] merges proven-equivalent
+   combinational nodes and every engine query is translated through the
+   total old->new signal mapping.  BMC witnesses are canonicalized
+   (minimal hit time, then lexicographically-minimal free variables) so
+   the reported witness depends only on the design's semantics, never on
+   which encoding the solver happened to search — the mechanism that
+   keeps report digests bit-identical across sweep modes, cache warmth,
+   and gate-level vs word-level variants of one design. *)
 
 module Netlist = Hdl.Netlist
 module Solver = Sat.Solver
@@ -32,6 +42,16 @@ module Cex = struct
     match value t name ~cycle with
     | Some v -> v
     | None -> failwith (Printf.sprintf "Cex.value_exn: %s@%d" name cycle)
+
+  let equal a b =
+    a.length = b.length
+    && List.length a.values = List.length b.values
+    && List.for_all2
+         (fun (na, va) (nb, vb) ->
+           String.equal na nb
+           && Array.length va = Array.length vb
+           && Array.for_all2 Bitvec.equal va vb)
+         a.values b.values
 
   let pp fmt t =
     Format.fprintf fmt "@[<v>";
@@ -117,6 +137,13 @@ module Stats = struct
       (mean_time t)
 end
 
+type sweep_mode = Sweep_off | Sweep_on | Sweep_audit
+
+let sweep_mode_tag = function
+  | Sweep_off -> "off"
+  | Sweep_on -> "on"
+  | Sweep_audit -> "audit"
+
 type config = {
   bmc_depth : int;  (* maximum unrolling depth *)
   bmc_conflicts : int;  (* SAT conflict budget per BMC solve *)
@@ -129,6 +156,7 @@ type config = {
   known_bits : bool;  (* known-bits substitution: BMC + induction strengthening *)
   reduce_db : bool;  (* periodic learnt-clause DB reduction *)
   portfolio_domains : int;  (* <= 1 disables portfolio racing *)
+  sweep : sweep_mode;  (* SAT-sweep the netlist the engines encode *)
 }
 
 let default_config =
@@ -144,14 +172,15 @@ let default_config =
     known_bits = true;
     reduce_db = true;
     portfolio_domains = 1;
+    sweep = Sweep_off;
   }
 
-type t = {
-  nl : Netlist.t;
-  config : config;
-  assumes : Netlist.signal list;
-  assume_initial : Netlist.signal list;
-  stimulus : (Sim.t -> int -> unit) option;
+(* One SAT engine stack: the netlist it encodes (original, or the swept
+   reduction), the total original->encoded signal map, and the shared BMC
+   unrolling.  Audit mode instantiates two. *)
+type engine = {
+  enc_nl : Netlist.t;
+  map : Netlist.signal array;
   bmc : Blast.t;
   known : (Bitvec.t * Bitvec.t) array option;
       (* Known-bits invariants shared by the BMC unrolling and every
@@ -161,11 +190,30 @@ type t = {
       (* Variables allocated across the short-lived induction solvers,
          cumulative — the encoder-size counter the BMC-side
          [Solver.nvars] cannot see. *)
+}
+
+type t = {
+  nl : Netlist.t;
+  config : config;
+  assumes : Netlist.signal list;
+  assume_initial : Netlist.signal list;
+  stimulus : (Sim.t -> int -> unit) option;
+  eng : engine;  (* swept when config.sweep is on/audit *)
+  shadow : engine option;  (* unswept cross-check engine (audit mode) *)
+  sweep_stats : Hdl.Equiv.stats option;
   stats : Stats.t;
   named : (string * Netlist.signal) list;
   rng : Random.State.t;
   cache : Vcache.t option;
   key_prefix : string;  (* "" when no cache is attached *)
+  sigs : string array option;
+      (* Name-structural per-node descriptors ([Equiv.describe_all]);
+         present only in the semantic cache-key namespace, where
+         cover/assume keys are built from them instead of node ids.
+         Behavioral trace signatures would collide for covers the
+         canonical stimulus never activates (all-zero traces), silently
+         cross-serving verdicts; descriptors never collide for distinct
+         cones yet still match across equivalent netlist variants. *)
 }
 
 (* The cache key covers everything a verdict depends on: the elaborated
@@ -174,21 +222,72 @@ type t = {
    the stimulus closure's identity).  The per-property key then appends
    the cover literals — see [cover_key]. *)
 (* [encode_cse], [known_bits] and [reduce_db] are part of the key: they
-   change the solver trajectory and hence which witness a Sat query returns.
-   [portfolio_domains] deliberately is not — the canonical solver's verdict
-   and model are bit-identical whatever the domain count (see
-   Solver.solve_portfolio). *)
+   change the solver trajectory and hence which engine decides a verdict.
+   [sweep] participates as its effective boolean — audit mode computes
+   bit-identically to on (the unswept shadow run is a tripwire, not an
+   input).  [portfolio_domains] deliberately is not — the canonical
+   solver's verdict and model are bit-identical whatever the domain count
+   (see Solver.solve_portfolio). *)
+let config_key (config : config) =
+  Printf.sprintf "c:%d.%d.%d.%d.%d.%d.%d|e:%b.%b.%b|w:%b" config.bmc_depth
+    config.bmc_conflicts config.induction_max_k config.induction_conflicts
+    config.sim_episodes config.sim_cycles config.seed config.encode_cse
+    config.known_bits config.reduce_db (config.sweep <> Sweep_off)
+
 let make_key_prefix ~salt ~assumes ~assume_initial ~(config : config) nl =
-  Printf.sprintf "%s|a:%s|i:%s|c:%d.%d.%d.%d.%d.%d.%d|e:%b.%b.%b|s:%s"
-    (Netlist.digest nl)
+  Printf.sprintf "%s|a:%s|i:%s|%s|s:%s" (Netlist.digest nl)
     (String.concat "," (List.map string_of_int assumes))
     (String.concat "," (List.map string_of_int assume_initial))
-    config.bmc_depth config.bmc_conflicts config.induction_max_k
-    config.induction_conflicts config.sim_episodes config.sim_cycles config.seed
-    config.encode_cse config.known_bits config.reduce_db salt
+    (config_key config) salt
+
+(* Semantic namespace: the design contributes its behavioral digest and
+   the assumption signals contribute name-structural descriptors, so
+   equivalent netlist variants (a word-level built-in and its gate-level
+   re-synthesis, say) produce the same keys and share verdicts.  Sound
+   under the same caveat as sharding and cache warmth: with canonical
+   witnesses the verdict and witness depend only on semantics, except
+   where a conflict budget runs out — semantically-keyed sharing assumes
+   budgets generous enough that no shared query lands [Undetermined]. *)
+let make_semantic_key_prefix ~salt ~assumes ~assume_initial ~(config : config)
+    ~(sigs : string array) nl =
+  let sig_list l = String.concat "," (List.sort compare (List.map (fun s -> sigs.(s)) l)) in
+  Printf.sprintf "sem1:%s|a:%s|i:%s|%s|s:%s"
+    (Hdl.Equiv.semantic_digest nl)
+    (sig_list assumes) (sig_list assume_initial) (config_key config) salt
+
+let identity_map nl = Array.init (Netlist.num_nodes nl) Fun.id
+
+let make_engine ~(config : config) ~assumes ~assume_initial ~sweep_barriers
+    ~swept nl =
+  let enc_nl, map, sweep_stats =
+    if swept then begin
+      let red, image, st = Hdl.Equiv.reduce ~barriers:sweep_barriers nl in
+      if Obs.enabled () then begin
+        Obs.Metrics.incr "equiv.merged" ~by:st.Hdl.Equiv.merged;
+        Obs.Metrics.incr "equiv.comb_nodes" ~by:st.Hdl.Equiv.comb_nodes;
+        Obs.Metrics.incr "equiv.classes" ~by:st.Hdl.Equiv.classes;
+        Obs.Metrics.incr "equiv.vetoed" ~by:st.Hdl.Equiv.vetoed;
+        Obs.Metrics.incr "equiv.sat_queries" ~by:st.Hdl.Equiv.sat_queries;
+        Obs.Metrics.incr "equiv.patterns" ~by:st.Hdl.Equiv.patterns
+      end;
+      (red, image, Some st)
+    end
+    else (nl, identity_map nl, None)
+  in
+  let tr l = List.map (fun s -> map.(s)) l in
+  let known =
+    if config.known_bits then Some (Hdl.Absint.known_bits enc_nl) else None
+  in
+  let bmc =
+    Blast.create ~assume_initial:(tr assume_initial) ?known
+      ~cse:config.encode_cse ~initial:`Reset ~assumes:(tr assumes) enc_nl
+  in
+  Solver.set_reduce_db (Blast.solver bmc) config.reduce_db;
+  ({ enc_nl; map; bmc; known; ind_vars = 0 }, sweep_stats)
 
 let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
-    ?(assume_initial = []) ~assumes nl =
+    ?(assume_initial = []) ?(sweep_barriers = []) ?(semantic_cache = false)
+    ~assumes nl =
   Netlist.validate nl;
   let named =
     Netlist.fold_nodes nl ~init:[] ~f:(fun acc n ->
@@ -197,42 +296,57 @@ let create ?cache ?(cache_salt = "") ?stimulus ?(config = default_config)
         | None -> acc)
     |> List.rev
   in
-  let known =
-    if config.known_bits then Some (Hdl.Absint.known_bits nl) else None
+  let swept = config.sweep <> Sweep_off in
+  let eng, sweep_stats =
+    make_engine ~config ~assumes ~assume_initial ~sweep_barriers ~swept nl
   in
-  let bmc =
-    Blast.create ~assume_initial ?known ~cse:config.encode_cse ~initial:`Reset
-      ~assumes nl
+  let shadow =
+    if config.sweep = Sweep_audit then
+      Some
+        (fst
+           (make_engine ~config ~assumes ~assume_initial ~sweep_barriers
+              ~swept:false nl))
+    else None
   in
-  Solver.set_reduce_db (Blast.solver bmc) config.reduce_db;
+  let sigs =
+    if semantic_cache && cache <> None then Some (Hdl.Equiv.describe_all nl)
+    else None
+  in
   {
     nl;
     config;
     assumes;
     assume_initial;
     stimulus;
-    bmc;
-    known;
-    ind_vars = 0;
+    eng;
+    shadow;
+    sweep_stats;
     stats = Stats.create ();
     named;
     rng = Random.State.make [| config.seed |];
     cache;
     key_prefix =
-      (match cache with
-      | None -> ""
-      | Some _ ->
+      (match (cache, sigs) with
+      | None, _ -> ""
+      | Some _, Some sigs ->
+        make_semantic_key_prefix ~salt:cache_salt ~assumes ~assume_initial
+          ~config ~sigs nl
+      | Some _, None ->
         make_key_prefix ~salt:cache_salt ~assumes ~assume_initial ~config nl);
+    sigs;
   }
 
 let stats t = t.stats
 let netlist t = t.nl
+let sweep_stats t = t.sweep_stats
 
-let cex_of_model t ~upto =
+let cex_of_model t eng ~upto =
   let values =
     List.map
       (fun (name, s) ->
-        (name, Array.init (upto + 1) (fun time -> Blast.model_value t.bmc s ~time)))
+        ( name,
+          Array.init (upto + 1) (fun time ->
+              Blast.model_value eng.bmc eng.map.(s) ~time) ))
       t.named
   in
   { Cex.length = upto + 1; values }
@@ -248,7 +362,8 @@ let cover_holds sim cover =
 (* Drive one random episode, recording named signals as it goes; return the
    recorded witness if the cover fired.  Aborts as soon as an assumption is
    violated, which keeps the pre-pass sound: only assumption-respecting
-   traces can witness. *)
+   traces can witness.  Always runs on the original netlist — the pre-pass
+   is identical whatever the sweep mode. *)
 let sim_episode t cover seed =
   let sim = Sim.create ~seed t.nl in
   let rows = ref [] in
@@ -302,20 +417,21 @@ let try_simulation t cover =
 (* Prove [cover] unreachable by k-induction with simple-path constraints.
    The induction solver starts from a free state; hypothesis units not-bad@i
    and pairwise state-distinctness accumulate as k grows. *)
-let try_induction t cover =
+let try_induction t eng cover =
   if t.config.induction_max_k = 0 then None
   else begin
     (* Hypothesis units are specific to one cover, so each attempt gets a
        fresh unrolling. *)
     let ind =
-      Blast.create ?known:t.known ~cse:t.config.encode_cse ~initial:`Free
-        ~assumes:t.assumes t.nl
+      Blast.create ?known:eng.known ~cse:t.config.encode_cse ~initial:`Free
+        ~assumes:(List.map (fun s -> eng.map.(s)) t.assumes)
+        eng.enc_nl
     in
     Solver.set_reduce_db (Blast.solver ind) t.config.reduce_db;
     let lits_at time =
       List.map
         (fun (s, pol) ->
-          let l = Blast.lit1 ind s ~time in
+          let l = Blast.lit1 ind eng.map.(s) ~time in
           if pol then l else Solver.negate l)
         cover
     in
@@ -344,10 +460,106 @@ let try_induction t cover =
     in
     let r = go 0 in
     let nv = Solver.nvars (Blast.solver ind) in
-    t.ind_vars <- t.ind_vars + nv;
+    eng.ind_vars <- eng.ind_vars + nv;
     if Obs.enabled () then Obs.Metrics.incr "sat.ind_vars" ~by:nv;
     r
   end
+
+(* --- canonical witnesses -------------------------------------------------- *)
+
+(* After a Sat BMC query, the raw model is an artifact of the encoding and
+   the solver's trajectory: the swept and unswept CNFs are equisatisfiable
+   over the design's free variables but return different models.  The
+   reported witness is therefore canonicalized:
+
+   1. minimal hit time — the earliest per-time gate that is satisfiable;
+   2. lexicographically minimal free variables (symbolic-init register
+      bits at time 0, then primary-input bits per time), in a fixed
+      time-major, id-major, LSB-first order, preferring 0 — found with
+      incremental solves under a growing assumption list, skipping solves
+      for bits the current model already has at 0;
+   3. one final solve under the full assumption list, whose model is read.
+
+   The result depends only on the design's semantics (and the budgets),
+   so report digests agree across sweep modes, cache warmth and
+   equivalent netlist variants.  A budget overrun mid-minimization
+   degrades to best-effort (the bit keeps its current model value); the
+   audit tripwire is the backstop. *)
+let canonical_witness t eng ~gates ~default_upto =
+  let s = Blast.solver eng.bmc in
+  let budget = t.config.bmc_conflicts in
+  let model_upto =
+    match List.find_opt (fun (_, g) -> Solver.lit_value s g) gates with
+    | Some (time, _) -> time
+    | None -> default_upto
+  in
+  let gate_at time = List.assoc time gates in
+  (* 1. Minimal hit time: scan upward; a budget overrun counts as a miss
+     (best effort — never unsound, the gate implies the cover). *)
+  let rec scan time =
+    if time >= model_upto then model_upto
+    else
+      match Solver.solve ~assumptions:[ gate_at time ] ~max_conflicts:budget s with
+      | Solver.Sat -> time
+      | Solver.Unsat | Solver.Unknown -> scan (time + 1)
+  in
+  let upto = scan 0 in
+  (* Re-establish a model for the chosen time (scan may have ended on an
+     Unsat step or skipped solving entirely). *)
+  (match Solver.solve ~assumptions:[ gate_at upto ] ~max_conflicts:budget s with
+  | Solver.Sat -> ()
+  | _ -> failwith "Checker: canonical witness lost the satisfying model");
+  (* 2. The free variables, in canonical order. *)
+  let free =
+    let sym_regs =
+      List.filter
+        (fun r ->
+          match (Netlist.node t.nl r).Netlist.kind with
+          | Netlist.Reg { init = Netlist.Init_symbolic; _ } -> true
+          | _ -> false)
+        (Netlist.registers t.nl)
+    in
+    let reg_bits =
+      List.concat_map
+        (fun r -> Array.to_list (Blast.lits eng.bmc eng.map.(r) ~time:0))
+        sym_regs
+    in
+    let input_bits =
+      List.concat_map
+        (fun time ->
+          List.concat_map
+            (fun i -> Array.to_list (Blast.lits eng.bmc eng.map.(i) ~time))
+            (Netlist.inputs t.nl))
+        (List.init (upto + 1) Fun.id)
+    in
+    Array.of_list (reg_bits @ input_bits)
+  in
+  let nfree = Array.length free in
+  let model = Array.map (fun l -> Solver.lit_value s l) free in
+  let capture from =
+    for j = from to nfree - 1 do
+      model.(j) <- Solver.lit_value s free.(j)
+    done
+  in
+  let fixed = ref [ gate_at upto ] in
+  for i = 0 to nfree - 1 do
+    let l = free.(i) in
+    if not model.(i) then fixed := Solver.negate l :: !fixed
+    else
+      match
+        Solver.solve ~assumptions:(Solver.negate l :: !fixed) ~max_conflicts:budget s
+      with
+      | Solver.Sat ->
+        capture i;
+        fixed := Solver.negate l :: !fixed
+      | Solver.Unsat | Solver.Unknown -> fixed := l :: !fixed
+  done;
+  (* 3. Final model under the full pin-down; the free variables are fully
+     assigned, so this is satisfiable by construction. *)
+  (match Solver.solve ~assumptions:!fixed s with
+  | Solver.Sat -> ()
+  | _ -> failwith "Checker: canonical witness pin-down unsatisfiable");
+  upto
 
 (* --- verdict cache entries ---------------------------------------------- *)
 
@@ -357,7 +569,9 @@ let try_induction t cover =
    the pre-pass consumed (stream fidelity for subsequent properties). *)
 type cache_entry = { ce_outcome : outcome; ce_sim : bool; ce_draws : int }
 
-let codec_version = '\001'
+(* '\002': canonical witnesses changed which model a Sat BMC query
+   reports, so entries written by older binaries must miss. *)
+let codec_version = '\002'
 
 let encode_entry (e : cache_entry) =
   Printf.sprintf "%c%s" codec_version (Marshal.to_string e [])
@@ -370,23 +584,112 @@ let decode_entry blob =
     | exception _ -> None
 
 let cover_key t cover =
-  Digest.to_hex
-    (Digest.string
-       (t.key_prefix ^ "|p:"
-       ^ String.concat ","
-           (List.map
-              (fun (s, pol) -> string_of_int s ^ if pol then "+" else "-")
-              cover)))
+  let lit (s, pol) =
+    match t.sigs with
+    | Some sigs -> sigs.(s) ^ if pol then "+" else "-"
+    | None -> string_of_int s ^ if pol then "+" else "-"
+  in
+  (* Semantic keys sort the literals: equivalent variants may construct
+     the same cover in a different order. *)
+  let lits = List.map lit cover in
+  let lits = if t.sigs = None then lits else List.sort compare lits in
+  Digest.to_hex (Digest.string (t.key_prefix ^ "|p:" ^ String.concat "," lits))
 
 (* --- main entry ----------------------------------------------------------- *)
 
 let debug =
   match Sys.getenv_opt "CHECKER_DEBUG" with Some ("1" | "true") -> true | _ -> false
 
+(* SAT phases (induction, then single-shot BMC) on one engine.  The sim
+   pre-pass has already run (shared across engines). *)
+let compute_sat t eng cover =
+  (* k-induction: a genuine unreachability proof, attempted first
+     because it is far cheaper than a deep UNSAT BMC sweep.  The step
+     proof alone is unsound without its base case (the cover could hold
+     within the first k steps from reset — e.g. via symbolic initial
+     state), so verify the base with a small BMC before concluding. *)
+  let base_holds k =
+    (* no cover at times 0..k-1 from the reset state *)
+    k = 0
+    ||
+    (Blast.ensure_depth eng.bmc (k - 1);
+     let s = Blast.solver eng.bmc in
+     let act = Solver.pos (Solver.new_var s) in
+     let gates =
+       List.init k (fun time ->
+           let g = Solver.pos (Solver.new_var s) in
+           List.iter
+             (fun (sig_, pol) ->
+               let l = Blast.lit1 eng.bmc eng.map.(sig_) ~time in
+               let l = if pol then l else Solver.negate l in
+               Solver.add_clause s [ Solver.negate g; l ])
+             cover;
+           g)
+     in
+     Solver.add_clause s (Solver.negate act :: gates);
+     let r = Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts s in
+     Solver.add_clause s [ Solver.negate act ];
+     r = Solver.Unsat)
+  in
+  match try_induction t eng cover with
+  | Some k when base_holds k -> Unreachable (Inductive k)
+  | _ -> (
+    (* Single-shot BMC over all depths: one activation-gated
+       disjunction OR_t cover@t; SAT yields a witness, UNSAT proves
+       bounded unreachability in one solve. *)
+    Blast.ensure_depth eng.bmc t.config.bmc_depth;
+    let s = Blast.solver eng.bmc in
+    let gates =
+      List.init (t.config.bmc_depth + 1) (fun time ->
+          let g = Solver.pos (Solver.new_var s) in
+          List.iter
+            (fun (sig_, pol) ->
+              let l = Blast.lit1 eng.bmc eng.map.(sig_) ~time in
+              let l = if pol then l else Solver.negate l in
+              Solver.add_clause s [ Solver.negate g; l ])
+            cover;
+          (time, g))
+    in
+    let act = Solver.pos (Solver.new_var s) in
+    Solver.add_clause s (Solver.negate act :: List.map snd gates);
+    let result =
+      if t.config.portfolio_domains > 1 then begin
+        let pr =
+          Solver.solve_portfolio ~assumptions:[ act ]
+            ~max_conflicts:t.config.bmc_conflicts
+            ~domains:t.config.portfolio_domains s
+        in
+        if Obs.enabled () then begin
+          Obs.Metrics.incr "sat.portfolio_solves";
+          Obs.Metrics.incr "sat.portfolio_shared" ~by:pr.Solver.p_shared;
+          Obs.Metrics.incr "sat.portfolio_imported" ~by:pr.Solver.p_imported;
+          Obs.Metrics.incr "sat.portfolio_racer_decisive"
+            ~by:pr.Solver.p_racer_decisive
+        end;
+        pr.Solver.p_result
+      end
+      else
+        Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts
+          s
+    in
+    (* Retire this property's activation clause. *)
+    Solver.add_clause s [ Solver.negate act ];
+    match result with
+    | Solver.Sat ->
+      let upto =
+        canonical_witness t eng ~gates ~default_upto:t.config.bmc_depth
+      in
+      Reachable (cex_of_model t eng ~upto)
+    | Solver.Unsat -> Unreachable (Bounded t.config.bmc_depth)
+    | Solver.Unknown -> Undetermined)
+
 (* The engine pipeline proper: returns (outcome, discharged-by-sim, RNG
-   draws consumed by the sim pre-pass). *)
+   draws consumed by the sim pre-pass).  In audit mode the SAT phases run
+   twice — swept and unswept — and any verdict or witness divergence is a
+   soundness bug in the sweep, so it trips a hard failure. *)
 let compute_cover t cover =
-  (* 1. simulation pre-pass *)
+  (* 1. simulation pre-pass (shared by both engines: it runs on the
+     original netlist and consumes the RNG stream exactly once). *)
   let sim_result =
     if Obs.enabled () then
       Obs.with_span "checker.sim_prepass" (fun () -> try_simulation t cover)
@@ -394,99 +697,42 @@ let compute_cover t cover =
   in
   match sim_result with
   | Some cex, draws -> (Reachable cex, true, draws)
-  | None, draws -> (
-    (* 2. k-induction: a genuine unreachability proof, attempted first
-       because it is far cheaper than a deep UNSAT BMC sweep.  The step
-       proof alone is unsound without its base case (the cover could hold
-       within the first k steps from reset — e.g. via symbolic initial
-       state), so verify the base with a small BMC before concluding. *)
-    let base_holds k =
-      (* no cover at times 0..k-1 from the reset state *)
-      k = 0
-      ||
-      (Blast.ensure_depth t.bmc (k - 1);
-       let s = Blast.solver t.bmc in
-       let act = Solver.pos (Solver.new_var s) in
-       let gates =
-         List.init k (fun time ->
-             let g = Solver.pos (Solver.new_var s) in
-             List.iter
-               (fun (sig_, pol) ->
-                 let l = Blast.lit1 t.bmc sig_ ~time in
-                 let l = if pol then l else Solver.negate l in
-                 Solver.add_clause s [ Solver.negate g; l ])
-               cover;
-             g)
-       in
-       Solver.add_clause s (Solver.negate act :: gates);
-       let r = Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts s in
-       Solver.add_clause s [ Solver.negate act ];
-       r = Solver.Unsat)
-    in
-    match try_induction t cover with
-    | Some k when base_holds k -> (Unreachable (Inductive k), false, draws)
-    | _ ->
-      (* 3. single-shot BMC over all depths: one activation-gated
-         disjunction OR_t cover@t; SAT yields a witness, UNSAT proves
-         bounded unreachability in one solve. *)
-      Blast.ensure_depth t.bmc t.config.bmc_depth;
-      let s = Blast.solver t.bmc in
-      let gates =
-        List.init (t.config.bmc_depth + 1) (fun time ->
-            let g = Solver.pos (Solver.new_var s) in
-            List.iter
-              (fun (sig_, pol) ->
-                let l = Blast.lit1 t.bmc sig_ ~time in
-                let l = if pol then l else Solver.negate l in
-                Solver.add_clause s [ Solver.negate g; l ])
-              cover;
-            (time, g))
+  | None, draws ->
+    let outcome = compute_sat t t.eng cover in
+    (match t.shadow with
+    | None -> ()
+    | Some shadow ->
+      let unswept = compute_sat t shadow cover in
+      let divergence =
+        match (outcome, unswept) with
+        | Reachable a, Reachable b ->
+          if Cex.equal a b then None else Some "witness mismatch"
+        | Unreachable _, Unreachable _ | Undetermined, Undetermined -> None
+        | a, b ->
+          Some
+            (Printf.sprintf "verdict mismatch: swept=%s unswept=%s"
+               (outcome_tag a) (outcome_tag b))
       in
-      let act = Solver.pos (Solver.new_var s) in
-      Solver.add_clause s (Solver.negate act :: List.map snd gates);
-      let result =
-        if t.config.portfolio_domains > 1 then begin
-          let pr =
-            Solver.solve_portfolio ~assumptions:[ act ]
-              ~max_conflicts:t.config.bmc_conflicts
-              ~domains:t.config.portfolio_domains s
-          in
-          if Obs.enabled () then begin
-            Obs.Metrics.incr "sat.portfolio_solves";
-            Obs.Metrics.incr "sat.portfolio_shared" ~by:pr.Solver.p_shared;
-            Obs.Metrics.incr "sat.portfolio_imported" ~by:pr.Solver.p_imported;
-            Obs.Metrics.incr "sat.portfolio_racer_decisive"
-              ~by:pr.Solver.p_racer_decisive
-          end;
-          pr.Solver.p_result
-        end
-        else
-          Solver.solve ~assumptions:[ act ] ~max_conflicts:t.config.bmc_conflicts
-            s
-      in
-      (* Retire this property's activation clauses. *)
-      Solver.add_clause s [ Solver.negate act ];
-      match result with
-      | Solver.Sat ->
-        let upto =
-          match List.find_opt (fun (_, g) -> Solver.lit_value s g) gates with
-          | Some (time, _) -> time
-          | None -> t.config.bmc_depth
-        in
-        (Reachable (cex_of_model t ~upto), false, draws)
-      | Solver.Unsat -> (Unreachable (Bounded t.config.bmc_depth), false, draws)
-      | Solver.Unknown -> (Undetermined, false, draws))
+      (match divergence with
+      | Some what ->
+        failwith
+          (Printf.sprintf
+             "Checker sweep audit: %s on %s — the equivalence sweep changed \
+              an outcome"
+             what (Netlist.name t.nl))
+      | None -> ()));
+    (outcome, false, draws)
 
 let check_cover ?name t cover =
   let t0 = Unix.gettimeofday () in
   (* Snapshots for the per-property sat.* metrics; deltas are taken over the
      shared BMC solver (the induction pass uses short-lived solvers whose
      work is not attributed here). *)
-  let bmc_s = Blast.solver t.bmc in
+  let bmc_s = Blast.solver t.eng.bmc in
   let c0 = Solver.num_conflicts bmc_s in
   let p0 = Solver.num_propagations bmc_s in
   let r0 = Solver.num_reduces bmc_s in
-  let h0, l0 = Blast.cse_stats t.bmc in
+  let h0, l0 = Blast.cse_stats t.eng.bmc in
   let finish ~hit ~sim_discharged outcome =
     t.stats.Stats.n_props <- t.stats.Stats.n_props + 1;
     t.stats.Stats.total_time <- t.stats.Stats.total_time +. Unix.gettimeofday () -. t0;
@@ -522,7 +768,7 @@ let check_cover ?name t cover =
         (float_of_int (Solver.learnt_peak bmc_s));
       Obs.Metrics.gauge "sat.vars" (float_of_int (Solver.nvars bmc_s));
       Obs.Metrics.incr "sat.reduce_events" ~by:(Solver.num_reduces bmc_s - r0);
-      let hits, lookups = Blast.cse_stats t.bmc in
+      let hits, lookups = Blast.cse_stats t.eng.bmc in
       Obs.Metrics.incr "sat.cse_hits" ~by:(hits - h0);
       Obs.Metrics.incr "sat.cse_lookups" ~by:(lookups - l0)
     end;
@@ -545,7 +791,14 @@ let check_cover ?name t cover =
       finish ~hit:None ~sim_discharged outcome
     | Some cache -> (
       let key = cover_key t cover in
-      match Option.bind (Vcache.find cache key) decode_entry with
+      (* Audit mode never *serves* from the cache — the point is to run
+         both engines and compare — but it still stores, so an audited
+         cold run warms the cache for subsequent on-mode runs. *)
+      let cached =
+        if t.config.sweep = Sweep_audit then None
+        else Option.bind (Vcache.find cache key) decode_entry
+      in
+      match cached with
       | Some e ->
         (* Replay the RNG draws the cold run's sim pre-pass consumed, so the
            stream later properties see is the same whether or not this
@@ -569,7 +822,7 @@ let check_cover ?name t cover =
 
 (* --- solver introspection ------------------------------------------------ *)
 
-let dump_cnf t = Sat.Dimacs.of_solver (Blast.solver t.bmc)
+let dump_cnf t = Sat.Dimacs.of_solver (Blast.solver t.eng.bmc)
 
 type sat_stats = {
   ss_conflicts : int;
@@ -584,8 +837,8 @@ type sat_stats = {
 }
 
 let sat_stats t =
-  let s = Blast.solver t.bmc in
-  let hits, lookups = Blast.cse_stats t.bmc in
+  let s = Blast.solver t.eng.bmc in
+  let hits, lookups = Blast.cse_stats t.eng.bmc in
   {
     ss_conflicts = Solver.num_conflicts s;
     ss_propagations = Solver.num_propagations s;
@@ -595,5 +848,7 @@ let sat_stats t =
     ss_cse_hits = hits;
     ss_cse_lookups = lookups;
     ss_vars = Solver.nvars s;
-    ss_ind_vars = t.ind_vars;
+    ss_ind_vars =
+      (t.eng.ind_vars
+      + match t.shadow with None -> 0 | Some e -> e.ind_vars);
   }

@@ -13,7 +13,16 @@
     clauses), k-induction with simple-path constraints (a genuine
     unreachability proof), and finally a bounded-unreachable verdict when
     the BMC depth is exhausted cleanly — the analogue of the paper's
-    undetermined-as-unreachable configuration (§VII-B4). *)
+    undetermined-as-unreachable configuration (§VII-B4).
+
+    The SAT engines can run on an equivalence-swept copy of the netlist
+    ({!config.sweep}): {!Hdl.Equiv.reduce} merges proven-equivalent
+    combinational nodes before encoding, and every query crosses the
+    total old→new signal map at the boundary.  BMC witnesses are
+    {e canonical} — minimal hit time, then lexicographically-minimal free
+    variables — so the reported trace depends only on the design's
+    semantics, never on the encoding the solver searched; that is what
+    keeps report digests bit-identical across sweep modes. *)
 
 module Cex : sig
   type t
@@ -22,6 +31,11 @@ module Cex : sig
   val length : t -> int
   val value : t -> string -> cycle:int -> Bitvec.t option
   val value_exn : t -> string -> cycle:int -> Bitvec.t
+
+  val equal : t -> t -> bool
+  (** Structural equality: same length, same signals in the same order,
+      bit-identical values — the comparison the sweep audit applies. *)
+
   val pp : Format.formatter -> t -> unit
 end
 
@@ -73,6 +87,27 @@ module Stats : sig
   val pp : Format.formatter -> t -> unit
 end
 
+type sweep_mode =
+  | Sweep_off  (** Encode the netlist as given. *)
+  | Sweep_on
+      (** SAT-sweep the netlist ({!Hdl.Equiv.reduce}) before encoding;
+          both the BMC unrolling and every induction solver run on the
+          reduction, with queries translated through the signal map. *)
+  | Sweep_audit
+      (** Compute with the swept engine {e and} re-run every
+          SAT-resolved query on an unswept shadow engine.  Any verdict
+          divergence — or, for reachable covers, any difference between
+          the two canonical witnesses — raises [Failure]: the sweep
+          changed an outcome, which is a soundness bug.  Audit never
+          serves verdicts from the cache (it must run both engines) but
+          still stores what it computes.  Proof kinds are not compared:
+          known-bits strength can legitimately differ between the two
+          encodings, turning an inductive proof into a bounded one, and
+          proof kinds are not part of any report digest. *)
+
+val sweep_mode_tag : sweep_mode -> string
+(** ["off"] / ["on"] / ["audit"]. *)
+
 type config = {
   bmc_depth : int;
   bmc_conflicts : int;
@@ -84,7 +119,7 @@ type config = {
   encode_cse : bool;
       (** Structural hashing of the Tseitin encoding (default [true]).
           Part of the verdict-cache key: it changes the solver trajectory
-          and hence which witness a satisfiable query returns. *)
+          and hence how a verdict is reached. *)
   known_bits : bool;
       (** Substitute {!Hdl.Absint.known_bits} invariants as constant
           literals in both engines' encodings (default [true]).  On the
@@ -96,15 +131,25 @@ type config = {
           variables and clauses (see [ss_ind_vars]) and letting induction
           discharge covers plain induction cannot.  Part of the cache
           key: the strengthening can change verdicts (Undetermined
-          becoming Unreachable) and solver trajectories. *)
+          becoming Unreachable) and solver trajectories.  When sweeping,
+          known bits are computed on the netlist each engine actually
+          encodes. *)
   reduce_db : bool;
       (** Periodic learnt-clause DB reduction (default [true]).  Also part
           of the cache key, for the same reason. *)
   portfolio_domains : int;
       (** Race this many diversified solver configurations per hard BMC
           query (default 1 = off).  Deliberately {e not} part of the cache
-          key: the canonical solver's verdict and witness are bit-identical
+          key: the canonical solver's verdict and model are bit-identical
           whatever the domain count — see {!Sat.Solver.solve_portfolio}. *)
+  sweep : sweep_mode;
+      (** Equivalence-sweep the netlist the SAT engines encode (default
+          {!Sweep_off}).  Verdicts, witnesses and hence report digests
+          are bit-identical across all three modes — witnesses are
+          canonical, the sim pre-pass always runs on the original
+          netlist, and audit is on-plus-tripwire.  The cache key
+          therefore carries only the effective boolean (audit keys as
+          on). *)
 }
 
 val default_config : config
@@ -117,6 +162,8 @@ val create :
   ?stimulus:(Sim.t -> int -> unit) ->
   ?config:config ->
   ?assume_initial:Hdl.Netlist.signal list ->
+  ?sweep_barriers:Hdl.Netlist.signal list ->
+  ?semantic_cache:bool ->
   assumes:Hdl.Netlist.signal list ->
   Hdl.Netlist.t ->
   t
@@ -132,18 +179,39 @@ val create :
     as the cold run computed it — witness trace, sim-discharged
     accounting, and the RNG draws the sim pre-pass consumed — so a run
     whose properties all hit is bit-identical to the run that filled the
-    store.  On partially-warm runs, skipped engine work changes the shared
-    BMC solver's state, so freshly computed witnesses (not verdicts) may
-    differ from a fully cold run — the same caveat property sharding has.
-    [cache_salt] must identify any verdict-relevant input the checker
-    cannot see, in practice the [stimulus] closure's identity. *)
+    store.  [cache_salt] must identify any verdict-relevant input the
+    checker cannot see, in practice the [stimulus] closure's identity.
+
+    [sweep_barriers] are extra signals the equivalence sweep must never
+    merge away (named signals, registers and inputs are always barriers);
+    callers pass every metadata-referenced signal, belt and braces on top
+    of those signals being named.  Ignored when [config.sweep] is
+    {!Sweep_off}.
+
+    [semantic_cache] (default [false], meaningful only with [cache])
+    switches the cache keys to the behavioral namespace: the netlist
+    contributes {!Hdl.Equiv.semantic_digest} instead of its structural
+    digest, and assume/cover signals contribute their
+    {!Hdl.Equiv.signatures} instead of node ids.  Semantically equivalent
+    netlist variants — a word-level design and its gate-level
+    re-synthesis, say — then share verdicts.  Sound for the same reason
+    digests agree across sweep modes (canonical witnesses), with one
+    caveat: a budget-limited [Undetermined] could in principle resolve
+    differently on another variant, so pair this with budgets generous
+    enough that shared queries terminate. *)
 
 val check_cover : ?name:string -> t -> (Hdl.Netlist.signal * bool) list -> outcome
 (** [check_cover t lits] searches for a cycle where every [(signal,
-    polarity)] literal holds simultaneously. *)
+    polarity)] literal holds simultaneously.  Signals are those of the
+    {e original} netlist whatever the sweep mode.  In audit mode, raises
+    [Failure] if the swept and unswept engines ever disagree. *)
 
 val stats : t -> Stats.t
 val netlist : t -> Hdl.Netlist.t
+
+val sweep_stats : t -> Hdl.Equiv.stats option
+(** Reduction statistics of the equivalence sweep the engines run on;
+    [None] when [config.sweep] is {!Sweep_off}. *)
 
 val dump_cnf : t -> string
 (** The shared BMC unrolling's current clause set as DIMACS CNF text
@@ -161,12 +229,13 @@ type sat_stats = {
   ss_vars : int;  (** Variables allocated in the BMC engine's solver. *)
   ss_ind_vars : int;
       (** Variables allocated across the short-lived k-induction side
-          solvers, cumulative over every induction attempt.  This is the
-          counter the known-bits substitution ([config.known_bits])
-          shrinks: the [`Free]-initial unrolling stops allocating
-          variables for proven register bits.  (On the [`Reset]-initial
-          BMC side the substitution is subsumed by per-step constant
-          folding, so [ss_vars] is unaffected by the flag.) *)
+          solvers, cumulative over every induction attempt (both engines
+          in audit mode).  This is the counter the known-bits
+          substitution ([config.known_bits]) shrinks: the [`Free]-initial
+          unrolling stops allocating variables for proven register bits.
+          (On the [`Reset]-initial BMC side the substitution is subsumed
+          by per-step constant folding, so [ss_vars] is unaffected by the
+          flag.) *)
 }
 
 val sat_stats : t -> sat_stats

@@ -113,8 +113,8 @@ let ufsm_connectivity (meta : Meta.t) =
 let pl_groups meta =
   List.map (fun g -> (g.label, g.members)) (collect_groups meta)
 
-let create ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
-    ~meta ~iuv ~iuv_pc () =
+let create ?cache ?cache_salt ?config ?stimulus ?(semantic_cache = false)
+    ?(revisit_count_labels = []) ~meta ~iuv ~iuv_pc () =
   let module D = Hdl.Dsl.Make (struct
     let nl = meta.Meta.nl
   end) in
@@ -273,7 +273,10 @@ let create ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
       meta.Meta.ifrs
   in
   let assumes = iuv_assumes @ no_refetch @ meta.Meta.extra_assumes in
-  let checker = Mc.Checker.create ?cache ?cache_salt ?stimulus ?config ~assumes nl in
+  let checker =
+    Mc.Checker.create ?cache ?cache_salt ?stimulus ?config
+      ~sweep_barriers:(Meta.signals meta) ~semantic_cache ~assumes nl
+  in
   {
     meta;
     iuv;

@@ -43,13 +43,14 @@ type episode = {
   decision_obs : (string * SS.t) list;
 }
 
-let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
+let run_inner ?cache ?cache_salt ?config ?stimulus ?(semantic_cache = false)
+    ?(revisit_count_labels = [])
     ?(max_candidate_sets = 4096) ?(max_revisit_count = 12) ?(presim_episodes = 64)
     ?(presim_cycles = 48) ?(static_prune = true) ?(absint = `On) ?dump_cnf ~shards
     ~(pool : Pool.t option) ~meta ~iuv ~iuv_pc () =
   let h =
-    Harness.create ?cache ?cache_salt ?config ?stimulus ~revisit_count_labels
-      ~meta ~iuv ~iuv_pc ()
+    Harness.create ?cache ?cache_salt ?config ?stimulus ~semantic_cache
+      ~revisit_count_labels ~meta ~iuv ~iuv_pc ()
   in
   let nl = meta.Designs.Meta.nl in
   let chk = Harness.checker h in
@@ -150,7 +151,8 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
               { base with Checker.seed = Pool.derive_seed ~base:base.Checker.seed ~index:k }
             in
             Checker.create ?cache:shard_caches.(k) ?cache_salt ?stimulus
-              ~config:cfg ~assumes:(Harness.assumes h) nl)
+              ~config:cfg ~sweep_barriers:(Designs.Meta.signals meta)
+              ~semantic_cache ~assumes:(Harness.assumes h) nl)
   in
   let stage names =
     List.map
@@ -870,12 +872,14 @@ let run_inner ?cache ?cache_salt ?config ?stimulus ?(revisit_count_labels = [])
           (Checker.Stats.create ()) cks);
   }
 
-let run ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
+let run ?cache ?cache_salt ?config ?stimulus ?semantic_cache
+    ?revisit_count_labels
     ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
     ?static_prune ?absint ?dump_cnf ?(shards = 1) ?pool ~meta ~iuv ~iuv_pc () =
   let shards = max 1 shards in
   let inner pool =
-    run_inner ?cache ?cache_salt ?config ?stimulus ?revisit_count_labels
+    run_inner ?cache ?cache_salt ?config ?stimulus ?semantic_cache
+      ?revisit_count_labels
       ?max_candidate_sets ?max_revisit_count ?presim_episodes ?presim_cycles
       ?static_prune ?absint ?dump_cnf ~shards ~pool ~meta ~iuv ~iuv_pc ()
   in

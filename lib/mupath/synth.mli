@@ -67,6 +67,7 @@ val run :
   ?cache_salt:string ->
   ?config:Mc.Checker.config ->
   ?stimulus:(Sim.t -> int -> unit) ->
+  ?semantic_cache:bool ->
   ?revisit_count_labels:string list ->
   ?max_candidate_sets:int ->
   ?max_revisit_count:int ->
@@ -112,7 +113,11 @@ val run :
     every checker property — including each shard's — is looked up before
     any engine runs, and a run whose properties all hit is bit-identical to
     the run that filled the store, because cached witness traces replay
-    through the same harvesting code paths.  With [shards > 1], each
+    through the same harvesting code paths.  [semantic_cache] switches the
+    store to the behavioral key namespace (see {!Mc.Checker.create}), so
+    semantically equivalent netlist variants share verdicts.
+    [config.sweep] selects the checker's equivalence-sweep mode; the
+    design's {!Designs.Meta.signals} are always passed as merge barriers.  With [shards > 1], each
     non-zero shard stages its writes and the joins merge them in shard
     order.
 

@@ -151,7 +151,8 @@ let synth_absint_mode = function
   | Types.Prune_off -> `Off
   | Types.Prune_audit -> `Audit
 
-let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
+let analyze_transponder ?cache ?config ?synth_config ?semantic_cache
+    ?static_prune ?dump_cnf
     ?(precise = true) ?(static_flow_prune = Types.Prune_on)
     ?(absint = Types.Prune_on)
     ?(stimulus : stimulus_builder option) ?(exclude_sources = [])
@@ -167,7 +168,8 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
     | None -> None
   in
   let synth =
-    Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim ?static_prune
+    Mupath.Synth.run ?cache ?config:synth_config ?stimulus:stim
+      ?semantic_cache ?static_prune
       ~absint:(synth_absint_mode absint) ?dump_cnf ~revisit_count_labels ~meta
       ~iuv:instr ~iuv_pc ()
   in
@@ -248,7 +250,7 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
                   in
                   f sim c)
           in
-          Flow.analyze ?cache ?config ?stimulus:stim' ~precise
+          Flow.analyze ?cache ?config ?stimulus:stim' ?semantic_cache ~precise
             ~static_flow_prune ~absint ~design:design' ~transponder:instr
             ~decisions:multi_decisions ~transmitters ~kind ~operand ~iuv_pc ())
         pairs
@@ -282,7 +284,8 @@ let analyze_transponder ?cache ?config ?synth_config ?static_prune ?dump_cnf
     }
   end
 
-let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
+let run ?cache ?config ?synth_config ?semantic_cache ?static_prune ?dump_cnf
+    ?(precise = true)
     ?(static_flow_prune = Types.Prune_on) ?(absint = Types.Prune_on)
     ?(stimulus : stimulus_builder option)
     ?(exclude_sources = []) ?(jobs = 1) ?pool ~(design : unit -> Meta.t)
@@ -319,7 +322,8 @@ let run ?cache ?config ?synth_config ?static_prune ?dump_cnf ?(precise = true)
     in
     let go () =
       analyze_transponder ?cache:(cache_of index) ?config ?synth_config
-        ?static_prune ?dump_cnf ~precise ~static_flow_prune ~absint ?stimulus
+        ?semantic_cache ?static_prune ?dump_cnf ~precise ~static_flow_prune
+        ~absint ?stimulus
         ~exclude_sources ~design ~instr ~transmitters ~kinds
         ~revisit_count_labels ~iuv_pc ()
     in

@@ -85,6 +85,7 @@ val analyze_transponder :
   ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
+  ?semantic_cache:bool ->
   ?static_prune:bool ->
   ?dump_cnf:string ->
   ?precise:bool ->
@@ -149,6 +150,7 @@ val run :
   ?cache:Vcache.t ->
   ?config:Mc.Checker.config ->
   ?synth_config:Mc.Checker.config ->
+  ?semantic_cache:bool ->
   ?static_prune:bool ->
   ?dump_cnf:string ->
   ?precise:bool ->

@@ -37,7 +37,8 @@ let transmitter_pc ~iuv_pc = function
   | Types.Dynamic_younger -> iuv_pc + 1
   | Types.Static -> iuv_pc - 2
 
-let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
+let analyze_inner ?cache ?cache_salt ?config ?stimulus ?semantic_cache
+    ?(precise = true)
     ?(static_flow_prune = Types.Prune_on) ?(absint = Types.Prune_on)
     ~(design : unit -> Meta.t)
     ~(transponder : Isa.t)
@@ -249,8 +250,8 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
     else Some (Option.value cache_salt ~default:"" ^ "|ift:imprecise")
   in
   let h =
-    Mupath.Harness.create ?cache ?cache_salt ?config ?stimulus ~meta
-      ~iuv:transponder ~iuv_pc ()
+    Mupath.Harness.create ?cache ?cache_salt ?config ?stimulus ?semantic_cache
+      ~meta ~iuv:transponder ~iuv_pc ()
   in
   let chk = Mupath.Harness.checker h in
 
@@ -409,11 +410,12 @@ let analyze_inner ?cache ?cache_salt ?config ?stimulus ?(precise = true)
   stats.q_time <- Unix.gettimeofday () -. t_start;
   { tagged = List.rev !tagged; static_live; stats }
 
-let analyze ?cache ?cache_salt ?config ?stimulus ?precise ?static_flow_prune
+let analyze ?cache ?cache_salt ?config ?stimulus ?semantic_cache ?precise
+    ?static_flow_prune
     ?absint ~design ~transponder ~decisions ~transmitters ~kind ~operand
     ~iuv_pc () =
   let go () =
-    analyze_inner ?cache ?cache_salt ?config ?stimulus ?precise
+    analyze_inner ?cache ?cache_salt ?config ?stimulus ?semantic_cache ?precise
       ?static_flow_prune ?absint ~design ~transponder ~decisions ~transmitters
       ~kind ~operand ~iuv_pc ()
   in

@@ -52,6 +52,7 @@ val analyze :
   ?cache_salt:string ->
   ?config:Mc.Checker.config ->
   ?stimulus:(Sim.t -> int -> unit) ->
+  ?semantic_cache:bool ->
   ?precise:bool ->
   ?static_flow_prune:Types.prune_mode ->
   ?absint:Types.prune_mode ->

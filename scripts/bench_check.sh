@@ -81,7 +81,16 @@ project_semantic() {
           kv("frontend.warnings"; .warnings),
           kv("frontend.netlist_digests"; .netlist_digests),
           kv("frontend.run_identical"; .run_identical),
-          kv("frontend.run_digest"; .run_digest))
+          kv("frontend.run_digest"; .run_digest)),
+      (.sweep? // empty
+        | kv("sweep.comb_nodes"; .comb_nodes),
+          kv("sweep.merged"; .merged),
+          kv("sweep.classes"; .classes),
+          kv("sweep.digest_identical"; .digest_identical),
+          kv("sweep.report_digest"; .report_digest),
+          kv("sweep.sem_hits"; .sem_hits),
+          kv("sweep.sem_misses"; .sem_misses),
+          kv("sweep.sem_identical"; .sem_identical))
     ] | .[]
   ' "$1"
 }
@@ -94,6 +103,9 @@ project_timing() {
       kv("total_time_s"; .total_time_s),
       (.experiments[]? | kv("experiment.\(.id).time_s"; .time_s)),
       (.cache? // empty | kv("cache.t_warm_s"; .t_warm_s)),
+      (.sweep? // empty
+        | kv("sweep.t_off_s"; .t_off_s),
+          kv("sweep.t_on_s"; .t_on_s)),
       (.fuzz? // empty | kv("fuzz.t_total_s"; .t_total_s)),
       (.frontend? // empty
         | kv("frontend.t_export_s"; .t_export_s),

@@ -5,6 +5,7 @@ let () =
       Test_bitvec.suite;
       Test_sat.suite;
       Test_hdl.suite;
+      Test_equiv.suite;
       Test_sim.suite;
       Test_isa.suite;
       Test_uhb.suite;
@@ -28,4 +29,5 @@ let () =
       Test_lint.suite;
       Test_fuzz.suite;
       Test_frontend.suite;
+      Test_sweep.suite;
     ]

@@ -1,0 +1,289 @@
+(* Hdl.Equiv tests: SAT-sweep correctness (duplicates, complements,
+   proven constants), merge barriers (ports / registers / metadata
+   signals survive), the qcheck differential asserting swept and
+   unswept netlists agree on every original signal over a 24-cycle
+   random simulation, semantic-digest invariance under sweeping and
+   module renaming, and the memoized structural digest. *)
+
+module N = Hdl.Netlist
+module E = Hdl.Equiv
+
+let bv w i = Bitvec.of_int ~width:w i
+
+(* A small design with guaranteed redundancy: two copies of [a & b],
+   a complementary pair around [a == b], and an [x ^ x] constant. *)
+let redundant_netlist () =
+  let nl = N.create "redundant" in
+  let a = N.input nl "a" 4 in
+  let b = N.input nl "b" 4 in
+  let dup1 = N.op2 nl N.And a b in
+  let dup2 = N.op2 nl N.And a b in
+  let eq1 = N.op2 nl N.Eq a b in
+  let eq2 = N.op2 nl N.Eq a b in
+  let neq = N.not_ nl eq2 in
+  let zero = N.op2 nl N.Xor a a in
+  let r = N.reg nl ~name:"r" ~init:(N.Init_value (bv 4 0)) ~width:4 () in
+  let sum = N.op2 nl N.Add dup1 zero in
+  N.connect_reg nl r sum;
+  let out = N.op2 nl N.Or dup2 r in
+  N.set_name nl out "out";
+  let flag = N.op2 nl N.Or eq1 neq in
+  N.set_name nl flag "flag";
+  (nl, dup1, dup2, eq1, neq, zero)
+
+let test_sweep_merges_duplicates () =
+  let nl, dup1, dup2, _eq1, _neq, zero = redundant_netlist () in
+  let _red, image, stats = E.reduce nl in
+  Alcotest.(check bool) "dup2 merged onto dup1" true (image.(dup2) = image.(dup1));
+  Alcotest.(check bool) "some complement merge" true (stats.E.complement_merged >= 1);
+  Alcotest.(check bool) "xor-with-self proven constant" true
+    (stats.E.const_merged >= 1);
+  Alcotest.(check bool) "zero merged" true (image.(zero) >= 0);
+  Alcotest.(check bool) "at least three merges" true (stats.E.merged >= 3);
+  Alcotest.(check bool) "no veto on acyclic design" true (stats.E.vetoed = 0)
+
+let test_sweep_proven_constant_is_const_node () =
+  let nl, _, _, _, _, zero = redundant_netlist () in
+  let red, image, _ = E.reduce nl in
+  match (N.node red image.(zero)).N.kind with
+  | N.Const v -> Alcotest.(check bool) "constant value 0" true (Bitvec.is_zero v)
+  | _ -> Alcotest.fail "x^x did not land on a Const node"
+
+let test_analyze_classes () =
+  let nl, dup1, dup2, eq1, neq, _zero = redundant_netlist () in
+  let classes, stats = E.analyze nl in
+  let find_class_of s =
+    List.find_opt
+      (fun c -> c.E.rep = s || List.exists (fun (m, _) -> m = s) c.E.members)
+      classes
+  in
+  (match find_class_of dup2 with
+  | Some c -> Alcotest.(check int) "dup class rep is lowest id" dup1 c.E.rep
+  | None -> Alcotest.fail "no class for duplicate");
+  (match find_class_of neq with
+  | Some c ->
+    let ph =
+      if c.E.rep = eq1 then
+        List.exists (fun (m, ph) -> m = neq && ph) c.E.members
+      else false
+    in
+    Alcotest.(check bool) "neq is complement of eq1" true ph
+  | None -> Alcotest.fail "no class for complement pair");
+  Alcotest.(check bool) "queries issued" true (stats.E.sat_queries > 0)
+
+(* --- merge barriers ----------------------------------------------------- *)
+
+let test_barriers_survive () =
+  let nl, _, _, _, _, _ = redundant_netlist () in
+  let red, image, _ = E.reduce nl in
+  (* Inputs, registers and named nodes all survive under their names. *)
+  List.iter
+    (fun nm ->
+      match N.find_named red nm with
+      | Some s ->
+        let orig = Option.get (N.find_named nl nm) in
+        Alcotest.(check int) (nm ^ " image points at the named survivor") s
+          image.(orig)
+      | None -> Alcotest.fail ("named signal lost: " ^ nm))
+    [ "a"; "b"; "r"; "out"; "flag" ];
+  Alcotest.(check int) "register count preserved"
+    (List.length (N.registers nl))
+    (List.length (N.registers red));
+  Alcotest.(check int) "input count preserved"
+    (List.length (N.inputs nl))
+    (List.length (N.inputs red))
+
+let test_explicit_barrier_not_merged () =
+  (* Two unnamed duplicates; passing one as an explicit (metadata-style)
+     barrier must keep it as its own node. *)
+  let nl = N.create "bar" in
+  let a = N.input nl "a" 4 in
+  let b = N.input nl "b" 4 in
+  let dup1 = N.op2 nl N.And a b in
+  let dup2 = N.op2 nl N.And a b in
+  let out = N.op2 nl N.Or dup1 dup2 in
+  N.set_name nl out "out";
+  let red, image, stats = E.reduce ~barriers:[ dup2 ] nl in
+  Alcotest.(check bool) "barrier kept distinct" true (image.(dup2) <> image.(dup1));
+  Alcotest.(check int) "no merges" 0 stats.E.merged;
+  ignore red
+
+let test_metadata_signals_are_barriers () =
+  (* On a full generated design, no metadata-referenced signal may be
+     rewritten away: its image must be a node of the same kind (register
+     stays a register, input stays an input). *)
+  let cfg = Fuzz.Gen.config_for ~seed:3 0 in
+  let meta = Fuzz.Gen.build cfg in
+  let nl = meta.Designs.Meta.nl in
+  let barriers = Designs.Meta.signals meta in
+  let red, image, _ = E.reduce ~barriers nl in
+  List.iter
+    (fun s ->
+      let same_shape =
+        match ((N.node nl s).N.kind, (N.node red image.(s)).N.kind) with
+        | N.Input, N.Input | N.Reg _, N.Reg _ -> true
+        | N.Reg _, _ | N.Input, _ -> false
+        | _, _ -> true (* combinational: survives as itself, checked below *)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "meta signal %d keeps its shape" s)
+        true same_shape;
+      match (N.node nl s).N.name with
+      | Some nm ->
+        Alcotest.(check bool)
+          (Printf.sprintf "meta signal %s survives by name" nm)
+          true
+          (N.find_named red nm = Some image.(s))
+      | None -> ())
+    barriers
+
+(* --- qcheck differential: swept == unswept over 24 cycles ---------------- *)
+
+let sim_equal_after_sweep nl ~barriers ~seed ~cycles =
+  let red, image, _stats = E.reduce ~barriers nl in
+  let s0 = Sim.create ~seed nl in
+  let s1 = Sim.create ~seed red in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    Sim.poke_random_inputs s0;
+    Sim.poke_random_inputs s1;
+    Sim.eval s0;
+    Sim.eval s1;
+    for id = 0 to N.num_nodes nl - 1 do
+      if not (Bitvec.equal (Sim.peek s0 id) (Sim.peek s1 image.(id))) then
+        ok := false
+    done;
+    Sim.step s0;
+    Sim.step s1
+  done;
+  !ok
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let qcheck_sweep_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:8
+       ~name:"sweep preserves 24-cycle simulation (Fuzz.Gen pipelines)"
+       arb_seed
+       (fun seed ->
+         let cfg = Fuzz.Gen.config_for ~seed 0 in
+         let meta = Fuzz.Gen.build cfg in
+         sim_equal_after_sweep meta.Designs.Meta.nl
+           ~barriers:(Designs.Meta.signals meta) ~seed ~cycles:24))
+
+let test_sweep_differential_builtins () =
+  List.iter
+    (fun build ->
+      let meta = build () in
+      Alcotest.(check bool)
+        (N.name meta.Designs.Meta.nl ^ ": swept sim equal")
+        true
+        (sim_equal_after_sweep meta.Designs.Meta.nl
+           ~barriers:(Designs.Meta.signals meta) ~seed:11 ~cycles:24))
+    [
+      (fun () -> Designs.Core.build Designs.Core.baseline);
+      (fun () -> Designs.Cache.build ());
+    ]
+
+(* --- semantic digest ----------------------------------------------------- *)
+
+let test_semantic_digest_sweep_invariant () =
+  let meta = Designs.Core.build Designs.Core.baseline in
+  let nl = meta.Designs.Meta.nl in
+  let red, _, _ = E.reduce ~barriers:(Designs.Meta.signals meta) nl in
+  Alcotest.(check string) "semantic digest survives sweeping"
+    (E.semantic_digest nl) (E.semantic_digest red);
+  Alcotest.(check bool) "structural digests differ" true
+    (N.digest nl <> N.digest red)
+
+let test_semantic_digest_module_name_independent () =
+  let build name =
+    let nl = N.create name in
+    let a = N.input nl "a" 8 in
+    let r = N.reg nl ~name:"r" ~init:N.Init_symbolic ~width:8 () in
+    N.connect_reg nl r (N.op2 nl N.Add a r);
+    let out = N.op2 nl N.Xor r a in
+    N.set_name nl out "out";
+    nl
+  in
+  Alcotest.(check string) "module name does not affect semantic digest"
+    (E.semantic_digest (build "alpha"))
+    (E.semantic_digest (build "beta"));
+  (* ...but behavior does. *)
+  let other = N.create "gamma" in
+  let a = N.input other "a" 8 in
+  let r = N.reg other ~name:"r" ~init:N.Init_symbolic ~width:8 () in
+  N.connect_reg other r (N.op2 other N.Sub a r);
+  let out = N.op2 other N.Xor r a in
+  N.set_name other out "out";
+  Alcotest.(check bool) "different behavior, different digest" true
+    (E.semantic_digest (build "alpha") <> E.semantic_digest other)
+
+(* --- memoized structural digest ------------------------------------------ *)
+
+let test_digest_memoized () =
+  (* Correctness: memoization is invisible (mutations invalidate). *)
+  let nl = N.create "memo" in
+  let a = N.input nl "a" 8 in
+  let d0 = N.digest nl in
+  Alcotest.(check string) "repeat call stable" d0 (N.digest nl);
+  let x = N.op2 nl N.Add a a in
+  let d1 = N.digest nl in
+  Alcotest.(check bool) "add invalidates" true (d0 <> d1);
+  N.set_name nl x "x";
+  let d2 = N.digest nl in
+  Alcotest.(check bool) "set_name invalidates" true (d1 <> d2);
+  let r = N.reg nl ~name:"r" ~init:N.Init_symbolic ~width:8 () in
+  let d3 = N.digest nl in
+  N.connect_reg nl r x;
+  let d4 = N.digest nl in
+  Alcotest.(check bool) "connect_reg invalidates" true (d3 <> d4);
+  (* O(1) after the first call: tens of thousands of repeat calls on a
+     netlist with thousands of nodes must be far cheaper than even two
+     full recomputations' worth of work. *)
+  let big = N.create "big" in
+  let i0 = N.input big "i0" 32 in
+  let acc = ref i0 in
+  for _ = 1 to 4000 do
+    acc := N.op2 big N.Add !acc i0
+  done;
+  N.set_name big !acc "out";
+  let t0 = Unix.gettimeofday () in
+  let first = N.digest big in
+  let t_first = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  for _ = 1 to 50_000 do
+    ignore (N.digest big)
+  done;
+  let t_rest = Unix.gettimeofday () -. t1 in
+  Alcotest.(check string) "same digest" first (N.digest big);
+  (* 50k cached calls should cost well under 50000x one recomputation;
+     allow a factor-100 margin over two recomputations for timer noise. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "memoized digest is O(1): first=%.6fs rest(50k)=%.6fs"
+       t_first t_rest)
+    true
+    (t_rest < (t_first *. 100.) +. 0.5)
+
+let suite =
+  ( "equiv",
+    [
+      Alcotest.test_case "sweep merges duplicates" `Quick
+        test_sweep_merges_duplicates;
+      Alcotest.test_case "proven constant becomes Const" `Quick
+        test_sweep_proven_constant_is_const_node;
+      Alcotest.test_case "analyze classes" `Quick test_analyze_classes;
+      Alcotest.test_case "barriers survive" `Quick test_barriers_survive;
+      Alcotest.test_case "explicit barrier not merged" `Quick
+        test_explicit_barrier_not_merged;
+      Alcotest.test_case "metadata signals are barriers" `Quick
+        test_metadata_signals_are_barriers;
+      qcheck_sweep_differential;
+      Alcotest.test_case "sweep differential on built-ins" `Quick
+        test_sweep_differential_builtins;
+      Alcotest.test_case "semantic digest sweep-invariant" `Quick
+        test_semantic_digest_sweep_invariant;
+      Alcotest.test_case "semantic digest module-name independent" `Quick
+        test_semantic_digest_module_name_independent;
+      Alcotest.test_case "digest memoized" `Quick test_digest_memoized;
+    ] )

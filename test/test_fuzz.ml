@@ -160,9 +160,9 @@ let test_campaign_defect_path () =
     Alcotest.(check bool) "corpus failure count" true (has {|"failures_count":1|})
   | l -> Alcotest.failf "expected one failure row, got %d" (List.length l)
 
-(* One engine-level battery: the minimal config through all eight
-   oracles (validate/lint/determinism/jobs/cache-warm/prune-modes/
-   portfolio/grid), every verdict Pass. *)
+(* One engine-level battery: the minimal config through every oracle
+   (validate/lint/determinism/jobs/cache-warm/prune-modes/portfolio/
+   sweep/grid), every verdict Pass. *)
 let test_minimal_battery_green () =
   let outcome = O.run ~depth:5 ~episodes:2 G.minimal in
   List.iter
